@@ -1,0 +1,41 @@
+//! Anomaly scan over the nine workloads: WS dead-memory stretches and
+//! FIFO Belady violations — the misbehaviours of run-time estimation
+//! policies that motivate the CD design (paper §1).
+//! Pass `--small` for the reduced test scale.
+
+use cdmm_core::anomalies::{fifo_belady_anomalies, ws_memory_anomalies};
+use cdmm_core::experiments::Harness;
+
+fn main() {
+    let scale = cdmm_bench::scale_from_args();
+    let mut h = Harness::new(scale);
+    for row in [
+        "MAIN", "FDJAC", "TQL1", "FIELD", "INIT", "APPROX", "HYBRJ", "CONDUCT", "HWSCRT",
+    ] {
+        let (w, _) = h.resolve(row);
+        let name = w.name;
+        let p = h.prepared(row);
+        println!("=== {name} ===");
+        let ws = ws_memory_anomalies(p, 1.0);
+        if ws.is_empty() {
+            println!("  WS: no dead-memory stretches >= 1 page");
+        }
+        for a in ws {
+            println!(
+                "  WS: tau {} -> {} holds {:.1} extra pages for the same {} faults",
+                a.tau_small, a.tau_large, a.extra_mem, a.faults
+            );
+        }
+        let fifo = fifo_belady_anomalies(p, 40.min(p.virtual_pages() as usize).max(2));
+        if fifo.is_empty() {
+            println!("  FIFO: monotone up to the scanned allocations");
+        }
+        for a in fifo {
+            println!(
+                "  FIFO: {} -> {} frames RAISES faults {} -> {} (Belady)",
+                a.frames_small, a.frames_large, a.faults_small, a.faults_large
+            );
+        }
+        println!();
+    }
+}

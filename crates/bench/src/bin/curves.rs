@@ -1,0 +1,46 @@
+//! Operating-curve experiment (an extended "figure"): PF-vs-MEM curves
+//! for LRU, WS and the VMIN optimal frontier, with CD's directive-set
+//! points overlaid. Pass `--small` for the reduced test scale.
+
+use cdmm_core::curves;
+use cdmm_core::experiments::Harness;
+
+fn main() {
+    let scale = cdmm_bench::scale_from_args();
+    let mut h = Harness::new(scale);
+    for row in ["MAIN", "FDJAC", "CONDUCT"] {
+        let (w, _) = h.resolve(row);
+        let variants = w.variants.clone();
+        let name = w.name;
+        let p = h.prepared(row);
+        println!(
+            "=== {name} (R = {}, V = {}) ===",
+            p.plain_trace().ref_count(),
+            p.virtual_pages()
+        );
+
+        let frontier = curves::vmin_curve(p, 4);
+        for (label, curve) in [
+            ("LRU", curves::lru_curve(p)),
+            ("WS", curves::ws_curve(p, 4)),
+            ("VMIN", frontier.clone()),
+        ] {
+            println!("  {label} curve (param, MEM, PF):");
+            let step = (curve.len() / 8).max(1);
+            for pt in curve.iter().step_by(step) {
+                println!("    {:>8} {:>9.2} {:>8}", pt.param, pt.mem, pt.pf);
+            }
+        }
+        println!("  CD points (variant, MEM, PF, frontier gap):");
+        for (vname, pt) in curves::cd_points(p, &variants) {
+            println!(
+                "    {:<10} {:>9.2} {:>8}   {:>6.2}x",
+                vname,
+                pt.mem,
+                pt.pf,
+                curves::frontier_gap(&pt, &frontier)
+            );
+        }
+        println!();
+    }
+}

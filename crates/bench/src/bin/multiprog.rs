@@ -1,0 +1,11 @@
+//! Multiprogramming comparison (the paper's stated future work): the
+//! same three-program mix under CD's PI-driven first-fit allocation and
+//! under the Working Set policy, sharing one memory.
+//! Pass `--small` for the reduced test scale.
+
+fn main() {
+    let scale = cdmm_bench::scale_from_args();
+    for frames in [48, 96, 192] {
+        cdmm_bench::print_multiprog(scale, frames);
+    }
+}

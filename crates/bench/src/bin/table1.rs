@@ -1,0 +1,6 @@
+//! Regenerates Table 1 of the paper. Pass `--small` for the reduced
+//! test scale.
+
+fn main() {
+    cdmm_bench::print_table1(cdmm_bench::scale_from_args());
+}

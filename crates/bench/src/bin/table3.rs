@@ -1,0 +1,6 @@
+//! Regenerates Table 3 of the paper. Pass `--small` for the reduced
+//! test scale.
+
+fn main() {
+    cdmm_bench::print_table3(cdmm_bench::scale_from_args());
+}

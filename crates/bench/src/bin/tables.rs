@@ -1,0 +1,10 @@
+//! Regenerates all four tables of the paper's evaluation section.
+//! Pass `--small` for the reduced test scale.
+
+fn main() {
+    let scale = cdmm_bench::scale_from_args();
+    cdmm_bench::print_table1(scale);
+    cdmm_bench::print_table2(scale);
+    cdmm_bench::print_table3(scale);
+    cdmm_bench::print_table4(scale);
+}

@@ -1,0 +1,156 @@
+//! Operating curves: fault count versus mean memory for whole policy
+//! families, with CD's compiled-in points overlaid.
+//!
+//! The paper's tables compare single operating points; the natural
+//! graphical companion (a "lifetime curve" in the era's terminology)
+//! plots `PF` against `MEM` for every achievable point of each family.
+//! [`vmin_curve`] adds the offline-optimal variable-space frontier, so a
+//! CD point's quality is visible as its distance from the frontier.
+
+use cdmm_vmsim::policy::vmin::Vmin;
+use cdmm_vmsim::{simulate, SimConfig};
+use cdmm_workloads::Variant;
+
+use crate::pipeline::{selector_for, Prepared};
+use crate::sweep;
+
+/// One point of an operating curve.
+#[derive(Debug, Clone, Copy)]
+pub struct CurvePoint {
+    /// Family parameter (allocation, window, …) that produced the point.
+    pub param: u64,
+    /// Mean resident memory.
+    pub mem: f64,
+    /// Page faults.
+    pub pf: u64,
+    /// Space-time cost.
+    pub st: f64,
+}
+
+fn point(param: u64, m: &cdmm_vmsim::Metrics) -> CurvePoint {
+    CurvePoint {
+        param,
+        mem: m.mean_mem(),
+        pf: m.faults,
+        st: m.st_cost(),
+    }
+}
+
+/// The LRU curve over every allocation `1..=V`.
+pub fn lru_curve(p: &Prepared) -> Vec<CurvePoint> {
+    sweep::lru_sweep(p, sweep::full_lru_range(p))
+        .iter()
+        .map(|pt| point(pt.param, &pt.metrics))
+        .collect()
+}
+
+/// The WS curve over a geometric window grid.
+pub fn ws_curve(p: &Prepared, points_per_decade: u32) -> Vec<CurvePoint> {
+    sweep::ws_sweep(p, sweep::ws_tau_grid(p, points_per_decade))
+        .iter()
+        .map(|pt| point(pt.param, &pt.metrics))
+        .collect()
+}
+
+/// The VMIN frontier over a geometric window grid — no on-line policy
+/// can sit left of and below this curve.
+pub fn vmin_curve(p: &Prepared, points_per_decade: u32) -> Vec<CurvePoint> {
+    sweep::ws_tau_grid(p, points_per_decade)
+        .into_iter()
+        .map(|tau| {
+            let mut vm = Vmin::for_trace(p.plain_trace(), tau);
+            let m = simulate(
+                p.plain_trace(),
+                &mut vm,
+                SimConfig {
+                    fault_service: p.config().fault_service,
+                },
+            );
+            point(tau, &m)
+        })
+        .collect()
+}
+
+/// CD's operating points, one per directive-set variant.
+pub fn cd_points(p: &Prepared, variants: &[Variant]) -> Vec<(String, CurvePoint)> {
+    variants
+        .iter()
+        .map(|v| {
+            let m = p.run_cd(selector_for(v.level));
+            (v.name.to_string(), point(0, &m))
+        })
+        .collect()
+}
+
+/// How far (in fault-count ratio) a point sits above the VMIN frontier
+/// at equal-or-smaller memory. 1.0 = on the frontier.
+pub fn frontier_gap(cd: &CurvePoint, frontier: &[CurvePoint]) -> f64 {
+    // The frontier is monotone: more memory, fewer faults. Find the best
+    // (lowest-PF) frontier point that uses no more memory than `cd`.
+    let best = frontier
+        .iter()
+        .filter(|f| f.mem <= cd.mem + 1e-9)
+        .map(|f| f.pf)
+        .min();
+    match best {
+        Some(pf) if pf > 0 => cd.pf as f64 / pf as f64,
+        Some(_) => f64::INFINITY,
+        None => 1.0, // CD uses less memory than any frontier point.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{prepare, PipelineConfig};
+    use cdmm_workloads::{by_name, Scale};
+
+    fn prepared(name: &str) -> (Prepared, Vec<Variant>) {
+        let w = by_name(name, Scale::Small).unwrap();
+        let p = prepare(w.name, &w.source, PipelineConfig::default()).unwrap();
+        (p, w.variants)
+    }
+
+    #[test]
+    fn curves_are_monotone_where_theory_says() {
+        let (p, _) = prepared("FIELD");
+        let lru = lru_curve(&p);
+        for w in lru.windows(2) {
+            assert!(w[0].pf >= w[1].pf, "LRU inclusion property");
+        }
+        let vmin = vmin_curve(&p, 4);
+        for w in vmin.windows(2) {
+            assert!(w[0].pf >= w[1].pf, "VMIN faults monotone in window");
+        }
+    }
+
+    #[test]
+    fn vmin_is_a_frontier_for_ws() {
+        let (p, _) = prepared("MAIN");
+        let ws = ws_curve(&p, 4);
+        let vmin = vmin_curve(&p, 4);
+        // Pointwise by parameter: same tau => VMIN no worse on both axes.
+        for (w, v) in ws.iter().zip(vmin.iter()) {
+            assert_eq!(w.param, v.param);
+            assert!(v.pf <= w.pf);
+            assert!(v.mem <= w.mem + 1e-9);
+        }
+    }
+
+    #[test]
+    fn cd_points_cover_all_variants() {
+        let (p, variants) = prepared("MAIN");
+        let pts = cd_points(&p, &variants);
+        assert_eq!(pts.len(), 4);
+        assert!(pts.iter().any(|(n, _)| n == "MAIN3"));
+    }
+
+    #[test]
+    fn frontier_gap_is_at_least_one_on_frontier_points() {
+        let (p, _) = prepared("FIELD");
+        let frontier = vmin_curve(&p, 4);
+        for f in &frontier {
+            assert!(frontier_gap(f, &frontier) >= 1.0 - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,335 @@
+//! The paper's evaluation, table by table (Section 5).
+//!
+//! Each `tableN` function regenerates the corresponding table's rows.
+//! Absolute numbers differ from 1985 (different trace lengths, different
+//! programs reconstructed from their published algorithms); the *claims*
+//! each table supports are asserted in the integration tests and recorded
+//! against the paper's values in `EXPERIMENTS.md`.
+
+use std::collections::BTreeMap;
+
+use cdmm_vmsim::Metrics;
+use cdmm_workloads::{all, Scale, Variant, Workload};
+
+use crate::pipeline::{prepare, selector_for, PipelineConfig, Prepared};
+use crate::sweep;
+
+/// Row names of Table 2, in paper order.
+pub const TABLE2_ROWS: [&str; 8] = [
+    "MAIN3", "FDJAC", "FIELD", "INIT", "APPROX", "HYBRJ", "CONDUCT", "TQL1",
+];
+
+/// Row names of Tables 3 and 4, in paper order.
+pub const TABLE34_ROWS: [&str; 14] = [
+    "MAIN", "MAIN1", "MAIN2", "MAIN3", "FDJAC", "FDJAC1", "FIELD", "INIT", "APPROX", "HYBRJ",
+    "CONDUCT", "TQL1", "TQL2", "HWSCRT",
+];
+
+/// Row names of Table 1, in paper order.
+pub const TABLE1_ROWS: [&str; 8] = [
+    "MAIN", "MAIN1", "MAIN2", "MAIN3", "FDJAC", "FDJAC1", "TQL1", "TQL2",
+];
+
+/// Shared preparation cache: every program is compiled and traced once,
+/// then reused across tables.
+pub struct Harness {
+    config: PipelineConfig,
+    workloads: Vec<Workload>,
+    cache: BTreeMap<String, Prepared>,
+}
+
+impl Harness {
+    /// Builds a harness at the given workload scale.
+    ///
+    /// The configuration matches the paper's experiments: `ALLOCATE`
+    /// directives only — "the effectiveness of LOCK and UNLOCK directives
+    /// is not studied in this work" (Section 3). The LOCK ablation bench
+    /// re-runs with locks enabled.
+    pub fn new(scale: Scale) -> Self {
+        let config = PipelineConfig {
+            insert: cdmm_locality::InsertOptions {
+                allocate: true,
+                lock: false,
+            },
+            ..PipelineConfig::default()
+        };
+        Harness {
+            config,
+            workloads: all(scale),
+            cache: BTreeMap::new(),
+        }
+    }
+
+    /// Builds a harness with a custom pipeline configuration.
+    pub fn with_config(scale: Scale, config: PipelineConfig) -> Self {
+        Harness {
+            config,
+            workloads: all(scale),
+            cache: BTreeMap::new(),
+        }
+    }
+
+    /// Resolves a table-row name (e.g. `"MAIN2"`) to its workload and
+    /// directive-set variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown row names — table definitions are static.
+    pub fn resolve(&self, row: &str) -> (&Workload, Variant) {
+        for w in &self.workloads {
+            if let Some(v) = w.variant(row) {
+                return (w, v);
+            }
+        }
+        panic!("unknown table row {row}");
+    }
+
+    /// Returns (preparing on first use) the pipeline output for the
+    /// program behind a row name.
+    pub fn prepared(&mut self, row: &str) -> &Prepared {
+        let (w, _) = self.resolve(row);
+        let name = w.name.to_string();
+        let source = w.source.clone();
+        let config = self.config;
+        self.cache.entry(name.clone()).or_insert_with(|| {
+            prepare(&name, &source, config)
+                .unwrap_or_else(|e| panic!("pipeline failed for {name}: {e}"))
+        })
+    }
+
+    /// CD metrics for a row (its program run under its directive set).
+    pub fn cd(&mut self, row: &str) -> Metrics {
+        let (_, variant) = self.resolve(row);
+        let selector = selector_for(variant.level);
+        self.prepared(row).run_cd(selector)
+    }
+
+    /// CD metrics of the row's program under its *best* (minimal-ST)
+    /// directive set. The paper's Table 2 compares against exactly this
+    /// operating point — its row labels (`MAIN3`, `TQL1`) are the
+    /// variants that achieved each program's ST minimum.
+    pub fn cd_best(&mut self, row: &str) -> Metrics {
+        let (w, _) = self.resolve(row);
+        let levels: Vec<_> = w.variants.iter().map(|v| v.level).collect();
+        let p = self.prepared(row);
+        levels
+            .into_iter()
+            .map(|level| p.run_cd(selector_for(level)))
+            .min_by(|a, b| a.st_cost().partial_cmp(&b.st_cost()).expect("finite ST"))
+            .expect("workloads always have at least one variant")
+    }
+}
+
+/// One row of Table 1: the effect of executing different directive sets
+/// under the CD policy.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Variant name (`MAIN`, `MAIN1`, ...).
+    pub program: String,
+    /// Mean memory (pages).
+    pub mem: f64,
+    /// Page faults.
+    pub pf: u64,
+    /// Space-time cost.
+    pub st: f64,
+}
+
+/// Regenerates Table 1.
+pub fn table1(harness: &mut Harness) -> Vec<Table1Row> {
+    TABLE1_ROWS
+        .iter()
+        .map(|&row| {
+            let m = harness.cd(row);
+            Table1Row {
+                program: row.to_string(),
+                mem: m.mean_mem(),
+                pf: m.faults,
+                st: m.st_cost(),
+            }
+        })
+        .collect()
+}
+
+/// One row of Table 2: minimal space-time cost of LRU and WS relative to
+/// CD (`%ST`).
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Program (variant) name.
+    pub program: String,
+    /// CD's space-time cost.
+    pub cd_st: f64,
+    /// `%ST` of the best LRU point vs CD.
+    pub lru_pct_st: f64,
+    /// `%ST` of the best WS point vs CD.
+    pub ws_pct_st: f64,
+}
+
+/// Regenerates Table 2: LRU is swept over every allocation `1..=V`, WS
+/// over a geometric window grid, and each family's minimal-ST point is
+/// compared against CD.
+pub fn table2(harness: &mut Harness) -> Vec<Table2Row> {
+    TABLE2_ROWS
+        .iter()
+        .map(|&row| {
+            let cd = harness.cd_best(row);
+            let p = harness.prepared(row);
+            let lru_best = sweep::min_st(&sweep::lru_sweep(p, sweep::full_lru_range(p)));
+            let ws_best = sweep::min_st(&sweep::ws_sweep(p, sweep::ws_tau_grid(p, 8)));
+            Table2Row {
+                program: row.to_string(),
+                cd_st: cd.st_cost(),
+                lru_pct_st: lru_best.metrics.st_excess_pct(&cd),
+                ws_pct_st: ws_best.metrics.st_excess_pct(&cd),
+            }
+        })
+        .collect()
+}
+
+/// One row of Table 3: LRU and WS given the same average memory as CD.
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// Program (variant) name.
+    pub program: String,
+    /// CD's mean memory (the matching target).
+    pub cd_mem: f64,
+    /// CD's fault count.
+    pub cd_pf: u64,
+    /// `ΔPF` of LRU at the matched allocation.
+    pub lru_dpf: i64,
+    /// `%ST` of LRU at the matched allocation.
+    pub lru_pct_st: f64,
+    /// `ΔPF` of WS at the matched window.
+    pub ws_dpf: i64,
+    /// `%ST` of WS at the matched window.
+    pub ws_pct_st: f64,
+}
+
+/// Regenerates Table 3.
+pub fn table3(harness: &mut Harness) -> Vec<Table3Row> {
+    TABLE34_ROWS
+        .iter()
+        .map(|&row| {
+            let cd = harness.cd(row);
+            let p = harness.prepared(row);
+            let lru = sweep::lru_match_mem(p, cd.mean_mem());
+            let ws = sweep::ws_match_mem(p, cd.mean_mem());
+            Table3Row {
+                program: row.to_string(),
+                cd_mem: cd.mean_mem(),
+                cd_pf: cd.faults,
+                lru_dpf: lru.metrics.pf_excess(&cd),
+                lru_pct_st: lru.metrics.st_excess_pct(&cd),
+                ws_dpf: ws.metrics.pf_excess(&cd),
+                ws_pct_st: ws.metrics.st_excess_pct(&cd),
+            }
+        })
+        .collect()
+}
+
+/// One row of Table 4: the memory and ST cost LRU and WS pay to produce
+/// no more faults than CD.
+#[derive(Debug, Clone)]
+pub struct Table4Row {
+    /// Program (variant) name.
+    pub program: String,
+    /// CD's fault count (the budget).
+    pub cd_pf: u64,
+    /// `%MEM` of the cheapest LRU allocation meeting the budget.
+    pub lru_pct_mem: f64,
+    /// `%ST` of that LRU point.
+    pub lru_pct_st: f64,
+    /// `%MEM` of the smallest WS window meeting the budget.
+    pub ws_pct_mem: f64,
+    /// `%ST` of that WS point.
+    pub ws_pct_st: f64,
+}
+
+/// Regenerates Table 4.
+pub fn table4(harness: &mut Harness) -> Vec<Table4Row> {
+    TABLE34_ROWS
+        .iter()
+        .map(|&row| {
+            let cd = harness.cd(row);
+            let p = harness.prepared(row);
+            let lru = sweep::lru_match_pf(p, cd.faults);
+            let ws = sweep::ws_match_pf(p, cd.faults);
+            Table4Row {
+                program: row.to_string(),
+                cd_pf: cd.faults,
+                lru_pct_mem: lru.metrics.mem_excess_pct(&cd),
+                lru_pct_st: lru.metrics.st_excess_pct(&cd),
+                ws_pct_mem: ws.metrics.mem_excess_pct(&cd),
+                ws_pct_st: ws.metrics.st_excess_pct(&cd),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_resolves_all_table_rows() {
+        let h = Harness::new(Scale::Small);
+        for row in TABLE1_ROWS
+            .iter()
+            .chain(TABLE2_ROWS.iter())
+            .chain(TABLE34_ROWS.iter())
+        {
+            let (w, v) = h.resolve(row);
+            assert!(!w.name.is_empty());
+            assert!(!v.name.is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown table row")]
+    fn unknown_row_panics() {
+        Harness::new(Scale::Small).resolve("NOPE");
+    }
+
+    #[test]
+    fn table1_small_scale_shape() {
+        let mut h = Harness::new(Scale::Small);
+        let rows = table1(&mut h);
+        assert_eq!(rows.len(), 8);
+        let get = |name: &str| rows.iter().find(|r| r.program == name).unwrap().clone();
+        // Outer-level directive sets use more memory and fault less than
+        // inner-level ones — the paper's central Table 1 observation.
+        let main1 = get("MAIN1");
+        let main3 = get("MAIN3");
+        assert!(
+            main1.mem > main3.mem,
+            "MAIN1 {} vs MAIN3 {}",
+            main1.mem,
+            main3.mem
+        );
+        assert!(main1.pf <= main3.pf);
+    }
+
+    #[test]
+    fn table3_rows_share_memory_with_cd() {
+        let mut h = Harness::new(Scale::Small);
+        let rows = table3(&mut h);
+        assert_eq!(rows.len(), 14);
+        for r in &rows {
+            assert!(r.cd_mem > 0.0, "{}", r.program);
+        }
+    }
+
+    #[test]
+    fn table4_budgets_are_met() {
+        let mut h = Harness::new(Scale::Small);
+        let rows = table4(&mut h);
+        for r in &rows {
+            // Matched points may not fault more than CD, so their %MEM
+            // must be >= 0 relative... (LRU needs at least CD's memory in
+            // practice; we only assert the search respected the budget.)
+            let cd = h.cd(&r.program);
+            let p = h.prepared(&r.program);
+            let lru = sweep::lru_match_pf(p, cd.faults);
+            assert!(lru.metrics.faults <= cd.faults, "{}", r.program);
+        }
+    }
+}

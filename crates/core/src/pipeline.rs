@@ -1,0 +1,248 @@
+//! Compile → analyse → instrument → trace, packaged for repeated
+//! policy evaluation.
+
+use std::fmt;
+
+use cdmm_lang::LangError;
+use cdmm_locality::{
+    analyze_program_with_mode, instrument, Analysis, InsertOptions, PageGeometry, SizerMode,
+};
+use cdmm_trace::{trace_program, InterpError, Trace};
+use cdmm_vmsim::policy::cd::{CdPolicy, CdSelector};
+use cdmm_vmsim::policy::lru::Lru;
+use cdmm_vmsim::policy::ws::WorkingSet;
+use cdmm_vmsim::{simulate, Metrics, SimConfig};
+use cdmm_workloads::DirectiveLevel;
+
+/// Pipeline-wide knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineConfig {
+    /// Page/element geometry (default: the paper's 256-byte pages).
+    pub geometry: PageGeometry,
+    /// Which directives to insert.
+    pub insert: InsertOptions,
+    /// Fault service time for the ST metric (default 2000 references).
+    pub fault_service: u64,
+    /// Minimum CD allocation in pages.
+    pub min_alloc: u64,
+    /// Page-counting mode of the locality sizer.
+    pub sizer_mode: SizerMode,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            geometry: PageGeometry::PAPER,
+            insert: InsertOptions::default(),
+            fault_service: 2000,
+            min_alloc: 2,
+            sizer_mode: SizerMode::default(),
+        }
+    }
+}
+
+/// Pipeline failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// Front-end or analysis failure.
+    Lang(LangError),
+    /// Trace-generation failure.
+    Interp(InterpError),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Lang(e) => write!(f, "compile: {e}"),
+            PipelineError::Interp(e) => write!(f, "trace: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// A program compiled, instrumented and traced — ready for any number of
+/// policy simulations.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    name: String,
+    analysis: Analysis,
+    /// Trace of the uninstrumented program (what LRU/WS/OPT see).
+    plain_trace: Trace,
+    /// Trace of the instrumented program (directive events embedded).
+    cd_trace: Trace,
+    config: PipelineConfig,
+}
+
+/// Runs the front half of the pipeline on one program.
+pub fn prepare(
+    name: &str,
+    source: &str,
+    config: PipelineConfig,
+) -> Result<Prepared, PipelineError> {
+    let analysis = analyze_program_with_mode(source, config.geometry, config.sizer_mode)
+        .map_err(PipelineError::Lang)?;
+    let instrumented = instrument(&analysis, config.insert);
+    let instrumented_src = cdmm_lang::to_source(&instrumented);
+    let plain_trace = trace_program(source, config.geometry).map_err(PipelineError::Interp)?;
+    let cd_trace =
+        trace_program(&instrumented_src, config.geometry).map_err(PipelineError::Interp)?;
+    debug_assert_eq!(
+        plain_trace.ref_count(),
+        cd_trace.ref_count(),
+        "directives must not change the reference string"
+    );
+    Ok(Prepared {
+        name: name.to_string(),
+        analysis,
+        plain_trace,
+        cd_trace,
+        config,
+    })
+}
+
+/// Maps a workload's neutral directive level onto the CD selector.
+pub fn selector_for(level: DirectiveLevel) -> CdSelector {
+    match level {
+        DirectiveLevel::Outermost => CdSelector::Outermost,
+        DirectiveLevel::Innermost => CdSelector::Innermost,
+        DirectiveLevel::AtLevel(k) => CdSelector::AtLevel(k),
+    }
+}
+
+impl Prepared {
+    /// The program's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The compile-time analysis (loop tree, priorities, locality sizes).
+    pub fn analysis(&self) -> &Analysis {
+        &self.analysis
+    }
+
+    /// The uninstrumented trace (page references only).
+    pub fn plain_trace(&self) -> &Trace {
+        &self.plain_trace
+    }
+
+    /// The instrumented trace (with directive events).
+    pub fn cd_trace(&self) -> &Trace {
+        &self.cd_trace
+    }
+
+    /// The pipeline configuration used.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Total pages in the program's virtual space (the paper's `V`).
+    pub fn virtual_pages(&self) -> u32 {
+        self.plain_trace.virtual_pages
+    }
+
+    fn sim_config(&self) -> SimConfig {
+        SimConfig {
+            fault_service: self.config.fault_service,
+        }
+    }
+
+    /// Runs the CD policy with the given request selector.
+    pub fn run_cd(&self, selector: CdSelector) -> Metrics {
+        let mut cd = CdPolicy::new(selector).with_min_alloc(self.config.min_alloc);
+        simulate(&self.cd_trace, &mut cd, self.sim_config())
+    }
+
+    /// Runs the CD policy without honoring LOCK/UNLOCK (ablation).
+    pub fn run_cd_no_locks(&self, selector: CdSelector) -> Metrics {
+        let mut cd = CdPolicy::new(selector)
+            .with_min_alloc(self.config.min_alloc)
+            .with_locks(false);
+        simulate(&self.cd_trace, &mut cd, self.sim_config())
+    }
+
+    /// Runs fixed-allocation LRU with `frames` pages.
+    pub fn run_lru(&self, frames: usize) -> Metrics {
+        let mut lru = Lru::new(frames.max(1));
+        simulate(&self.plain_trace, &mut lru, self.sim_config())
+    }
+
+    /// Runs the Working Set policy with window `tau`.
+    pub fn run_ws(&self, tau: u64) -> Metrics {
+        let mut ws = WorkingSet::new(tau.max(1));
+        simulate(&self.plain_trace, &mut ws, self.sim_config())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdmm_workloads::{by_name, Scale};
+
+    fn prepared(name: &str) -> Prepared {
+        let w = by_name(name, Scale::Small).unwrap();
+        prepare(w.name, &w.source, PipelineConfig::default())
+            .unwrap_or_else(|e| panic!("{name}: {e}"))
+    }
+
+    #[test]
+    fn traces_align_between_plain_and_instrumented() {
+        for name in ["MAIN", "FDJAC", "CONDUCT"] {
+            let p = prepared(name);
+            let a: Vec<_> = p.plain_trace().refs().collect();
+            let b: Vec<_> = p.cd_trace().refs().collect();
+            assert_eq!(a, b, "{name}: directives changed the references");
+            assert!(p.cd_trace().directive_count() > 0, "{name}: no directives");
+        }
+    }
+
+    #[test]
+    fn cd_outermost_uses_more_memory_fewer_faults_than_innermost() {
+        let p = prepared("MAIN");
+        let outer = p.run_cd(CdSelector::Outermost);
+        let inner = p.run_cd(CdSelector::Innermost);
+        assert!(
+            outer.mean_mem() > inner.mean_mem(),
+            "outer {} vs inner {}",
+            outer.mean_mem(),
+            inner.mean_mem()
+        );
+        assert!(
+            outer.faults <= inner.faults,
+            "outer directives avoid faults"
+        );
+    }
+
+    #[test]
+    fn full_memory_lru_is_cold_faults_only() {
+        let p = prepared("FIELD");
+        let m = p.run_lru(p.virtual_pages() as usize);
+        assert_eq!(m.faults as u32, p.plain_trace().distinct_pages());
+    }
+
+    #[test]
+    fn parse_errors_surface() {
+        let err = prepare(
+            "BAD",
+            "PROGRAM X\nQ(1) = 1.0\nEND",
+            PipelineConfig::default(),
+        );
+        assert!(matches!(err, Err(PipelineError::Lang(_))));
+    }
+
+    #[test]
+    fn selector_mapping() {
+        assert_eq!(
+            selector_for(DirectiveLevel::Outermost),
+            CdSelector::Outermost
+        );
+        assert_eq!(
+            selector_for(DirectiveLevel::Innermost),
+            CdSelector::Innermost
+        );
+        assert_eq!(
+            selector_for(DirectiveLevel::AtLevel(3)),
+            CdSelector::AtLevel(3)
+        );
+    }
+}

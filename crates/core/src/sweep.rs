@@ -1,0 +1,260 @@
+//! Parameter sweeps and operating-point matching.
+//!
+//! The paper compares the single operating point CD produces against the
+//! families LRU (one point per allocation) and WS (one point per window):
+//!
+//! - Table 2 compares *minimal ST* over each family.
+//! - Table 3 matches the *average memory* of CD and compares PF and ST.
+//! - Table 4 matches the *fault count* of CD and compares MEM and ST.
+//!
+//! This module provides those searches. LRU fault counts come from a
+//! single stack-distance pass where possible; WS searches exploit the
+//! monotonicity of faults and mean memory in the window `τ`.
+
+use cdmm_vmsim::stack::StackProfile;
+use cdmm_vmsim::Metrics;
+
+use crate::pipeline::Prepared;
+
+/// One simulated operating point of a policy family.
+#[derive(Debug, Clone, Copy)]
+pub struct Point {
+    /// The family parameter: LRU frames or WS window.
+    pub param: u64,
+    /// Simulation results at that parameter.
+    pub metrics: Metrics,
+}
+
+/// Simulates LRU at every allocation in `frames` and returns the points.
+pub fn lru_sweep(p: &Prepared, frames: impl IntoIterator<Item = usize>) -> Vec<Point> {
+    frames
+        .into_iter()
+        .filter(|&m| m >= 1)
+        .map(|m| Point {
+            param: m as u64,
+            metrics: p.run_lru(m),
+        })
+        .collect()
+}
+
+/// Simulates WS at every window in `taus`.
+pub fn ws_sweep(p: &Prepared, taus: impl IntoIterator<Item = u64>) -> Vec<Point> {
+    taus.into_iter()
+        .filter(|&t| t >= 1)
+        .map(|t| Point {
+            param: t,
+            metrics: p.run_ws(t),
+        })
+        .collect()
+}
+
+/// The paper's LRU sweep range: every allocation from 1 to the program's
+/// virtual size `V`.
+pub fn full_lru_range(p: &Prepared) -> std::ops::RangeInclusive<usize> {
+    1..=(p.virtual_pages().max(1) as usize)
+}
+
+/// A geometric grid of WS windows between 1 and the trace length,
+/// `points_per_decade` points per decade.
+pub fn ws_tau_grid(p: &Prepared, points_per_decade: u32) -> Vec<u64> {
+    let r = p.plain_trace().ref_count().max(2);
+    let mut taus = vec![];
+    let mut t = 1.0_f64;
+    let step = 10f64.powf(1.0 / points_per_decade.max(1) as f64);
+    while (t as u64) <= r {
+        let v = t as u64;
+        if taus.last() != Some(&v) {
+            taus.push(v);
+        }
+        t *= step;
+    }
+    taus
+}
+
+/// The point with the smallest space-time cost.
+///
+/// # Panics
+///
+/// Panics if `points` is empty.
+pub fn min_st(points: &[Point]) -> Point {
+    *points
+        .iter()
+        .min_by(|a, b| {
+            a.metrics
+                .st_cost()
+                .partial_cmp(&b.metrics.st_cost())
+                .expect("ST costs are finite")
+        })
+        .expect("minimal ST over an empty sweep")
+}
+
+/// LRU at the allocation closest to a target mean memory (the paper's
+/// Table 3: "similar values were obtained by direct assignment").
+pub fn lru_match_mem(p: &Prepared, target_mem: f64) -> Point {
+    let m = target_mem.round().max(1.0) as usize;
+    Point {
+        param: m as u64,
+        metrics: p.run_lru(m),
+    }
+}
+
+/// WS at the window whose mean memory best matches the target (binary
+/// search over `τ`, using the monotonicity of mean WS size in `τ`).
+pub fn ws_match_mem(p: &Prepared, target_mem: f64) -> Point {
+    let r = p.plain_trace().ref_count().max(2);
+    let mut lo = 1u64;
+    let mut hi = r;
+    let mut best = Point {
+        param: 1,
+        metrics: p.run_ws(1),
+    };
+    let mut best_err = (best.metrics.mean_mem() - target_mem).abs();
+    while lo <= hi {
+        let mid = lo + (hi - lo) / 2;
+        let point = Point {
+            param: mid,
+            metrics: p.run_ws(mid),
+        };
+        let err = (point.metrics.mean_mem() - target_mem).abs();
+        if err < best_err {
+            best = point;
+            best_err = err;
+        }
+        if point.metrics.mean_mem() < target_mem {
+            lo = mid + 1;
+        } else {
+            if mid == 0 {
+                break;
+            }
+            hi = mid - 1;
+        }
+        if lo > hi {
+            break;
+        }
+    }
+    best
+}
+
+/// The cheapest LRU allocation producing at most `pf_budget` faults
+/// (Table 4's "at most as many faults as CD"). Uses one stack-distance
+/// pass to find the allocation, then simulates it for MEM and ST.
+pub fn lru_match_pf(p: &Prepared, pf_budget: u64) -> Point {
+    let profile = StackProfile::compute(p.plain_trace());
+    let m = profile
+        .min_alloc_for(pf_budget)
+        .unwrap_or(profile.distinct().max(1));
+    Point {
+        param: m as u64,
+        metrics: p.run_lru(m),
+    }
+}
+
+/// The smallest WS window producing at most `pf_budget` faults — and
+/// therefore (by monotonicity of memory in `τ`) the WS point of minimal
+/// memory meeting the budget.
+pub fn ws_match_pf(p: &Prepared, pf_budget: u64) -> Point {
+    let r = p.plain_trace().ref_count().max(2);
+    let mut lo = 1u64;
+    let mut hi = r;
+    let mut best: Option<Point> = None;
+    while lo <= hi {
+        let mid = lo + (hi - lo) / 2;
+        let point = Point {
+            param: mid,
+            metrics: p.run_ws(mid),
+        };
+        if point.metrics.faults <= pf_budget {
+            best = Some(point);
+            if mid == 0 {
+                break;
+            }
+            hi = mid - 1;
+        } else {
+            lo = mid + 1;
+        }
+        if lo > hi {
+            break;
+        }
+    }
+    best.unwrap_or_else(|| Point {
+        param: r,
+        metrics: p.run_ws(r),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{prepare, PipelineConfig};
+    use cdmm_workloads::{by_name, Scale};
+
+    fn prepared(name: &str) -> Prepared {
+        let w = by_name(name, Scale::Small).unwrap();
+        prepare(w.name, &w.source, PipelineConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn lru_sweep_is_monotone_in_faults() {
+        let p = prepared("FIELD");
+        let points = lru_sweep(&p, full_lru_range(&p));
+        for w in points.windows(2) {
+            assert!(w[0].metrics.faults >= w[1].metrics.faults);
+        }
+    }
+
+    #[test]
+    fn min_st_picks_the_smallest() {
+        let p = prepared("MAIN");
+        let points = lru_sweep(&p, [1usize, 4, 16, 64]);
+        let best = min_st(&points);
+        for pt in &points {
+            assert!(best.metrics.st_cost() <= pt.metrics.st_cost());
+        }
+    }
+
+    #[test]
+    fn ws_match_mem_converges() {
+        let p = prepared("FIELD");
+        let target = 4.0;
+        let point = ws_match_mem(&p, target);
+        assert!(
+            (point.metrics.mean_mem() - target).abs() < 2.0,
+            "matched {} against target {target}",
+            point.metrics.mean_mem()
+        );
+    }
+
+    #[test]
+    fn lru_match_pf_meets_budget() {
+        let p = prepared("INIT");
+        let budget = p.run_lru(4).faults; // a feasible budget
+        let point = lru_match_pf(&p, budget);
+        assert!(point.metrics.faults <= budget);
+        // And one frame fewer would miss it.
+        if point.param > 1 {
+            let tighter = p.run_lru(point.param as usize - 1);
+            assert!(tighter.faults > budget, "minimality of the allocation");
+        }
+    }
+
+    #[test]
+    fn ws_match_pf_meets_budget_minimally() {
+        let p = prepared("FIELD");
+        let budget = p.plain_trace().distinct_pages() as u64 + 50;
+        let point = ws_match_pf(&p, budget);
+        assert!(point.metrics.faults <= budget);
+        if point.param > 1 {
+            let tighter = p.run_ws(point.param - 1);
+            assert!(tighter.faults > budget, "minimality of the window");
+        }
+    }
+
+    #[test]
+    fn tau_grid_is_increasing_and_bounded() {
+        let p = prepared("MAIN");
+        let grid = ws_tau_grid(&p, 6);
+        assert!(grid.windows(2).all(|w| w[0] < w[1]));
+        assert!(*grid.last().unwrap() <= p.plain_trace().ref_count());
+        assert_eq!(grid[0], 1);
+    }
+}

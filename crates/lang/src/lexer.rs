@@ -1,0 +1,472 @@
+//! Hand-written lexer for the mini-FORTRAN language.
+//!
+//! The lexer is line-oriented like FORTRAN itself: newlines terminate
+//! statements, full-line comments start with `C `/`c `/`*` in column one or
+//! with `!` anywhere, and `!MD$` lines are surfaced as
+//! [`TokenKind::DirectiveLine`] so the parser can attach memory directives
+//! to the statement stream.
+
+use crate::error::{LangError, LangResult};
+use crate::span::Span;
+use crate::token::{DotOp, Token, TokenKind};
+
+/// Converts `src` into a token stream terminated by [`TokenKind::Eof`].
+///
+/// # Examples
+///
+/// ```
+/// use cdmm_lang::lexer::lex;
+/// use cdmm_lang::token::TokenKind;
+/// let toks = lex("DO 10 I = 1, N").unwrap();
+/// assert!(matches!(toks[0].kind, TokenKind::Ident(ref s) if s == "DO"));
+/// assert!(matches!(toks[1].kind, TokenKind::Int(10)));
+/// ```
+pub fn lex(src: &str) -> LangResult<Vec<Token>> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    at_line_start: bool,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            at_line_start: true,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize) {
+        let span = Span::new(start, self.pos, self.line);
+        self.tokens.push(Token { kind, span });
+    }
+
+    fn last_is_newline_or_start(&self) -> bool {
+        matches!(
+            self.tokens.last().map(|t| &t.kind),
+            None | Some(TokenKind::Newline) | Some(TokenKind::DirectiveLine(_))
+        )
+    }
+
+    fn run(mut self) -> LangResult<Vec<Token>> {
+        while let Some(b) = self.peek() {
+            let start = self.pos;
+            match b {
+                b'\n' => {
+                    self.bump();
+                    // Collapse consecutive newlines.
+                    if !self.last_is_newline_or_start() {
+                        self.push(TokenKind::Newline, start);
+                    }
+                    self.line += 1;
+                    self.at_line_start = true;
+                }
+                b';' => {
+                    self.bump();
+                    if !self.last_is_newline_or_start() {
+                        self.push(TokenKind::Newline, start);
+                    }
+                    self.at_line_start = true;
+                }
+                b' ' | b'\t' | b'\r' => {
+                    self.bump();
+                }
+                b'!' => {
+                    self.lex_bang_line(start)?;
+                }
+                b'C' | b'c' | b'*' if self.at_line_start && self.is_comment_line() => {
+                    self.skip_to_eol();
+                }
+                b'0'..=b'9' => {
+                    let line_start = self.at_line_start;
+                    self.at_line_start = false;
+                    self.lex_number(start, line_start)?;
+                }
+                b'.' => {
+                    self.at_line_start = false;
+                    // Could be `.5`, `.GT.` etc.
+                    if self.peek2().is_some_and(|c| c.is_ascii_digit()) {
+                        self.lex_number(start, false)?;
+                    } else {
+                        self.lex_dot_op(start)?;
+                    }
+                }
+                b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                    self.at_line_start = false;
+                    self.lex_ident(start);
+                }
+                b'(' => {
+                    self.bump();
+                    self.at_line_start = false;
+                    self.push(TokenKind::LParen, start);
+                }
+                b')' => {
+                    self.bump();
+                    self.at_line_start = false;
+                    self.push(TokenKind::RParen, start);
+                }
+                b',' => {
+                    self.bump();
+                    self.at_line_start = false;
+                    self.push(TokenKind::Comma, start);
+                }
+                b'=' => {
+                    self.bump();
+                    self.at_line_start = false;
+                    self.push(TokenKind::Equals, start);
+                }
+                b'+' => {
+                    self.bump();
+                    self.at_line_start = false;
+                    self.push(TokenKind::Plus, start);
+                }
+                b'-' => {
+                    self.bump();
+                    self.at_line_start = false;
+                    self.push(TokenKind::Minus, start);
+                }
+                b'*' => {
+                    self.bump();
+                    self.at_line_start = false;
+                    if self.peek() == Some(b'*') {
+                        self.bump();
+                        self.push(TokenKind::StarStar, start);
+                    } else {
+                        self.push(TokenKind::Star, start);
+                    }
+                }
+                b'/' => {
+                    self.bump();
+                    self.at_line_start = false;
+                    self.push(TokenKind::Slash, start);
+                }
+                other => {
+                    return Err(LangError::UnexpectedChar {
+                        ch: other as char,
+                        span: Span::new(start, start + 1, self.line),
+                    });
+                }
+            }
+        }
+        if !self.last_is_newline_or_start() {
+            let p = self.pos;
+            self.push(TokenKind::Newline, p);
+        }
+        let p = self.pos;
+        self.push(TokenKind::Eof, p);
+        Ok(self.tokens)
+    }
+
+    /// True when the rest of the line after a leading `C`/`*` looks like a
+    /// classic fixed-form comment (the next character is whitespace or the
+    /// line is just the marker). `CONDUCT = 1.0` must not be a comment.
+    fn is_comment_line(&self) -> bool {
+        if self.bytes[self.pos] == b'*' {
+            return true;
+        }
+        matches!(
+            self.peek2(),
+            None | Some(b' ') | Some(b'\t') | Some(b'\n') | Some(b'\r')
+        )
+    }
+
+    fn skip_to_eol(&mut self) {
+        while let Some(b) = self.peek() {
+            if b == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+    }
+
+    /// Handles `!` lines: either a `!MD$` directive or a plain comment.
+    fn lex_bang_line(&mut self, start: usize) -> LangResult<()> {
+        let rest = &self.src[self.pos..];
+        if rest.len() >= 4 && rest[..4].eq_ignore_ascii_case("!MD$") {
+            self.pos += 4;
+            let payload_start = self.pos;
+            self.skip_to_eol();
+            let payload = self.src[payload_start..self.pos].trim().to_string();
+            if payload.is_empty() {
+                return Err(LangError::BadDirective {
+                    reason: "empty !MD$ line".into(),
+                    span: Span::new(start, self.pos, self.line),
+                });
+            }
+            // A directive line terminates any open statement first.
+            if !self.last_is_newline_or_start() {
+                self.push(TokenKind::Newline, start);
+            }
+            self.push(TokenKind::DirectiveLine(payload), start);
+            self.at_line_start = true;
+        } else {
+            self.skip_to_eol();
+        }
+        Ok(())
+    }
+
+    fn lex_number(&mut self, start: usize, line_start: bool) -> LangResult<()> {
+        let mut saw_dot = false;
+        let mut saw_exp = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => {
+                    self.bump();
+                }
+                b'.' if !saw_dot && !saw_exp => {
+                    // `1.` is a real, but `1.GT.` is integer then dot-op:
+                    // look ahead for an alphabetic char right after the dot.
+                    if self.peek2().is_some_and(|c| c.is_ascii_alphabetic()) {
+                        break;
+                    }
+                    saw_dot = true;
+                    self.bump();
+                }
+                b'E' | b'e' | b'D' | b'd'
+                    if !saw_exp
+                        && self
+                            .peek2()
+                            .is_some_and(|c| c.is_ascii_digit() || c == b'+' || c == b'-') =>
+                {
+                    saw_exp = true;
+                    self.bump();
+                    if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+        let text = &self.src[start..self.pos];
+        let span = Span::new(start, self.pos, self.line);
+        if saw_dot || saw_exp {
+            let norm = text.replace(['D', 'd'], "E");
+            let v: f64 = norm.parse().map_err(|_| LangError::BadNumber {
+                text: text.into(),
+                span,
+            })?;
+            self.push(TokenKind::Real(v), start);
+        } else {
+            let v: i64 = text.parse().map_err(|_| LangError::BadNumber {
+                text: text.into(),
+                span,
+            })?;
+            if line_start {
+                if v < 0 || v > u32::MAX as i64 {
+                    return Err(LangError::BadNumber {
+                        text: text.into(),
+                        span,
+                    });
+                }
+                self.push(TokenKind::Label(v as u32), start);
+            } else {
+                self.push(TokenKind::Int(v), start);
+            }
+        }
+        Ok(())
+    }
+
+    fn lex_dot_op(&mut self, start: usize) -> LangResult<()> {
+        self.bump(); // leading dot
+        while self.peek().is_some_and(|b| b.is_ascii_alphabetic()) {
+            self.bump();
+        }
+        if self.peek() != Some(b'.') {
+            return Err(LangError::BadDotOperator {
+                text: self.src[start..self.pos].into(),
+                span: Span::new(start, self.pos, self.line),
+            });
+        }
+        self.bump(); // trailing dot
+        let text = self.src[start..self.pos].to_ascii_uppercase();
+        let op = match text.as_str() {
+            ".GT." => DotOp::Gt,
+            ".GE." => DotOp::Ge,
+            ".LT." => DotOp::Lt,
+            ".LE." => DotOp::Le,
+            ".EQ." => DotOp::Eq,
+            ".NE." => DotOp::Ne,
+            ".AND." => DotOp::And,
+            ".OR." => DotOp::Or,
+            ".NOT." => DotOp::Not,
+            _ => {
+                return Err(LangError::BadDotOperator {
+                    text,
+                    span: Span::new(start, self.pos, self.line),
+                });
+            }
+        };
+        self.push(TokenKind::DotOp(op), start);
+        Ok(())
+    }
+
+    fn lex_ident(&mut self, start: usize) {
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+        {
+            self.bump();
+        }
+        let text = self.src[start..self.pos].to_ascii_uppercase();
+        self.push(TokenKind::Ident(text), start);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_do_statement() {
+        let k = kinds("DO 10 I = 1, N");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("DO".into()),
+                TokenKind::Int(10),
+                TokenKind::Ident("I".into()),
+                TokenKind::Equals,
+                TokenKind::Int(1),
+                TokenKind::Comma,
+                TokenKind::Ident("N".into()),
+                TokenKind::Newline,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn label_only_at_line_start() {
+        let k = kinds("10 CONTINUE");
+        assert_eq!(k[0], TokenKind::Label(10));
+        let k = kinds("X = 10");
+        assert_eq!(k[2], TokenKind::Int(10));
+    }
+
+    #[test]
+    fn reals_and_exponents() {
+        let k = kinds("X = 1.5 + 2.0E-3 + .25 + 3D0");
+        let reals: Vec<f64> = k
+            .iter()
+            .filter_map(|t| match t {
+                TokenKind::Real(v) => Some(*v),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(reals, vec![1.5, 2.0e-3, 0.25, 3.0]);
+    }
+
+    #[test]
+    fn integer_followed_by_dot_op() {
+        let k = kinds("IF (I .GT. 1.AND. J .LT. 2) X = 0");
+        assert!(k.contains(&TokenKind::DotOp(DotOp::And)));
+        assert!(k.contains(&TokenKind::Int(1)));
+    }
+
+    #[test]
+    fn dot_ops() {
+        let k = kinds("A .GT. B .AND. .NOT. C .NE. D");
+        let ops: Vec<DotOp> = k
+            .iter()
+            .filter_map(|t| match t {
+                TokenKind::DotOp(op) => Some(*op),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ops, vec![DotOp::Gt, DotOp::And, DotOp::Not, DotOp::Ne]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let k = kinds("C this is a comment\n* so is this\nX = 1 ! trailing\nY = 2");
+        assert!(k
+            .iter()
+            .all(|t| !matches!(t, TokenKind::Ident(s) if s == "THIS")));
+        assert!(k.contains(&TokenKind::Ident("X".into())));
+        assert!(k.contains(&TokenKind::Ident("Y".into())));
+        assert!(!k.contains(&TokenKind::Ident("TRAILING".into())));
+    }
+
+    #[test]
+    fn identifier_starting_with_c_is_not_comment() {
+        let k = kinds("CONDUCT = 1.0");
+        assert_eq!(k[0], TokenKind::Ident("CONDUCT".into()));
+    }
+
+    #[test]
+    fn directive_line_is_surfaced() {
+        let k = kinds("X = 1\n!MD$ ALLOCATE ((3,12))\nY = 2");
+        assert!(k
+            .iter()
+            .any(|t| matches!(t, TokenKind::DirectiveLine(p) if p == "ALLOCATE ((3,12))")));
+    }
+
+    #[test]
+    fn empty_directive_is_error() {
+        assert!(matches!(
+            lex("!MD$   \n"),
+            Err(LangError::BadDirective { .. })
+        ));
+    }
+
+    #[test]
+    fn power_operator() {
+        let k = kinds("Y = X ** 2 * 3");
+        assert!(k.contains(&TokenKind::StarStar));
+        assert!(k.contains(&TokenKind::Star));
+    }
+
+    #[test]
+    fn unexpected_char_reports_line() {
+        let err = lex("X = 1\nY = #").unwrap_err();
+        match err {
+            LangError::UnexpectedChar { ch, span } => {
+                assert_eq!(ch, '#');
+                assert_eq!(span.line, 2);
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn semicolons_split_statements() {
+        let k = kinds("X = 1; Y = 2");
+        let newlines = k.iter().filter(|t| matches!(t, TokenKind::Newline)).count();
+        assert_eq!(newlines, 2);
+    }
+
+    #[test]
+    fn case_insensitive_identifiers() {
+        let k = kinds("do 10 i = 1, n");
+        assert_eq!(k[0], TokenKind::Ident("DO".into()));
+        assert_eq!(k[2], TokenKind::Ident("I".into()));
+    }
+}

@@ -1,0 +1,1071 @@
+//! Recursive-descent parser for the mini-FORTRAN language.
+//!
+//! The grammar (informally):
+//!
+//! ```text
+//! program   := PROGRAM name NL decl* stmt* END
+//! decl      := PARAMETER ( NAME = int {, NAME = int} )
+//!            | DIMENSION dim {, dim}
+//! dim       := NAME ( extent [, extent] )
+//! stmt      := [label] DO [label] VAR = e , e [, e] NL stmt* do-end
+//!            | [label] IF ( cond ) THEN NL stmt* [ELSE NL stmt*] ENDIF
+//!            | [label] IF ( cond ) simple-stmt
+//!            | [label] VAR = e  |  [label] A(i[,j]) = e
+//!            | [label] CONTINUE
+//!            | !MD$ directive
+//! do-end    := label CONTINUE | ENDDO | END DO
+//! ```
+//!
+//! Labelled `DO` loops terminate at the statement carrying the matching
+//! label (classically `10 CONTINUE`); a non-`CONTINUE` terminator is kept
+//! as the final body statement.
+
+use crate::ast::{
+    AllocArg, ArrayDecl, BinOp, Directive, Expr, Extent, Loc, Program, RelOp, Stmt, UnOp,
+};
+use crate::error::{LangError, LangResult};
+use crate::lexer::lex;
+use crate::span::Span;
+use crate::token::{DotOp, Token, TokenKind};
+
+/// Parses a full program from source text.
+///
+/// This runs the lexer and the parser but *not* semantic analysis; call
+/// [`crate::sema::analyze`] on the result to resolve intrinsics and check
+/// array usage.
+///
+/// # Examples
+///
+/// ```
+/// let p = cdmm_lang::parse("PROGRAM T\nDIMENSION V(4)\nV(1) = 0.0\nEND").unwrap();
+/// assert_eq!(p.body.len(), 1);
+/// ```
+pub fn parse(src: &str) -> LangResult<Program> {
+    let tokens = lex(src)?;
+    Parser::new(tokens).program()
+}
+
+/// Parses a directive payload such as `ALLOCATE ((3,12) ELSE (1,2))`.
+///
+/// This is the same parser the `!MD$` sentinel lines go through, exposed
+/// so tools can parse directives in isolation.
+pub fn parse_directive(payload: &str) -> LangResult<Directive> {
+    let tokens = lex(payload)?;
+    let mut p = Parser::new(tokens);
+    let d = p.directive_payload()?;
+    p.skip_newlines();
+    p.expect_eof()?;
+    Ok(d)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Parser { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)].kind
+    }
+
+    fn peek_span(&self) -> Span {
+        self.tokens[self.pos.min(self.tokens.len() - 1)].span
+    }
+
+    fn peek_ahead(&self, n: usize) -> &TokenKind {
+        &self.tokens[(self.pos + n).min(self.tokens.len() - 1)].kind
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err_here(&self, expected: &str) -> LangError {
+        match self.peek() {
+            TokenKind::Eof => LangError::UnexpectedEof {
+                expected: expected.into(),
+            },
+            other => LangError::UnexpectedToken {
+                found: other.to_string(),
+                expected: expected.into(),
+                span: self.peek_span(),
+            },
+        }
+    }
+
+    fn expect_kw(&mut self, word: &str) -> LangResult<Span> {
+        if self.peek().is_kw(word) {
+            Ok(self.bump().span)
+        } else {
+            Err(self.err_here(&format!("`{word}`")))
+        }
+    }
+
+    fn eat_kw(&mut self, word: &str) -> bool {
+        if self.peek().is_kw(word) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> LangResult<Span> {
+        if self.peek() == kind {
+            Ok(self.bump().span)
+        } else {
+            Err(self.err_here(what))
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> LangResult<(String, Span)> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                let sp = self.bump().span;
+                Ok((s, sp))
+            }
+            _ => Err(self.err_here(what)),
+        }
+    }
+
+    fn expect_newline(&mut self) -> LangResult<()> {
+        match self.peek() {
+            TokenKind::Newline => {
+                self.bump();
+                Ok(())
+            }
+            TokenKind::Eof | TokenKind::DirectiveLine(_) => Ok(()),
+            _ => Err(self.err_here("end of statement")),
+        }
+    }
+
+    fn expect_eof(&mut self) -> LangResult<()> {
+        match self.peek() {
+            TokenKind::Eof => Ok(()),
+            _ => Err(self.err_here("end of input")),
+        }
+    }
+
+    fn skip_newlines(&mut self) {
+        while matches!(self.peek(), TokenKind::Newline) {
+            self.bump();
+        }
+    }
+
+    // ----- program structure -------------------------------------------
+
+    fn program(&mut self) -> LangResult<Program> {
+        self.skip_newlines();
+        self.expect_kw("PROGRAM")?;
+        let (name, _) = self.expect_ident("program name")?;
+        self.expect_newline()?;
+        self.skip_newlines();
+
+        let mut params = Vec::new();
+        let mut arrays = Vec::new();
+        loop {
+            if self.peek().is_kw("PARAMETER") {
+                self.bump();
+                self.parse_parameter_list(&mut params)?;
+                self.expect_newline()?;
+                self.skip_newlines();
+            } else if self.peek().is_kw("DIMENSION") {
+                self.bump();
+                self.parse_dimension_list(&mut arrays)?;
+                self.expect_newline()?;
+                self.skip_newlines();
+            } else {
+                break;
+            }
+        }
+
+        let body = self.stmt_list(StopAt::ProgramEnd)?;
+        self.expect_kw("END")?;
+        self.skip_newlines();
+        self.expect_eof()?;
+        Ok(Program {
+            name,
+            params,
+            arrays,
+            body,
+        })
+    }
+
+    fn parse_parameter_list(&mut self, params: &mut Vec<(String, i64)>) -> LangResult<()> {
+        self.expect(&TokenKind::LParen, "`(`")?;
+        loop {
+            let (name, _) = self.expect_ident("parameter name")?;
+            self.expect(&TokenKind::Equals, "`=`")?;
+            let neg = matches!(self.peek(), TokenKind::Minus) && {
+                self.bump();
+                true
+            };
+            let value = match self.peek().clone() {
+                TokenKind::Int(v) => {
+                    self.bump();
+                    if neg {
+                        -v
+                    } else {
+                        v
+                    }
+                }
+                _ => return Err(self.err_here("integer parameter value")),
+            };
+            params.push((name, value));
+            if matches!(self.peek(), TokenKind::Comma) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RParen, "`)`")?;
+        Ok(())
+    }
+
+    fn parse_dimension_list(&mut self, arrays: &mut Vec<ArrayDecl>) -> LangResult<()> {
+        loop {
+            let (name, sp) = self.expect_ident("array name")?;
+            self.expect(&TokenKind::LParen, "`(`")?;
+            let mut extents = vec![self.parse_extent()?];
+            while matches!(self.peek(), TokenKind::Comma) {
+                self.bump();
+                extents.push(self.parse_extent()?);
+            }
+            self.expect(&TokenKind::RParen, "`)`")?;
+            arrays.push(ArrayDecl {
+                name,
+                extents,
+                loc: Loc(sp),
+            });
+            if matches!(self.peek(), TokenKind::Comma) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    fn parse_extent(&mut self) -> LangResult<Extent> {
+        match self.peek().clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                if matches!(self.peek(), TokenKind::Star) {
+                    self.bump();
+                    let (name, _) = self.expect_ident("parameter name after `*`")?;
+                    Ok(Extent::Scaled(v, name))
+                } else {
+                    Ok(Extent::Lit(v))
+                }
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(Extent::Param(name))
+            }
+            _ => Err(self.err_here("array extent")),
+        }
+    }
+
+    // ----- statements ---------------------------------------------------
+
+    fn stmt_list(&mut self, stop: StopAt) -> LangResult<Vec<Stmt>> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_newlines();
+            match self.peek() {
+                TokenKind::Eof => {
+                    if stop == StopAt::ProgramEnd {
+                        return Err(LangError::UnexpectedEof {
+                            expected: "`END`".into(),
+                        });
+                    }
+                    return Ok(out);
+                }
+                TokenKind::DirectiveLine(payload) => {
+                    let payload = payload.clone();
+                    let sp = self.bump().span;
+                    let dir = parse_directive(&payload).map_err(|e| match e {
+                        LangError::UnexpectedEof { expected } => LangError::BadDirective {
+                            reason: format!("truncated directive, expected {expected}"),
+                            span: sp,
+                        },
+                        other => other,
+                    })?;
+                    out.push(Stmt::Directive { dir, loc: Loc(sp) });
+                    continue;
+                }
+                _ => {}
+            }
+
+            // Terminators for the enclosing construct.
+            if self.at_stop(&stop) {
+                return Ok(out);
+            }
+
+            // An optional statement label.
+            let label = match self.peek() {
+                TokenKind::Label(l) => {
+                    let l = *l;
+                    self.bump();
+                    Some(l)
+                }
+                _ => None,
+            };
+
+            // A labelled terminator for a labelled DO?
+            if let (Some(l), StopAt::DoLabel(want)) = (label, &stop) {
+                if l == *want {
+                    // The terminating statement is part of the loop body
+                    // unless it is a plain CONTINUE.
+                    if self.eat_kw("CONTINUE") {
+                        self.expect_newline()?;
+                    } else {
+                        let stmt = self.simple_or_structured_stmt(None)?;
+                        out.push(stmt);
+                    }
+                    return Ok(out);
+                }
+            }
+
+            let stmt = self.simple_or_structured_stmt(label)?;
+            out.push(stmt);
+        }
+    }
+
+    fn at_stop(&self, stop: &StopAt) -> bool {
+        match stop {
+            StopAt::ProgramEnd => {
+                // `END` but not `END DO` / `END IF` / `ENDDO` / `ENDIF`.
+                self.peek().is_kw("END")
+                    && !self.peek_ahead(1).is_kw("DO")
+                    && !self.peek_ahead(1).is_kw("IF")
+            }
+            StopAt::EndDo => {
+                self.peek().is_kw("ENDDO")
+                    || (self.peek().is_kw("END") && self.peek_ahead(1).is_kw("DO"))
+            }
+            StopAt::EndIfOrElse => {
+                self.peek().is_kw("ENDIF")
+                    || self.peek().is_kw("ELSE")
+                    || (self.peek().is_kw("END") && self.peek_ahead(1).is_kw("IF"))
+            }
+            StopAt::DoLabel(_) => false,
+        }
+    }
+
+    fn simple_or_structured_stmt(&mut self, label: Option<u32>) -> LangResult<Stmt> {
+        if self.peek().is_kw("DO") {
+            return self.do_stmt();
+        }
+        if self.peek().is_kw("IF") {
+            return self.if_stmt();
+        }
+        if self.peek().is_kw("CONTINUE") {
+            let sp = self.bump().span;
+            self.expect_newline()?;
+            return Ok(Stmt::Continue {
+                label,
+                loc: Loc(sp),
+            });
+        }
+        self.assign_stmt()
+    }
+
+    fn do_stmt(&mut self) -> LangResult<Stmt> {
+        let do_span = self.expect_kw("DO")?;
+        // Optional terminating label: `DO 10 I = ...`.
+        let term_label = match self.peek() {
+            TokenKind::Int(v) => {
+                let v = *v;
+                if v < 0 || v > u32::MAX as i64 {
+                    return Err(self.err_here("loop label"));
+                }
+                self.bump();
+                Some(v as u32)
+            }
+            _ => None,
+        };
+        let (var, _) = self.expect_ident("loop variable")?;
+        self.expect(&TokenKind::Equals, "`=`")?;
+        let lo = self.expr()?;
+        self.expect(&TokenKind::Comma, "`,`")?;
+        let hi = self.expr()?;
+        let step = if matches!(self.peek(), TokenKind::Comma) {
+            self.bump();
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        self.expect_newline()?;
+
+        let body = if let Some(l) = term_label {
+            // `stmt_list` consumes the terminating labelled statement; it
+            // errors out on EOF or on the program's `END`, which surfaces a
+            // missing terminator as a parse error.
+            self.stmt_list(StopAt::DoLabel(l)).map_err(|e| match e {
+                LangError::UnexpectedEof { .. } => LangError::UnterminatedDo {
+                    label: l,
+                    span: do_span,
+                },
+                other => other,
+            })?
+        } else {
+            let body = self.stmt_list(StopAt::EndDo)?;
+            if self.eat_kw("ENDDO") {
+                // ok
+            } else {
+                self.expect_kw("END")?;
+                self.expect_kw("DO")?;
+            }
+            self.expect_newline()?;
+            body
+        };
+        Ok(Stmt::Do {
+            label: term_label,
+            var,
+            lo,
+            hi,
+            step,
+            body,
+            loc: Loc(do_span),
+        })
+    }
+
+    fn if_stmt(&mut self) -> LangResult<Stmt> {
+        let if_span = self.expect_kw("IF")?;
+        self.expect(&TokenKind::LParen, "`(`")?;
+        let cond = self.expr()?;
+        self.expect(&TokenKind::RParen, "`)`")?;
+        if self.eat_kw("THEN") {
+            self.expect_newline()?;
+            let then_body = self.stmt_list(StopAt::EndIfOrElse)?;
+            let else_body = if self.eat_kw("ELSE") {
+                self.expect_newline()?;
+                let b = self.stmt_list(StopAt::EndIfOrElse)?;
+                if self.peek().is_kw("ELSE") {
+                    return Err(self.err_here("`ENDIF` (only one ELSE per IF)"));
+                }
+                b
+            } else {
+                Vec::new()
+            };
+            if self.eat_kw("ENDIF") {
+                // ok
+            } else {
+                self.expect_kw("END")?;
+                self.expect_kw("IF")?;
+            }
+            self.expect_newline()?;
+            Ok(Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                loc: Loc(if_span),
+            })
+        } else {
+            // One-line logical IF: `IF (cond) stmt`.
+            let inner = if self.peek().is_kw("CONTINUE") {
+                let sp = self.bump().span;
+                self.expect_newline()?;
+                Stmt::Continue {
+                    label: None,
+                    loc: Loc(sp),
+                }
+            } else {
+                self.assign_stmt()?
+            };
+            Ok(Stmt::If {
+                cond,
+                then_body: vec![inner],
+                else_body: Vec::new(),
+                loc: Loc(if_span),
+            })
+        }
+    }
+
+    fn assign_stmt(&mut self) -> LangResult<Stmt> {
+        let (name, sp) = self.expect_ident("statement")?;
+        let target = if matches!(self.peek(), TokenKind::LParen) {
+            self.bump();
+            let mut indices = vec![self.expr()?];
+            while matches!(self.peek(), TokenKind::Comma) {
+                self.bump();
+                indices.push(self.expr()?);
+            }
+            self.expect(&TokenKind::RParen, "`)`")?;
+            Expr::Element {
+                array: name,
+                indices,
+                loc: Loc(sp),
+            }
+        } else {
+            Expr::Scalar(name)
+        };
+        self.expect(&TokenKind::Equals, "`=`")?;
+        let value = self.expr()?;
+        self.expect_newline()?;
+        Ok(Stmt::Assign {
+            target,
+            value,
+            loc: Loc(sp),
+        })
+    }
+
+    // ----- expressions ---------------------------------------------------
+
+    fn expr(&mut self) -> LangResult<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> LangResult<Expr> {
+        let mut lhs = self.and_expr()?;
+        while matches!(self.peek(), TokenKind::DotOp(DotOp::Or)) {
+            self.bump();
+            let rhs = self.and_expr()?;
+            lhs = Expr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> LangResult<Expr> {
+        let mut lhs = self.not_expr()?;
+        while matches!(self.peek(), TokenKind::DotOp(DotOp::And)) {
+            self.bump();
+            let rhs = self.not_expr()?;
+            lhs = Expr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> LangResult<Expr> {
+        if matches!(self.peek(), TokenKind::DotOp(DotOp::Not)) {
+            self.bump();
+            let inner = self.not_expr()?;
+            Ok(Expr::Not(Box::new(inner)))
+        } else {
+            self.rel_expr()
+        }
+    }
+
+    fn rel_expr(&mut self) -> LangResult<Expr> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            TokenKind::DotOp(DotOp::Gt) => RelOp::Gt,
+            TokenKind::DotOp(DotOp::Ge) => RelOp::Ge,
+            TokenKind::DotOp(DotOp::Lt) => RelOp::Lt,
+            TokenKind::DotOp(DotOp::Le) => RelOp::Le,
+            TokenKind::DotOp(DotOp::Eq) => RelOp::Eq,
+            TokenKind::DotOp(DotOp::Ne) => RelOp::Ne,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.add_expr()?;
+        Ok(Expr::Rel {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        })
+    }
+
+    fn add_expr(&mut self) -> LangResult<Expr> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> LangResult<Expr> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> LangResult<Expr> {
+        match self.peek() {
+            TokenKind::Minus => {
+                self.bump();
+                let inner = self.unary_expr()?;
+                Ok(Expr::Un {
+                    op: UnOp::Neg,
+                    operand: Box::new(inner),
+                })
+            }
+            TokenKind::Plus => {
+                self.bump();
+                self.unary_expr()
+            }
+            _ => self.pow_expr(),
+        }
+    }
+
+    fn pow_expr(&mut self) -> LangResult<Expr> {
+        let base = self.primary()?;
+        if matches!(self.peek(), TokenKind::StarStar) {
+            self.bump();
+            // `**` is right-associative in FORTRAN.
+            let exp = self.unary_expr()?;
+            Ok(Expr::Bin {
+                op: BinOp::Pow,
+                lhs: Box::new(base),
+                rhs: Box::new(exp),
+            })
+        } else {
+            Ok(base)
+        }
+    }
+
+    fn primary(&mut self) -> LangResult<Expr> {
+        match self.peek().clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Expr::Int(v))
+            }
+            TokenKind::Real(v) => {
+                self.bump();
+                Ok(Expr::Real(v))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let inner = self.expr()?;
+                self.expect(&TokenKind::RParen, "`)`")?;
+                Ok(inner)
+            }
+            TokenKind::Ident(name) => {
+                let sp = self.bump().span;
+                if matches!(self.peek(), TokenKind::LParen) {
+                    self.bump();
+                    let mut indices = vec![self.expr()?];
+                    while matches!(self.peek(), TokenKind::Comma) {
+                        self.bump();
+                        indices.push(self.expr()?);
+                    }
+                    self.expect(&TokenKind::RParen, "`)`")?;
+                    Ok(Expr::Element {
+                        array: name,
+                        indices,
+                        loc: Loc(sp),
+                    })
+                } else {
+                    Ok(Expr::Scalar(name))
+                }
+            }
+            _ => Err(self.err_here("expression")),
+        }
+    }
+
+    // ----- directives ----------------------------------------------------
+
+    fn directive_payload(&mut self) -> LangResult<Directive> {
+        let sp = self.peek_span();
+        if self.eat_kw("ALLOCATE") {
+            self.expect(&TokenKind::LParen, "`(`")?;
+            let mut args = Vec::new();
+            loop {
+                self.expect(&TokenKind::LParen, "`(`")?;
+                let pi = self.directive_u32("priority index")?;
+                self.expect(&TokenKind::Comma, "`,`")?;
+                let pages = self.directive_u64("page count")?;
+                self.expect(&TokenKind::RParen, "`)`")?;
+                args.push(AllocArg { pi, pages });
+                if self.eat_kw("ELSE") {
+                    continue;
+                }
+                break;
+            }
+            self.expect(&TokenKind::RParen, "`)`")?;
+            validate_allocate(&args, sp)?;
+            Ok(Directive::Allocate { args })
+        } else if self.eat_kw("LOCK") {
+            self.expect(&TokenKind::LParen, "`(`")?;
+            let pj = self.directive_u32("priority index")?;
+            let mut arrays = Vec::new();
+            while matches!(self.peek(), TokenKind::Comma) {
+                self.bump();
+                let (name, _) = self.expect_ident("array name")?;
+                arrays.push(name);
+            }
+            self.expect(&TokenKind::RParen, "`)`")?;
+            Ok(Directive::Lock { pj, arrays })
+        } else if self.eat_kw("UNLOCK") {
+            self.expect(&TokenKind::LParen, "`(`")?;
+            let mut arrays = Vec::new();
+            if !matches!(self.peek(), TokenKind::RParen) {
+                let (name, _) = self.expect_ident("array name")?;
+                arrays.push(name);
+                while matches!(self.peek(), TokenKind::Comma) {
+                    self.bump();
+                    let (name, _) = self.expect_ident("array name")?;
+                    arrays.push(name);
+                }
+            }
+            self.expect(&TokenKind::RParen, "`)`")?;
+            Ok(Directive::Unlock { arrays })
+        } else {
+            Err(LangError::BadDirective {
+                reason: "expected ALLOCATE, LOCK or UNLOCK".into(),
+                span: sp,
+            })
+        }
+    }
+
+    fn directive_u32(&mut self, what: &str) -> LangResult<u32> {
+        match self.peek() {
+            TokenKind::Int(v) if *v >= 0 && *v <= u32::MAX as i64 => {
+                let v = *v as u32;
+                self.bump();
+                Ok(v)
+            }
+            // A label token appears when the number starts the payload line.
+            TokenKind::Label(v) => {
+                let v = *v;
+                self.bump();
+                Ok(v)
+            }
+            _ => Err(self.err_here(what)),
+        }
+    }
+
+    fn directive_u64(&mut self, what: &str) -> LangResult<u64> {
+        match self.peek() {
+            TokenKind::Int(v) if *v >= 0 => {
+                let v = *v as u64;
+                self.bump();
+                Ok(v)
+            }
+            _ => Err(self.err_here(what)),
+        }
+    }
+}
+
+/// Checks the paper's well-formedness rules for `ALLOCATE`:
+/// `PI1 > PI2 > ...` and `X1 >= X2 >= ...`.
+fn validate_allocate(args: &[AllocArg], span: Span) -> LangResult<()> {
+    if args.is_empty() {
+        return Err(LangError::BadDirective {
+            reason: "ALLOCATE needs at least one (PI,X) request".into(),
+            span,
+        });
+    }
+    for w in args.windows(2) {
+        if w[0].pi <= w[1].pi {
+            return Err(LangError::BadDirective {
+                reason: format!(
+                    "priority indexes must strictly decrease (found {} then {})",
+                    w[0].pi, w[1].pi
+                ),
+                span,
+            });
+        }
+        if w[0].pages < w[1].pages {
+            return Err(LangError::BadDirective {
+                reason: format!(
+                    "page requests must be non-increasing (found {} then {})",
+                    w[0].pages, w[1].pages
+                ),
+                span,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum StopAt {
+    /// Stop before the program's final `END`.
+    ProgramEnd,
+    /// Stop at `ENDDO` / `END DO` (consumed by the caller).
+    EndDo,
+    /// Stop at `ELSE` / `ENDIF` / `END IF` (consumed by the caller).
+    EndIfOrElse,
+    /// Stop after consuming the statement labelled with this label.
+    DoLabel(u32),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_body(body: &str) -> Program {
+        let src = format!("PROGRAM T\nPARAMETER (N = 10)\nDIMENSION A(N,N), V(N)\n{body}\nEND\n");
+        parse(&src).unwrap_or_else(|e| panic!("parse failed: {e}\nsource:\n{src}"))
+    }
+
+    #[test]
+    fn parses_minimal_program() {
+        let p = parse("PROGRAM T\nEND").unwrap();
+        assert_eq!(p.name, "T");
+        assert!(p.body.is_empty());
+    }
+
+    #[test]
+    fn parses_labelled_do_with_continue() {
+        let p = parse_body("DO 10 I = 1, N\nV(I) = 0.0\n10 CONTINUE");
+        match &p.body[0] {
+            Stmt::Do {
+                label, var, body, ..
+            } => {
+                assert_eq!(*label, Some(10));
+                assert_eq!(var, "I");
+                assert_eq!(body.len(), 1);
+            }
+            other => panic!("expected DO, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_enddo_loop() {
+        let p = parse_body("DO I = 1, N\nV(I) = 0.0\nEND DO");
+        match &p.body[0] {
+            Stmt::Do { label, body, .. } => {
+                assert!(label.is_none());
+                assert_eq!(body.len(), 1);
+            }
+            other => panic!("expected DO, got {other:?}"),
+        }
+        // The compact spelling too.
+        let p = parse_body("DO I = 1, N\nV(I) = 0.0\nENDDO");
+        assert!(matches!(p.body[0], Stmt::Do { .. }));
+    }
+
+    #[test]
+    fn parses_nested_labelled_loops() {
+        let p =
+            parse_body("DO 10 I = 1, N\nDO 20 J = 1, N\nA(J,I) = V(J)\n20 CONTINUE\n10 CONTINUE");
+        match &p.body[0] {
+            Stmt::Do { body, .. } => match &body[0] {
+                Stmt::Do { label, .. } => assert_eq!(*label, Some(20)),
+                other => panic!("expected inner DO, got {other:?}"),
+            },
+            other => panic!("expected DO, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn labelled_do_with_non_continue_terminator() {
+        let p = parse_body("DO 10 I = 1, N\n10 V(I) = 0.0");
+        match &p.body[0] {
+            Stmt::Do { body, .. } => {
+                assert_eq!(body.len(), 1);
+                assert!(matches!(body[0], Stmt::Assign { .. }));
+            }
+            other => panic!("expected DO, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_do_with_step() {
+        let p = parse_body("DO 10 I = 1, N, 2\nV(I) = 0.0\n10 CONTINUE");
+        match &p.body[0] {
+            Stmt::Do { step, .. } => assert_eq!(*step, Some(Expr::Int(2))),
+            other => panic!("expected DO, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_block_if_else() {
+        let p = parse_body("IF (X .GT. 0.0) THEN\nV(1) = 1.0\nELSE\nV(1) = 2.0\nENDIF");
+        match &p.body[0] {
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                assert_eq!(then_body.len(), 1);
+                assert_eq!(else_body.len(), 1);
+            }
+            other => panic!("expected IF, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_one_line_if() {
+        let p = parse_body("IF (X .LT. 1.0) X = 1.0");
+        match &p.body[0] {
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                assert_eq!(then_body.len(), 1);
+                assert!(else_body.is_empty());
+            }
+            other => panic!("expected IF, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let p = parse_body("X = 1 + 2 * 3");
+        match &p.body[0] {
+            Stmt::Assign { value, .. } => match value {
+                Expr::Bin {
+                    op: BinOp::Add,
+                    rhs,
+                    ..
+                } => {
+                    assert!(matches!(**rhs, Expr::Bin { op: BinOp::Mul, .. }));
+                }
+                other => panic!("expected +, got {other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn power_is_right_associative() {
+        let p = parse_body("X = 2 ** 3 ** 2");
+        match &p.body[0] {
+            Stmt::Assign { value, .. } => match value {
+                Expr::Bin {
+                    op: BinOp::Pow,
+                    rhs,
+                    ..
+                } => {
+                    assert!(matches!(**rhs, Expr::Bin { op: BinOp::Pow, .. }));
+                }
+                other => panic!("expected **, got {other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn logical_precedence() {
+        // NOT binds tighter than AND, AND tighter than OR.
+        let p = parse_body("IF (.NOT. A .GT. B .AND. C .LT. D .OR. E .EQ. F) X = 1");
+        match &p.body[0] {
+            Stmt::If { cond, .. } => assert!(matches!(cond, Expr::Or(_, _))),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unterminated_do_is_error() {
+        let src = "PROGRAM T\nDIMENSION V(4)\nDO 10 I = 1, 4\nV(I) = 0.0\nEND";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn mismatched_endif_is_error() {
+        let src = "PROGRAM T\nIF (X .GT. 0) THEN\nX = 1\nEND";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn parses_allocate_directive_line() {
+        let p = parse_body(
+            "!MD$ ALLOCATE ((3,12) ELSE (1,2))\nDO 10 I = 1, N\nV(I) = 0.0\n10 CONTINUE",
+        );
+        match &p.body[0] {
+            Stmt::Directive {
+                dir: Directive::Allocate { args },
+                ..
+            } => {
+                assert_eq!(args.len(), 2);
+                assert_eq!(args[0], AllocArg { pi: 3, pages: 12 });
+                assert_eq!(args[1], AllocArg { pi: 1, pages: 2 });
+            }
+            other => panic!("expected directive, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_lock_unlock_directives() {
+        let d = parse_directive("LOCK (3,A,B)").unwrap();
+        assert_eq!(
+            d,
+            Directive::Lock {
+                pj: 3,
+                arrays: vec!["A".into(), "B".into()]
+            }
+        );
+        let d = parse_directive("UNLOCK (A,B,E,F)").unwrap();
+        assert_eq!(
+            d,
+            Directive::Unlock {
+                arrays: vec!["A".into(), "B".into(), "E".into(), "F".into()]
+            }
+        );
+        let d = parse_directive("UNLOCK ()").unwrap();
+        assert_eq!(d, Directive::Unlock { arrays: vec![] });
+    }
+
+    #[test]
+    fn allocate_priority_must_decrease() {
+        assert!(parse_directive("ALLOCATE ((1,5) ELSE (2,3))").is_err());
+        assert!(parse_directive("ALLOCATE ((2,2) ELSE (1,5))").is_err());
+        assert!(parse_directive("ALLOCATE ()").is_err());
+    }
+
+    #[test]
+    fn directive_must_be_known() {
+        assert!(matches!(
+            parse_directive("RELEASE (1)"),
+            Err(LangError::BadDirective { .. })
+        ));
+    }
+
+    #[test]
+    fn fig5_directive_shapes_parse() {
+        // The exact directive shapes from Figure 5c of the paper.
+        for payload in [
+            "ALLOCATE ((3,10))",
+            "ALLOCATE ((3,10) ELSE (1,2))",
+            "ALLOCATE ((3,10) ELSE (2,4))",
+            "ALLOCATE ((3,10) ELSE (2,4) ELSE (1,2))",
+            "LOCK (3,A,B)",
+            "LOCK (2,E,F)",
+            "UNLOCK (A,B,E,F)",
+        ] {
+            parse_directive(payload).unwrap_or_else(|e| panic!("{payload}: {e}"));
+        }
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let err = parse("PROGRAM T\nX = = 1\nEND").unwrap_err();
+        match err {
+            LangError::UnexpectedToken { span, .. } => assert_eq!(span.line, 2),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scaled_extent_parses() {
+        let p = parse("PROGRAM T\nPARAMETER (N = 4)\nDIMENSION W(3*N)\nEND").unwrap();
+        assert_eq!(p.arrays[0].extents[0], Extent::Scaled(3, "N".into()));
+    }
+}

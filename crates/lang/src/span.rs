@@ -1,0 +1,85 @@
+//! Source locations for diagnostics.
+
+use std::fmt;
+
+/// A half-open byte range into the original source text, plus the line it
+/// starts on (1-based).
+///
+/// Spans exist purely for diagnostics; AST equality ignores them via the
+/// manual `PartialEq` implementations on the nodes that carry them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line number of `start`.
+    pub line: u32,
+}
+
+impl Span {
+    /// Creates a span covering `start..end` on `line`.
+    pub const fn new(start: usize, end: usize, line: u32) -> Self {
+        Span { start, end, line }
+    }
+
+    /// A zero-width placeholder span for synthesized nodes.
+    pub const fn synthetic() -> Self {
+        Span {
+            start: 0,
+            end: 0,
+            line: 0,
+        }
+    }
+
+    /// Returns the smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line: if self.line == 0 {
+                other.line
+            } else {
+                self.line.min(other.line)
+            },
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "<synthetic>")
+        } else {
+            write!(f, "line {}", self.line)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_covers_both() {
+        let a = Span::new(4, 10, 2);
+        let b = Span::new(12, 20, 3);
+        let m = a.merge(b);
+        assert_eq!(m.start, 4);
+        assert_eq!(m.end, 20);
+        assert_eq!(m.line, 2);
+    }
+
+    #[test]
+    fn merge_with_synthetic_keeps_real_line() {
+        let a = Span::synthetic();
+        let b = Span::new(1, 5, 7);
+        assert_eq!(a.merge(b).line, 7);
+    }
+
+    #[test]
+    fn display_formats_line() {
+        assert_eq!(Span::new(0, 1, 3).to_string(), "line 3");
+        assert_eq!(Span::synthetic().to_string(), "<synthetic>");
+    }
+}

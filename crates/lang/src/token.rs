@@ -1,0 +1,152 @@
+//! Token definitions for the mini-FORTRAN lexer.
+
+use std::fmt;
+
+use crate::span::Span;
+
+/// A lexical token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What kind of token this is (and its payload, if any).
+    pub kind: TokenKind,
+    /// Where the token came from.
+    pub span: Span,
+}
+
+/// The kinds of token the lexer produces.
+///
+/// Keywords are recognized case-insensitively and normalized; identifiers
+/// are upper-cased, matching FORTRAN's case insensitivity.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// An identifier or keyword, upper-cased (`A`, `DO`, `FJAC`).
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A real literal (`1.5`, `2.0E-3`).
+    Real(f64),
+    /// A statement label at the beginning of a line.
+    Label(u32),
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `,`.
+    Comma,
+    /// `=`.
+    Equals,
+    /// `+`.
+    Plus,
+    /// `-`.
+    Minus,
+    /// `*`.
+    Star,
+    /// `/`.
+    Slash,
+    /// `**`.
+    StarStar,
+    /// A relational dot operator: `.GT.` etc.
+    DotOp(DotOp),
+    /// End of statement (newline or `;`).
+    Newline,
+    /// A memory-directive sentinel line: `!MD$ <payload>`. The payload is
+    /// re-lexed by the directive parser.
+    DirectiveLine(String),
+    /// End of input.
+    Eof,
+}
+
+/// FORTRAN dot operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DotOp {
+    /// `.GT.`
+    Gt,
+    /// `.GE.`
+    Ge,
+    /// `.LT.`
+    Lt,
+    /// `.LE.`
+    Le,
+    /// `.EQ.`
+    Eq,
+    /// `.NE.`
+    Ne,
+    /// `.AND.`
+    And,
+    /// `.OR.`
+    Or,
+    /// `.NOT.`
+    Not,
+}
+
+impl fmt::Display for DotOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DotOp::Gt => ".GT.",
+            DotOp::Ge => ".GE.",
+            DotOp::Lt => ".LT.",
+            DotOp::Le => ".LE.",
+            DotOp::Eq => ".EQ.",
+            DotOp::Ne => ".NE.",
+            DotOp::And => ".AND.",
+            DotOp::Or => ".OR.",
+            DotOp::Not => ".NOT.",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Int(v) => write!(f, "integer `{v}`"),
+            TokenKind::Real(v) => write!(f, "real `{v}`"),
+            TokenKind::Label(l) => write!(f, "label `{l}`"),
+            TokenKind::LParen => f.write_str("`(`"),
+            TokenKind::RParen => f.write_str("`)`"),
+            TokenKind::Comma => f.write_str("`,`"),
+            TokenKind::Equals => f.write_str("`=`"),
+            TokenKind::Plus => f.write_str("`+`"),
+            TokenKind::Minus => f.write_str("`-`"),
+            TokenKind::Star => f.write_str("`*`"),
+            TokenKind::Slash => f.write_str("`/`"),
+            TokenKind::StarStar => f.write_str("`**`"),
+            TokenKind::DotOp(op) => write!(f, "`{op}`"),
+            TokenKind::Newline => f.write_str("end of statement"),
+            TokenKind::DirectiveLine(_) => f.write_str("memory directive"),
+            TokenKind::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+impl TokenKind {
+    /// Returns true if this token is the identifier `word` (already
+    /// upper-cased by the lexer).
+    pub fn is_kw(&self, word: &str) -> bool {
+        matches!(self, TokenKind::Ident(s) if s == word)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_check_is_exact() {
+        assert!(TokenKind::Ident("DO".into()).is_kw("DO"));
+        assert!(!TokenKind::Ident("DOT".into()).is_kw("DO"));
+        assert!(!TokenKind::Int(3).is_kw("DO"));
+    }
+
+    #[test]
+    fn dot_op_display_round_trips() {
+        for (op, txt) in [
+            (DotOp::Gt, ".GT."),
+            (DotOp::And, ".AND."),
+            (DotOp::Not, ".NOT."),
+        ] {
+            assert_eq!(op.to_string(), txt);
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Page and element geometry — the system-dependent parameter `P`.
+
+/// Describes how array elements map onto virtual-memory pages.
+///
+/// The paper assumes a 256-byte page; FORTRAN `REAL`s are 4 bytes, so one
+/// page holds 64 elements. Both knobs are adjustable for sensitivity
+/// studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PageGeometry {
+    /// Page size in bytes.
+    pub page_bytes: u64,
+    /// Element size in bytes (4 for single-precision `REAL`).
+    pub elem_bytes: u64,
+}
+
+impl PageGeometry {
+    /// The configuration used in the paper's experiments: 256-byte pages
+    /// and 4-byte reals (64 elements per page).
+    pub const PAPER: PageGeometry = PageGeometry {
+        page_bytes: 256,
+        elem_bytes: 4,
+    };
+
+    /// Creates a new geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page size is zero, the element size is zero, or a page
+    /// cannot hold at least one whole element.
+    pub fn new(page_bytes: u64, elem_bytes: u64) -> Self {
+        assert!(page_bytes > 0, "page size must be positive");
+        assert!(elem_bytes > 0, "element size must be positive");
+        assert!(
+            page_bytes >= elem_bytes,
+            "a page must hold at least one element"
+        );
+        PageGeometry {
+            page_bytes,
+            elem_bytes,
+        }
+    }
+
+    /// Number of whole elements per page (the paper's `P`).
+    pub fn elems_per_page(&self) -> u64 {
+        self.page_bytes / self.elem_bytes
+    }
+
+    /// Number of pages needed for `elems` contiguous elements — the
+    /// paper's `AVS = (M × N)/P` (for a whole array) and `CVS = M/P` (for
+    /// one column), both rounded up and never less than one page.
+    pub fn pages_for(&self, elems: u64) -> u64 {
+        if elems == 0 {
+            return 0;
+        }
+        elems.div_ceil(self.elems_per_page())
+    }
+}
+
+impl Default for PageGeometry {
+    fn default() -> Self {
+        PageGeometry::PAPER
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometry_is_64_elements_per_page() {
+        assert_eq!(PageGeometry::PAPER.elems_per_page(), 64);
+    }
+
+    #[test]
+    fn pages_round_up() {
+        let g = PageGeometry::PAPER;
+        assert_eq!(g.pages_for(0), 0);
+        assert_eq!(g.pages_for(1), 1);
+        assert_eq!(g.pages_for(64), 1);
+        assert_eq!(g.pages_for(65), 2);
+        assert_eq!(g.pages_for(200), 4);
+        // The 270-page CONDUCT footprint from the paper: 3 arrays of 76x76.
+        assert_eq!(3 * g.pages_for(76 * 76), 273);
+    }
+
+    #[test]
+    #[should_panic(expected = "page size must be positive")]
+    fn zero_page_panics() {
+        PageGeometry::new(0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "a page must hold at least one element")]
+    fn element_larger_than_page_panics() {
+        PageGeometry::new(4, 8);
+    }
+}

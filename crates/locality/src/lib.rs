@@ -1,0 +1,95 @@
+//! Compile-time locality analysis and memory-directive insertion.
+//!
+//! This crate implements Sections 2 and 3 of the paper:
+//!
+//! - [`geometry`] — page/element geometry (the system parameter `P`).
+//! - [`loop_tree`] — the nested-loop structure of a program (`Δ`, `Λ`) and
+//!   the array references made directly inside each loop (`X`, `Θ`).
+//! - [`priority`] — *Procedure 1*: bottom-up priority-index assignment.
+//! - [`size`] — the locality-size estimator combining the six parameters
+//!   (`P`, `Σ`, `Δ`, `X`, `Θ`, `Λ`) into the `X` argument of `ALLOCATE`.
+//! - [`insert`] — *Algorithm 1* (`ALLOCATE`) and *Algorithm 2*
+//!   (`LOCK`/`UNLOCK`) instrumentation.
+//!
+//! The paper applies these parameters "in a non-deterministic manner"; the
+//! deterministic procedure implemented here follows the worked example of
+//! Figure 5 exactly (see the golden tests in `size.rs` and `insert.rs`).
+//!
+//! # Examples
+//!
+//! ```
+//! use cdmm_locality::{analyze_program, geometry::PageGeometry};
+//!
+//! let src = "
+//! PROGRAM DEMO
+//! PARAMETER (N = 64)
+//! DIMENSION A(N,N), V(N)
+//! DO 10 J = 1, N
+//!   DO 20 K = 1, N
+//!     A(K,J) = V(K)
+//! 20 CONTINUE
+//! 10 CONTINUE
+//! END
+//! ";
+//! let analysis = analyze_program(src, PageGeometry::PAPER).unwrap();
+//! // Two nested loops: the outer one has priority index 2, the inner 1.
+//! assert_eq!(analysis.tree.loops.len(), 2);
+//! assert_eq!(analysis.tree.loops[0].pi, 2);
+//! assert_eq!(analysis.tree.loops[1].pi, 1);
+//! ```
+
+pub mod geometry;
+pub mod insert;
+pub mod loop_tree;
+pub mod priority;
+pub mod size;
+
+use cdmm_lang::{analyze, parse, LangResult, Program, SymbolTable};
+
+pub use geometry::PageGeometry;
+pub use insert::{instrument, InsertOptions};
+pub use loop_tree::{ArrayRef, IndexForm, LoopId, LoopInfo, LoopTree, RefOrder};
+pub use size::{LocalitySizer, SizeReport, SizerMode};
+
+/// Everything the compiler learned about one program.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// The checked program (intrinsics resolved).
+    pub program: Program,
+    /// Array shapes and parameters.
+    pub symbols: SymbolTable,
+    /// Loop nest structure with priorities and reference info.
+    pub tree: LoopTree,
+    /// Locality sizes per loop, in pages.
+    pub sizes: SizeReport,
+}
+
+/// Parses, checks and analyses a program in one call.
+///
+/// This is the front half of the CD pipeline: the output contains
+/// everything [`instrument`] needs to insert memory directives.
+pub fn analyze_program(src: &str, geometry: PageGeometry) -> LangResult<Analysis> {
+    analyze_program_with_mode(src, geometry, SizerMode::default())
+}
+
+/// Like [`analyze_program`], with an explicit page-counting mode for the
+/// locality sizer (used by the sizer ablation).
+pub fn analyze_program_with_mode(
+    src: &str,
+    geometry: PageGeometry,
+    mode: SizerMode,
+) -> LangResult<Analysis> {
+    let mut program = parse(src)?;
+    let symbols = analyze(&mut program)?;
+    let mut tree = LoopTree::build(&program);
+    priority::assign(&mut tree);
+    let sizes = LocalitySizer::new(&symbols, geometry)
+        .with_mode(mode)
+        .run(&tree);
+    Ok(Analysis {
+        program,
+        symbols,
+        tree,
+        sizes,
+    })
+}

@@ -1,0 +1,146 @@
+//! *Procedure 1* (Figure 2 of the paper): bottom-up priority-index
+//! assignment.
+//!
+//! Every innermost loop gets `PI = 1`. Walking outwards from each innermost
+//! loop, an enclosing loop receives `PI = max(PI_child + 1, old PI)`. The
+//! result: a loop's priority index is the height of the tallest loop chain
+//! beneath (and including) it, so the outermost loop of a `Δ`-deep nest has
+//! `PI = Δ` and priorities strictly decrease along every root-to-leaf path.
+
+use crate::loop_tree::{LoopId, LoopTree};
+
+/// Assigns priority indexes to every loop in the tree.
+///
+/// Implements the paper's Procedure 1 literally: for every innermost loop,
+/// assign `PI = 1`, then repeat "next outer loop: if PI already assigned
+/// then `PI = max(PI+1, old PI)` else `PI = PI+1`" until the outermost loop
+/// is reached.
+pub fn assign(tree: &mut LoopTree) {
+    // Reset, so re-running is idempotent.
+    for l in &mut tree.loops {
+        l.pi = 0;
+    }
+    let innermost: Vec<LoopId> = tree
+        .loops
+        .iter()
+        .filter(|l| l.children.is_empty())
+        .map(|l| l.id)
+        .collect();
+    for leaf in innermost {
+        let mut pi = 1u32;
+        tree.loops[leaf.0].pi = tree.loops[leaf.0].pi.max(pi);
+        let mut cur = leaf;
+        while let Some(parent) = tree.loops[cur.0].parent {
+            pi += 1;
+            let old = tree.loops[parent.0].pi;
+            tree.loops[parent.0].pi = old.max(pi);
+            // Continue outwards carrying the (possibly larger) stored PI,
+            // exactly like the REPEAT loop in Figure 2.
+            pi = tree.loops[parent.0].pi;
+            cur = parent;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loop_tree::LoopTree;
+    use cdmm_lang::parse;
+
+    fn assigned(body: &str) -> LoopTree {
+        let src = format!(
+            "PROGRAM T\nPARAMETER (N = 10)\nDIMENSION A(N,N), B(N,N), C(N,N), V(N)\n{body}\nEND\n"
+        );
+        let p = parse(&src).unwrap();
+        let mut t = LoopTree::build(&p);
+        assign(&mut t);
+        t
+    }
+
+    #[test]
+    fn single_loop_gets_pi_1() {
+        let t = assigned("DO 10 I = 1, N\nV(I) = 0.0\n10 CONTINUE");
+        assert_eq!(t.loops[0].pi, 1);
+    }
+
+    #[test]
+    fn straight_nest_counts_depth() {
+        let t = assigned(
+            "DO 10 I = 1, N\nDO 20 J = 1, N\nDO 30 K = 1, N\nA(K,J) = 0.0\n30 CONTINUE\n20 CONTINUE\n10 CONTINUE",
+        );
+        let pis: Vec<u32> = t.loops.iter().map(|l| l.pi).collect();
+        assert_eq!(pis, vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn figure_2_and_5_example() {
+        // The Figure 5 structure: loop 4 contains loop 2 (a leaf) and
+        // loop 3, which contains loop 1 (a leaf).
+        let t = assigned(
+            "DO 4 I = 1, N\n\
+             V(I) = 0.0\n\
+             DO 2 J = 1, N\nA(J,I) = 0.0\n2 CONTINUE\n\
+             DO 3 K = 1, N\nB(K,I) = 0.0\nDO 1 L = 1, N\nC(L,K) = 0.0\n1 CONTINUE\n3 CONTINUE\n\
+             4 CONTINUE",
+        );
+        let pi_of = |label: u32| t.by_label(label).unwrap().pi;
+        assert_eq!(pi_of(4), 3, "outermost loop gets PI = Δ = 3");
+        assert_eq!(pi_of(2), 1, "leaf loop 2 gets PI = 1");
+        assert_eq!(pi_of(3), 2, "loop 3 sits one above leaf loop 1");
+        assert_eq!(pi_of(1), 1, "leaf loop 1 gets PI = 1");
+    }
+
+    #[test]
+    fn unbalanced_siblings_take_max() {
+        // Parent with a shallow child chain and a deep one: parent PI is
+        // governed by the deeper chain.
+        let t = assigned(
+            "DO 9 I = 1, N\n\
+             DO 8 J = 1, N\nDO 7 K = 1, N\nDO 6 L = 1, N\nA(L,K) = 0.0\n6 CONTINUE\n7 CONTINUE\n8 CONTINUE\n\
+             DO 5 M = 1, N\nV(M) = 0.0\n5 CONTINUE\n\
+             9 CONTINUE",
+        );
+        assert_eq!(t.by_label(9).unwrap().pi, 4);
+        assert_eq!(t.by_label(8).unwrap().pi, 3);
+        assert_eq!(t.by_label(5).unwrap().pi, 1);
+    }
+
+    #[test]
+    fn priorities_strictly_decrease_along_paths() {
+        let t = assigned(
+            "DO 9 I = 1, N\nDO 8 J = 1, N\nA(J,I) = 0.0\nDO 7 K = 1, N\nB(K,J) = 0.0\n7 CONTINUE\n8 CONTINUE\n9 CONTINUE",
+        );
+        for l in &t.loops {
+            if let Some(p) = l.parent {
+                assert!(
+                    t.get(p).pi > l.pi,
+                    "parent PI {} must exceed child PI {}",
+                    t.get(p).pi,
+                    l.pi
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn assignment_is_idempotent() {
+        let src = "PROGRAM T\nPARAMETER (N = 4)\nDIMENSION A(N,N)\nDO 10 I = 1, N\nDO 20 J = 1, N\nA(J,I) = 0.0\n20 CONTINUE\n10 CONTINUE\nEND";
+        let p = parse(src).unwrap();
+        let mut t = LoopTree::build(&p);
+        assign(&mut t);
+        let first: Vec<u32> = t.loops.iter().map(|l| l.pi).collect();
+        assign(&mut t);
+        let second: Vec<u32> = t.loops.iter().map(|l| l.pi).collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn sibling_roots_are_independent() {
+        let t = assigned(
+            "DO 10 I = 1, N\nV(I) = 0.0\n10 CONTINUE\nDO 20 I = 1, N\nDO 30 J = 1, N\nA(J,I) = 0.0\n30 CONTINUE\n20 CONTINUE",
+        );
+        assert_eq!(t.by_label(10).unwrap().pi, 1);
+        assert_eq!(t.by_label(20).unwrap().pi, 2);
+    }
+}

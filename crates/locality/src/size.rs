@@ -1,0 +1,632 @@
+//! Locality-size estimation: computing the `X` argument of `ALLOCATE`.
+//!
+//! The paper (Section 2) identifies six parameters: page size `P`, array
+//! size `Σ` (giving `AVS` and `CVS`), nest depth `Δ`, distinct index
+//! variables `X`, order of reference `Θ`, and reference level `Λ`. Section
+//! 3.1 walks through combining them for the Figure 5 example; the authors
+//! state the procedure was applied "in a non-deterministic manner". This
+//! module is the deterministic procedure, validated against every number
+//! in the Figure 5 narrative:
+//!
+//! For a locality formed by loop `L`, each array referenced in `L`'s
+//! subtree contributes pages according to *where its subscripts vary*.
+//! With `d_row`/`d_col` the nest distance from `L` down to the loop whose
+//! variable appears in the row/column subscript (`None` if the subscript
+//! is constant or controlled outside `L`):
+//!
+//! | array | `d_row` | `d_col` | contribution |
+//! |-------|---------|---------|--------------|
+//! | vector | `None`/`0` | — | distinct index forms (1 page each) |
+//! | vector | `≥ 1` | — | `AVS` (whole vector re-spanned per iteration) |
+//! | matrix | `None`/`0` | `None`/`0` | `F_r × F_c` active pages |
+//! | matrix | `≥ 1` | `None` | `F_c × CVS` (columns fixed w.r.t. `L` stay hot) |
+//! | matrix | `≥ 1` | `0` | `F_r × F_c` (fresh column per iteration: stream) |
+//! | matrix | `None`/`0` | `≥ 1` | `F_r × N` (paper's row-wise rule) |
+//! | matrix | `≥ 1` | `≥ 1` | `AVS` (entire space spanned and re-spanned) |
+//!
+//! every entry capped at the array's `AVS`; an array referenced at several
+//! sites contributes its maximum, and a loop with no array references gets
+//! the system's minimum allocation.
+
+use std::collections::BTreeMap;
+
+use cdmm_lang::sema::{ArrayShape, SymbolTable};
+
+use crate::geometry::PageGeometry;
+use crate::loop_tree::{ArrayRef, IndexForm, LoopId, LoopInfo, LoopTree};
+
+/// Default minimum allocation (pages) when a loop forms no locality.
+pub const DEFAULT_MIN_ALLOC: u64 = 2;
+
+/// How distinct index forms are converted into page counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SizerMode {
+    /// The paper's counting: every distinct indexed variable is a
+    /// potential page, so `V(I) + V(I+1) + V(J)` counts 3 pages ("a
+    /// maximum of three pages of vector V can be referenced").
+    PaperBound,
+    /// Contiguity-aware counting (the default): affine forms of the same
+    /// variable in the storage-contiguous direction share pages, so
+    /// `I-1, I, I+1` along a column is one active page, not three. This
+    /// keeps CD allocations tight for stencil codes; the ablation bench
+    /// compares both modes.
+    #[default]
+    Tight,
+}
+
+/// One array's contribution to one loop's locality, kept for reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Contribution {
+    /// The contributing array.
+    pub array: String,
+    /// The loop the reference appears in.
+    pub site: LoopId,
+    /// Pages contributed.
+    pub pages: u64,
+    /// Human-readable rule name (for reports and tests).
+    pub rule: &'static str,
+}
+
+/// Estimated locality sizes for every loop in a program.
+#[derive(Debug, Clone, Default)]
+pub struct SizeReport {
+    /// Pages per loop, indexed by [`LoopId`].
+    pub pages: Vec<u64>,
+    /// Detailed contributions per loop, same indexing.
+    pub contributions: Vec<Vec<Contribution>>,
+    /// The minimum allocation used for loops that form no locality.
+    pub min_alloc: u64,
+    /// Total program virtual size in pages (all arrays).
+    pub total_pages: u64,
+}
+
+impl SizeReport {
+    /// The locality size (in pages) of the given loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for the analysed program.
+    pub fn pages_of(&self, id: LoopId) -> u64 {
+        self.pages[id.0]
+    }
+}
+
+/// Computes locality sizes for every loop of a tree.
+#[derive(Debug, Clone)]
+pub struct LocalitySizer<'a> {
+    symbols: &'a SymbolTable,
+    geometry: PageGeometry,
+    min_alloc: u64,
+    mode: SizerMode,
+}
+
+impl<'a> LocalitySizer<'a> {
+    /// Creates a sizer with the default minimum allocation.
+    pub fn new(symbols: &'a SymbolTable, geometry: PageGeometry) -> Self {
+        LocalitySizer {
+            symbols,
+            geometry,
+            min_alloc: DEFAULT_MIN_ALLOC,
+            mode: SizerMode::default(),
+        }
+    }
+
+    /// Selects the page-counting mode.
+    pub fn with_mode(mut self, mode: SizerMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Overrides the minimum allocation granted to loops that form no
+    /// locality (the paper's "system default").
+    pub fn with_min_alloc(mut self, min_alloc: u64) -> Self {
+        self.min_alloc = min_alloc.max(1);
+        self
+    }
+
+    /// Runs the estimator over every loop.
+    pub fn run(&self, tree: &LoopTree) -> SizeReport {
+        let total_pages: u64 = self
+            .symbols
+            .arrays
+            .values()
+            .map(|s| self.geometry.pages_for(s.elements()))
+            .sum();
+        let mut report = SizeReport {
+            pages: vec![0; tree.loops.len()],
+            contributions: vec![Vec::new(); tree.loops.len()],
+            min_alloc: self.min_alloc,
+            total_pages,
+        };
+        for l in &tree.loops {
+            let (pages, contributions) = self.size_of_loop(tree, l.id);
+            report.pages[l.id.0] = pages;
+            report.contributions[l.id.0] = contributions;
+        }
+        report
+    }
+
+    /// Sizes the locality formed by one loop.
+    fn size_of_loop(&self, tree: &LoopTree, id: LoopId) -> (u64, Vec<Contribution>) {
+        let base = tree.get(id);
+        // Per array, keep the maximum contribution over all sites. Within a
+        // site, all references to the same array are merged so that the
+        // paper's "number of distinct indexed variables" counting applies
+        // across the whole loop body (V(I) + V(I+1) + V(J) => X = 3).
+        let mut best: BTreeMap<String, Contribution> = BTreeMap::new();
+        for site_id in tree.subtree(id) {
+            let site = tree.get(site_id);
+            // The loops between `id` and the site, inclusive, outermost
+            // first; their variables are the ones that vary "inside L".
+            let inner_path: Vec<&LoopInfo> = tree
+                .path_to(site_id)
+                .into_iter()
+                .skip_while(|&p| p != id)
+                .map(|p| tree.get(p))
+                .collect();
+            let mut groups: BTreeMap<&str, Vec<&ArrayRef>> = BTreeMap::new();
+            for r in &site.direct_refs {
+                groups.entry(r.array.as_str()).or_default().push(r);
+            }
+            for (array, refs) in groups {
+                let Some(shape) = self.symbols.shape(array) else {
+                    continue;
+                };
+                let (pages, rule) = self.contribution(&refs, shape, base, &inner_path);
+                let entry = Contribution {
+                    array: array.to_string(),
+                    site: site_id,
+                    pages,
+                    rule,
+                };
+                match best.get(array) {
+                    Some(prev) if prev.pages >= pages => {}
+                    _ => {
+                        best.insert(array.to_string(), entry);
+                    }
+                }
+            }
+        }
+        let contributions: Vec<Contribution> = best.into_values().collect();
+        let mut sum: u64 = contributions.iter().map(|c| c.pages).sum();
+        // Headroom margins (tight mode only; the paper's upper-bound
+        // counting is already generous). Exact-fit allocations thrash
+        // under LRU noise in two situations:
+        if self.mode == SizerMode::Tight {
+            let is_streaming = |rule: &str| {
+                matches!(
+                    rule,
+                    "streaming down fresh columns" | "active element pages" | "vector active pages"
+                )
+            };
+            // 1. A streamed matrix whose page-or-larger columns do not
+            //    align to page boundaries: the sliding row window
+            //    periodically spans one transient extra page.
+            let unaligned_active = contributions.iter().any(|c| {
+                is_streaming(c.rule)
+                    && self.symbols.shape(&c.array).is_some_and(|s| {
+                        let per_page = self.geometry.elems_per_page();
+                        s.rank == 2 && s.rows >= per_page && s.rows % per_page != 0
+                    })
+            });
+            if unaligned_active {
+                sum += 1;
+            }
+            // 2. A large retained working set sharing the allocation with
+            //    a streaming component: each fresh streaming page evicts
+            //    the oldest retained page and starts a refault chain.
+            const RETAINED_HEADROOM_THRESHOLD: u64 = 8;
+            let retained: u64 = contributions
+                .iter()
+                .filter(|c| !is_streaming(c.rule))
+                .map(|c| c.pages)
+                .sum();
+            let has_stream = contributions.iter().any(|c| is_streaming(c.rule));
+            if has_stream && retained >= RETAINED_HEADROOM_THRESHOLD {
+                sum += 1;
+            }
+        }
+        (sum.max(self.min_alloc), contributions)
+    }
+
+    /// Applies the rule table from the module docs to all references of
+    /// one array within one site loop.
+    fn contribution(
+        &self,
+        refs: &[&ArrayRef],
+        shape: &ArrayShape,
+        base: &LoopInfo,
+        inner_path: &[&LoopInfo],
+    ) -> (u64, &'static str) {
+        let g = &self.geometry;
+        let avs = g.pages_for(shape.elements()).max(1);
+        let cvs = g.pages_for(shape.rows).max(1);
+
+        // Distance (in nest levels below `base`) of the deepest loop whose
+        // variable appears in the given subscript, or None when the
+        // subscript is constant or controlled by a loop outside `base`.
+        let var_depth = |form: &IndexForm| -> Option<u32> {
+            inner_path
+                .iter()
+                .rev()
+                .find(|l| form.varies_with(&l.var))
+                .map(|l| l.lambda - base.lambda)
+        };
+        // The deepest variation over all references, per subscript position.
+        let depth_at = |pos: usize| -> Option<u32> {
+            refs.iter()
+                .filter_map(|r| r.indices.get(pos).and_then(&var_depth))
+                .max()
+        };
+
+        if shape.rank == 1 {
+            let d = depth_at(0);
+            return match d {
+                Some(dd) if dd >= 1 => (avs, "vector spanned by inner loop"),
+                _ => (self.form_pages(refs, 0).min(avs), "vector active pages"),
+            };
+        }
+
+        let d_row = depth_at(0);
+        let d_col = depth_at(1);
+        // Rows are the storage-contiguous direction; columns are not.
+        let f_r = self.form_pages(refs, 0);
+        let f_c = count_forms(refs, 1);
+
+        match (d_row, d_col) {
+            (Some(dr), Some(dc)) if dr >= 1 && dc >= 1 => (avs, "matrix fully spanned"),
+            (Some(dr), None) if dr >= 1 => {
+                ((f_c * cvs).min(avs), "fixed columns walked by inner loop")
+            }
+            (Some(dr), Some(0)) if dr >= 1 => {
+                ((f_r * f_c).min(avs), "streaming down fresh columns")
+            }
+            (_, Some(dc)) if dc >= 1 => ((f_r * shape.cols).min(avs), "row-wise: X_r x N rule"),
+            _ => ((f_r * f_c).min(avs), "active element pages"),
+        }
+    }
+}
+
+impl LocalitySizer<'_> {
+    /// Pages needed for the index forms at a storage-contiguous subscript
+    /// position. Under [`SizerMode::PaperBound`] this is the paper's
+    /// distinct-form count; under [`SizerMode::Tight`], affine forms of
+    /// the same variable share pages according to their offset span.
+    fn form_pages(&self, refs: &[&ArrayRef], pos: usize) -> u64 {
+        if self.mode == SizerMode::PaperBound {
+            return count_forms(refs, pos);
+        }
+        let per_page = self.geometry.elems_per_page().max(1);
+        let mut var_spans: BTreeMap<&str, (i64, i64)> = BTreeMap::new();
+        let mut const_pages: Vec<u64> = Vec::new();
+        let mut others: Vec<&IndexForm> = Vec::new();
+        for r in refs {
+            match r.indices.get(pos) {
+                Some(IndexForm::Affine { var, offset }) => {
+                    var_spans
+                        .entry(var.as_str())
+                        .and_modify(|(lo, hi)| {
+                            *lo = (*lo).min(*offset);
+                            *hi = (*hi).max(*offset);
+                        })
+                        .or_insert((*offset, *offset));
+                }
+                Some(IndexForm::Const(c)) => {
+                    let page = (c.max(&1) - 1) as u64 / per_page;
+                    if !const_pages.contains(&page) {
+                        const_pages.push(page);
+                    }
+                }
+                Some(f @ IndexForm::Other { .. }) if !others.contains(&f) => {
+                    others.push(f);
+                }
+                _ => {}
+            }
+        }
+        let span_pages: u64 = var_spans
+            .values()
+            .map(|(lo, hi)| (hi - lo) as u64 / per_page + 1)
+            .sum();
+        (span_pages + const_pages.len() as u64 + others.len() as u64).max(1)
+    }
+}
+
+/// Number of distinct index forms in subscript position `pos` over a group
+/// of references — the paper's `X_r` / `X_c` counting.
+fn count_forms(refs: &[&ArrayRef], pos: usize) -> u64 {
+    let mut distinct: Vec<&IndexForm> = Vec::new();
+    for r in refs {
+        if let Some(f) = r.indices.get(pos) {
+            if !distinct.contains(&f) {
+                distinct.push(f);
+            }
+        }
+    }
+    distinct.len().max(1) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::priority;
+    use cdmm_lang::{analyze, parse};
+
+    fn sized(src: &str) -> (crate::loop_tree::LoopTree, SizeReport) {
+        sized_mode(src, SizerMode::Tight)
+    }
+
+    fn sized_mode(src: &str, mode: SizerMode) -> (crate::loop_tree::LoopTree, SizeReport) {
+        let mut p = parse(src).unwrap();
+        let syms = analyze(&mut p).unwrap();
+        let mut tree = crate::loop_tree::LoopTree::build(&p);
+        priority::assign(&mut tree);
+        let report = LocalitySizer::new(&syms, PageGeometry::PAPER)
+            .with_mode(mode)
+            .run(&tree);
+        (tree, report)
+    }
+
+    /// The Figure 5 program from the paper, reconstructed from the
+    /// Section 3.1 narrative: loop 4 references vectors A and B; loop 2
+    /// references vectors C, D, row-wise CC and column-wise DD; loop 3
+    /// references vectors E and F; loop 1 (inside loop 3) walks GG
+    /// column-wise.
+    const FIG5: &str = "
+PROGRAM FIG5
+PARAMETER (N = 100)
+DIMENSION A(N), B(N), C(N), D(N), E(N), F(N)
+DIMENSION CC(N,N), DD(N,N), GG(N,N)
+DO 4 I = 1, N
+  A(I) = B(I) + 1.0
+  DO 2 J = 1, N
+    C(J) = D(J) + CC(I,J) + DD(J,I)
+2 CONTINUE
+  DO 3 K = 1, N
+    E(K) = F(K) + 1.0
+    DO 1 L = 1, N
+      GG(L,K) = E(K) * 2.0
+1   CONTINUE
+3 CONTINUE
+4 CONTINUE
+END
+";
+
+    #[test]
+    fn figure5_loop4_contributions_match_paper() {
+        // The Section 3.1 narrative uses the paper's upper-bound counting.
+        let (tree, rep) = sized_mode(FIG5, SizerMode::PaperBound);
+        let loop4 = tree.by_label(4).unwrap().id;
+        let by_array: BTreeMap<&str, u64> = rep.contributions[loop4.0]
+            .iter()
+            .map(|c| (c.array.as_str(), c.pages))
+            .collect();
+        // Vectors A, B referenced at level 1 with one index each: 1 page.
+        assert_eq!(by_array["A"], 1);
+        assert_eq!(by_array["B"], 1);
+        // Vectors spanned by inner loops contribute their whole AVS
+        // (N = 100 elements => 2 pages at 64 elements/page).
+        for v in ["C", "D", "E", "F"] {
+            assert_eq!(by_array[v], 2, "{v}");
+        }
+        // Row-wise CC contributes X_r * N = 1 * 100 pages.
+        assert_eq!(by_array["CC"], 100);
+        // Column-wise DD streams fresh columns: 1 active page.
+        assert_eq!(by_array["DD"], 1);
+        // GG, referenced two levels down with both subscripts varying,
+        // contributes its entire virtual size (ceil(10000/64) = 157).
+        assert_eq!(by_array["GG"], 157);
+        // Total X1.
+        assert_eq!(rep.pages_of(loop4), 1 + 1 + 2 + 2 + 2 + 2 + 100 + 1 + 157);
+    }
+
+    #[test]
+    fn figure5_inner_loop_sizes() {
+        let (tree, rep) = sized_mode(FIG5, SizerMode::PaperBound);
+        let x = |label: u32| rep.pages_of(tree.by_label(label).unwrap().id);
+        // Loop 2: C, D active pages (1 each), CC one active element page,
+        // DD streaming down one column: 4 pages.
+        assert_eq!(x(2), 4);
+        // Loop 3: E, F active (1 each) + GG streaming (1): 3 pages.
+        assert_eq!(x(3), 3);
+        // Loop 1: E invariant page + GG streaming page = 2 (also the
+        // minimum allocation).
+        assert_eq!(x(1), 2);
+    }
+
+    #[test]
+    fn outer_localities_dominate_inner_ones_on_fig5() {
+        let (tree, rep) = sized(FIG5);
+        for l in &tree.loops {
+            if let Some(p) = l.parent {
+                assert!(rep.pages_of(p) >= rep.pages_of(l.id));
+            }
+        }
+        let (tree, rep) = sized_mode(FIG5, SizerMode::PaperBound);
+        for l in &tree.loops {
+            if let Some(p) = l.parent {
+                assert!(
+                    rep.pages_of(p) >= rep.pages_of(l.id),
+                    "outer loop locality must not be smaller"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn figure1_localities() {
+        // Figure 1: E and F referenced row-wise in loop 20; G and H
+        // column-wise in loop 30, with the column picked by loop 10.
+        let src = "
+PROGRAM FIG1
+PARAMETER (M = 200, N = 10)
+DIMENSION E(N,M), F(N,M), G(M,N), H(M,N)
+DO 10 I = 1, N
+  DO 20 J = 1, M
+    E(I,J) = F(I,J) + 1.0
+20 CONTINUE
+  DO 30 K = 1, M
+    G(K,I) = H(K,I)
+30 CONTINUE
+10 CONTINUE
+END
+";
+        let (tree, rep) = sized_mode(src, SizerMode::PaperBound);
+        let loop30 = tree.by_label(30).unwrap().id;
+        let by_array: BTreeMap<&str, u64> = rep.contributions[loop30.0]
+            .iter()
+            .map(|c| (c.array.as_str(), c.pages))
+            .collect();
+        // Loop 30 streams down one column of G and H: 1 active page each.
+        assert_eq!(by_array["G"], 1);
+        assert_eq!(by_array["H"], 1);
+        // Loop 20 "does not form a locality" for E/F beyond active pages.
+        let loop20 = tree.by_label(20).unwrap().id;
+        assert_eq!(rep.pages_of(loop20), 2);
+        // At loop 10, E and F contribute X_r * N-columns pages (row-wise
+        // rule), G and H stream (1 page each).
+        let loop10 = tree.by_label(10).unwrap().id;
+        let by_array: BTreeMap<&str, u64> = rep.contributions[loop10.0]
+            .iter()
+            .map(|c| (c.array.as_str(), c.pages))
+            .collect();
+        assert_eq!(
+            by_array["E"],
+            (200u64).min(PageGeometry::PAPER.pages_for(2000))
+        );
+        assert_eq!(by_array["G"], 1);
+    }
+
+    #[test]
+    fn multiple_offsets_count_as_distinct_indexes() {
+        // W = V(I) + V(I+1) + V(J) — the paper's example of X = 3.
+        let src = "
+PROGRAM XCOUNT
+PARAMETER (N = 1000)
+DIMENSION V(N)
+DO 10 I = 1, N
+  W = V(I) + V(I+1) + V(J)
+10 CONTINUE
+END
+";
+        let (tree, rep) = sized_mode(src, SizerMode::PaperBound);
+        let l = tree.by_label(10).unwrap().id;
+        let c = &rep.contributions[l.0];
+        assert_eq!(c.len(), 1);
+        assert_eq!(
+            c[0].pages, 3,
+            "paper counting: three distinct forms => 3 pages"
+        );
+
+        // Tight counting shares the I/I+1 page: one page for the I-span
+        // plus one for the independent J position.
+        let (tree, rep) = sized_mode(src, SizerMode::Tight);
+        let l = tree.by_label(10).unwrap().id;
+        assert_eq!(rep.contributions[l.0][0].pages, 2);
+    }
+
+    #[test]
+    fn four_corner_stencil_counts_four_pages() {
+        // A(I,J), A(I+1,J), A(I,J+1), A(I+1,J+1): X_r = 2, X_c = 2.
+        let src = "
+PROGRAM STENCIL
+PARAMETER (N = 100)
+DIMENSION A(N,N)
+DO 10 J = 1, N
+  DO 20 I = 1, N
+    W = A(I,J) + A(I+1,J) + A(I,J+1) + A(I+1,J+1)
+20 CONTINUE
+10 CONTINUE
+END
+";
+        let (tree, rep) = sized_mode(src, SizerMode::PaperBound);
+        let inner = tree.by_label(20).unwrap().id;
+        let c = &rep.contributions[inner.0];
+        // Single array entry with the max-contribution aggregation; inside
+        // loop 20 the reference streams down two fresh columns picked by
+        // loop 10 — 2x2 pages under the paper's upper-bound counting.
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].pages, 4);
+
+        // Tight counting recognizes that rows I and I+1 share a page:
+        // one page per column.
+        let (tree, rep) = sized_mode(src, SizerMode::Tight);
+        let inner = tree.by_label(20).unwrap().id;
+        assert_eq!(rep.contributions[inner.0][0].pages, 2);
+    }
+
+    #[test]
+    fn loop_without_refs_gets_min_alloc() {
+        let src = "PROGRAM T\nDO 10 I = 1, 100\nX = X + 1.0\n10 CONTINUE\nEND";
+        let (tree, rep) = sized(src);
+        assert_eq!(
+            rep.pages_of(tree.by_label(10).unwrap().id),
+            DEFAULT_MIN_ALLOC
+        );
+    }
+
+    #[test]
+    fn min_alloc_is_configurable() {
+        let mut p = parse("PROGRAM T\nDO 10 I = 1, 4\nX = 1.0\n10 CONTINUE\nEND").unwrap();
+        let syms = analyze(&mut p).unwrap();
+        let mut tree = crate::loop_tree::LoopTree::build(&p);
+        priority::assign(&mut tree);
+        let rep = LocalitySizer::new(&syms, PageGeometry::PAPER)
+            .with_min_alloc(5)
+            .run(&tree);
+        assert_eq!(rep.pages[0], 5);
+    }
+
+    #[test]
+    fn contribution_capped_at_avs() {
+        // A tiny array with many distinct index forms cannot contribute
+        // more pages than it has.
+        let src = "
+PROGRAM CAP
+DIMENSION V(8)
+DO 10 I = 1, 8
+  W = V(I) + V(I+1) + V(I+2) + V(I+3)
+10 CONTINUE
+END
+";
+        let (_, rep) = sized(src);
+        assert_eq!(rep.contributions[0][0].pages, 1, "8 elements fit one page");
+    }
+
+    #[test]
+    fn straddle_margin_only_in_tight_mode_on_unaligned_arrays() {
+        // 76 rows do not align to 64-element pages: the streaming stencil
+        // gets one extra transient page in tight mode.
+        let src = "
+PROGRAM STRADDLE
+PARAMETER (N = 76)
+DIMENSION T(N,N), TN(N,N)
+DO 10 J = 2, N - 1
+  DO 20 I = 2, N - 1
+    TN(I,J) = T(I-1,J) + T(I+1,J) + T(I,J-1) + T(I,J+1)
+20 CONTINUE
+10 CONTINUE
+END
+";
+        let (tree, tight) = sized_mode(src, SizerMode::Tight);
+        let (_, paper) = sized_mode(src, SizerMode::PaperBound);
+        let outer = tree.by_label(10).unwrap().id;
+        // Tight: T streams 3 columns (1 page each) + TN 1 + margin 1 = 5.
+        assert_eq!(tight.pages_of(outer), 5);
+        // Paper bound: T counts 3 row forms x 3 column forms = 9 + TN 1.
+        assert_eq!(paper.pages_of(outer), 10);
+
+        // An aligned matrix gets no margin.
+        let src_aligned = src.replace("N = 76", "N = 64");
+        let (tree, tight) = sized_mode(&src_aligned, SizerMode::Tight);
+        let outer = tree.by_label(10).unwrap().id;
+        assert_eq!(tight.pages_of(outer), 4);
+    }
+
+    #[test]
+    fn total_pages_counts_all_arrays() {
+        let (_, rep) = sized(FIG5);
+        // Six vectors of 100 elements (2 pages each) + three 100x100
+        // matrices (157 pages each).
+        assert_eq!(rep.total_pages, 6 * 2 + 3 * 157);
+    }
+}

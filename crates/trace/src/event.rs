@@ -1,0 +1,172 @@
+//! Trace events: page references and runtime directive events.
+
+use cdmm_lang::ast::AllocArg;
+
+/// A virtual page number within one program's address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u32);
+
+/// A half-open range of pages `[start, end)`, used to describe the pages
+/// belonging to an array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PageRange {
+    /// First page in the range.
+    pub start: u32,
+    /// One past the last page.
+    pub end: u32,
+}
+
+impl PageRange {
+    /// Creates a range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end`.
+    pub fn new(start: u32, end: u32) -> Self {
+        assert!(start <= end, "invalid page range {start}..{end}");
+        PageRange { start, end }
+    }
+
+    /// Number of pages covered.
+    pub fn len(&self) -> u32 {
+        self.end - self.start
+    }
+
+    /// True when the range covers no pages.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Does the range contain `page`?
+    pub fn contains(&self, page: PageId) -> bool {
+        page.0 >= self.start && page.0 < self.end
+    }
+
+    /// Iterates over the pages in the range.
+    pub fn iter(&self) -> impl Iterator<Item = PageId> {
+        (self.start..self.end).map(PageId)
+    }
+}
+
+/// One event in a program's execution trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A reference (read or write) to one page.
+    Ref(PageId),
+    /// Runtime `ALLOCATE` call with its prioritized request list.
+    Alloc(Vec<AllocArg>),
+    /// Runtime `LOCK` call; the named arrays resolved to page ranges.
+    Lock {
+        /// Release priority (larger released first under pressure).
+        pj: u32,
+        /// Page ranges of the arrays named in the directive.
+        ranges: Vec<PageRange>,
+    },
+    /// Runtime `UNLOCK` call for the given ranges.
+    Unlock {
+        /// Page ranges of the arrays named in the directive.
+        ranges: Vec<PageRange>,
+    },
+}
+
+/// A complete reference trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    /// The events, in execution order.
+    pub events: Vec<Event>,
+    /// Total virtual pages of the traced program (0 when unknown, e.g.
+    /// for synthetic traces built directly from events).
+    pub virtual_pages: u32,
+}
+
+impl Trace {
+    /// Creates a trace from raw events.
+    pub fn from_events(events: Vec<Event>) -> Self {
+        let max_page = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Ref(p) => Some(p.0 + 1),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0);
+        Trace {
+            events,
+            virtual_pages: max_page,
+        }
+    }
+
+    /// Number of page-reference events (the paper's trace length `R`).
+    pub fn ref_count(&self) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, Event::Ref(_)))
+            .count() as u64
+    }
+
+    /// Number of distinct pages referenced.
+    pub fn distinct_pages(&self) -> u32 {
+        let mut seen = std::collections::HashSet::new();
+        for e in &self.events {
+            if let Event::Ref(p) = e {
+                seen.insert(*p);
+            }
+        }
+        seen.len() as u32
+    }
+
+    /// Iterates over only the page references.
+    pub fn refs(&self) -> impl Iterator<Item = PageId> + '_ {
+        self.events.iter().filter_map(|e| match e {
+            Event::Ref(p) => Some(*p),
+            _ => None,
+        })
+    }
+
+    /// Number of directive events in the trace.
+    pub fn directive_count(&self) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| !matches!(e, Event::Ref(_)))
+            .count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_range_basics() {
+        let r = PageRange::new(4, 8);
+        assert_eq!(r.len(), 4);
+        assert!(!r.is_empty());
+        assert!(r.contains(PageId(4)));
+        assert!(r.contains(PageId(7)));
+        assert!(!r.contains(PageId(8)));
+        assert_eq!(r.iter().count(), 4);
+        assert!(PageRange::new(3, 3).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid page range")]
+    fn inverted_range_panics() {
+        PageRange::new(5, 4);
+    }
+
+    #[test]
+    fn trace_counting() {
+        let t = Trace::from_events(vec![
+            Event::Ref(PageId(0)),
+            Event::Alloc(vec![]),
+            Event::Ref(PageId(3)),
+            Event::Ref(PageId(0)),
+        ]);
+        assert_eq!(t.ref_count(), 3);
+        assert_eq!(t.distinct_pages(), 2);
+        assert_eq!(t.directive_count(), 1);
+        assert_eq!(t.virtual_pages, 4);
+        let pages: Vec<u32> = t.refs().map(|p| p.0).collect();
+        assert_eq!(pages, vec![0, 3, 0]);
+    }
+}

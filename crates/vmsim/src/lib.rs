@@ -1,0 +1,46 @@
+//! Trace-driven virtual-memory simulator and memory-management policies.
+//!
+//! This crate is the experimental substrate of the reproduction — the
+//! paper's "virtual memory simulator ... used to simulate program behavior
+//! under the Least Recently Used (LRU), the Working Set (WS), and the CD
+//! policies" (Section 5), extended with the related-work policies the
+//! paper discusses (FIFO, Belady's OPT, PFF, and the damped/sampled/
+//! variable-interval WS variants) and with the multiprogramming mode the
+//! paper leaves as future work.
+//!
+//! Key types:
+//!
+//! - [`Policy`] — the interface every policy implements: one call per page
+//!   reference, plus directive callbacks that only the CD policy acts on.
+//! - [`simulate`] — drives a policy over a [`cdmm_trace::Trace`] and
+//!   accumulates [`Metrics`] (page faults `PF`, mean resident memory
+//!   `MEM`, and space-time cost `ST` with a 2000-reference fault service,
+//!   as in the paper).
+//! - [`policy::cd::CdPolicy`] — the Compiler-Directed policy (Section 4).
+//! - [`multiprog`] — a multiprogrammed memory with CD's PI-driven
+//!   allocation and swapper.
+//!
+//! # Examples
+//!
+//! ```
+//! use cdmm_trace::synth;
+//! use cdmm_vmsim::{simulate, SimConfig};
+//! use cdmm_vmsim::policy::lru::Lru;
+//!
+//! let trace = synth::cyclic(8, 10);
+//! let mut lru = Lru::new(4);
+//! let m = simulate(&trace, &mut lru, SimConfig::default());
+//! // The classic LRU pathology: every reference in a cyclic sweep faults.
+//! assert_eq!(m.faults, m.refs);
+//! ```
+
+pub mod metrics;
+pub mod multiprog;
+pub mod policy;
+pub mod recency;
+pub mod sim;
+pub mod stack;
+
+pub use metrics::Metrics;
+pub use policy::Policy;
+pub use sim::{simulate, SimConfig};

@@ -1,0 +1,149 @@
+//! Performance indexes: page faults `PF`, mean memory `MEM`, and
+//! space-time cost `ST`.
+//!
+//! The paper's definitions (Section 5): `PF` is the page-fault count,
+//! `MEM` is the average memory allocated to the program, and `ST` is the
+//! space-time cost including a fault service time of 2000 memory
+//! references. We accumulate
+//!
+//! ```text
+//! MEM = (1/R) Σ_t m(t)                 (average over reference time)
+//! ST  = Σ_t m(t) + D Σ_{faults} m(t)   (memory held during fault service)
+//! ```
+//!
+//! where `m(t)` is the resident-set size after processing reference `t`
+//! and `D` is the fault-service time.
+
+/// Accumulated simulation results for one program under one policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Metrics {
+    /// References processed (the paper's `R`).
+    pub refs: u64,
+    /// Page faults (`PF`).
+    pub faults: u64,
+    /// `Σ m(t)` over reference time.
+    pub mem_integral: u128,
+    /// `Σ m(t)` over fault events only.
+    pub fault_mem_integral: u128,
+    /// Fault service time `D` used for the ST computation.
+    pub fault_service: u64,
+    /// Largest resident set seen.
+    pub peak_resident: usize,
+}
+
+impl Metrics {
+    /// Creates an empty accumulator with the given fault-service time.
+    pub fn new(fault_service: u64) -> Self {
+        Metrics {
+            fault_service,
+            ..Default::default()
+        }
+    }
+
+    /// Records one processed reference.
+    pub fn record(&mut self, resident: usize, fault: bool) {
+        self.refs += 1;
+        self.mem_integral += resident as u128;
+        if fault {
+            self.faults += 1;
+            self.fault_mem_integral += resident as u128;
+        }
+        self.peak_resident = self.peak_resident.max(resident);
+    }
+
+    /// Mean resident memory over reference time (`MEM`).
+    pub fn mean_mem(&self) -> f64 {
+        if self.refs == 0 {
+            0.0
+        } else {
+            self.mem_integral as f64 / self.refs as f64
+        }
+    }
+
+    /// Space-time cost (`ST`).
+    pub fn st_cost(&self) -> f64 {
+        self.mem_integral as f64 + self.fault_service as f64 * self.fault_mem_integral as f64
+    }
+
+    /// Fault rate (faults per reference).
+    pub fn fault_rate(&self) -> f64 {
+        if self.refs == 0 {
+            0.0
+        } else {
+            self.faults as f64 / self.refs as f64
+        }
+    }
+
+    /// The paper's `%ST` comparison: how much more space-time `self`
+    /// costs than `base`, in percent.
+    pub fn st_excess_pct(&self, base: &Metrics) -> f64 {
+        let b = base.st_cost();
+        if b == 0.0 {
+            0.0
+        } else {
+            (self.st_cost() - b) / b * 100.0
+        }
+    }
+
+    /// The paper's `%MEM` comparison in percent.
+    pub fn mem_excess_pct(&self, base: &Metrics) -> f64 {
+        let b = base.mean_mem();
+        if b == 0.0 {
+            0.0
+        } else {
+            (self.mean_mem() - b) / b * 100.0
+        }
+    }
+
+    /// The paper's `ΔPF` comparison.
+    pub fn pf_excess(&self, base: &Metrics) -> i64 {
+        self.faults as i64 - base.faults as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_mem_and_faults() {
+        let mut m = Metrics::new(2000);
+        m.record(1, true);
+        m.record(2, false);
+        m.record(3, true);
+        assert_eq!(m.refs, 3);
+        assert_eq!(m.faults, 2);
+        assert_eq!(m.mem_integral, 6);
+        assert_eq!(m.fault_mem_integral, 4);
+        assert_eq!(m.peak_resident, 3);
+        assert!((m.mean_mem() - 2.0).abs() < 1e-12);
+        assert!((m.st_cost() - (6.0 + 2000.0 * 4.0)).abs() < 1e-9);
+        assert!((m.fault_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comparisons_match_paper_formulas() {
+        let mut cd = Metrics::new(2000);
+        for _ in 0..100 {
+            cd.record(10, false);
+        }
+        let mut lru = Metrics::new(2000);
+        for _ in 0..100 {
+            lru.record(25, false);
+        }
+        assert!((lru.mem_excess_pct(&cd) - 150.0).abs() < 1e-9);
+        assert!((lru.st_excess_pct(&cd) - 150.0).abs() < 1e-9);
+        assert_eq!(lru.pf_excess(&cd), 0);
+    }
+
+    #[test]
+    fn empty_metrics_are_safe() {
+        let m = Metrics::new(2000);
+        assert_eq!(m.mean_mem(), 0.0);
+        assert_eq!(m.st_cost(), 0.0);
+        assert_eq!(m.fault_rate(), 0.0);
+        let other = Metrics::new(2000);
+        assert_eq!(other.st_excess_pct(&m), 0.0);
+        assert_eq!(other.mem_excess_pct(&m), 0.0);
+    }
+}

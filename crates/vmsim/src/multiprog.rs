@@ -1,0 +1,554 @@
+//! Multiprogrammed memory management — the paper's Section 4 design,
+//! whose evaluation the paper leaves as future work ("The performance of
+//! CD in a multiprogramming environment is still to be evaluated").
+//!
+//! The driver shares a fixed pool of page frames among several traced
+//! processes under round-robin dispatch. Page faults block the faulting
+//! process for the fault-service time; memory over-commitment triggers
+//! load control (swap-out); CD processes run with
+//! [`CdSelector::FirstFit`], so an `ALLOCATE` whose innermost `PI = 1`
+//! request cannot be granted invokes the swapper, exactly as in the
+//! paper's Figure 6 flowchart. WS processes model the classic
+//! working-set-driven multiprogramming the paper compares against.
+
+use cdmm_trace::{Event, Trace};
+
+use crate::metrics::Metrics;
+use crate::policy::cd::{AllocOutcome, CdPolicy, CdSelector};
+use crate::policy::lru::Lru;
+use crate::policy::ws::WorkingSet;
+use crate::policy::Policy;
+
+/// Per-process policy choice for the multiprogramming driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcPolicy {
+    /// Compiler-Directed with dynamic first-fit request selection.
+    Cd {
+        /// Minimum allocation in pages.
+        min_alloc: u64,
+    },
+    /// Working Set with the given window.
+    Ws {
+        /// Window in references.
+        tau: u64,
+    },
+    /// Fixed-allocation LRU.
+    Lru {
+        /// Frame allocation.
+        frames: usize,
+    },
+}
+
+/// Multiprogramming parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultiConfig {
+    /// Page frames shared by all processes.
+    pub total_frames: u64,
+    /// References a process may run before being preempted.
+    pub quantum: u64,
+    /// Fault service time in references (also the swap-in delay).
+    pub fault_service: u64,
+}
+
+impl Default for MultiConfig {
+    fn default() -> Self {
+        MultiConfig {
+            total_frames: 64,
+            quantum: 300,
+            fault_service: 2000,
+        }
+    }
+}
+
+/// Result for one process.
+#[derive(Debug, Clone)]
+pub struct ProcessReport {
+    /// Process name.
+    pub name: String,
+    /// Paging metrics (same definitions as uniprogramming).
+    pub metrics: Metrics,
+    /// Virtual completion time (global clock units).
+    pub finished_at: u64,
+    /// Times this process was swapped out.
+    pub swap_outs: u64,
+}
+
+/// Result of one multiprogramming run.
+#[derive(Debug, Clone)]
+pub struct MultiReport {
+    /// Per-process results, in submission order.
+    pub processes: Vec<ProcessReport>,
+    /// Global completion time.
+    pub makespan: u64,
+    /// Total page faults over all processes.
+    pub total_faults: u64,
+    /// Total swap-out events.
+    pub swap_events: u64,
+    /// Fraction of time the CPU executed references (vs. idling on
+    /// faults/swaps).
+    pub cpu_utilization: f64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Ready,
+    /// Blocked on a fault or swap-in until the given time.
+    Blocked(u64),
+    /// Swapped out; waiting for memory.
+    Swapped,
+    Done,
+}
+
+enum Engine {
+    Cd(CdPolicy),
+    Ws(WorkingSet),
+    Lru(Lru),
+}
+
+impl Engine {
+    fn policy(&mut self) -> &mut dyn Policy {
+        match self {
+            Engine::Cd(p) => p,
+            Engine::Ws(p) => p,
+            Engine::Lru(p) => p,
+        }
+    }
+
+    fn resident(&self) -> usize {
+        match self {
+            Engine::Cd(p) => p.resident(),
+            Engine::Ws(p) => p.resident(),
+            Engine::Lru(p) => p.resident(),
+        }
+    }
+
+    fn swap_out(&mut self) {
+        match self {
+            Engine::Cd(p) => p.swap_out(),
+            Engine::Ws(p) => p.swap_out(),
+            Engine::Lru(p) => p.swap_out(),
+        }
+    }
+}
+
+struct Proc {
+    name: String,
+    events: Vec<Event>,
+    cursor: usize,
+    engine: Engine,
+    state: State,
+    metrics: Metrics,
+    finished_at: u64,
+    swap_outs: u64,
+}
+
+impl Proc {
+    fn active_frames(&self) -> u64 {
+        if matches!(self.state, State::Swapped) {
+            0
+        } else {
+            self.engine.resident() as u64
+        }
+    }
+}
+
+/// Runs a set of traced processes over a shared memory.
+///
+/// # Panics
+///
+/// Panics if `specs` is empty or `config.total_frames` is zero.
+pub fn run_multiprogram(
+    specs: Vec<(String, Trace, ProcPolicy)>,
+    config: MultiConfig,
+) -> MultiReport {
+    assert!(!specs.is_empty(), "need at least one process");
+    assert!(config.total_frames > 0, "need at least one frame");
+    let mut procs: Vec<Proc> = specs
+        .into_iter()
+        .map(|(name, trace, policy)| Proc {
+            name,
+            events: trace.events,
+            cursor: 0,
+            engine: match policy {
+                ProcPolicy::Cd { min_alloc } => {
+                    Engine::Cd(CdPolicy::new(CdSelector::FirstFit).with_min_alloc(min_alloc))
+                }
+                ProcPolicy::Ws { tau } => Engine::Ws(WorkingSet::new(tau)),
+                ProcPolicy::Lru { frames } => Engine::Lru(Lru::new(frames)),
+            },
+            state: State::Ready,
+            metrics: Metrics::new(config.fault_service),
+            finished_at: 0,
+            swap_outs: 0,
+        })
+        .collect();
+
+    let mut clock: u64 = 0;
+    let mut busy: u64 = 0;
+    let mut swap_events: u64 = 0;
+    let mut next = 0usize;
+
+    loop {
+        // Unblock processes whose fault service completed.
+        for p in procs.iter_mut() {
+            if let State::Blocked(until) = p.state {
+                if until <= clock {
+                    p.state = State::Ready;
+                }
+            }
+        }
+        // Re-admit swapped processes when memory has freed up.
+        readmit(&mut procs, &config, clock);
+
+        if procs.iter().all(|p| matches!(p.state, State::Done)) {
+            break;
+        }
+
+        // Pick the next ready process round-robin.
+        let Some(pick) = pick_ready(&procs, &mut next) else {
+            // Nobody is ready. Jump to the earliest unblock time; if
+            // everyone left is swapped, force a re-admit.
+            if let Some(t) = procs
+                .iter()
+                .filter_map(|p| match p.state {
+                    State::Blocked(until) => Some(until),
+                    _ => None,
+                })
+                .min()
+            {
+                clock = t.max(clock + 1);
+                continue;
+            }
+            force_readmit(&mut procs, clock);
+            continue;
+        };
+
+        // Run the picked process for up to a quantum.
+        let mut executed = 0u64;
+        while executed < config.quantum {
+            let (done, faulted, swap_victim) = step(&mut procs, pick, clock, &config);
+            if let Some(v) = swap_victim {
+                swap_events += 1;
+                procs[v].swap_outs += 1;
+            }
+            match (done, faulted) {
+                (true, _) => {
+                    procs[pick].state = State::Done;
+                    procs[pick].finished_at = clock;
+                    break;
+                }
+                (false, true) => {
+                    // The faulting reference still consumed CPU, but the
+                    // process blocks regardless of remaining quantum.
+                    busy += 1;
+                    clock += 1;
+                    procs[pick].state = State::Blocked(clock + config.fault_service);
+                    break;
+                }
+                (false, false) => {
+                    executed += 1;
+                    busy += 1;
+                    clock += 1;
+                }
+            }
+        }
+    }
+
+    let total_faults = procs.iter().map(|p| p.metrics.faults).sum();
+    MultiReport {
+        processes: procs
+            .into_iter()
+            .map(|p| ProcessReport {
+                name: p.name,
+                metrics: p.metrics,
+                finished_at: p.finished_at,
+                swap_outs: p.swap_outs,
+            })
+            .collect(),
+        makespan: clock,
+        total_faults,
+        swap_events,
+        cpu_utilization: if clock == 0 {
+            0.0
+        } else {
+            busy as f64 / clock as f64
+        },
+    }
+}
+
+fn pick_ready(procs: &[Proc], next: &mut usize) -> Option<usize> {
+    let n = procs.len();
+    for k in 0..n {
+        let i = (*next + k) % n;
+        if matches!(procs[i].state, State::Ready) {
+            *next = (i + 1) % n;
+            return Some(i);
+        }
+    }
+    None
+}
+
+/// Executes one event of process `pick`. Returns
+/// `(finished, faulted, swap_victim)`.
+fn step(
+    procs: &mut [Proc],
+    pick: usize,
+    clock: u64,
+    config: &MultiConfig,
+) -> (bool, bool, Option<usize>) {
+    loop {
+        let used_by_others: u64 = frames_used_except(procs, pick);
+        let p = &mut procs[pick];
+        let Some(event) = p.events.get(p.cursor).cloned() else {
+            return (true, false, None);
+        };
+        p.cursor += 1;
+        match event {
+            Event::Ref(page) => {
+                let fault = p.engine.policy().reference(page);
+                let resident = p.engine.resident();
+                p.metrics.record(resident, fault);
+                if !fault {
+                    return (false, false, None);
+                }
+                // Memory pressure check after growth.
+                let victim = if used_by_others + p.active_frames() > config.total_frames {
+                    relieve_pressure(procs, pick, clock, config)
+                } else {
+                    None
+                };
+                return (false, true, victim);
+            }
+            Event::Alloc(args) => {
+                let available = config.total_frames.saturating_sub(used_by_others);
+                if let Engine::Cd(cd) = &mut p.engine {
+                    cd.set_available(available);
+                    cd.directive(&Event::Alloc(args.clone()));
+                    if cd.last_outcome() == Some(AllocOutcome::SwapNeeded) {
+                        // Figure 6: invoke the swapper and retry once.
+                        let victim = relieve_pressure(procs, pick, clock, config);
+                        let used = frames_used_except(procs, pick);
+                        let p = &mut procs[pick];
+                        if let Engine::Cd(cd) = &mut p.engine {
+                            cd.set_available(config.total_frames.saturating_sub(used));
+                            cd.directive(&Event::Alloc(args));
+                        }
+                        if victim.is_some() {
+                            return (false, false, victim);
+                        }
+                    }
+                }
+                // Directives are free; continue to the next event.
+            }
+            other @ (Event::Lock { .. } | Event::Unlock { .. }) => {
+                p.engine.policy().directive(&other);
+            }
+        }
+    }
+}
+
+fn frames_used_except(procs: &[Proc], skip: usize) -> u64 {
+    procs
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != skip)
+        .map(|(_, p)| p.active_frames())
+        .sum()
+}
+
+/// Load control: swap out the non-running process holding the most
+/// frames. Returns its index.
+fn relieve_pressure(
+    procs: &mut [Proc],
+    running: usize,
+    clock: u64,
+    config: &MultiConfig,
+) -> Option<usize> {
+    let victim = procs
+        .iter()
+        .enumerate()
+        .filter(|(i, p)| {
+            *i != running
+                && !matches!(p.state, State::Done | State::Swapped)
+                && p.active_frames() > 0
+        })
+        .max_by_key(|(_, p)| p.active_frames())
+        .map(|(i, _)| i)?;
+    procs[victim].engine.swap_out();
+    procs[victim].state = State::Swapped;
+    let _ = (clock, config);
+    Some(victim)
+}
+
+/// Re-admits swapped processes when at least a quarter of memory is free.
+fn readmit(procs: &mut [Proc], config: &MultiConfig, clock: u64) {
+    loop {
+        let used: u64 = procs.iter().map(Proc::active_frames).sum();
+        let free = config.total_frames.saturating_sub(used);
+        if free < config.total_frames / 4 + 1 {
+            return;
+        }
+        let Some(idx) = procs.iter().position(|p| matches!(p.state, State::Swapped)) else {
+            return;
+        };
+        // Swap-in costs one fault-service delay.
+        procs[idx].state = State::Blocked(clock + config.fault_service);
+    }
+}
+
+/// Breaks total-swap livelock by re-admitting the first swapped process
+/// unconditionally.
+fn force_readmit(procs: &mut [Proc], clock: u64) {
+    if let Some(p) = procs.iter_mut().find(|p| matches!(p.state, State::Swapped)) {
+        p.state = State::Blocked(clock + 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdmm_lang::ast::AllocArg;
+    use cdmm_trace::{synth, PageId};
+
+    fn cyclic_proc(name: &str, pages: u32, cycles: u32) -> (String, Trace, ProcPolicy) {
+        (
+            name.to_string(),
+            synth::cyclic(pages, cycles),
+            ProcPolicy::Ws { tau: 5_000 },
+        )
+    }
+
+    #[test]
+    fn single_process_matches_uniprogramming_faults() {
+        let t = synth::cyclic(8, 20);
+        let uni = crate::simulate(&t, &mut WorkingSet::new(5_000), crate::SimConfig::default());
+        let multi = run_multiprogram(
+            vec![("p0".into(), t, ProcPolicy::Ws { tau: 5_000 })],
+            MultiConfig {
+                total_frames: 64,
+                ..Default::default()
+            },
+        );
+        assert_eq!(multi.processes[0].metrics.faults, uni.faults);
+        assert_eq!(multi.total_faults, uni.faults);
+    }
+
+    #[test]
+    fn all_processes_complete() {
+        let specs = vec![
+            cyclic_proc("a", 6, 30),
+            cyclic_proc("b", 6, 30),
+            cyclic_proc("c", 6, 30),
+        ];
+        let r = run_multiprogram(
+            specs,
+            MultiConfig {
+                total_frames: 32,
+                ..Default::default()
+            },
+        );
+        assert_eq!(r.processes.len(), 3);
+        assert!(r.makespan > 0);
+        for p in &r.processes {
+            assert!(p.metrics.refs == 180, "{} ran fully", p.name);
+        }
+    }
+
+    #[test]
+    fn memory_pressure_triggers_swapping() {
+        // Three large working sets in a small memory.
+        let specs = vec![
+            cyclic_proc("a", 30, 40),
+            cyclic_proc("b", 30, 40),
+            cyclic_proc("c", 30, 40),
+        ];
+        let r = run_multiprogram(
+            specs,
+            MultiConfig {
+                total_frames: 40,
+                ..Default::default()
+            },
+        );
+        assert!(
+            r.swap_events > 0,
+            "over-committed WS must trigger load control"
+        );
+        for p in &r.processes {
+            assert_eq!(p.metrics.refs, 1200, "{} still completes", p.name);
+        }
+    }
+
+    #[test]
+    fn plentiful_memory_never_swaps() {
+        let specs = vec![cyclic_proc("a", 4, 20), cyclic_proc("b", 4, 20)];
+        let r = run_multiprogram(
+            specs,
+            MultiConfig {
+                total_frames: 64,
+                ..Default::default()
+            },
+        );
+        assert_eq!(r.swap_events, 0);
+        assert!(r.cpu_utilization > 0.0);
+    }
+
+    #[test]
+    fn cd_pi1_denial_invokes_swapper() {
+        // Process 0 (WS) occupies most of memory first; process 1 (CD)
+        // then demands a PI=1 allocation that cannot fit.
+        let hog: Vec<Event> = (0..30u32)
+            .cycle()
+            .take(3_000)
+            .map(|p| Event::Ref(PageId(p)))
+            .collect();
+        let mut cd_events = vec![Event::Alloc(vec![AllocArg { pi: 1, pages: 20 }])];
+        cd_events.extend(
+            (0..20u32)
+                .cycle()
+                .take(2_000)
+                .map(|p| Event::Ref(PageId(p))),
+        );
+        let specs = vec![
+            (
+                "hog".to_string(),
+                Trace::from_events(hog),
+                ProcPolicy::Ws { tau: 100_000 },
+            ),
+            (
+                "cd".to_string(),
+                Trace::from_events(cd_events),
+                ProcPolicy::Cd { min_alloc: 2 },
+            ),
+        ];
+        let r = run_multiprogram(
+            specs,
+            MultiConfig {
+                total_frames: 36,
+                quantum: 500,
+                ..Default::default()
+            },
+        );
+        assert!(
+            r.swap_events > 0,
+            "the CD PI=1 demand must swap the hog out"
+        );
+        assert_eq!(r.processes[1].metrics.refs, 2_000, "CD process completes");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn empty_spec_panics() {
+        run_multiprogram(vec![], MultiConfig::default());
+    }
+
+    #[test]
+    fn lru_processes_supported() {
+        let specs = vec![(
+            "l".to_string(),
+            synth::cyclic(8, 10),
+            ProcPolicy::Lru { frames: 8 },
+        )];
+        let r = run_multiprogram(specs, MultiConfig::default());
+        assert_eq!(r.processes[0].metrics.faults, 8);
+    }
+}

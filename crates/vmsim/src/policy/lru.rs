@@ -1,0 +1,128 @@
+//! Fixed-allocation Least Recently Used replacement.
+
+use cdmm_trace::PageId;
+
+use crate::policy::Policy;
+use crate::recency::RecencySet;
+
+/// LRU with a fixed frame allocation (the paper's static baseline).
+///
+/// Frames fill on demand; once `frames` pages are resident, each fault
+/// evicts the least recently used page.
+#[derive(Debug, Clone)]
+pub struct Lru {
+    frames: usize,
+    set: RecencySet,
+    faults: u64,
+}
+
+impl Lru {
+    /// Creates an LRU policy with `frames` page frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is zero.
+    pub fn new(frames: usize) -> Self {
+        assert!(frames > 0, "LRU needs at least one frame");
+        Lru {
+            frames,
+            set: RecencySet::new(),
+            faults: 0,
+        }
+    }
+
+    /// The fixed allocation.
+    pub fn frames(&self) -> usize {
+        self.frames
+    }
+
+    /// Faults recorded so far.
+    pub fn faults(&self) -> u64 {
+        self.faults
+    }
+
+    /// Releases every resident page (used when the multiprogramming
+    /// driver swaps the process out).
+    pub fn swap_out(&mut self) {
+        self.set = RecencySet::new();
+    }
+}
+
+impl Policy for Lru {
+    fn label(&self) -> String {
+        format!("LRU({})", self.frames)
+    }
+
+    fn reference(&mut self, page: PageId) -> bool {
+        let hit = self.set.touch(page);
+        if hit {
+            return false;
+        }
+        self.faults += 1;
+        if self.set.len() > self.frames {
+            // The just-touched page is the most recent; pop_lru removes a
+            // different (older) page.
+            self.set.pop_lru();
+        }
+        true
+    }
+
+    fn resident(&self) -> usize {
+        self.set.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(policy: &mut Lru, pages: &[u32]) -> Vec<bool> {
+        pages.iter().map(|&p| policy.reference(PageId(p))).collect()
+    }
+
+    #[test]
+    fn cold_faults_then_hits() {
+        let mut lru = Lru::new(2);
+        let f = run(&mut lru, &[1, 2, 1, 2, 1]);
+        assert_eq!(f, vec![true, true, false, false, false]);
+        assert_eq!(lru.resident(), 2);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut lru = Lru::new(2);
+        run(&mut lru, &[1, 2, 1]);
+        // 2 is LRU; referencing 3 evicts it.
+        assert!(lru.reference(PageId(3)));
+        assert!(lru.reference(PageId(2)), "2 was evicted");
+        assert!(!lru.reference(PageId(3)), "3 is still resident");
+    }
+
+    #[test]
+    fn cyclic_sweep_thrashes_when_undersized() {
+        let mut lru = Lru::new(3);
+        let pages: Vec<u32> = (0..4).cycle().take(40).collect();
+        let faults = run(&mut lru, &pages);
+        assert!(faults.iter().all(|&f| f), "every reference faults");
+    }
+
+    #[test]
+    fn never_exceeds_allocation() {
+        let mut lru = Lru::new(3);
+        for p in 0..100u32 {
+            lru.reference(PageId(p));
+            assert!(lru.resident() <= 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn zero_frames_panics() {
+        Lru::new(0);
+    }
+
+    #[test]
+    fn label_shows_frames() {
+        assert_eq!(Lru::new(26).label(), "LRU(26)");
+    }
+}

@@ -1,0 +1,44 @@
+//! The memory-management policy zoo.
+//!
+//! [`Policy`] is the uniform interface the simulator drives. The paper's
+//! three contenders are [`lru::Lru`], [`ws::WorkingSet`] and
+//! [`cd::CdPolicy`]; the related-work policies discussed in the paper's
+//! introduction ([`fifo::Fifo`], [`opt::Opt`], [`pff::Pff`] and the WS
+//! variants in [`ws_variants`]) are provided for baselines and ablations,
+//! along with [`clock::Clock`] (the era's practical LRU approximation)
+//! and [`vmin::Vmin`] (the optimal variable-space frontier the paper's
+//! DMIN reference formalizes).
+
+pub mod cd;
+pub mod clock;
+pub mod fifo;
+pub mod lru;
+pub mod opt;
+pub mod pff;
+pub mod vmin;
+pub mod ws;
+pub mod ws_variants;
+
+use cdmm_trace::Event;
+use cdmm_trace::PageId;
+
+/// A demand-paging memory-management policy.
+///
+/// The simulator calls [`Policy::reference`] once per page reference and
+/// [`Policy::directive`] for each directive event; policies other than CD
+/// ignore directives (the default).
+pub trait Policy {
+    /// A short human-readable name, e.g. `"LRU(26)"`.
+    fn label(&self) -> String;
+
+    /// Processes one page reference; returns `true` on a page fault.
+    fn reference(&mut self, page: PageId) -> bool;
+
+    /// Current resident-set size in pages.
+    fn resident(&self) -> usize;
+
+    /// Processes a directive event (ALLOCATE / LOCK / UNLOCK).
+    fn directive(&mut self, event: &Event) {
+        let _ = event;
+    }
+}

@@ -1,0 +1,161 @@
+//! Belady's OPT: the offline-optimal fixed-allocation policy.
+//!
+//! OPT evicts the resident page whose next use is farthest in the future.
+//! It needs the whole reference string in advance, so [`Opt::for_trace`]
+//! precomputes a next-use chain; the policy then must be driven over
+//! exactly that trace. OPT lower-bounds every demand-paging fixed-
+//! allocation policy and anchors the LRU sweeps in the test suite.
+
+use std::collections::{BTreeSet, HashMap};
+
+use cdmm_trace::{Event, PageId, Trace};
+
+use crate::policy::Policy;
+
+const NEVER: u64 = u64::MAX;
+
+/// Offline-optimal replacement for a fixed allocation.
+#[derive(Debug, Clone)]
+pub struct Opt {
+    frames: usize,
+    /// `next_use[i]` = position of the next reference to the same page
+    /// after position `i` (`NEVER` if none).
+    next_use: Vec<u64>,
+    /// Current position in the reference string.
+    pos: usize,
+    /// Resident pages keyed by (next use, page).
+    by_next: BTreeSet<(u64, PageId)>,
+    resident: HashMap<PageId, u64>,
+}
+
+impl Opt {
+    /// Builds OPT for a specific trace and allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is zero.
+    pub fn for_trace(trace: &Trace, frames: usize) -> Self {
+        assert!(frames > 0, "OPT needs at least one frame");
+        let refs: Vec<PageId> = trace.refs().collect();
+        let mut next_use = vec![NEVER; refs.len()];
+        let mut last_pos: HashMap<PageId, usize> = HashMap::new();
+        for (i, &p) in refs.iter().enumerate().rev() {
+            if let Some(&later) = last_pos.get(&p) {
+                next_use[i] = later as u64;
+            }
+            last_pos.insert(p, i);
+        }
+        Opt {
+            frames,
+            next_use,
+            pos: 0,
+            by_next: BTreeSet::new(),
+            resident: HashMap::new(),
+        }
+    }
+}
+
+impl Policy for Opt {
+    fn label(&self) -> String {
+        format!("OPT({})", self.frames)
+    }
+
+    fn reference(&mut self, page: PageId) -> bool {
+        let i = self.pos;
+        self.pos += 1;
+        assert!(
+            i < self.next_use.len(),
+            "OPT driven past the trace it was built for"
+        );
+        let next = self.next_use[i];
+        let fault = match self.resident.remove(&page) {
+            Some(old_next) => {
+                self.by_next.remove(&(old_next, page));
+                false
+            }
+            None => {
+                if self.resident.len() >= self.frames {
+                    // Evict the page used farthest in the future.
+                    let victim = *self
+                        .by_next
+                        .iter()
+                        .next_back()
+                        .expect("resident set is non-empty when full");
+                    self.by_next.remove(&victim);
+                    self.resident.remove(&victim.1);
+                }
+                true
+            }
+        };
+        self.resident.insert(page, next);
+        self.by_next.insert((next, page));
+        fault
+    }
+
+    fn resident(&self) -> usize {
+        self.resident.len()
+    }
+
+    fn directive(&mut self, _event: &Event) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::lru::Lru;
+    use cdmm_trace::synth;
+
+    fn faults(trace: &Trace, mut p: impl Policy) -> u64 {
+        trace.refs().filter(|&r| p.reference(r)).count() as u64
+    }
+
+    #[test]
+    fn opt_beats_lru_on_cyclic_sweep() {
+        let t = synth::cyclic(5, 20);
+        let lru_faults = faults(&t, Lru::new(4));
+        let opt_faults = faults(&t, Opt::for_trace(&t, 4));
+        assert_eq!(lru_faults, 100, "LRU thrashes");
+        assert!(opt_faults < lru_faults / 2, "OPT keeps most of the cycle");
+    }
+
+    #[test]
+    fn opt_never_worse_than_lru() {
+        for seed in 0..5 {
+            let t = synth::uniform(12, 2_000, seed);
+            for frames in [1, 3, 6, 12] {
+                let l = faults(&t, Lru::new(frames));
+                let o = faults(&t, Opt::for_trace(&t, frames));
+                assert!(o <= l, "OPT({frames}) {o} > LRU {l} on seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_allocation_only_cold_faults() {
+        let t = synth::uniform(8, 1_000, 3);
+        let o = faults(&t, Opt::for_trace(&t, 8));
+        assert_eq!(o, 8);
+    }
+
+    #[test]
+    fn textbook_example() {
+        // Belady's example: 1,2,3,4,1,2,5,1,2,3,4,5 with 3 frames: OPT = 7.
+        let t = Trace::from_events(
+            [1u32, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5]
+                .iter()
+                .map(|&p| Event::Ref(PageId(p)))
+                .collect(),
+        );
+        assert_eq!(faults(&t, Opt::for_trace(&t, 3)), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "driven past the trace")]
+    fn driving_past_trace_panics() {
+        let t = synth::cyclic(2, 1);
+        let mut o = Opt::for_trace(&t, 2);
+        for _ in 0..3 {
+            o.reference(PageId(0));
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! The Page Fault Frequency policy (Chu & Opderbeck, 1972).
+//!
+//! PFF adjusts allocation only at fault times: if the time since the last
+//! fault exceeds the threshold `T`, the faulting program is considered to
+//! have left its locality, and every page not referenced since the last
+//! fault is released; otherwise the resident set simply grows. The paper
+//! cites PFF as cheaper than WS but weaker and anomalous.
+
+use std::collections::{HashMap, HashSet};
+
+use cdmm_trace::PageId;
+
+use crate::policy::Policy;
+
+/// PFF with interfault threshold `T` (in references).
+#[derive(Debug, Clone)]
+pub struct Pff {
+    threshold: u64,
+    clock: u64,
+    last_fault: u64,
+    resident: HashMap<PageId, ()>,
+    used_since_fault: HashSet<PageId>,
+}
+
+impl Pff {
+    /// Creates a PFF policy with threshold `threshold`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is zero.
+    pub fn new(threshold: u64) -> Self {
+        assert!(threshold > 0, "PFF threshold must be positive");
+        Pff {
+            threshold,
+            clock: 0,
+            last_fault: 0,
+            resident: HashMap::new(),
+            used_since_fault: HashSet::new(),
+        }
+    }
+}
+
+impl Policy for Pff {
+    fn label(&self) -> String {
+        format!("PFF({})", self.threshold)
+    }
+
+    fn reference(&mut self, page: PageId) -> bool {
+        self.clock += 1;
+        if self.resident.contains_key(&page) {
+            self.used_since_fault.insert(page);
+            return false;
+        }
+        // Fault: shrink if the interfault interval was long.
+        if self.clock - self.last_fault > self.threshold {
+            self.resident
+                .retain(|p, ()| self.used_since_fault.contains(p));
+        }
+        self.last_fault = self.clock;
+        self.used_since_fault.clear();
+        self.resident.insert(page, ());
+        self.used_since_fault.insert(page);
+        true
+    }
+
+    fn resident(&self) -> usize {
+        self.resident.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdmm_trace::synth;
+
+    #[test]
+    fn grows_during_frequent_faults() {
+        let mut pff = Pff::new(100);
+        for p in 0..10u32 {
+            assert!(pff.reference(PageId(p)));
+        }
+        assert_eq!(pff.resident(), 10, "back-to-back faults only grow");
+    }
+
+    #[test]
+    fn shrinks_after_quiet_period() {
+        let mut pff = Pff::new(5);
+        for p in 0..4u32 {
+            pff.reference(PageId(p));
+        }
+        // A long quiet period touching only pages 0 and 1.
+        for _ in 0..20 {
+            pff.reference(PageId(0));
+            pff.reference(PageId(1));
+        }
+        // The next fault shrinks to the pages used since the last fault —
+        // {0, 1} plus page 3 (whose own fault set its use bit) — and then
+        // adds the new page.
+        assert!(pff.reference(PageId(9)));
+        assert_eq!(pff.resident(), 4);
+    }
+
+    #[test]
+    fn tracks_single_locality_tightly() {
+        let t = synth::uniform(4, 2_000, 5);
+        let mut pff = Pff::new(50);
+        for p in t.refs() {
+            pff.reference(p);
+        }
+        assert!(pff.resident() <= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be positive")]
+    fn zero_threshold_panics() {
+        Pff::new(0);
+    }
+}

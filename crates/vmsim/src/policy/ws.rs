@@ -1,0 +1,178 @@
+//! Denning's Working Set policy.
+//!
+//! `WS(τ)` keeps exactly the pages referenced during the last `τ`
+//! references. Allocation is variable: the resident set grows at faults
+//! and shrinks as pages age out of the window.
+
+use std::collections::{HashMap, VecDeque};
+
+use cdmm_trace::PageId;
+
+use crate::policy::Policy;
+
+/// The Working Set policy with window `τ` (in references).
+#[derive(Debug, Clone)]
+pub struct WorkingSet {
+    tau: u64,
+    clock: u64,
+    last_ref: HashMap<PageId, u64>,
+    /// Reference history `(time, page)` pending expiry.
+    expiry: VecDeque<(u64, PageId)>,
+}
+
+impl WorkingSet {
+    /// Creates a WS policy with window `tau`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau` is zero.
+    pub fn new(tau: u64) -> Self {
+        assert!(tau > 0, "WS window must be positive");
+        WorkingSet {
+            tau,
+            clock: 0,
+            last_ref: HashMap::new(),
+            expiry: VecDeque::new(),
+        }
+    }
+
+    /// The window parameter.
+    pub fn tau(&self) -> u64 {
+        self.tau
+    }
+
+    /// Releases every resident page (used when the multiprogramming
+    /// driver swaps the process out).
+    pub fn swap_out(&mut self) {
+        self.last_ref.clear();
+        self.expiry.clear();
+    }
+
+    /// Drops pages whose last reference fell before the window
+    /// `[t - τ, t - 1]` preceding the reference being processed — the
+    /// fault test of Denning's `WS(t-1, τ)`.
+    fn expire(&mut self) {
+        while let Some(&(t, page)) = self.expiry.front() {
+            if t + self.tau < self.clock {
+                self.expiry.pop_front();
+                // Only drop the page if this history entry is its latest.
+                if self.last_ref.get(&page) == Some(&t) {
+                    self.last_ref.remove(&page);
+                }
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+impl Policy for WorkingSet {
+    fn label(&self) -> String {
+        format!("WS({})", self.tau)
+    }
+
+    fn reference(&mut self, page: PageId) -> bool {
+        self.clock += 1;
+        self.expire();
+        let fault = !self.last_ref.contains_key(&page);
+        self.last_ref.insert(page, self.clock);
+        self.expiry.push_back((self.clock, page));
+        fault
+    }
+
+    fn resident(&self) -> usize {
+        self.last_ref.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdmm_trace::synth;
+
+    fn run(ws: &mut WorkingSet, pages: &[u32]) -> Vec<bool> {
+        pages.iter().map(|&p| ws.reference(PageId(p))).collect()
+    }
+
+    #[test]
+    fn window_one_only_keeps_current_page() {
+        let mut ws = WorkingSet::new(1);
+        let f = run(&mut ws, &[1, 1, 2, 1]);
+        assert_eq!(f, vec![true, false, true, true]);
+        assert!(ws.resident() <= 2);
+    }
+
+    #[test]
+    fn pages_age_out_after_tau() {
+        let mut ws = WorkingSet::new(3);
+        run(&mut ws, &[1, 2, 3, 4]);
+        // Page 1 was last referenced at t=1; the fifth reference sits
+        // outside its window (1 + 3 < 5), so it refaults.
+        assert_eq!(ws.resident(), 4);
+        assert!(ws.reference(PageId(1)), "page 1 aged out");
+    }
+
+    #[test]
+    fn re_reference_refreshes_age() {
+        let mut ws = WorkingSet::new(3);
+        run(&mut ws, &[1, 2, 1, 3]);
+        // Page 1 refreshed at t=3, still in the window at t=4.
+        assert!(!ws.reference(PageId(1)));
+    }
+
+    #[test]
+    fn large_window_holds_whole_program() {
+        let t = synth::cyclic(8, 50);
+        let mut ws = WorkingSet::new(100_000);
+        let faults = t.refs().filter(|&p| ws.reference(p)).count();
+        assert_eq!(faults, 8, "only cold faults");
+        assert_eq!(ws.resident(), 8);
+    }
+
+    #[test]
+    fn ws_size_tracks_locality() {
+        // Phase 1 uses 10 pages, phase 2 uses 2: with a modest window the
+        // WS shrinks after the transition.
+        let t = synth::phased(
+            &[
+                cdmm_trace::synth::Phase {
+                    base: 0,
+                    pages: 10,
+                    refs: 5_000,
+                },
+                cdmm_trace::synth::Phase {
+                    base: 10,
+                    pages: 2,
+                    refs: 5_000,
+                },
+            ],
+            11,
+        );
+        let mut ws = WorkingSet::new(200);
+        for p in t.refs() {
+            ws.reference(p);
+        }
+        assert!(
+            ws.resident() <= 3,
+            "after the transition only the small set remains"
+        );
+    }
+
+    #[test]
+    fn faults_monotone_in_tau() {
+        let t = synth::uniform(16, 5_000, 9);
+        let mut last = u64::MAX;
+        for tau in [1u64, 4, 16, 64, 256, 1024] {
+            let mut ws = WorkingSet::new(tau);
+            let f = t.refs().filter(|&p| ws.reference(p)).count() as u64;
+            assert!(f <= last, "WS faults must not increase with tau");
+            last = f;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_panics() {
+        WorkingSet::new(0);
+    }
+}

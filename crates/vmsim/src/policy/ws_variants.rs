@@ -1,0 +1,313 @@
+//! Working-set variants from the paper's related-work discussion:
+//! Damped WS (Smith 1976), Sampled WS (Rodriguez-Rosell & Dupuy 1973) and
+//! Variable-Interval Sampled WS (Ferrari & Yih 1983).
+//!
+//! These are implemented in their commonly cited simplified forms; they
+//! exist to support the ablation benches, not to reproduce any specific
+//! table of their original papers.
+
+use std::collections::HashMap;
+
+use cdmm_trace::PageId;
+
+use crate::policy::Policy;
+use crate::recency::RecencySet;
+
+/// Damped Working Set: pages aging out of the `τ` window are parked in a
+/// bounded reserve instead of being released immediately; re-referencing
+/// a parked page is *not* a fault. The reserve models the "damping" that
+/// absorbs transitional faults.
+#[derive(Debug, Clone)]
+pub struct DampedWs {
+    tau: u64,
+    reserve_cap: usize,
+    clock: u64,
+    last_ref: HashMap<PageId, u64>,
+    expiry: std::collections::VecDeque<(u64, PageId)>,
+    reserve: RecencySet,
+}
+
+impl DampedWs {
+    /// Creates a DWS policy with window `tau` and a reserve of
+    /// `reserve_cap` pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau` is zero.
+    pub fn new(tau: u64, reserve_cap: usize) -> Self {
+        assert!(tau > 0, "DWS window must be positive");
+        DampedWs {
+            tau,
+            reserve_cap,
+            clock: 0,
+            last_ref: HashMap::new(),
+            expiry: Default::default(),
+            reserve: RecencySet::new(),
+        }
+    }
+}
+
+impl Policy for DampedWs {
+    fn label(&self) -> String {
+        format!("DWS({},{})", self.tau, self.reserve_cap)
+    }
+
+    fn reference(&mut self, page: PageId) -> bool {
+        self.clock += 1;
+        // Age pages out of the WS into the reserve.
+        while let Some(&(t, p)) = self.expiry.front() {
+            if t + self.tau <= self.clock {
+                self.expiry.pop_front();
+                if self.last_ref.get(&p) == Some(&t) {
+                    self.last_ref.remove(&p);
+                    self.reserve.touch(p);
+                    if self.reserve.len() > self.reserve_cap {
+                        self.reserve.pop_lru();
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+        let in_ws = self.last_ref.contains_key(&page);
+        let in_reserve = self.reserve.remove(page);
+        self.last_ref.insert(page, self.clock);
+        self.expiry.push_back((self.clock, page));
+        !(in_ws || in_reserve)
+    }
+
+    fn resident(&self) -> usize {
+        self.last_ref.len() + self.reserve.len()
+    }
+}
+
+/// Sampled Working Set: the working set is evaluated only every `sigma`
+/// references; between samples the resident set can only grow.
+#[derive(Debug, Clone)]
+pub struct SampledWs {
+    tau: u64,
+    sigma: u64,
+    clock: u64,
+    next_sample: u64,
+    last_ref: HashMap<PageId, u64>,
+}
+
+impl SampledWs {
+    /// Creates an SWS policy with window `tau`, sampling every `sigma`
+    /// references.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau` or `sigma` is zero.
+    pub fn new(tau: u64, sigma: u64) -> Self {
+        assert!(tau > 0, "SWS window must be positive");
+        assert!(sigma > 0, "SWS sampling interval must be positive");
+        SampledWs {
+            tau,
+            sigma,
+            clock: 0,
+            next_sample: sigma,
+            last_ref: HashMap::new(),
+        }
+    }
+}
+
+impl Policy for SampledWs {
+    fn label(&self) -> String {
+        format!("SWS({},{})", self.tau, self.sigma)
+    }
+
+    fn reference(&mut self, page: PageId) -> bool {
+        self.clock += 1;
+        if self.clock >= self.next_sample {
+            // Same window convention as `WorkingSet`: keep pages with
+            // `last_ref + τ >= clock`.
+            let clock = self.clock;
+            let tau = self.tau;
+            self.last_ref.retain(|_, &mut t| t + tau >= clock);
+            self.next_sample = self.clock + self.sigma;
+        }
+        let fault = !self.last_ref.contains_key(&page);
+        self.last_ref.insert(page, self.clock);
+        fault
+    }
+
+    fn resident(&self) -> usize {
+        self.last_ref.len()
+    }
+}
+
+/// Variable-Interval Sampled Working Set (Ferrari & Yih): samples happen
+/// after at most `max_interval` references, or as soon as `fault_quota`
+/// faults have accumulated and at least `min_interval` references have
+/// elapsed. At each sample, pages unreferenced since the previous sample
+/// are released.
+#[derive(Debug, Clone)]
+pub struct VariableSampledWs {
+    min_interval: u64,
+    max_interval: u64,
+    fault_quota: u64,
+    clock: u64,
+    last_sample: u64,
+    faults_since_sample: u64,
+    last_ref: HashMap<PageId, u64>,
+}
+
+impl VariableSampledWs {
+    /// Creates a VSWS policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < min_interval <= max_interval` and
+    /// `fault_quota > 0`.
+    pub fn new(min_interval: u64, max_interval: u64, fault_quota: u64) -> Self {
+        assert!(min_interval > 0, "VSWS minimum interval must be positive");
+        assert!(min_interval <= max_interval, "VSWS intervals inverted");
+        assert!(fault_quota > 0, "VSWS fault quota must be positive");
+        VariableSampledWs {
+            min_interval,
+            max_interval,
+            fault_quota,
+            clock: 0,
+            last_sample: 0,
+            faults_since_sample: 0,
+            last_ref: HashMap::new(),
+        }
+    }
+}
+
+impl Policy for VariableSampledWs {
+    fn label(&self) -> String {
+        format!(
+            "VSWS({},{},{})",
+            self.min_interval, self.max_interval, self.fault_quota
+        )
+    }
+
+    fn reference(&mut self, page: PageId) -> bool {
+        self.clock += 1;
+        let elapsed = self.clock - self.last_sample;
+        if elapsed >= self.max_interval
+            || (self.faults_since_sample >= self.fault_quota && elapsed >= self.min_interval)
+        {
+            let cut = self.last_sample;
+            self.last_ref.retain(|_, &mut t| t > cut);
+            self.last_sample = self.clock;
+            self.faults_since_sample = 0;
+        }
+        let fault = !self.last_ref.contains_key(&page);
+        if fault {
+            self.faults_since_sample += 1;
+        }
+        self.last_ref.insert(page, self.clock);
+        fault
+    }
+
+    fn resident(&self) -> usize {
+        self.last_ref.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::ws::WorkingSet;
+    use cdmm_trace::synth;
+
+    fn faults(policy: &mut impl Policy, trace: &cdmm_trace::Trace) -> u64 {
+        trace.refs().filter(|&p| policy.reference(p)).count() as u64
+    }
+
+    #[test]
+    fn dws_absorbs_transitional_faults() {
+        // Two alternating localities: plain WS refaults pages that aged
+        // out; DWS keeps them in the reserve.
+        let phases: Vec<synth::Phase> = (0..10)
+            .map(|i| synth::Phase {
+                base: if i % 2 == 0 { 0 } else { 8 },
+                pages: 4,
+                refs: 600,
+            })
+            .collect();
+        let t = synth::phased(&phases, 17);
+        let ws_f = faults(&mut WorkingSet::new(200), &t);
+        let dws_f = faults(&mut DampedWs::new(200, 8), &t);
+        assert!(dws_f < ws_f, "DWS {dws_f} should fault less than WS {ws_f}");
+    }
+
+    #[test]
+    fn dws_reserve_is_bounded() {
+        let t = synth::uniform(64, 5_000, 2);
+        let mut dws = DampedWs::new(10, 4);
+        for p in t.refs() {
+            dws.reference(p);
+            assert!(dws.resident() <= 64 + 4);
+        }
+    }
+
+    #[test]
+    fn sws_never_shrinks_between_samples() {
+        let mut sws = SampledWs::new(10, 1_000);
+        let t = synth::uniform(32, 900, 4);
+        let mut max_seen = 0;
+        for p in t.refs() {
+            sws.reference(p);
+            max_seen = max_seen.max(sws.resident());
+            assert_eq!(sws.resident(), max_seen, "no shrink before first sample");
+        }
+    }
+
+    #[test]
+    fn sws_shrinks_at_samples() {
+        let mut sws = SampledWs::new(5, 100);
+        // Touch 50 distinct pages, then sit on one page past a sample.
+        for p in 0..50u32 {
+            sws.reference(PageId(p));
+        }
+        for _ in 0..120 {
+            sws.reference(PageId(0));
+        }
+        assert!(sws.resident() <= 2, "sample evicted the stale pages");
+    }
+
+    #[test]
+    fn sws_approximates_ws_with_fine_sampling() {
+        let t = synth::uniform(16, 4_000, 6);
+        let ws_f = faults(&mut WorkingSet::new(100), &t);
+        let sws_f = faults(&mut SampledWs::new(100, 1), &t);
+        assert_eq!(ws_f, sws_f, "sampling every reference = exact WS");
+    }
+
+    #[test]
+    fn vsws_samples_early_under_fault_bursts() {
+        let mut v = VariableSampledWs::new(10, 10_000, 3);
+        // A fault burst: 40 distinct pages.
+        for p in 0..40u32 {
+            v.reference(PageId(p));
+        }
+        // Quota-triggered samples should have pruned unreferenced pages.
+        assert!(
+            v.resident() < 40,
+            "resident {} should shrink via early samples",
+            v.resident()
+        );
+    }
+
+    #[test]
+    fn vsws_max_interval_forces_sampling() {
+        let mut v = VariableSampledWs::new(10, 50, 1_000_000);
+        for p in 0..20u32 {
+            v.reference(PageId(p));
+        }
+        for _ in 0..100 {
+            v.reference(PageId(0));
+        }
+        assert!(v.resident() <= 2, "max-interval sample evicts stale pages");
+    }
+
+    #[test]
+    #[should_panic(expected = "intervals inverted")]
+    fn vsws_validates_intervals() {
+        VariableSampledWs::new(100, 10, 5);
+    }
+}

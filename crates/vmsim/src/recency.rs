@@ -1,0 +1,161 @@
+//! A recency-ordered resident set, shared by every LRU-flavoured policy.
+//!
+//! Pages are kept in a `BTreeMap` keyed by a monotonically increasing
+//! use-stamp, giving `O(log n)` touch/insert/evict with a trivially
+//! correct implementation (resident sets here are at most a few hundred
+//! pages, so the log factor is irrelevant next to robustness).
+
+use std::collections::{BTreeMap, HashMap};
+
+use cdmm_trace::PageId;
+
+/// Resident pages ordered from least- to most-recently used.
+#[derive(Debug, Clone, Default)]
+pub struct RecencySet {
+    stamp: u64,
+    by_stamp: BTreeMap<u64, PageId>,
+    by_page: HashMap<PageId, u64>,
+}
+
+impl RecencySet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of resident pages.
+    pub fn len(&self) -> usize {
+        self.by_page.len()
+    }
+
+    /// True when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.by_page.is_empty()
+    }
+
+    /// Is `page` resident?
+    pub fn contains(&self, page: PageId) -> bool {
+        self.by_page.contains_key(&page)
+    }
+
+    /// Marks `page` as just-used, inserting it if absent. Returns `true`
+    /// if the page was already resident (a hit).
+    pub fn touch(&mut self, page: PageId) -> bool {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        match self.by_page.insert(page, stamp) {
+            Some(old) => {
+                self.by_stamp.remove(&old);
+                self.by_stamp.insert(stamp, page);
+                true
+            }
+            None => {
+                self.by_stamp.insert(stamp, page);
+                false
+            }
+        }
+    }
+
+    /// Removes a specific page; returns whether it was resident.
+    pub fn remove(&mut self, page: PageId) -> bool {
+        match self.by_page.remove(&page) {
+            Some(stamp) => {
+                self.by_stamp.remove(&stamp);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Evicts and returns the least-recently-used page.
+    pub fn pop_lru(&mut self) -> Option<PageId> {
+        let (&stamp, &page) = self.by_stamp.iter().next()?;
+        self.by_stamp.remove(&stamp);
+        self.by_page.remove(&page);
+        Some(page)
+    }
+
+    /// Evicts the least-recently-used page for which `keep` returns
+    /// `false`; returns `None` when every resident page must be kept.
+    pub fn pop_lru_where(&mut self, mut evictable: impl FnMut(PageId) -> bool) -> Option<PageId> {
+        let found = self
+            .by_stamp
+            .iter()
+            .find(|(_, &page)| evictable(page))
+            .map(|(&stamp, &page)| (stamp, page))?;
+        self.by_stamp.remove(&found.0);
+        self.by_page.remove(&found.1);
+        Some(found.1)
+    }
+
+    /// Iterates over resident pages from least to most recently used.
+    pub fn iter_lru(&self) -> impl Iterator<Item = PageId> + '_ {
+        self.by_stamp.values().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(n: u32) -> PageId {
+        PageId(n)
+    }
+
+    #[test]
+    fn touch_reports_hits_and_misses() {
+        let mut s = RecencySet::new();
+        assert!(!s.touch(p(1)));
+        assert!(s.touch(p(1)));
+        assert!(!s.touch(p(2)));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(p(1)));
+        assert!(!s.contains(p(3)));
+    }
+
+    #[test]
+    fn lru_order_is_maintained() {
+        let mut s = RecencySet::new();
+        s.touch(p(1));
+        s.touch(p(2));
+        s.touch(p(3));
+        s.touch(p(1)); // 1 becomes most recent
+        assert_eq!(s.pop_lru(), Some(p(2)));
+        assert_eq!(s.pop_lru(), Some(p(3)));
+        assert_eq!(s.pop_lru(), Some(p(1)));
+        assert_eq!(s.pop_lru(), None);
+    }
+
+    #[test]
+    fn remove_specific_page() {
+        let mut s = RecencySet::new();
+        s.touch(p(1));
+        s.touch(p(2));
+        assert!(s.remove(p(1)));
+        assert!(!s.remove(p(1)));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.pop_lru(), Some(p(2)));
+    }
+
+    #[test]
+    fn pop_lru_where_skips_pinned() {
+        let mut s = RecencySet::new();
+        s.touch(p(1));
+        s.touch(p(2));
+        s.touch(p(3));
+        // Page 1 is the LRU but pinned.
+        assert_eq!(s.pop_lru_where(|page| page != p(1)), Some(p(2)));
+        assert_eq!(s.pop_lru_where(|_| false), None);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn iter_lru_runs_oldest_first() {
+        let mut s = RecencySet::new();
+        s.touch(p(5));
+        s.touch(p(6));
+        s.touch(p(5));
+        let order: Vec<PageId> = s.iter_lru().collect();
+        assert_eq!(order, vec![p(6), p(5)]);
+    }
+}

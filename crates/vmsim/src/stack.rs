@@ -1,0 +1,174 @@
+//! LRU stack-distance analysis.
+//!
+//! LRU is a stack algorithm: one pass over the trace computes the stack
+//! distance of every reference, which yields the fault count for *every*
+//! allocation simultaneously (Mattson et al.). The experiment sweeps use
+//! this to pick allocations, and the property tests use it to verify the
+//! inclusion property of the direct LRU simulation.
+
+use std::collections::HashMap;
+
+use cdmm_trace::{PageId, Trace};
+
+/// The LRU fault-count profile of one trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StackProfile {
+    /// `faults[m]` = LRU faults with an allocation of `m` pages
+    /// (`faults[0]` is unused and equals the reference count).
+    faults: Vec<u64>,
+    /// References in the trace.
+    refs: u64,
+    /// Distinct pages (= allocation beyond which faults stay minimal).
+    distinct: usize,
+}
+
+impl StackProfile {
+    /// Computes the profile with a move-to-front list (`O(R·s)` where `s`
+    /// is the mean stack depth — fine for the few-hundred-page programs
+    /// in this reproduction).
+    pub fn compute(trace: &Trace) -> StackProfile {
+        let mut stack: Vec<PageId> = Vec::new();
+        let mut pos: HashMap<PageId, ()> = HashMap::new();
+        let mut hist: Vec<u64> = Vec::new(); // hist[d] = refs with stack distance d (1-based)
+        let mut cold = 0u64;
+        let mut refs = 0u64;
+        for page in trace.refs() {
+            refs += 1;
+            if let std::collections::hash_map::Entry::Vacant(e) = pos.entry(page) {
+                cold += 1;
+                e.insert(());
+                stack.insert(0, page);
+            } else {
+                let d = stack
+                    .iter()
+                    .position(|&p| p == page)
+                    .expect("page tracked in pos must be on the stack");
+                stack.remove(d);
+                stack.insert(0, page);
+                let dist = d + 1; // 1-based stack distance
+                if hist.len() <= dist {
+                    hist.resize(dist + 1, 0);
+                }
+                hist[dist] += 1;
+            }
+        }
+        let distinct = stack.len();
+        // faults(m) = cold + Σ_{d > m} hist[d].
+        let max_m = distinct.max(1);
+        let mut faults = vec![0u64; max_m + 1];
+        let mut tail: u64 = hist.iter().sum();
+        faults[0] = refs;
+        for m in 1..=max_m {
+            if m < hist.len() {
+                tail -= hist[m];
+            }
+            faults[m] = cold + tail;
+        }
+        StackProfile {
+            faults,
+            refs,
+            distinct,
+        }
+    }
+
+    /// LRU faults for an allocation of `m` pages (`m >= 1`).
+    pub fn faults_at(&self, m: usize) -> u64 {
+        if m == 0 {
+            return self.refs;
+        }
+        let idx = m.min(self.faults.len() - 1);
+        self.faults[idx]
+    }
+
+    /// Smallest allocation whose fault count is `<= budget`, if any.
+    pub fn min_alloc_for(&self, budget: u64) -> Option<usize> {
+        (1..self.faults.len()).find(|&m| self.faults[m] <= budget)
+    }
+
+    /// Number of distinct pages in the trace.
+    pub fn distinct(&self) -> usize {
+        self.distinct
+    }
+
+    /// References in the trace.
+    pub fn refs(&self) -> u64 {
+        self.refs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::lru::Lru;
+    use crate::policy::Policy;
+    use cdmm_trace::synth;
+
+    fn direct_lru_faults(trace: &Trace, m: usize) -> u64 {
+        let mut lru = Lru::new(m);
+        trace.refs().filter(|&p| lru.reference(p)).count() as u64
+    }
+
+    #[test]
+    fn profile_matches_direct_simulation() {
+        for seed in 0..3 {
+            let t = synth::uniform(20, 3_000, seed);
+            let prof = StackProfile::compute(&t);
+            for m in [1, 2, 5, 10, 20, 25] {
+                assert_eq!(
+                    prof.faults_at(m),
+                    direct_lru_faults(&t, m),
+                    "mismatch at m={m}, seed={seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn faults_monotone_nonincreasing() {
+        let t = synth::uniform(30, 5_000, 7);
+        let prof = StackProfile::compute(&t);
+        let mut last = u64::MAX;
+        for m in 1..=30 {
+            let f = prof.faults_at(m);
+            assert!(f <= last, "inclusion property violated at m={m}");
+            last = f;
+        }
+    }
+
+    #[test]
+    fn full_allocation_gives_cold_faults() {
+        let t = synth::cyclic(12, 40);
+        let prof = StackProfile::compute(&t);
+        assert_eq!(prof.faults_at(12), 12);
+        assert_eq!(prof.faults_at(100), 12, "beyond distinct pages: flat");
+        assert_eq!(prof.distinct(), 12);
+    }
+
+    #[test]
+    fn cyclic_trace_thrashes_below_cycle_size() {
+        let t = synth::cyclic(10, 10);
+        let prof = StackProfile::compute(&t);
+        for m in 1..10 {
+            assert_eq!(prof.faults_at(m), 100, "LRU faults on every ref, m={m}");
+        }
+        assert_eq!(prof.faults_at(10), 10);
+    }
+
+    #[test]
+    fn min_alloc_for_budget() {
+        let t = synth::cyclic(10, 10);
+        let prof = StackProfile::compute(&t);
+        assert_eq!(prof.min_alloc_for(10), Some(10));
+        assert_eq!(prof.min_alloc_for(9), None, "cold faults are unavoidable");
+        assert_eq!(prof.min_alloc_for(1_000), Some(1));
+    }
+
+    #[test]
+    fn empty_trace_profile() {
+        let t = Trace::default();
+        let prof = StackProfile::compute(&t);
+        assert_eq!(prof.refs(), 0);
+        assert_eq!(prof.faults_at(1), 0);
+        assert!(prof.min_alloc_for(0).is_some());
+    }
+}

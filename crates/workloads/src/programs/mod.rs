@@ -1,0 +1,34 @@
+//! One module per traced program. Each exposes
+//! `workload(scale) -> Workload` and keeps its source generator private.
+
+pub mod approx;
+pub mod conduct;
+pub mod fdjac;
+pub mod field;
+pub mod hwscrt;
+pub mod hybrj;
+pub mod init;
+pub mod main_;
+pub mod tql;
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use crate::{Scale, Workload};
+
+    /// Traces a workload at small scale end-to-end: this catches
+    /// out-of-bounds subscripts and runaway loops in the program text.
+    pub fn trace_small(make: fn(Scale) -> Workload) -> cdmm_trace::Trace {
+        let w = make(Scale::Small);
+        cdmm_trace::trace_program(&w.source, cdmm_locality::PageGeometry::PAPER)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name))
+    }
+
+    /// Virtual pages of the workload at paper scale.
+    pub fn paper_pages(make: fn(Scale) -> Workload) -> u32 {
+        let w = make(Scale::Paper);
+        let mut p = cdmm_lang::parse(&w.source).unwrap();
+        let syms = cdmm_lang::analyze(&mut p).unwrap();
+        let layout = cdmm_trace::MemoryLayout::new(&syms, cdmm_locality::PageGeometry::PAPER);
+        layout.total_pages()
+    }
+}

@@ -1,0 +1,55 @@
+//! Directive insertion end to end: reproduce the Figure 5 layout —
+//! `ALLOCATE` before every loop carrying the enclosing request list,
+//! `LOCK` before nested loops, `UNLOCK` after the outermost loop — and
+//! show the instrumented source the "compiler" emits.
+//!
+//! Run with `cargo run --example directives`.
+
+use cdmm_repro::lang::to_source;
+use cdmm_repro::locality::{analyze_program, instrument, InsertOptions, PageGeometry};
+
+/// A reconstruction of the paper's Figure 5a program shape.
+const FIG5: &str = "
+PROGRAM FIG5
+PARAMETER (N = 100)
+DIMENSION A(N), B(N), C(N), D(N), E(N), F(N)
+DIMENSION CC(N,N), DD(N,N), GG(N,N)
+DO 4 I = 1, N
+  A(I) = B(I) + 1.0
+  DO 2 J = 1, N
+    C(J) = D(J) + CC(I,J) + DD(J,I)
+2 CONTINUE
+  DO 3 K = 1, N
+    E(K) = F(K) + 1.0
+    DO 1 L = 1, N
+      GG(L,K) = E(K) * 2.0
+1   CONTINUE
+3 CONTINUE
+4 CONTINUE
+END
+";
+
+fn main() {
+    let analysis = analyze_program(FIG5, PageGeometry::PAPER).expect("analysis");
+
+    println!("Loop structure and priorities (Procedure 1):");
+    for l in &analysis.tree.loops {
+        println!(
+            "  loop {:>2}: level {} PI {} locality {} pages",
+            l.label.unwrap_or(0),
+            l.lambda,
+            l.pi,
+            analysis.sizes.pages_of(l.id)
+        );
+    }
+
+    let instrumented = instrument(&analysis, InsertOptions::default());
+    let text = to_source(&instrumented);
+    println!("\nInstrumented program (compare with Figure 5c of the paper):\n");
+    println!("{text}");
+
+    // The instrumented text is itself a valid program.
+    let reparsed = cdmm_repro::lang::parse(&text).expect("instrumented source reparses");
+    assert_eq!(instrumented, reparsed);
+    println!("Round trip OK: the directive syntax reparses to the same program.");
+}

@@ -1,0 +1,64 @@
+//! Multiprogramming (the paper's future work): run a mix of the paper's
+//! programs in one shared memory, once with every process under CD's
+//! dynamic first-fit directive selection and once under the Working Set
+//! policy, and compare completion time, faults and swap activity.
+//!
+//! Run with `cargo run --release --example multiprogramming`.
+
+use cdmm_repro::core::{prepare, PipelineConfig};
+use cdmm_repro::vmsim::multiprog::{run_multiprogram, MultiConfig, ProcPolicy};
+use cdmm_repro::workloads::{by_name, Scale};
+
+fn main() {
+    let names = ["FDJAC", "TQL", "HYBRJ"];
+    let prepared: Vec<_> = names
+        .iter()
+        .map(|n| {
+            let w = by_name(n, Scale::Small).expect("known workload");
+            prepare(w.name, &w.source, PipelineConfig::default()).expect("pipeline")
+        })
+        .collect();
+
+    for frames in [24u64, 48, 96] {
+        println!("=== {frames} shared frames ===");
+        for (label, policy) in [
+            ("CD", ProcPolicy::Cd { min_alloc: 2 }),
+            ("WS", ProcPolicy::Ws { tau: 2_000 }),
+        ] {
+            let specs: Vec<_> = prepared
+                .iter()
+                .map(|p| {
+                    let trace = match policy {
+                        ProcPolicy::Cd { .. } => p.cd_trace().clone(),
+                        _ => p.plain_trace().clone(),
+                    };
+                    (p.name().to_string(), trace, policy)
+                })
+                .collect();
+            let r = run_multiprogram(
+                specs,
+                MultiConfig {
+                    total_frames: frames,
+                    ..MultiConfig::default()
+                },
+            );
+            println!(
+                "  {label}: makespan {:>10}  total faults {:>6}  swaps {:>3}  cpu {:>5.1}%",
+                r.makespan,
+                r.total_faults,
+                r.swap_events,
+                r.cpu_utilization * 100.0
+            );
+            for p in &r.processes {
+                println!(
+                    "      {:<6} PF {:>6}  MEM {:>6.2}  finished at {:>10}",
+                    p.name,
+                    p.metrics.faults,
+                    p.metrics.mean_mem(),
+                    p.finished_at
+                );
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,81 @@
+//! Quickstart: compile a numerical program, let the compiler insert
+//! memory directives, and compare the CD policy against LRU and WS.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use cdmm_repro::core::{prepare, PipelineConfig};
+use cdmm_repro::vmsim::policy::cd::CdSelector;
+
+const SOURCE: &str = "
+PROGRAM DEMO
+PARAMETER (N = 64, NT = 8)
+DIMENSION A(N,N), B(N,N), S(N)
+C Initialize both fields.
+DO 5 J = 1, N
+  DO 6 I = 1, N
+    A(I,J) = FLOAT(I + J)
+    B(I,J) = 0.0
+6 CONTINUE
+5 CONTINUE
+C Time steps: a streaming update phase and a row-reduction phase.
+DO 10 T = 1, NT
+  DO 20 J = 1, N
+    DO 30 I = 1, N
+      B(I,J) = 0.5 * (A(I,J) + B(I,J))
+30  CONTINUE
+20 CONTINUE
+  DO 40 J = 1, N
+    S(J) = 0.0
+    DO 50 K = 1, N
+      S(J) = S(J) + A(J,K)
+50  CONTINUE
+40 CONTINUE
+10 CONTINUE
+END
+";
+
+fn main() {
+    // Compile, analyse, insert directives, and trace — one call.
+    let prepared = prepare("DEMO", SOURCE, PipelineConfig::default()).expect("pipeline");
+
+    println!(
+        "DEMO: {} array references over {} virtual pages, {} directives inserted\n",
+        prepared.plain_trace().ref_count(),
+        prepared.virtual_pages(),
+        prepared.cd_trace().directive_count(),
+    );
+
+    // The CD policy, honoring the mid-level directive requests.
+    let cd = prepared.run_cd(CdSelector::AtLevel(2));
+
+    // Classic baselines at comparable operating points.
+    let lru = prepared.run_lru(cd.mean_mem().round() as usize);
+    let ws_tau = 2_000;
+    let ws = prepared.run_ws(ws_tau);
+
+    println!("{:<18} {:>10} {:>10} {:>14}", "policy", "PF", "MEM", "ST");
+    for (name, m) in [
+        ("CD (level 2)".to_string(), cd),
+        (
+            format!("LRU({} frames)", cd.mean_mem().round() as usize),
+            lru,
+        ),
+        (format!("WS(tau={ws_tau})"), ws),
+    ] {
+        println!(
+            "{:<18} {:>10} {:>10.2} {:>14.3e}",
+            name,
+            m.faults,
+            m.mean_mem(),
+            m.st_cost()
+        );
+    }
+    println!(
+        "\nAt the same average memory, CD faults {}x less than LRU.",
+        if cd.faults > 0 {
+            lru.faults / cd.faults.max(1)
+        } else {
+            0
+        }
+    );
+}

@@ -1,0 +1,18 @@
+//! Umbrella crate for the CDMM reproduction workspace.
+//!
+//! Re-exports every sub-crate so integration tests and examples can use a
+//! single dependency. See the individual crates for the real APIs:
+//!
+//! - [`lang`] — mini-FORTRAN front end
+//! - [`locality`] — compile-time locality analysis and directive insertion
+//! - [`trace`] — program interpreter and reference-trace generation
+//! - [`vmsim`] — virtual-memory simulator and the CD/LRU/WS policy zoo
+//! - [`workloads`] — the nine numerical programs from the paper
+//! - [`core`] — end-to-end pipeline and experiment harness
+
+pub use cdmm_core as core;
+pub use cdmm_lang as lang;
+pub use cdmm_locality as locality;
+pub use cdmm_trace as trace;
+pub use cdmm_vmsim as vmsim;
+pub use cdmm_workloads as workloads;

@@ -1,0 +1,154 @@
+//! Property-based tests over the policy zoo and the front end.
+
+use proptest::prelude::*;
+
+use cdmm_repro::lang::{analyze, parse, to_source};
+use cdmm_repro::trace::{synth, Event, PageId, Trace};
+use cdmm_repro::vmsim::policy::lru::Lru;
+use cdmm_repro::vmsim::policy::opt::Opt;
+use cdmm_repro::vmsim::policy::ws::WorkingSet;
+use cdmm_repro::vmsim::policy::Policy;
+use cdmm_repro::vmsim::stack::StackProfile;
+
+fn arb_trace(max_pages: u32, len: usize) -> impl Strategy<Value = Trace> {
+    prop::collection::vec(0..max_pages, 1..len).prop_map(|pages| {
+        Trace::from_events(pages.into_iter().map(|p| Event::Ref(PageId(p))).collect())
+    })
+}
+
+fn faults(trace: &Trace, mut policy: impl Policy) -> u64 {
+    trace.refs().filter(|&p| policy.reference(p)).count() as u64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// LRU's inclusion property: more frames never fault more.
+    #[test]
+    fn lru_has_no_belady_anomaly(trace in arb_trace(24, 600), m in 1usize..20) {
+        let small = faults(&trace, Lru::new(m));
+        let large = faults(&trace, Lru::new(m + 1));
+        prop_assert!(large <= small, "LRU({}) {} > LRU({}) {}", m + 1, large, m, small);
+    }
+
+    /// Belady's OPT lower-bounds LRU at every allocation.
+    #[test]
+    fn opt_lower_bounds_lru(trace in arb_trace(16, 400), m in 1usize..18) {
+        let lru = faults(&trace, Lru::new(m));
+        let opt = faults(&trace, Opt::for_trace(&trace, m));
+        prop_assert!(opt <= lru);
+    }
+
+    /// OPT can never beat the cold-fault floor.
+    #[test]
+    fn opt_at_least_cold_faults(trace in arb_trace(16, 400), m in 1usize..18) {
+        let opt = faults(&trace, Opt::for_trace(&trace, m));
+        prop_assert!(opt >= u64::from(trace.distinct_pages()));
+    }
+
+    /// WS faults are monotone non-increasing in the window.
+    #[test]
+    fn ws_monotone_in_tau(trace in arb_trace(24, 600), tau in 1u64..200) {
+        let small = faults(&trace, WorkingSet::new(tau));
+        let large = faults(&trace, WorkingSet::new(tau + 13));
+        prop_assert!(large <= small);
+    }
+
+    /// The WS resident set size never exceeds the window or the page count.
+    #[test]
+    fn ws_resident_bounded(trace in arb_trace(24, 400), tau in 1u64..100) {
+        let mut ws = WorkingSet::new(tau);
+        for p in trace.refs() {
+            ws.reference(p);
+            prop_assert!(ws.resident() as u64 <= tau + 1);
+            prop_assert!(ws.resident() <= trace.distinct_pages() as usize);
+        }
+    }
+
+    /// One stack-distance pass equals a direct LRU simulation at every
+    /// allocation.
+    #[test]
+    fn stack_profile_matches_direct_lru(trace in arb_trace(20, 500)) {
+        let profile = StackProfile::compute(&trace);
+        for m in [1usize, 2, 3, 5, 8, 13, 21] {
+            prop_assert_eq!(profile.faults_at(m), faults(&trace, Lru::new(m)));
+        }
+    }
+
+    /// The synthetic generators are deterministic in their seed.
+    #[test]
+    fn synth_uniform_deterministic(seed in any::<u64>()) {
+        let a = synth::uniform(16, 200, seed);
+        let b = synth::uniform(16, 200, seed);
+        prop_assert_eq!(a, b);
+    }
+}
+
+/// A tiny generator for random well-formed mini-FORTRAN programs.
+fn arb_program() -> impl Strategy<Value = String> {
+    let stmt = prop_oneof![
+        Just("V(I) = V(I) + 1.0".to_string()),
+        Just("A(I,J) = V(I) * 2.0".to_string()),
+        Just("X = X + A(I,J)".to_string()),
+        Just("IF (X .GT. 4.0) X = 0.5 * X".to_string()),
+        Just("V(J) = ABS(X) + SQRT(V(I))".to_string()),
+    ];
+    (
+        prop::collection::vec(stmt, 1..5),
+        2u32..9,
+        2u32..9,
+        prop::bool::ANY,
+    )
+        .prop_map(|(stmts, n, m, nest)| {
+            let body: String =
+                stmts.iter().map(|s| format!("    {s}\n")).collect();
+            if nest {
+                format!(
+                    "PROGRAM GEN\nPARAMETER (N = {n}, M = {m})\nDIMENSION A(N,N), V(N)\n\
+                     X = 1.0\nJ = 1\nDO 10 I = 1, N\n  DO 20 J = 1, M\n{body}20 CONTINUE\n10 CONTINUE\nEND\n"
+                )
+            } else {
+                format!(
+                    "PROGRAM GEN\nPARAMETER (N = {n}, M = {m})\nDIMENSION A(N,N), V(N)\n\
+                     X = 1.0\nJ = 1\nDO 10 I = 1, N\n{body}10 CONTINUE\nEND\n"
+                )
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Pretty-printing then reparsing is the identity on the AST, and the
+    /// printer is a fixpoint.
+    #[test]
+    fn parse_print_roundtrip(src in arb_program()) {
+        let parsed = parse(&src).expect("generated programs parse");
+        let printed = to_source(&parsed);
+        let reparsed = parse(&printed).expect("printed programs reparse");
+        prop_assert_eq!(&parsed, &reparsed);
+        prop_assert_eq!(printed.clone(), to_source(&reparsed));
+    }
+
+    /// Generated programs pass semantic analysis and produce traces whose
+    /// pages stay inside the declared virtual space.
+    #[test]
+    fn generated_programs_trace_in_bounds(src in arb_program()) {
+        let mut program = parse(&src).expect("parses");
+        // J may be used with M > N bounds; skip programs sema rejects or
+        // the interpreter traps — the property is about the ones that run.
+        if analyze(&mut program).is_err() {
+            return Ok(());
+        }
+        match cdmm_repro::trace::trace_program(&src, cdmm_repro::locality::PageGeometry::PAPER) {
+            Ok(trace) => {
+                let v = trace.virtual_pages;
+                for p in trace.refs() {
+                    prop_assert!(p.0 < v);
+                }
+            }
+            Err(cdmm_repro::trace::InterpError::OutOfBounds { .. }) => {}
+            Err(other) => return Err(TestCaseError::fail(format!("{other}"))),
+        }
+    }
+}
