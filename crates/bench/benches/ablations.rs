@@ -1,9 +1,7 @@
-//! Criterion benches for the ablation studies: LOCK handling, the WS
-//! policy family on the same trace, and the multiprogramming driver.
+//! Ablation-study benches: LOCK handling, the WS policy family on the
+//! same trace, and the multiprogramming driver.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-
+use cdmm_bench::timing::run;
 use cdmm_core::experiments::Harness;
 use cdmm_core::selector_for;
 use cdmm_trace::synth;
@@ -14,21 +12,19 @@ use cdmm_vmsim::policy::ws_variants::{DampedWs, SampledWs, VariableSampledWs};
 use cdmm_vmsim::{simulate, SimConfig};
 use cdmm_workloads::Scale;
 
-fn bench_lock_ablation(c: &mut Criterion) {
-    c.bench_function("ablation_cd_locks_main", |b| {
-        let mut h = Harness::new(Scale::Small);
-        let (_, variant) = h.resolve("MAIN");
-        let selector = selector_for(variant.level);
-        // Prepare once, outside the timed loop.
-        let _ = h.prepared("MAIN");
-        b.iter(|| {
-            let p = h.prepared("MAIN");
-            black_box((p.run_cd(selector), p.run_cd_no_locks(selector)))
-        })
-    });
-}
+const SAMPLES: u32 = 10;
 
-fn bench_ws_family(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::new(Scale::Small);
+    let (_, variant) = h.resolve("MAIN");
+    let selector = selector_for(variant.level);
+    // Prepare once, outside the timed loop.
+    let _ = h.prepared("MAIN");
+    run("ablation_cd_locks_main", SAMPLES, || {
+        let p = h.prepared("MAIN");
+        (p.run_cd(selector), p.run_cd_no_locks(selector))
+    });
+
     // Phased trace: the workload class the WS variants were invented for.
     let phases: Vec<synth::Phase> = (0..8)
         .map(|i| synth::Phase {
@@ -38,74 +34,52 @@ fn bench_ws_family(c: &mut Criterion) {
         })
         .collect();
     let trace = synth::phased(&phases, 5);
-    let mut g = c.benchmark_group("ws_family");
-    g.bench_function("ws", |b| {
-        b.iter(|| {
-            let mut p = WorkingSet::new(300);
-            black_box(simulate(&trace, &mut p, SimConfig::default()))
-        })
+    println!("ws_family ({} refs)", trace.ref_count());
+    run("ws", SAMPLES, || {
+        let mut p = WorkingSet::new(300);
+        simulate(&trace, &mut p, SimConfig::default())
     });
-    g.bench_function("dws", |b| {
-        b.iter(|| {
-            let mut p = DampedWs::new(300, 16);
-            black_box(simulate(&trace, &mut p, SimConfig::default()))
-        })
+    run("dws", SAMPLES, || {
+        let mut p = DampedWs::new(300, 16);
+        simulate(&trace, &mut p, SimConfig::default())
     });
-    g.bench_function("sws", |b| {
-        b.iter(|| {
-            let mut p = SampledWs::new(300, 50);
-            black_box(simulate(&trace, &mut p, SimConfig::default()))
-        })
+    run("sws", SAMPLES, || {
+        let mut p = SampledWs::new(300, 50);
+        simulate(&trace, &mut p, SimConfig::default())
     });
-    g.bench_function("vsws", |b| {
-        b.iter(|| {
-            let mut p = VariableSampledWs::new(50, 600, 10);
-            black_box(simulate(&trace, &mut p, SimConfig::default()))
-        })
+    run("vsws", SAMPLES, || {
+        let mut p = VariableSampledWs::new(50, 600, 10);
+        simulate(&trace, &mut p, SimConfig::default())
     });
-    g.bench_function("pff", |b| {
-        b.iter(|| {
-            let mut p = Pff::new(150);
-            black_box(simulate(&trace, &mut p, SimConfig::default()))
-        })
+    run("pff", SAMPLES, || {
+        let mut p = Pff::new(150);
+        simulate(&trace, &mut p, SimConfig::default())
     });
-    g.finish();
-}
 
-fn bench_multiprog(c: &mut Criterion) {
-    c.bench_function("multiprog_three_ws_processes", |b| {
-        b.iter(|| {
-            let specs = vec![
-                (
-                    "a".to_string(),
-                    synth::cyclic(12, 40),
-                    ProcPolicy::Ws { tau: 2_000 },
-                ),
-                (
-                    "b".to_string(),
-                    synth::cyclic(12, 40),
-                    ProcPolicy::Ws { tau: 2_000 },
-                ),
-                (
-                    "c".to_string(),
-                    synth::cyclic(12, 40),
-                    ProcPolicy::Cd { min_alloc: 2 },
-                ),
-            ];
-            black_box(run_multiprogram(
-                specs,
-                MultiConfig {
-                    total_frames: 30,
-                    ..Default::default()
-                },
-            ))
-        })
-    });
+    run("multiprog_three_ws_processes", SAMPLES, || {
+        let specs = vec![
+            (
+                "a".to_string(),
+                synth::cyclic(12, 40),
+                ProcPolicy::Ws { tau: 2_000 },
+            ),
+            (
+                "b".to_string(),
+                synth::cyclic(12, 40),
+                ProcPolicy::Ws { tau: 2_000 },
+            ),
+            (
+                "c".to_string(),
+                synth::cyclic(12, 40),
+                ProcPolicy::Cd { min_alloc: 2 },
+            ),
+        ];
+        run_multiprogram(
+            specs,
+            MultiConfig {
+                total_frames: 30,
+                ..Default::default()
+            },
+        )
+    })
 }
-
-criterion_group! {
-    name = ablations;
-    config = Criterion::default().sample_size(10);
-    targets = bench_lock_ablation, bench_ws_family, bench_multiprog
-}
-criterion_main!(ablations);

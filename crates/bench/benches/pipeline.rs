@@ -1,47 +1,34 @@
-//! Criterion benches: front-end and trace-generation stages of the CD
-//! pipeline (compile, analyse, instrument, interpret).
+//! Front-end and trace-generation stages of the CD pipeline (compile,
+//! analyse, instrument, interpret).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-
+use cdmm_bench::timing::run;
 use cdmm_core::{prepare, PipelineConfig};
 use cdmm_locality::{analyze_program, instrument, InsertOptions, PageGeometry};
 use cdmm_workloads::{by_name, Scale};
 
-fn bench_front_end(c: &mut Criterion) {
-    let w = by_name("CONDUCT", Scale::Small).unwrap();
-    c.bench_function("parse_and_check", |b| {
-        b.iter(|| {
-            let mut p = cdmm_lang::parse(black_box(&w.source)).unwrap();
-            black_box(cdmm_lang::analyze(&mut p).unwrap())
-        })
-    });
-    c.bench_function("locality_analysis", |b| {
-        b.iter(|| black_box(analyze_program(&w.source, PageGeometry::PAPER).unwrap()))
-    });
-    let analysis = analyze_program(&w.source, PageGeometry::PAPER).unwrap();
-    c.bench_function("directive_insertion", |b| {
-        b.iter(|| black_box(instrument(&analysis, InsertOptions::default())))
-    });
-}
+const SAMPLES: u32 = 20;
 
-fn bench_trace_generation(c: &mut Criterion) {
-    let w = by_name("FIELD", Scale::Small).unwrap();
-    c.bench_function("trace_generation_field_small", |b| {
-        b.iter(|| black_box(cdmm_trace::trace_program(&w.source, PageGeometry::PAPER).unwrap()))
+fn main() {
+    let w = by_name("CONDUCT", Scale::Small).expect("known workload");
+    run("parse_and_check", SAMPLES, || {
+        let mut p = cdmm_lang::parse(&w.source).expect("parses");
+        cdmm_lang::analyze(&mut p).expect("checks")
+    });
+    run("locality_analysis", SAMPLES, || {
+        analyze_program(&w.source, PageGeometry::PAPER).expect("analyses")
+    });
+    let analysis = analyze_program(&w.source, PageGeometry::PAPER).expect("analyses");
+    run("directive_insertion", SAMPLES, || {
+        instrument(&analysis, InsertOptions::default())
+    });
+
+    let field = by_name("FIELD", Scale::Small).expect("known workload");
+    run("trace_generation_field_small", SAMPLES, || {
+        cdmm_trace::trace_program(&field.source, PageGeometry::PAPER).expect("traces")
+    });
+
+    let main = by_name("MAIN", Scale::Small).expect("known workload");
+    run("prepare_main_small", SAMPLES, || {
+        prepare("MAIN", &main.source, PipelineConfig::default()).expect("prepares")
     });
 }
-
-fn bench_full_prepare(c: &mut Criterion) {
-    let w = by_name("MAIN", Scale::Small).unwrap();
-    c.bench_function("prepare_main_small", |b| {
-        b.iter(|| black_box(prepare("MAIN", &w.source, PipelineConfig::default()).unwrap()))
-    });
-}
-
-criterion_group! {
-    name = pipeline;
-    config = Criterion::default().sample_size(20);
-    targets = bench_front_end, bench_trace_generation, bench_full_prepare
-}
-criterion_main!(pipeline);

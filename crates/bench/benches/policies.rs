@@ -1,9 +1,7 @@
-//! Criterion benches: raw policy throughput on synthetic reference
-//! strings (references per second through each policy implementation).
+//! Raw policy throughput on synthetic reference strings (references per
+//! second through each policy implementation).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::hint::black_box;
-
+use cdmm_bench::timing::run;
 use cdmm_trace::synth;
 use cdmm_vmsim::policy::cd::{CdPolicy, CdSelector};
 use cdmm_vmsim::policy::fifo::Fifo;
@@ -16,79 +14,52 @@ use cdmm_vmsim::{simulate, SimConfig};
 
 const LEN: usize = 50_000;
 const PAGES: u32 = 128;
+const SAMPLES: u32 = 20;
 
-fn bench_policies(c: &mut Criterion) {
+fn main() {
     let trace = synth::uniform(PAGES, LEN, 42);
-    let mut g = c.benchmark_group("policy_throughput");
-    g.throughput(Throughput::Elements(LEN as u64));
+    println!("policy_throughput ({LEN} refs over {PAGES} pages)");
 
-    g.bench_function(BenchmarkId::new("lru", 64), |b| {
-        b.iter(|| {
-            let mut p = Lru::new(64);
-            black_box(simulate(&trace, &mut p, SimConfig::default()))
-        })
+    run("lru/64", SAMPLES, || {
+        let mut p = Lru::new(64);
+        simulate(&trace, &mut p, SimConfig::default())
     });
-    g.bench_function(BenchmarkId::new("fifo", 64), |b| {
-        b.iter(|| {
-            let mut p = Fifo::new(64);
-            black_box(simulate(&trace, &mut p, SimConfig::default()))
-        })
+    run("fifo/64", SAMPLES, || {
+        let mut p = Fifo::new(64);
+        simulate(&trace, &mut p, SimConfig::default())
     });
-    g.bench_function(BenchmarkId::new("ws", 1000), |b| {
-        b.iter(|| {
-            let mut p = WorkingSet::new(1_000);
-            black_box(simulate(&trace, &mut p, SimConfig::default()))
-        })
+    run("ws/1000", SAMPLES, || {
+        let mut p = WorkingSet::new(1_000);
+        simulate(&trace, &mut p, SimConfig::default())
     });
-    g.bench_function(BenchmarkId::new("pff", 200), |b| {
-        b.iter(|| {
-            let mut p = Pff::new(200);
-            black_box(simulate(&trace, &mut p, SimConfig::default()))
-        })
+    run("pff/200", SAMPLES, || {
+        let mut p = Pff::new(200);
+        simulate(&trace, &mut p, SimConfig::default())
     });
-    g.bench_function(BenchmarkId::new("opt", 64), |b| {
-        b.iter(|| {
-            let mut p = Opt::for_trace(&trace, 64);
-            black_box(simulate(&trace, &mut p, SimConfig::default()))
-        })
+    run("opt/64", SAMPLES, || {
+        let mut p = Opt::for_trace(&trace, 64);
+        simulate(&trace, &mut p, SimConfig::default())
     });
-    g.bench_function(BenchmarkId::new("cd", 64), |b| {
-        b.iter(|| {
-            let mut p = CdPolicy::new(CdSelector::Outermost).with_min_alloc(64);
-            black_box(simulate(&trace, &mut p, SimConfig::default()))
-        })
+    run("cd/64", SAMPLES, || {
+        let mut p = CdPolicy::new(CdSelector::Outermost).with_min_alloc(64);
+        simulate(&trace, &mut p, SimConfig::default())
     });
-    g.finish();
 
     // The stack-distance pass that replaces V separate LRU runs.
-    let mut g = c.benchmark_group("stack_profile");
-    g.throughput(Throughput::Elements(LEN as u64));
-    g.bench_function("compute", |b| {
-        b.iter(|| black_box(cdmm_vmsim::stack::StackProfile::compute(&trace)))
+    run("stack_profile/compute", SAMPLES, || {
+        cdmm_vmsim::stack::StackProfile::compute(&trace)
     });
-    g.finish();
-}
 
-fn bench_policy_zoo_cost(c: &mut Criterion) {
     // A locality-heavy trace stresses the eviction paths.
-    let trace = synth::nested_loops(50, 8, 32, 10);
-    let mut g = c.benchmark_group("nested_loop_trace");
-    g.throughput(Throughput::Elements(trace.ref_count()));
-    g.bench_function("lru_16", |b| {
-        b.iter(|| {
-            let mut p = Lru::new(16);
-            black_box(simulate(&trace, &mut p, SimConfig::default()))
-        })
+    let nested = synth::nested_loops(50, 8, 32, 10);
+    println!("nested_loop_trace ({} refs)", nested.ref_count());
+    run("lru_16", SAMPLES, || {
+        let mut p = Lru::new(16);
+        simulate(&nested, &mut p, SimConfig::default())
     });
-    g.bench_function("ws_500", |b| {
-        b.iter(|| {
-            let mut p = WorkingSet::new(500);
-            let m = simulate(&trace, &mut p, SimConfig::default());
-            black_box((m, p.resident()))
-        })
+    run("ws_500", SAMPLES, || {
+        let mut p = WorkingSet::new(500);
+        let m = simulate(&nested, &mut p, SimConfig::default());
+        (m, p.resident())
     });
-    g.finish();
 }
-
-criterion_group!(policies, bench_policies, bench_policy_zoo_cost);
-criterion_main!(policies);

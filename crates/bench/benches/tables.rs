@@ -1,54 +1,30 @@
-//! Criterion benches: regenerating each of the paper's tables.
+//! Regenerating each of the paper's tables.
 //!
 //! One bench per table/figure artifact, as DESIGN.md's experiment index
-//! requires. These run at `Scale::Small` so criterion's repeated sampling
-//! stays fast; the `--bin tableN` binaries produce the paper-scale rows.
+//! requires. These run at `Scale::Small` so the repeated sampling stays
+//! fast; the `--bin tableN` binaries produce the paper-scale rows.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-
+use cdmm_bench::timing::run;
 use cdmm_core::experiments::{table1, table2, table3, table4, Harness};
 use cdmm_workloads::Scale;
 
-fn bench_table1(c: &mut Criterion) {
-    c.bench_function("table1_cd_directive_sets", |b| {
-        b.iter(|| {
-            let mut h = Harness::new(Scale::Small);
-            black_box(table1(&mut h))
-        })
+const SAMPLES: u32 = 10;
+
+fn main() {
+    run("table1_cd_directive_sets", SAMPLES, || {
+        let mut h = Harness::new(Scale::Small);
+        table1(&mut h)
+    });
+    run("table2_min_st_comparison", SAMPLES, || {
+        let mut h = Harness::new(Scale::Small);
+        table2(&mut h)
+    });
+    run("table3_equal_memory_comparison", SAMPLES, || {
+        let mut h = Harness::new(Scale::Small);
+        table3(&mut h)
+    });
+    run("table4_equal_faults_comparison", SAMPLES, || {
+        let mut h = Harness::new(Scale::Small);
+        table4(&mut h)
     });
 }
-
-fn bench_table2(c: &mut Criterion) {
-    c.bench_function("table2_min_st_comparison", |b| {
-        b.iter(|| {
-            let mut h = Harness::new(Scale::Small);
-            black_box(table2(&mut h))
-        })
-    });
-}
-
-fn bench_table3(c: &mut Criterion) {
-    c.bench_function("table3_equal_memory_comparison", |b| {
-        b.iter(|| {
-            let mut h = Harness::new(Scale::Small);
-            black_box(table3(&mut h))
-        })
-    });
-}
-
-fn bench_table4(c: &mut Criterion) {
-    c.bench_function("table4_equal_faults_comparison", |b| {
-        b.iter(|| {
-            let mut h = Harness::new(Scale::Small);
-            black_box(table4(&mut h))
-        })
-    });
-}
-
-criterion_group! {
-    name = tables;
-    config = Criterion::default().sample_size(10);
-    targets = bench_table1, bench_table2, bench_table3, bench_table4
-}
-criterion_main!(tables);

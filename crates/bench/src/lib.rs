@@ -217,3 +217,28 @@ mod tests {
         print_lock_ablation(Scale::Small);
     }
 }
+
+/// A dependency-free micro-benchmark harness: `cargo bench` runs each
+/// bench binary's `main`, which times closures with [`timing::run`] and
+/// prints one line per case (min / mean over a fixed sample count).
+pub mod timing {
+    use std::hint::black_box;
+    use std::time::{Duration, Instant};
+
+    /// Times `f` for `samples` samples after one warm-up call and
+    /// prints `label: min .. mean per iteration`.
+    pub fn run<T>(label: &str, samples: u32, mut f: impl FnMut() -> T) {
+        black_box(f());
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        for _ in 0..samples {
+            let start = Instant::now();
+            black_box(f());
+            let dt = start.elapsed();
+            total += dt;
+            min = min.min(dt);
+        }
+        let mean = total / samples;
+        println!("{label:<40} min {min:>12.3?}   mean {mean:>12.3?}   ({samples} samples)");
+    }
+}

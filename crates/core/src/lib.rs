@@ -46,5 +46,5 @@ pub mod pipeline;
 pub mod report;
 pub mod sweep;
 
-pub use pipeline::{prepare, selector_for, PipelineConfig, PipelineError, Prepared};
+pub use pipeline::{prepare, selector_for, PipelineConfig, PipelineError, Prepared, ValidateError};
 pub use sweep::Point;

@@ -48,6 +48,42 @@ pub enum PipelineError {
     Lang(LangError),
     /// Trace-generation failure.
     Interp(InterpError),
+    /// Cross-trace validation failure: instrumentation changed the
+    /// observable reference string.
+    Validate(ValidateError),
+}
+
+/// Details of a plain/instrumented trace misalignment.
+///
+/// Inserting directives must be behavior-preserving: the instrumented
+/// program has to emit exactly the reference string of the original.
+/// This used to be a `debug_assert!`; corrupted instrumentation must be
+/// rejected in release builds too, so it is now a first-class error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidateError {
+    /// References in the plain trace.
+    pub plain_refs: u64,
+    /// References in the instrumented trace.
+    pub cd_refs: u64,
+    /// Position of the first diverging reference, when both strings
+    /// have the same length but different content.
+    pub first_divergence: Option<u64>,
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.first_divergence {
+            Some(i) => write!(
+                f,
+                "instrumentation changed the reference string at position {i}"
+            ),
+            None => write!(
+                f,
+                "instrumentation changed the reference count: {} plain vs {} instrumented",
+                self.plain_refs, self.cd_refs
+            ),
+        }
+    }
 }
 
 impl fmt::Display for PipelineError {
@@ -55,6 +91,7 @@ impl fmt::Display for PipelineError {
         match self {
             PipelineError::Lang(e) => write!(f, "compile: {e}"),
             PipelineError::Interp(e) => write!(f, "trace: {e}"),
+            PipelineError::Validate(e) => write!(f, "validate: {e}"),
         }
     }
 }
@@ -87,11 +124,7 @@ pub fn prepare(
     let plain_trace = trace_program(source, config.geometry).map_err(PipelineError::Interp)?;
     let cd_trace =
         trace_program(&instrumented_src, config.geometry).map_err(PipelineError::Interp)?;
-    debug_assert_eq!(
-        plain_trace.ref_count(),
-        cd_trace.ref_count(),
-        "directives must not change the reference string"
-    );
+    check_alignment(&plain_trace, &cd_trace).map_err(PipelineError::Validate)?;
     Ok(Prepared {
         name: name.to_string(),
         analysis,
@@ -99,6 +132,28 @@ pub fn prepare(
         cd_trace,
         config,
     })
+}
+
+/// Verifies that directives did not change the observable reference
+/// string (the paper's instrumentation-transparency requirement).
+fn check_alignment(plain: &Trace, cd: &Trace) -> Result<(), ValidateError> {
+    let plain_refs = plain.ref_count();
+    let cd_refs = cd.ref_count();
+    if plain_refs != cd_refs {
+        return Err(ValidateError {
+            plain_refs,
+            cd_refs,
+            first_divergence: None,
+        });
+    }
+    if let Some(i) = plain.refs().zip(cd.refs()).position(|(a, b)| a != b) {
+        return Err(ValidateError {
+            plain_refs,
+            cd_refs,
+            first_divergence: Some(i as u64),
+        });
+    }
+    Ok(())
 }
 
 /// Maps a workload's neutral directive level onto the CD selector.
@@ -228,6 +283,28 @@ mod tests {
             PipelineConfig::default(),
         );
         assert!(matches!(err, Err(PipelineError::Lang(_))));
+    }
+
+    #[test]
+    fn alignment_check_rejects_divergent_traces() {
+        use cdmm_trace::{Event, PageId};
+        let plain = Trace::from_events(vec![Event::Ref(PageId(0)), Event::Ref(PageId(1))]);
+        let same = plain.clone();
+        assert_eq!(check_alignment(&plain, &same), Ok(()));
+
+        let short = Trace::from_events(vec![Event::Ref(PageId(0))]);
+        let err = check_alignment(&plain, &short).unwrap_err();
+        assert_eq!(err.plain_refs, 2);
+        assert_eq!(err.cd_refs, 1);
+        assert_eq!(err.first_divergence, None);
+        assert!(err.to_string().contains("reference count"));
+
+        let swapped = Trace::from_events(vec![Event::Ref(PageId(1)), Event::Ref(PageId(0))]);
+        let err = check_alignment(&plain, &swapped).unwrap_err();
+        assert_eq!(err.first_divergence, Some(0));
+        assert!(PipelineError::Validate(err)
+            .to_string()
+            .contains("validate"));
     }
 
     #[test]

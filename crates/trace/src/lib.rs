@@ -16,6 +16,8 @@
 //! - [`synth`] — synthetic reference-string generators used by the policy
 //!   test suites (cyclic sweeps, phased localities, uniform noise).
 //! - [`stats`] — simple trace statistics.
+//! - [`validate`] — directive-stream well-formedness checking and the
+//!   seeded [`DirectiveFuzzer`] behind the chaos test suite.
 //!
 //! # Examples
 //!
@@ -38,16 +40,21 @@
 //! assert_eq!(trace.ref_count(), 512);
 //! ```
 
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod event;
 pub mod interp;
 pub mod layout;
 pub mod stats;
 pub mod synth;
+pub mod validate;
 
 pub use event::{Event, PageId, PageRange, Trace};
 pub use interp::{InterpConfig, InterpError, Interpreter, ProgramState};
 pub use layout::MemoryLayout;
 pub use stats::TraceStats;
+pub use validate::{DirectiveFuzzer, FaultKind, FuzzReport, Injection, Violation};
 
 use cdmm_locality::PageGeometry;
 

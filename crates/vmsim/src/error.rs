@@ -1,0 +1,75 @@
+//! Typed simulator errors.
+//!
+//! The library paths of this crate must not panic on malformed input:
+//! the CD runtime is driven by compiler-predicted directive streams, and
+//! the prediction can be wrong (see the chaos suite in `tests/chaos.rs`).
+//! Constructors and drivers that used to `assert!`/`expect!` on caller
+//! mistakes return a [`SimError`] instead; the panicking wrappers remain
+//! only as documented conveniences.
+
+use std::fmt;
+
+/// A failure of a simulator constructor or driver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A multiprogramming run was submitted with no processes.
+    NoProcesses,
+    /// A policy or driver was configured with zero page frames.
+    ZeroFrames {
+        /// Which component rejected the configuration.
+        what: &'static str,
+    },
+    /// A precomputed offline policy (OPT) was driven past the reference
+    /// string it was built for.
+    TraceExhausted {
+        /// Reference position that was requested.
+        pos: u64,
+        /// Length of the precomputed reference string.
+        len: u64,
+    },
+    /// A configuration value was out of its valid domain.
+    InvalidConfig {
+        /// Which knob was rejected.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NoProcesses => write!(f, "multiprogramming needs at least one process"),
+            SimError::ZeroFrames { what } => {
+                write!(f, "{what} needs at least one page frame")
+            }
+            SimError::TraceExhausted { pos, len } => {
+                write!(
+                    f,
+                    "offline policy driven to position {pos} of a {len}-reference trace"
+                )
+            }
+            SimError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(SimError::NoProcesses
+            .to_string()
+            .contains("at least one process"));
+        assert!(SimError::ZeroFrames { what: "OPT" }
+            .to_string()
+            .contains("OPT"));
+        let e = SimError::TraceExhausted { pos: 9, len: 4 };
+        assert!(e.to_string().contains('9') && e.to_string().contains('4'));
+        assert!(SimError::InvalidConfig { what: "quantum" }
+            .to_string()
+            .contains("quantum"));
+    }
+}

@@ -34,6 +34,10 @@
 //! assert_eq!(m.faults, m.refs);
 //! ```
 
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+pub mod error;
 pub mod metrics;
 pub mod multiprog;
 pub mod policy;
@@ -41,6 +45,7 @@ pub mod recency;
 pub mod sim;
 pub mod stack;
 
+pub use error::SimError;
 pub use metrics::Metrics;
 pub use policy::Policy;
 pub use sim::{simulate, SimConfig};

@@ -29,6 +29,13 @@ pub struct Metrics {
     pub fault_service: u64,
     /// Largest resident set seen.
     pub peak_resident: usize,
+    /// Invalid directives the policy clamped or discarded instead of
+    /// failing on (0 for policies without a validator, and for
+    /// well-formed directive streams).
+    pub recovered_directives: u64,
+    /// References processed after the policy abandoned directive
+    /// guidance and fell back to plain LRU demand paging.
+    pub degraded_refs: u64,
 }
 
 impl Metrics {

@@ -13,6 +13,7 @@
 
 use cdmm_trace::{Event, Trace};
 
+use crate::error::SimError;
 use crate::metrics::Metrics;
 use crate::policy::cd::{AllocOutcome, CdPolicy, CdSelector};
 use crate::policy::lru::Lru;
@@ -156,13 +157,32 @@ impl Proc {
 ///
 /// # Panics
 ///
-/// Panics if `specs` is empty or `config.total_frames` is zero.
+/// Panics if `specs` is empty or `config.total_frames` is zero;
+/// [`try_run_multiprogram`] is the non-panicking form.
 pub fn run_multiprogram(
     specs: Vec<(String, Trace, ProcPolicy)>,
     config: MultiConfig,
 ) -> MultiReport {
-    assert!(!specs.is_empty(), "need at least one process");
-    assert!(config.total_frames > 0, "need at least one frame");
+    match try_run_multiprogram(specs, config) {
+        Ok(report) => report,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Runs a set of traced processes over a shared memory, rejecting
+/// degenerate configurations with a typed error.
+pub fn try_run_multiprogram(
+    specs: Vec<(String, Trace, ProcPolicy)>,
+    config: MultiConfig,
+) -> Result<MultiReport, SimError> {
+    if specs.is_empty() {
+        return Err(SimError::NoProcesses);
+    }
+    if config.total_frames == 0 {
+        return Err(SimError::ZeroFrames {
+            what: "the multiprogramming driver",
+        });
+    }
     let mut procs: Vec<Proc> = specs
         .into_iter()
         .map(|(name, trace, policy)| Proc {
@@ -255,12 +275,15 @@ pub fn run_multiprogram(
     }
 
     let total_faults = procs.iter().map(|p| p.metrics.faults).sum();
-    MultiReport {
+    Ok(MultiReport {
         processes: procs
             .into_iter()
-            .map(|p| ProcessReport {
+            .map(|mut p| ProcessReport {
                 name: p.name,
-                metrics: p.metrics,
+                metrics: {
+                    p.metrics.recovered_directives = p.engine.policy().recovered_directives();
+                    p.metrics
+                },
                 finished_at: p.finished_at,
                 swap_outs: p.swap_outs,
             })
@@ -273,7 +296,7 @@ pub fn run_multiprogram(
         } else {
             busy as f64 / clock as f64
         },
-    }
+    })
 }
 
 fn pick_ready(procs: &[Proc], next: &mut usize) -> Option<usize> {
@@ -308,6 +331,9 @@ fn step(
                 let fault = p.engine.policy().reference(page);
                 let resident = p.engine.resident();
                 p.metrics.record(resident, fault);
+                if p.engine.policy().is_degraded() {
+                    p.metrics.degraded_refs += 1;
+                }
                 if !fault {
                     return (false, false, None);
                 }
@@ -539,6 +565,23 @@ mod tests {
     #[should_panic(expected = "at least one process")]
     fn empty_spec_panics() {
         run_multiprogram(vec![], MultiConfig::default());
+    }
+
+    #[test]
+    fn degenerate_configs_are_typed_errors() {
+        assert_eq!(
+            try_run_multiprogram(vec![], MultiConfig::default()).err(),
+            Some(SimError::NoProcesses)
+        );
+        let specs = vec![cyclic_proc("a", 2, 2)];
+        let bad = MultiConfig {
+            total_frames: 0,
+            ..Default::default()
+        };
+        assert!(matches!(
+            try_run_multiprogram(specs, bad),
+            Err(SimError::ZeroFrames { .. })
+        ));
     }
 
     #[test]

@@ -28,6 +28,7 @@
 use std::collections::HashMap;
 
 use cdmm_lang::ast::AllocArg;
+use cdmm_trace::validate::{ranges_cover, ranges_overlap};
 use cdmm_trace::{Event, PageId, PageRange};
 
 use crate::policy::Policy;
@@ -84,7 +85,22 @@ pub enum AllocOutcome {
     SwapNeeded,
 }
 
+/// Deepest LOCK nesting the validator accepts before discarding further
+/// LOCK directives as corrupt.
+const MAX_LOCK_DEPTH: usize = 64;
+
 /// The Compiler-Directed policy.
+///
+/// Every incoming directive passes a small validation state machine
+/// (lock nesting depth, page-range bounds, PI-descending `ALLOCATE`
+/// lists) before it is honored. Invalid directives are clamped into the
+/// valid domain or discarded, never panicked on, and each such recovery
+/// is counted. When a degradation threshold is configured
+/// ([`CdPolicy::with_degrade_after`]) and the stream proves unusable —
+/// the recovery count reaches the threshold — the policy stops trusting
+/// directives entirely and falls back to plain LRU demand paging, the
+/// runtime analogue of the paper's "continue under the old allocation"
+/// rule for unsatisfiable requests.
 #[derive(Debug, Clone)]
 pub struct CdPolicy {
     selector: CdSelector,
@@ -98,6 +114,17 @@ pub struct CdPolicy {
     last_outcome: Option<AllocOutcome>,
     broken_locks: u64,
     swap_requests: u64,
+    /// Virtual-space bound for validating directive page ranges
+    /// (`None`: bounds unknown, ranges are not clamped).
+    virtual_pages: Option<u32>,
+    /// Recoveries after which the policy degrades to plain LRU
+    /// (`None`: clamp forever, never degrade).
+    degrade_after: Option<u64>,
+    /// Accepted-and-unreleased LOCK directives, in lock order (the
+    /// validator's nesting ledger).
+    lock_ledger: Vec<Vec<PageRange>>,
+    recovered: u64,
+    degraded: bool,
 }
 
 impl CdPolicy {
@@ -115,6 +142,11 @@ impl CdPolicy {
             last_outcome: None,
             broken_locks: 0,
             swap_requests: 0,
+            virtual_pages: None,
+            degrade_after: None,
+            lock_ledger: Vec::new(),
+            recovered: 0,
+            degraded: false,
         }
     }
 
@@ -153,6 +185,21 @@ impl CdPolicy {
         self.available = Some(frames);
     }
 
+    /// Declares the program's virtual-space size so the validator can
+    /// reject or clamp directive page ranges that fall outside it.
+    pub fn with_virtual_pages(mut self, pages: Option<u32>) -> Self {
+        self.virtual_pages = pages;
+        self
+    }
+
+    /// Degrades to plain LRU demand paging once this many directives had
+    /// to be clamped or discarded. `None` (the default) clamps forever
+    /// and never degrades.
+    pub fn with_degrade_after(mut self, threshold: Option<u64>) -> Self {
+        self.degrade_after = threshold;
+        self
+    }
+
     /// The current allocation target in pages.
     pub fn target(&self) -> u64 {
         self.target
@@ -178,6 +225,96 @@ impl CdPolicy {
     pub fn swap_out(&mut self) {
         self.resident = RecencySet::new();
         self.locked.clear();
+        self.lock_ledger.clear();
+    }
+
+    /// Registers one recovery from an invalid directive and degrades to
+    /// plain LRU once the configured threshold is reached.
+    fn recover(&mut self) {
+        self.recovered += 1;
+        if self.degrade_after.is_some_and(|t| self.recovered >= t) {
+            self.degrade();
+        }
+    }
+
+    /// Abandons directive guidance: release all pins and manage the
+    /// resident set as unconstrained LRU (the hard frame limit, when
+    /// set, still applies).
+    fn degrade(&mut self) {
+        self.degraded = true;
+        self.locked.clear();
+        self.lock_ledger.clear();
+        self.target = u64::MAX;
+    }
+
+    /// Clamps one directive page range into `[0, virtual_pages)`.
+    /// Returns `None` for ranges that are inverted or entirely outside
+    /// the virtual space, and whether the range had to be altered.
+    fn clamp_range(&self, r: &PageRange) -> (Option<PageRange>, bool) {
+        if r.start > r.end {
+            return (None, true);
+        }
+        let Some(vp) = self.virtual_pages else {
+            return (Some(*r), false);
+        };
+        let end = r.end.min(vp);
+        if r.start >= end {
+            // Nothing of the range lies inside the virtual space; empty
+            // input ranges are also meaningless as lock targets.
+            return (None, !r.is_empty() || r.start > vp);
+        }
+        (
+            Some(PageRange {
+                start: r.start,
+                end,
+            }),
+            end != r.end,
+        )
+    }
+
+    /// Validates and sanitizes an `ALLOCATE` request list. Returns the
+    /// list to honor, or `None` when the directive must be discarded.
+    fn sanitize_alloc(&mut self, args: &[AllocArg]) -> Option<Vec<AllocArg>> {
+        if args.is_empty() {
+            self.recover();
+            return None;
+        }
+        let mut fixed = false;
+        let mut clean: Vec<AllocArg> = args
+            .iter()
+            .map(|a| {
+                let mut a = *a;
+                if a.pi == 0 {
+                    a.pi = 1;
+                    fixed = true;
+                }
+                if a.pages == 0 {
+                    a.pages = 1;
+                    fixed = true;
+                }
+                if let Some(vp) = self.virtual_pages {
+                    let cap = u64::from(vp.max(1));
+                    if a.pages > cap {
+                        a.pages = cap;
+                        fixed = true;
+                    }
+                }
+                a
+            })
+            .collect();
+        // The request list must be PI-descending (outermost first);
+        // restore the invariant when the stream violates it.
+        if clean.windows(2).any(|w| w[0].pi < w[1].pi) {
+            clean.sort_by_key(|a| std::cmp::Reverse((a.pi, a.pages)));
+            fixed = true;
+        }
+        if fixed {
+            self.recover();
+            if self.degraded {
+                return None;
+            }
+        }
+        Some(clean)
     }
 
     /// Evicts one page, preferring unlocked LRU pages and breaking the
@@ -261,24 +398,92 @@ impl CdPolicy {
         if !self.honor_locks {
             return;
         }
+        let mut fixed = false;
+        let pj = if pj == 0 {
+            fixed = true;
+            1
+        } else {
+            pj
+        };
+        let mut clean: Vec<PageRange> = Vec::with_capacity(ranges.len());
+        for r in ranges {
+            let (clamped, altered) = self.clamp_range(r);
+            fixed |= altered;
+            if let Some(c) = clamped {
+                clean.push(c);
+            }
+        }
+        if clean.is_empty() {
+            // The lock names nothing inside the virtual space: an
+            // out-of-range or empty lock that can never be honored.
+            self.recover();
+            return;
+        }
+        // Supersede: instrumented loops re-issue the same LOCK on every
+        // outer iteration, each one replacing the last. A new lock that
+        // covers an active one closes it implicitly — that is the
+        // stream's normal idiom, not a fault.
+        self.lock_ledger.retain(|held| !ranges_cover(&clean, held));
+        if self.lock_ledger.len() >= MAX_LOCK_DEPTH {
+            // Runaway nesting: the stream is emitting locks it never
+            // releases; discard rather than pin unboundedly.
+            self.recover();
+            return;
+        }
+        // A genuine re-lock partially overlaps an active lock with
+        // neither covering the other. Re-asserting pages a wider active
+        // lock already pins (outer-loop locks re-issued under an inner
+        // lock) is normal; a partial overlap leaves the earlier lock's
+        // release ambiguous. Honor it (the newer PJ wins) but flag it.
+        if self
+            .lock_ledger
+            .iter()
+            .any(|held| ranges_overlap(held, &clean) && !ranges_cover(held, &clean))
+        {
+            fixed = true;
+        }
+        if fixed {
+            self.recover();
+            if self.degraded {
+                return;
+            }
+        }
         // Lock the currently resident pages of the named arrays — those
         // are exactly the outer-loop pages the directive wants preserved.
         let to_lock: Vec<PageId> = self
             .resident
             .iter_lru()
-            .filter(|p| ranges.iter().any(|r| r.contains(*p)))
+            .filter(|p| clean.iter().any(|r| r.contains(*p)))
             .collect();
         for p in to_lock {
             self.locked.insert(p, pj);
         }
+        self.lock_ledger.push(clean);
     }
 
     fn handle_unlock(&mut self, ranges: &[PageRange]) {
         if !self.honor_locks {
             return;
         }
+        let mut clean: Vec<PageRange> = Vec::with_capacity(ranges.len());
+        for r in ranges {
+            if let (Some(c), _) = self.clamp_range(r) {
+                clean.push(c);
+            }
+        }
+        // Release every active lock the unlock touches, and unpin the
+        // named pages.
+        let held_before = self.lock_ledger.len();
+        self.lock_ledger
+            .retain(|held| !ranges_overlap(held, &clean));
+        let pinned_before = self.locked.len();
         self.locked
-            .retain(|p, _| !ranges.iter().any(|r| r.contains(*p)));
+            .retain(|p, _| !clean.iter().any(|r| r.contains(*p)));
+        if self.lock_ledger.len() == held_before && self.locked.len() == pinned_before {
+            // Released neither a lock nor a page: double-unlock or
+            // unlock of a never-locked array.
+            self.recover();
+        }
     }
 }
 
@@ -308,12 +513,28 @@ impl Policy for CdPolicy {
     }
 
     fn directive(&mut self, event: &Event) {
+        if self.degraded {
+            // The stream is untrusted; plain LRU ignores directives.
+            return;
+        }
         match event {
-            Event::Alloc(args) => self.handle_allocate(args),
+            Event::Alloc(args) => {
+                if let Some(clean) = self.sanitize_alloc(args) {
+                    self.handle_allocate(&clean);
+                }
+            }
             Event::Lock { pj, ranges } => self.handle_lock(*pj, ranges),
             Event::Unlock { ranges } => self.handle_unlock(ranges),
             Event::Ref(_) => {}
         }
+    }
+
+    fn recovered_directives(&self) -> u64 {
+        self.recovered
+    }
+
+    fn is_degraded(&self) -> bool {
+        self.degraded
     }
 }
 

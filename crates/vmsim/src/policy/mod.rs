@@ -41,4 +41,16 @@ pub trait Policy {
     fn directive(&mut self, event: &Event) {
         let _ = event;
     }
+
+    /// How many invalid directives the policy clamped or discarded so
+    /// far. Policies without a directive validator report 0.
+    fn recovered_directives(&self) -> u64 {
+        0
+    }
+
+    /// True once the policy has stopped trusting its directive stream
+    /// and fallen back to plain demand paging.
+    fn is_degraded(&self) -> bool {
+        false
+    }
 }

@@ -10,6 +10,7 @@ use std::collections::{BTreeSet, HashMap};
 
 use cdmm_trace::{Event, PageId, Trace};
 
+use crate::error::SimError;
 use crate::policy::Policy;
 
 const NEVER: u64 = u64::MAX;
@@ -33,9 +34,21 @@ impl Opt {
     ///
     /// # Panics
     ///
-    /// Panics if `frames` is zero.
+    /// Panics if `frames` is zero; [`Opt::try_for_trace`] is the
+    /// non-panicking form.
     pub fn for_trace(trace: &Trace, frames: usize) -> Self {
-        assert!(frames > 0, "OPT needs at least one frame");
+        match Self::try_for_trace(trace, frames) {
+            Ok(opt) => opt,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Builds OPT for a specific trace and allocation, rejecting a
+    /// zero-frame configuration with a typed error.
+    pub fn try_for_trace(trace: &Trace, frames: usize) -> Result<Self, SimError> {
+        if frames == 0 {
+            return Err(SimError::ZeroFrames { what: "OPT" });
+        }
         let refs: Vec<PageId> = trace.refs().collect();
         let mut next_use = vec![NEVER; refs.len()];
         let mut last_pos: HashMap<PageId, usize> = HashMap::new();
@@ -45,13 +58,13 @@ impl Opt {
             }
             last_pos.insert(p, i);
         }
-        Opt {
+        Ok(Opt {
             frames,
             next_use,
             pos: 0,
             by_next: BTreeSet::new(),
             resident: HashMap::new(),
-        }
+        })
     }
 }
 
@@ -63,11 +76,10 @@ impl Policy for Opt {
     fn reference(&mut self, page: PageId) -> bool {
         let i = self.pos;
         self.pos += 1;
-        assert!(
-            i < self.next_use.len(),
-            "OPT driven past the trace it was built for"
-        );
-        let next = self.next_use[i];
+        // References past the precomputed horizon have no known next
+        // use; treating them as never-reused keeps the policy total
+        // instead of panicking on an over-long drive.
+        let next = self.next_use.get(i).copied().unwrap_or(NEVER);
         let fault = match self.resident.remove(&page) {
             Some(old_next) => {
                 self.by_next.remove(&(old_next, page));
@@ -75,14 +87,13 @@ impl Policy for Opt {
             }
             None => {
                 if self.resident.len() >= self.frames {
-                    // Evict the page used farthest in the future.
-                    let victim = *self
-                        .by_next
-                        .iter()
-                        .next_back()
-                        .expect("resident set is non-empty when full");
-                    self.by_next.remove(&victim);
-                    self.resident.remove(&victim.1);
+                    // Evict the page used farthest in the future. The
+                    // two indexes are maintained in lockstep, so a full
+                    // resident set always yields a victim.
+                    if let Some(&victim) = self.by_next.iter().next_back() {
+                        self.by_next.remove(&victim);
+                        self.resident.remove(&victim.1);
+                    }
                 }
                 true
             }
@@ -150,12 +161,24 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "driven past the trace")]
-    fn driving_past_trace_panics() {
+    fn driving_past_trace_degrades_gracefully() {
         let t = synth::cyclic(2, 1);
         let mut o = Opt::for_trace(&t, 2);
-        for _ in 0..3 {
-            o.reference(PageId(0));
-        }
+        // Two in-trace references, then one past the horizon: no panic,
+        // and the extra reference behaves like a never-reused page.
+        o.reference(PageId(0));
+        o.reference(PageId(1));
+        assert!(!o.reference(PageId(0)), "past-horizon re-reference hits");
+        assert!(o.reference(PageId(7)), "past-horizon new page faults");
+        assert_eq!(o.resident(), 2);
+    }
+
+    #[test]
+    fn zero_frames_is_a_typed_error() {
+        let t = synth::cyclic(2, 1);
+        assert_eq!(
+            Opt::try_for_trace(&t, 0).err(),
+            Some(crate::error::SimError::ZeroFrames { what: "OPT" })
+        );
     }
 }

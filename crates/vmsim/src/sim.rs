@@ -44,10 +44,14 @@ pub fn simulate(trace: &Trace, policy: &mut dyn Policy, config: SimConfig) -> Me
             Event::Ref(page) => {
                 let fault = policy.reference(*page);
                 metrics.record(policy.resident(), fault);
+                if policy.is_degraded() {
+                    metrics.degraded_refs += 1;
+                }
             }
             other => policy.directive(other),
         }
     }
+    metrics.recovered_directives = policy.recovered_directives();
     metrics
 }
 

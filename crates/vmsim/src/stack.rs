@@ -6,8 +6,6 @@
 //! this to pick allocations, and the property tests use it to verify the
 //! inclusion property of the direct LRU simulation.
 
-use std::collections::HashMap;
-
 use cdmm_trace::{PageId, Trace};
 
 /// The LRU fault-count profile of one trace.
@@ -28,28 +26,28 @@ impl StackProfile {
     /// in this reproduction).
     pub fn compute(trace: &Trace) -> StackProfile {
         let mut stack: Vec<PageId> = Vec::new();
-        let mut pos: HashMap<PageId, ()> = HashMap::new();
         let mut hist: Vec<u64> = Vec::new(); // hist[d] = refs with stack distance d (1-based)
         let mut cold = 0u64;
         let mut refs = 0u64;
         for page in trace.refs() {
             refs += 1;
-            if let std::collections::hash_map::Entry::Vacant(e) = pos.entry(page) {
-                cold += 1;
-                e.insert(());
-                stack.insert(0, page);
-            } else {
-                let d = stack
-                    .iter()
-                    .position(|&p| p == page)
-                    .expect("page tracked in pos must be on the stack");
-                stack.remove(d);
-                stack.insert(0, page);
-                let dist = d + 1; // 1-based stack distance
-                if hist.len() <= dist {
-                    hist.resize(dist + 1, 0);
+            // The stack itself is the authoritative membership record:
+            // a page is cold exactly when it is not on the stack, so no
+            // auxiliary index can disagree with it.
+            match stack.iter().position(|&p| p == page) {
+                None => {
+                    cold += 1;
+                    stack.insert(0, page);
                 }
-                hist[dist] += 1;
+                Some(d) => {
+                    stack.remove(d);
+                    stack.insert(0, page);
+                    let dist = d + 1; // 1-based stack distance
+                    if hist.len() <= dist {
+                        hist.resize(dist + 1, 0);
+                    }
+                    hist[dist] += 1;
+                }
             }
         }
         let distinct = stack.len();
