@@ -5,7 +5,5 @@
 
 fn main() {
     let scale = cdmm_bench::scale_from_args();
-    for frames in [48, 96, 192] {
-        cdmm_bench::print_multiprog(scale, frames);
-    }
+    cdmm_bench::print_multiprog_grid(scale, &[48, 96, 192]);
 }

@@ -1,0 +1,39 @@
+//! Execution-engine benchmark: per-table speedup and cache-hit summary.
+//!
+//! ```text
+//! sweep_bench [--small] [--threads N] [--cache-dir PATH]
+//!             [--assert-hit-rate PCT] [--quick]
+//! ```
+//!
+//! Without `--cache-dir` the run uses an in-memory cache. A first run
+//! against a persistent directory populates it; an immediate re-run
+//! with `--quick --assert-hit-rate 90` verifies the warm-cache path
+//! (the CI cache-warm step).
+
+use std::process::ExitCode;
+
+use cdmm_bench::{exec_from_args, run_sweep_summary, scale_from_args, SweepSummaryOptions};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let value_of = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let opts = SweepSummaryOptions {
+        scale: scale_from_args(),
+        threads: exec_from_args().threads(),
+        cache_dir: value_of("--cache-dir").map(Into::into),
+        assert_hit_rate: value_of("--assert-hit-rate").and_then(|v| v.parse().ok()),
+        quick: args.iter().any(|a| a == "--quick"),
+    };
+    match run_sweep_summary(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("sweep_bench: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -9,7 +9,8 @@
 use cdmm_core::experiments::{table1, table2, table3, table4, Harness, TABLE1_ROWS};
 use cdmm_core::pipeline::PipelineConfig;
 use cdmm_core::report;
-use cdmm_vmsim::multiprog::{run_multiprogram, MultiConfig, ProcPolicy};
+use cdmm_core::sweep::{Executor, ResultCache};
+use cdmm_vmsim::multiprog::{run_multiprogram, MultiConfig, MultiReport, ProcPolicy};
 use cdmm_vmsim::policy::cd::CdSelector;
 use cdmm_workloads::Scale;
 
@@ -22,27 +23,46 @@ pub fn scale_from_args() -> Scale {
     }
 }
 
+/// Parses the common `--threads N` flag; falls back to `CDMM_THREADS`,
+/// then to the available parallelism.
+pub fn exec_from_args() -> Executor {
+    let args: Vec<String> = std::env::args().collect();
+    match args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(n) => Executor::with_threads(n),
+        None => Executor::from_env(),
+    }
+}
+
+fn table_harness(scale: Scale) -> Harness {
+    Harness::new(scale).with_executor(exec_from_args())
+}
+
 /// Prints Table 1.
 pub fn print_table1(scale: Scale) {
-    let mut h = Harness::new(scale);
+    let mut h = table_harness(scale);
     println!("{}", report::render_table1(&table1(&mut h)));
 }
 
 /// Prints Table 2.
 pub fn print_table2(scale: Scale) {
-    let mut h = Harness::new(scale);
+    let mut h = table_harness(scale);
     println!("{}", report::render_table2(&table2(&mut h)));
 }
 
 /// Prints Table 3.
 pub fn print_table3(scale: Scale) {
-    let mut h = Harness::new(scale);
+    let mut h = table_harness(scale);
     println!("{}", report::render_table3(&table3(&mut h)));
 }
 
 /// Prints Table 4.
 pub fn print_table4(scale: Scale) {
-    let mut h = Harness::new(scale);
+    let mut h = table_harness(scale);
     println!("{}", report::render_table4(&table4(&mut h)));
 }
 
@@ -153,57 +173,229 @@ pub fn print_sizer_ablation(scale: Scale) {
 /// Multiprogramming comparison: a CD-managed mix versus a WS-managed mix
 /// of the same three programs in the same memory (the paper's future
 /// work, Section 5).
+///
+/// The two mixes are independent simulations, so they run as executor
+/// jobs; reports print in fixed order regardless of completion order.
 pub fn print_multiprog(scale: Scale, total_frames: u64) {
+    print_multiprog_grid(scale, &[total_frames]);
+}
+
+/// [`print_multiprog`] over several frame budgets, all simulated as one
+/// executor grid.
+pub fn print_multiprog_grid(scale: Scale, frame_budgets: &[u64]) {
+    let labels = ["CD ", "WS "];
+    let reports = run_multiprog_mixes(scale, frame_budgets);
+    for (i, &total_frames) in frame_budgets.iter().enumerate() {
+        println!("Multiprogramming: CD mix vs WS mix ({total_frames} shared frames)");
+        for (label, r) in labels.iter().zip(&reports[i * 2..i * 2 + 2]) {
+            println!(
+                "{label}: makespan {:>12}  faults {:>8}  swaps {:>4}  cpu {:>5.1}%",
+                r.makespan,
+                r.total_faults,
+                r.swap_events,
+                r.cpu_utilization * 100.0
+            );
+            for p in &r.processes {
+                println!(
+                    "      {:<8} PF {:>8}  MEM {:>7.2}  done at {:>12}",
+                    p.name,
+                    p.metrics.faults,
+                    p.metrics.mean_mem(),
+                    p.finished_at
+                );
+            }
+        }
+        println!();
+    }
+    let _ = CdSelector::FirstFit; // referenced for doc purposes
+}
+
+/// Runs the (frame budget × policy mix) grid through the executor and
+/// returns reports in deterministic order: for each frame budget, the CD
+/// mix then the WS mix.
+pub fn run_multiprog_mixes(scale: Scale, frame_budgets: &[u64]) -> Vec<MultiReport> {
     let names = ["FDJAC", "TQL", "HYBRJ"];
-    let mk_specs = |policy_for: &dyn Fn(usize) -> ProcPolicy| {
-        names
+    let prepared: Vec<_> = names
+        .iter()
+        .map(|name| {
+            let w = cdmm_workloads::by_name(name, scale).expect("known workload");
+            let p =
+                cdmm_core::prepare(w.name, &w.source, PipelineConfig::default()).expect("pipeline");
+            (w.name.to_string(), p)
+        })
+        .collect();
+    let policies = [
+        ProcPolicy::Cd { min_alloc: 2 },
+        ProcPolicy::Ws { tau: 2_000 },
+    ];
+    let grid: Vec<(u64, ProcPolicy)> = frame_budgets
+        .iter()
+        .flat_map(|&f| policies.iter().map(move |&p| (f, p)))
+        .collect();
+    exec_from_args().map(&grid, |_, &(total_frames, policy)| {
+        let specs: Vec<_> = prepared
             .iter()
-            .enumerate()
-            .map(|(i, name)| {
-                let w = cdmm_workloads::by_name(name, scale).expect("known workload");
-                let variant = w.variants[0];
-                let p = cdmm_core::prepare(w.name, &w.source, PipelineConfig::default())
-                    .expect("pipeline");
-                let trace = match policy_for(i) {
+            .map(|(name, p)| {
+                let trace = match policy {
                     ProcPolicy::Cd { .. } => p.cd_trace().clone(),
                     _ => p.plain_trace().clone(),
                 };
-                let _ = variant;
-                (w.name.to_string(), trace, policy_for(i))
+                (name.clone(), trace, policy)
             })
-            .collect::<Vec<_>>()
-    };
-    let config = MultiConfig {
-        total_frames,
-        ..MultiConfig::default()
-    };
+            .collect();
+        let config = MultiConfig {
+            total_frames,
+            ..MultiConfig::default()
+        };
+        run_multiprogram(specs, config)
+    })
+}
 
-    println!("Multiprogramming: CD mix vs WS mix ({total_frames} shared frames)");
-    for (label, policy) in [
-        ("CD ", ProcPolicy::Cd { min_alloc: 2 }),
-        ("WS ", ProcPolicy::Ws { tau: 2_000 }),
-    ] {
-        let specs = mk_specs(&|_i| policy);
-        let r = run_multiprogram(specs, config);
+/// Options for [`run_sweep_summary`].
+#[derive(Debug, Clone)]
+pub struct SweepSummaryOptions {
+    /// Workload scale.
+    pub scale: Scale,
+    /// Worker threads for the parallel runs.
+    pub threads: usize,
+    /// Persistent cache directory (`None` = in-memory cache).
+    pub cache_dir: Option<std::path::PathBuf>,
+    /// Fail unless the table runs reach this cache hit rate (percent).
+    pub assert_hit_rate: Option<f64>,
+    /// Skip the serial baselines (no speedup columns; used by the CI
+    /// cache-warm re-run).
+    pub quick: bool,
+}
+
+/// Prints the execution-engine summary: full-LRU-sweep speedup, then a
+/// per-table wall-clock/speedup/cache-hit report for Tables 2–4.
+/// Returns an error when `assert_hit_rate` is not met.
+pub fn run_sweep_summary(opts: &SweepSummaryOptions) -> Result<(), String> {
+    use cdmm_core::sweep;
+    use std::time::Instant;
+
+    let threads = opts.threads.max(1);
+    let exec = Executor::with_threads(threads);
+    println!(
+        "Sweep engine summary ({:?} scale, {} threads, cache: {})",
+        opts.scale,
+        threads,
+        match &opts.cache_dir {
+            Some(d) => format!("persistent at {}", d.display()),
+            None => "in-memory".to_string(),
+        }
+    );
+
+    if !opts.quick {
+        // Full LRU sweep over every workload, serial vs parallel, both
+        // uncached: pure compute speedup.
+        let workloads = cdmm_workloads::all(opts.scale);
+        let prepared: Vec<_> = exec.map(&workloads, |_, w| {
+            cdmm_core::prepare(w.name, &w.source, PipelineConfig::default())
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name))
+        });
+        // One flat (workload × allocation) grid, so parallelism spans
+        // workloads even when each program's virtual size is small.
+        let jobs: Vec<(usize, usize)> = prepared
+            .iter()
+            .enumerate()
+            .flat_map(|(i, p)| sweep::full_lru_range(p).map(move |m| (i, m)))
+            .collect();
+        let run_full_sweep = |e: &Executor| {
+            let off = ResultCache::disabled();
+            e.map(&jobs, |_, &(i, m)| {
+                sweep::cached_lru(&off, &prepared[i], m).faults
+            })
+            .len()
+        };
+        let t0 = Instant::now();
+        let n_serial = run_full_sweep(&Executor::serial());
+        let serial = t0.elapsed();
+        let t0 = Instant::now();
+        let n_par = run_full_sweep(&exec);
+        let parallel = t0.elapsed();
+        assert_eq!(n_serial, n_par);
         println!(
-            "{label}: makespan {:>12}  faults {:>8}  swaps {:>4}  cpu {:>5.1}%",
-            r.makespan,
-            r.total_faults,
-            r.swap_events,
-            r.cpu_utilization * 100.0
+            "full LRU sweep ({} workloads, {} points): serial {serial:>9.3?} | {threads} threads {parallel:>9.3?} | speedup {:.2}x",
+            prepared.len(),
+            n_serial,
+            serial.as_secs_f64() / parallel.as_secs_f64().max(1e-9),
         );
-        for p in &r.processes {
-            println!(
-                "      {:<8} PF {:>8}  MEM {:>7.2}  done at {:>12}",
-                p.name,
-                p.metrics.faults,
-                p.metrics.mean_mem(),
-                p.finished_at
-            );
+    }
+
+    // Per-table report against the configured cache.
+    let cache = match &opts.cache_dir {
+        Some(dir) => ResultCache::at_dir(dir).map_err(|e| format!("cache at {dir:?}: {e}"))?,
+        None => ResultCache::in_memory(),
+    };
+    if cache.discarded_entries() > 0 {
+        println!(
+            "cache: discarded {} corrupt persisted entries",
+            cache.discarded_entries()
+        );
+    }
+    let mut serial_h = Harness::new(opts.scale)
+        .with_executor(Executor::serial())
+        .with_result_cache(ResultCache::disabled());
+    let mut par_h = Harness::new(opts.scale)
+        .with_executor(exec)
+        .with_result_cache(cache);
+
+    type TableFn = fn(&mut Harness) -> usize;
+    let tables: [(&str, TableFn); 3] = [
+        ("table2", |h| table2(h).len()),
+        ("table3", |h| table3(h).len()),
+        ("table4", |h| table4(h).len()),
+    ];
+    for (name, run) in tables {
+        let before = par_h.exec_stats();
+        let t0 = Instant::now();
+        let rows = run(&mut par_h);
+        let wall = t0.elapsed();
+        let d = par_h.exec_stats().since(&before);
+        let speedup = if opts.quick {
+            String::new()
+        } else {
+            let t0 = Instant::now();
+            run(&mut serial_h);
+            let serial = t0.elapsed();
+            format!(
+                " | serial {:>9.3?} speedup {:.2}x",
+                serial,
+                serial.as_secs_f64() / wall.as_secs_f64().max(1e-9)
+            )
+        };
+        println!(
+            "{name}: {rows} rows in {wall:>9.3?}{speedup} | cache {} hits / {} misses ({:.1}% hit, {:.2}ms/point)",
+            d.cache_hits,
+            d.cache_misses,
+            d.hit_rate(),
+            d.mean_point_ns() as f64 / 1e6,
+        );
+    }
+
+    let total = par_h.exec_stats();
+    println!(
+        "overall: {} hits / {} misses ({:.1}% hit rate), {} points simulated",
+        total.cache_hits,
+        total.cache_misses,
+        total.hit_rate(),
+        total.sim_points
+    );
+    if let Ok(written) = par_h.result_cache().flush() {
+        if written > 0 {
+            println!("cache: persisted {written} new entries");
         }
     }
-    println!();
-    let _ = CdSelector::FirstFit; // referenced for doc purposes
+    if let Some(want) = opts.assert_hit_rate {
+        if total.hit_rate() < want {
+            return Err(format!(
+                "cache hit rate {:.1}% below required {want:.1}%",
+                total.hit_rate()
+            ));
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -215,6 +407,26 @@ mod tests {
         // The printing paths must not panic at small scale.
         print_table1(Scale::Small);
         print_lock_ablation(Scale::Small);
+    }
+
+    #[test]
+    fn sweep_summary_asserts_hit_rate() {
+        let dir = std::env::temp_dir().join(format!("cdmm-sweep-summary-{}", std::process::id()));
+        let opts = SweepSummaryOptions {
+            scale: Scale::Small,
+            threads: 2,
+            cache_dir: Some(dir.clone()),
+            assert_hit_rate: None,
+            quick: true,
+        };
+        // Cold pass populates the cache; warm pass must hit ≥90%.
+        run_sweep_summary(&opts).expect("cold pass");
+        let warm = SweepSummaryOptions {
+            assert_hit_rate: Some(90.0),
+            ..opts
+        };
+        run_sweep_summary(&warm).expect("warm pass reaches 90% hits");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
 

@@ -8,11 +8,12 @@
 
 use std::collections::BTreeMap;
 
-use cdmm_vmsim::Metrics;
+use cdmm_vmsim::{ExecStats, Metrics};
 use cdmm_workloads::{all, Scale, Variant, Workload};
 
 use crate::pipeline::{prepare, selector_for, PipelineConfig, Prepared};
 use crate::sweep;
+use crate::sweep::{Executor, Point, ResultCache};
 
 /// Row names of Table 2, in paper order.
 pub const TABLE2_ROWS: [&str; 8] = [
@@ -31,11 +32,15 @@ pub const TABLE1_ROWS: [&str; 8] = [
 ];
 
 /// Shared preparation cache: every program is compiled and traced once,
-/// then reused across tables.
+/// then reused across tables. Table generation shards its point grids
+/// across the harness [`Executor`] and memoizes every simulated point in
+/// the harness [`ResultCache`].
 pub struct Harness {
     config: PipelineConfig,
     workloads: Vec<Workload>,
     cache: BTreeMap<String, Prepared>,
+    exec: Executor,
+    results: ResultCache,
 }
 
 impl Harness {
@@ -45,6 +50,10 @@ impl Harness {
     /// directives only — "the effectiveness of LOCK and UNLOCK directives
     /// is not studied in this work" (Section 3). The LOCK ablation bench
     /// re-runs with locks enabled.
+    ///
+    /// The default execution engine uses all available parallelism and
+    /// an in-memory result cache; chain [`Harness::with_executor`] /
+    /// [`Harness::with_result_cache`] to override.
     pub fn new(scale: Scale) -> Self {
         let config = PipelineConfig {
             insert: cdmm_locality::InsertOptions {
@@ -53,11 +62,7 @@ impl Harness {
             },
             ..PipelineConfig::default()
         };
-        Harness {
-            config,
-            workloads: all(scale),
-            cache: BTreeMap::new(),
-        }
+        Self::with_config(scale, config)
     }
 
     /// Builds a harness with a custom pipeline configuration.
@@ -66,7 +71,39 @@ impl Harness {
             config,
             workloads: all(scale),
             cache: BTreeMap::new(),
+            exec: Executor::new(),
+            results: ResultCache::in_memory(),
         }
+    }
+
+    /// Replaces the execution engine (`Executor::serial()` reproduces
+    /// the single-threaded path bit-identically).
+    pub fn with_executor(mut self, exec: Executor) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// Replaces the result cache (e.g. `ResultCache::persistent()` to
+    /// reuse points across runs, `ResultCache::disabled()` to force
+    /// every point to simulate).
+    pub fn with_result_cache(mut self, cache: ResultCache) -> Self {
+        self.results = cache;
+        self
+    }
+
+    /// The execution engine.
+    pub fn executor(&self) -> &Executor {
+        &self.exec
+    }
+
+    /// The result cache.
+    pub fn result_cache(&self) -> &ResultCache {
+        &self.results
+    }
+
+    /// Snapshot of the cache-hit/miss and wall-time counters.
+    pub fn exec_stats(&self) -> ExecStats {
+        self.results.stats()
     }
 
     /// Resolves a table-row name (e.g. `"MAIN2"`) to its workload and
@@ -97,11 +134,57 @@ impl Harness {
         })
     }
 
+    /// Compiles and traces every program behind `rows` that is not yet
+    /// prepared, sharding the pipeline runs across the executor.
+    pub fn prepare_rows(&mut self, rows: &[&str]) {
+        let todo: Vec<(String, String)> = {
+            let mut seen = Vec::new();
+            for &row in rows {
+                let (w, _) = self.resolve(row);
+                if !self.cache.contains_key(w.name) && !seen.iter().any(|(n, _)| n == w.name) {
+                    seen.push((w.name.to_string(), w.source.clone()));
+                }
+            }
+            seen
+        };
+        if todo.is_empty() {
+            return;
+        }
+        let config = self.config;
+        let prepared = self.exec.map(&todo, |_, (name, source)| {
+            prepare(name, source, config)
+                .unwrap_or_else(|e| panic!("pipeline failed for {name}: {e}"))
+        });
+        for ((name, _), p) in todo.into_iter().zip(prepared) {
+            self.cache.insert(name, p);
+        }
+    }
+
+    /// The prepared program for an already-prepared row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row was not prepared via [`Harness::prepared`] or
+    /// [`Harness::prepare_rows`] first.
+    pub fn prepared_ref(&self, row: &str) -> &Prepared {
+        let (w, _) = self.resolve(row);
+        self.cache
+            .get(w.name)
+            .unwrap_or_else(|| panic!("row {row} not prepared"))
+    }
+
     /// CD metrics for a row (its program run under its directive set).
     pub fn cd(&mut self, row: &str) -> Metrics {
+        self.prepare_rows(&[row]);
+        self.cd_at(row)
+    }
+
+    /// [`Harness::cd`] for an already-prepared row (shared-borrow, so it
+    /// can run inside executor workers).
+    pub fn cd_at(&self, row: &str) -> Metrics {
         let (_, variant) = self.resolve(row);
         let selector = selector_for(variant.level);
-        self.prepared(row).run_cd(selector)
+        sweep::cached_cd(&self.results, self.prepared_ref(row), selector)
     }
 
     /// CD metrics of the row's program under its *best* (minimal-ST)
@@ -109,12 +192,17 @@ impl Harness {
     /// operating point — its row labels (`MAIN3`, `TQL1`) are the
     /// variants that achieved each program's ST minimum.
     pub fn cd_best(&mut self, row: &str) -> Metrics {
+        self.prepare_rows(&[row]);
+        self.cd_best_at(row)
+    }
+
+    /// [`Harness::cd_best`] for an already-prepared row.
+    pub fn cd_best_at(&self, row: &str) -> Metrics {
         let (w, _) = self.resolve(row);
-        let levels: Vec<_> = w.variants.iter().map(|v| v.level).collect();
-        let p = self.prepared(row);
-        levels
-            .into_iter()
-            .map(|level| p.run_cd(selector_for(level)))
+        let p = self.prepared_ref(row);
+        w.variants
+            .iter()
+            .map(|v| sweep::cached_cd(&self.results, p, selector_for(v.level)))
             .min_by(|a, b| a.st_cost().partial_cmp(&b.st_cost()).expect("finite ST"))
             .expect("workloads always have at least one variant")
     }
@@ -134,20 +222,20 @@ pub struct Table1Row {
     pub st: f64,
 }
 
-/// Regenerates Table 1.
+/// Regenerates Table 1. Rows are sharded across the harness executor
+/// and emitted in paper order regardless of completion order.
 pub fn table1(harness: &mut Harness) -> Vec<Table1Row> {
-    TABLE1_ROWS
-        .iter()
-        .map(|&row| {
-            let m = harness.cd(row);
-            Table1Row {
-                program: row.to_string(),
-                mem: m.mean_mem(),
-                pf: m.faults,
-                st: m.st_cost(),
-            }
-        })
-        .collect()
+    harness.prepare_rows(&TABLE1_ROWS);
+    let h = &*harness;
+    h.executor().map(&TABLE1_ROWS, |_, &row| {
+        let m = h.cd_at(row);
+        Table1Row {
+            program: row.to_string(),
+            mem: m.mean_mem(),
+            pf: m.faults,
+            st: m.st_cost(),
+        }
+    })
 }
 
 /// One row of Table 2: minimal space-time cost of LRU and WS relative to
@@ -167,16 +255,71 @@ pub struct Table2Row {
 /// Regenerates Table 2: LRU is swept over every allocation `1..=V`, WS
 /// over a geometric window grid, and each family's minimal-ST point is
 /// compared against CD.
+///
+/// The whole `(row × family × parameter)` grid is flattened into one
+/// job list and sharded across the harness executor — a single slow LRU
+/// point cannot idle the other workers — then folded back per row in
+/// deterministic parameter order.
 pub fn table2(harness: &mut Harness) -> Vec<Table2Row> {
+    harness.prepare_rows(&TABLE2_ROWS);
+    let h = &*harness;
+    let cds: Vec<Metrics> = TABLE2_ROWS.iter().map(|&row| h.cd_best_at(row)).collect();
+
+    enum Family {
+        Lru,
+        Ws,
+    }
+    struct Job<'a> {
+        row: usize,
+        p: &'a Prepared,
+        family: Family,
+        param: u64,
+    }
+    let mut jobs: Vec<Job> = Vec::new();
+    for (row, &name) in TABLE2_ROWS.iter().enumerate() {
+        let p = h.prepared_ref(name);
+        for m in sweep::full_lru_range(p) {
+            jobs.push(Job {
+                row,
+                p,
+                family: Family::Lru,
+                param: m as u64,
+            });
+        }
+        for tau in sweep::ws_tau_grid(p, 8) {
+            jobs.push(Job {
+                row,
+                p,
+                family: Family::Ws,
+                param: tau,
+            });
+        }
+    }
+    let cache = h.result_cache();
+    let points = h.executor().map(&jobs, |_, j| Point {
+        param: j.param,
+        metrics: match j.family {
+            Family::Lru => sweep::cached_lru(cache, j.p, j.param as usize),
+            Family::Ws => sweep::cached_ws(cache, j.p, j.param),
+        },
+    });
+
     TABLE2_ROWS
         .iter()
-        .map(|&row| {
-            let cd = harness.cd_best(row);
-            let p = harness.prepared(row);
-            let lru_best = sweep::min_st(&sweep::lru_sweep(p, sweep::full_lru_range(p)));
-            let ws_best = sweep::min_st(&sweep::ws_sweep(p, sweep::ws_tau_grid(p, 8)));
+        .enumerate()
+        .map(|(row, &name)| {
+            let family_points = |family: fn(&Family) -> bool| -> Vec<Point> {
+                jobs.iter()
+                    .zip(&points)
+                    .filter(|(j, _)| j.row == row && family(&j.family))
+                    .map(|(_, pt)| *pt)
+                    .collect()
+            };
+            let lru_best = sweep::min_st(&family_points(|f| matches!(f, Family::Lru)));
+            let ws_best = sweep::min_st(&family_points(|f| matches!(f, Family::Ws)));
+            let cd = cds[row];
             Table2Row {
-                program: row.to_string(),
+                program: name.to_string(),
                 cd_st: cd.st_cost(),
                 lru_pct_st: lru_best.metrics.st_excess_pct(&cd),
                 ws_pct_st: ws_best.metrics.st_excess_pct(&cd),
@@ -204,26 +347,28 @@ pub struct Table3Row {
     pub ws_pct_st: f64,
 }
 
-/// Regenerates Table 3.
+/// Regenerates Table 3. Each row's matching search runs as one executor
+/// job (the binary-search probes inside a row are inherently serial, but
+/// rows proceed concurrently and every probe is memoized).
 pub fn table3(harness: &mut Harness) -> Vec<Table3Row> {
-    TABLE34_ROWS
-        .iter()
-        .map(|&row| {
-            let cd = harness.cd(row);
-            let p = harness.prepared(row);
-            let lru = sweep::lru_match_mem(p, cd.mean_mem());
-            let ws = sweep::ws_match_mem(p, cd.mean_mem());
-            Table3Row {
-                program: row.to_string(),
-                cd_mem: cd.mean_mem(),
-                cd_pf: cd.faults,
-                lru_dpf: lru.metrics.pf_excess(&cd),
-                lru_pct_st: lru.metrics.st_excess_pct(&cd),
-                ws_dpf: ws.metrics.pf_excess(&cd),
-                ws_pct_st: ws.metrics.st_excess_pct(&cd),
-            }
-        })
-        .collect()
+    harness.prepare_rows(&TABLE34_ROWS);
+    let h = &*harness;
+    let cache = h.result_cache();
+    h.executor().map(&TABLE34_ROWS, |_, &row| {
+        let cd = h.cd_at(row);
+        let p = h.prepared_ref(row);
+        let lru = sweep::lru_match_mem_with(cache, p, cd.mean_mem());
+        let ws = sweep::ws_match_mem_with(cache, p, cd.mean_mem());
+        Table3Row {
+            program: row.to_string(),
+            cd_mem: cd.mean_mem(),
+            cd_pf: cd.faults,
+            lru_dpf: lru.metrics.pf_excess(&cd),
+            lru_pct_st: lru.metrics.st_excess_pct(&cd),
+            ws_dpf: ws.metrics.pf_excess(&cd),
+            ws_pct_st: ws.metrics.st_excess_pct(&cd),
+        }
+    })
 }
 
 /// One row of Table 4: the memory and ST cost LRU and WS pay to produce
@@ -244,25 +389,26 @@ pub struct Table4Row {
     pub ws_pct_st: f64,
 }
 
-/// Regenerates Table 4.
+/// Regenerates Table 4. Rows run as concurrent executor jobs, like
+/// [`table3`].
 pub fn table4(harness: &mut Harness) -> Vec<Table4Row> {
-    TABLE34_ROWS
-        .iter()
-        .map(|&row| {
-            let cd = harness.cd(row);
-            let p = harness.prepared(row);
-            let lru = sweep::lru_match_pf(p, cd.faults);
-            let ws = sweep::ws_match_pf(p, cd.faults);
-            Table4Row {
-                program: row.to_string(),
-                cd_pf: cd.faults,
-                lru_pct_mem: lru.metrics.mem_excess_pct(&cd),
-                lru_pct_st: lru.metrics.st_excess_pct(&cd),
-                ws_pct_mem: ws.metrics.mem_excess_pct(&cd),
-                ws_pct_st: ws.metrics.st_excess_pct(&cd),
-            }
-        })
-        .collect()
+    harness.prepare_rows(&TABLE34_ROWS);
+    let h = &*harness;
+    let cache = h.result_cache();
+    h.executor().map(&TABLE34_ROWS, |_, &row| {
+        let cd = h.cd_at(row);
+        let p = h.prepared_ref(row);
+        let lru = sweep::lru_match_pf_with(cache, p, cd.faults);
+        let ws = sweep::ws_match_pf_with(cache, p, cd.faults);
+        Table4Row {
+            program: row.to_string(),
+            cd_pf: cd.faults,
+            lru_pct_mem: lru.metrics.mem_excess_pct(&cd),
+            lru_pct_st: lru.metrics.st_excess_pct(&cd),
+            ws_pct_mem: ws.metrics.mem_excess_pct(&cd),
+            ws_pct_st: ws.metrics.st_excess_pct(&cd),
+        }
+    })
 }
 
 #[cfg(test)]
@@ -306,6 +452,44 @@ mod tests {
             main3.mem
         );
         assert!(main1.pf <= main3.pf);
+    }
+
+    #[test]
+    fn parallel_tables_match_serial_tables() {
+        let run = |exec: Executor| {
+            let mut h = Harness::new(Scale::Small).with_executor(exec);
+            (table1(&mut h), table3(&mut h))
+        };
+        let (t1_serial, t3_serial) = run(Executor::serial());
+        let (t1_par, t3_par) = run(Executor::with_threads(4));
+        for (a, b) in t1_serial.iter().zip(&t1_par) {
+            assert_eq!(a.program, b.program);
+            assert_eq!(a.pf, b.pf);
+            assert_eq!(a.mem.to_bits(), b.mem.to_bits(), "{}", a.program);
+            assert_eq!(a.st.to_bits(), b.st.to_bits(), "{}", a.program);
+        }
+        for (a, b) in t3_serial.iter().zip(&t3_par) {
+            assert_eq!(a.program, b.program);
+            assert_eq!(
+                (a.lru_dpf, a.ws_dpf),
+                (b.lru_dpf, b.ws_dpf),
+                "{}",
+                a.program
+            );
+            assert_eq!(a.lru_pct_st.to_bits(), b.lru_pct_st.to_bits());
+            assert_eq!(a.ws_pct_st.to_bits(), b.ws_pct_st.to_bits());
+        }
+    }
+
+    #[test]
+    fn harness_counts_cache_traffic() {
+        let mut h = Harness::new(Scale::Small);
+        let first = h.cd("MAIN");
+        let again = h.cd("MAIN");
+        assert_eq!(first, again);
+        let s = h.exec_stats();
+        assert!(s.cache_hits >= 1, "repeat CD point served from cache");
+        assert_eq!(s.sim_points, s.cache_misses);
     }
 
     #[test]

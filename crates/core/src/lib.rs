@@ -47,4 +47,4 @@ pub mod report;
 pub mod sweep;
 
 pub use pipeline::{prepare, selector_for, PipelineConfig, PipelineError, Prepared, ValidateError};
-pub use sweep::Point;
+pub use sweep::{CacheKey, Executor, Point, ResultCache};

@@ -109,6 +109,11 @@ pub struct Prepared {
     /// Trace of the instrumented program (directive events embedded).
     cd_trace: Trace,
     config: PipelineConfig,
+    /// Content hash of everything that determines simulation results:
+    /// source text, both traces (reference string and directive stream),
+    /// page geometry and pipeline knobs. Computed once at prepare time;
+    /// the sweep result cache keys every point off it.
+    fingerprint: crate::sweep::CacheKey,
 }
 
 /// Runs the front half of the pipeline on one program.
@@ -125,13 +130,40 @@ pub fn prepare(
     let cd_trace =
         trace_program(&instrumented_src, config.geometry).map_err(PipelineError::Interp)?;
     check_alignment(&plain_trace, &cd_trace).map_err(PipelineError::Validate)?;
+    let fingerprint = content_fingerprint(source, &plain_trace, &cd_trace, &config);
     Ok(Prepared {
         name: name.to_string(),
         analysis,
         plain_trace,
         cd_trace,
         config,
+        fingerprint,
     })
+}
+
+/// Hashes the full simulation input of a prepared program.
+fn content_fingerprint(
+    source: &str,
+    plain: &Trace,
+    cd: &Trace,
+    config: &PipelineConfig,
+) -> crate::sweep::CacheKey {
+    use crate::sweep::cache::fingerprint_trace;
+    let mut h = crate::sweep::KeyHasher::new();
+    h.write_str(source);
+    fingerprint_trace(&mut h, plain);
+    fingerprint_trace(&mut h, cd);
+    h.write_u64(config.geometry.page_bytes);
+    h.write_u64(config.geometry.elem_bytes);
+    h.write_u64(config.fault_service);
+    h.write_u64(config.min_alloc);
+    h.write_u64(config.insert.allocate as u64);
+    h.write_u64(config.insert.lock as u64);
+    h.write_u64(match config.sizer_mode {
+        SizerMode::PaperBound => 0,
+        SizerMode::Tight => 1,
+    });
+    h.finish()
 }
 
 /// Verifies that directives did not change the observable reference
@@ -189,6 +221,12 @@ impl Prepared {
     /// The pipeline configuration used.
     pub fn config(&self) -> &PipelineConfig {
         &self.config
+    }
+
+    /// The content hash of this program's full simulation input (source,
+    /// traces, directive stream, geometry, knobs).
+    pub fn fingerprint(&self) -> crate::sweep::CacheKey {
+        self.fingerprint
     }
 
     /// Total pages in the program's virtual space (the paper's `V`).
@@ -273,6 +311,22 @@ mod tests {
         let p = prepared("FIELD");
         let m = p.run_lru(p.virtual_pages() as usize);
         assert_eq!(m.faults as u32, p.plain_trace().distinct_pages());
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_content_sensitive() {
+        let a = prepared("MAIN");
+        let b = prepared("MAIN");
+        assert_eq!(a.fingerprint(), b.fingerprint(), "same input, same key");
+        let c = prepared("FIELD");
+        assert_ne!(a.fingerprint(), c.fingerprint(), "different program");
+        let w = by_name("MAIN", Scale::Small).unwrap();
+        let cfg = PipelineConfig {
+            fault_service: 999,
+            ..PipelineConfig::default()
+        };
+        let d = prepare(w.name, &w.source, cfg).unwrap();
+        assert_ne!(a.fingerprint(), d.fingerprint(), "different knobs");
     }
 
     #[test]

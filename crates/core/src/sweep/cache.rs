@@ -1,0 +1,533 @@
+//! Content-addressed result cache for sweep points.
+//!
+//! Every simulated operating point is keyed by a 128-bit SplitMix64-based
+//! hash of everything that determines its result: the program source, the
+//! plain and directive (instrumented) traces, the page geometry and
+//! pipeline knobs, and the (policy, parameter) pair. Results are held in
+//! memory and optionally persisted as JSON lines under
+//! `target/cdmm-cache/`, so re-running a table after an unrelated edit
+//! only simulates the invalidated points.
+//!
+//! Every persisted line carries a checksum over its own payload; a line
+//! that fails to parse or whose checksum does not match is discarded and
+//! the point recomputed — a poisoned cache is never trusted.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use cdmm_trace::{Event, Trace};
+use cdmm_vmsim::{ExecStats, Metrics};
+
+/// SplitMix64 increment (golden-ratio constant).
+const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The SplitMix64 output mixer.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A 128-bit content hash identifying one simulation input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CacheKey {
+    /// High 64 bits.
+    pub hi: u64,
+    /// Low 64 bits.
+    pub lo: u64,
+}
+
+impl CacheKey {
+    /// Renders the key as 32 hex digits.
+    pub fn to_hex(self) -> String {
+        format!("{:016x}{:016x}", self.hi, self.lo)
+    }
+
+    /// Parses a 32-hex-digit key.
+    pub fn from_hex(s: &str) -> Option<CacheKey> {
+        if s.len() != 32 {
+            return None;
+        }
+        let hi = u64::from_str_radix(&s[..16], 16).ok()?;
+        let lo = u64::from_str_radix(&s[16..], 16).ok()?;
+        Some(CacheKey { hi, lo })
+    }
+}
+
+impl fmt::Display for CacheKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_hex())
+    }
+}
+
+/// A streaming hasher producing [`CacheKey`]s from two independent
+/// SplitMix64 lanes (dependency-free, stable across platforms and runs).
+#[derive(Debug, Clone)]
+pub struct KeyHasher {
+    a: u64,
+    b: u64,
+    len: u64,
+}
+
+impl Default for KeyHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl KeyHasher {
+    /// Creates a hasher with fixed seeds.
+    pub fn new() -> Self {
+        KeyHasher {
+            a: mix(0x5EED_0001),
+            b: mix(0xCAFE_F00D),
+            len: 0,
+        }
+    }
+
+    /// Absorbs one 64-bit word.
+    pub fn write_u64(&mut self, v: u64) {
+        self.len = self.len.wrapping_add(1);
+        self.a = mix(self.a.wrapping_add(GAMMA) ^ v);
+        self.b = mix(self.b.rotate_left(23) ^ v.wrapping_mul(GAMMA));
+    }
+
+    /// Absorbs a 128-bit word.
+    pub fn write_u128(&mut self, v: u128) {
+        self.write_u64(v as u64);
+        self.write_u64((v >> 64) as u64);
+    }
+
+    /// Absorbs raw bytes (length-prefixed, 8-byte little-endian chunks).
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.write_u64(bytes.len() as u64);
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(buf));
+        }
+    }
+
+    /// Absorbs a string.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// Finalizes the key.
+    pub fn finish(&self) -> CacheKey {
+        CacheKey {
+            hi: mix(self.a ^ self.len),
+            lo: mix(self.b ^ self.len.wrapping_mul(GAMMA)),
+        }
+    }
+}
+
+/// Absorbs a full trace — reference string *and* directive stream — into
+/// a hasher. Two traces differing in any event produce different keys.
+pub fn fingerprint_trace(h: &mut KeyHasher, t: &Trace) {
+    h.write_u64(t.virtual_pages as u64);
+    h.write_u64(t.events.len() as u64);
+    for e in &t.events {
+        match e {
+            Event::Ref(p) => {
+                h.write_u64(1);
+                h.write_u64(p.0 as u64);
+            }
+            Event::Alloc(args) => {
+                h.write_u64(2);
+                h.write_u64(args.len() as u64);
+                for a in args {
+                    h.write_u64(a.pi as u64);
+                    h.write_u64(a.pages);
+                }
+            }
+            Event::Lock { pj, ranges } => {
+                h.write_u64(3);
+                h.write_u64(*pj as u64);
+                h.write_u64(ranges.len() as u64);
+                for r in ranges {
+                    h.write_u64(r.start as u64);
+                    h.write_u64(r.end as u64);
+                }
+            }
+            Event::Unlock { ranges } => {
+                h.write_u64(4);
+                h.write_u64(ranges.len() as u64);
+                for r in ranges {
+                    h.write_u64(r.start as u64);
+                    h.write_u64(r.end as u64);
+                }
+            }
+        }
+    }
+}
+
+/// Checksum over a serialized cache entry's payload fields.
+fn entry_checksum(key: CacheKey, m: &Metrics) -> u64 {
+    let mut h = KeyHasher::new();
+    h.write_u64(key.hi);
+    h.write_u64(key.lo);
+    h.write_u64(m.refs);
+    h.write_u64(m.faults);
+    h.write_u128(m.mem_integral);
+    h.write_u128(m.fault_mem_integral);
+    h.write_u64(m.fault_service);
+    h.write_u64(m.peak_resident as u64);
+    h.write_u64(m.recovered_directives);
+    h.write_u64(m.degraded_refs);
+    h.finish().lo
+}
+
+/// Serializes one cache entry as a JSON line.
+pub fn encode_line(key: CacheKey, m: &Metrics) -> String {
+    format!(
+        "{{\"v\":1,\"k\":\"{}\",\"refs\":{},\"pf\":{},\"mi\":\"{}\",\"fmi\":\"{}\",\"fs\":{},\"peak\":{},\"rec\":{},\"deg\":{},\"c\":\"{:016x}\"}}",
+        key.to_hex(),
+        m.refs,
+        m.faults,
+        m.mem_integral,
+        m.fault_mem_integral,
+        m.fault_service,
+        m.peak_resident,
+        m.recovered_directives,
+        m.degraded_refs,
+        entry_checksum(key, m),
+    )
+}
+
+/// Extracts the raw text of `"name":value` from a JSON-line, without
+/// surrounding quotes.
+fn field<'a>(line: &'a str, name: &str) -> Option<&'a str> {
+    let tag = format!("\"{name}\":");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}'])?;
+    Some(rest[..end].trim_matches('"'))
+}
+
+/// Parses one JSON line back into a cache entry. Returns `None` — the
+/// entry is discarded — on any syntactic damage, unknown version, or
+/// checksum mismatch.
+pub fn decode_line(line: &str) -> Option<(CacheKey, Metrics)> {
+    if field(line, "v")? != "1" {
+        return None;
+    }
+    let key = CacheKey::from_hex(field(line, "k")?)?;
+    let m = Metrics {
+        refs: field(line, "refs")?.parse().ok()?,
+        faults: field(line, "pf")?.parse().ok()?,
+        mem_integral: field(line, "mi")?.parse().ok()?,
+        fault_mem_integral: field(line, "fmi")?.parse().ok()?,
+        fault_service: field(line, "fs")?.parse().ok()?,
+        peak_resident: field(line, "peak")?.parse().ok()?,
+        recovered_directives: field(line, "rec")?.parse().ok()?,
+        degraded_refs: field(line, "deg")?.parse().ok()?,
+    };
+    let stored = u64::from_str_radix(field(line, "c")?, 16).ok()?;
+    if stored != entry_checksum(key, &m) {
+        return None;
+    }
+    Some((key, m))
+}
+
+/// File name of the persisted entries inside a cache directory.
+const CACHE_FILE: &str = "results.jsonl";
+
+struct Store {
+    path: Option<PathBuf>,
+    map: Mutex<HashMap<CacheKey, Metrics>>,
+    pending: Mutex<Vec<(CacheKey, Metrics)>>,
+}
+
+/// A concurrent result cache with hit/miss and simulation wall-time
+/// counters.
+///
+/// All methods take `&self`; the cache is safe to share across executor
+/// workers. The counters are live even when storage is disabled, so the
+/// execution engine always reports per-point timing.
+pub struct ResultCache {
+    store: Option<Store>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    sim_points: AtomicU64,
+    sim_wall_ns: AtomicU64,
+    discarded: u64,
+}
+
+impl ResultCache {
+    /// A cache that stores nothing (every lookup misses); counters still
+    /// track points and wall time.
+    pub fn disabled() -> Self {
+        Self::with_store(None, 0)
+    }
+
+    fn with_store(store: Option<Store>, discarded: u64) -> Self {
+        ResultCache {
+            store,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            sim_points: AtomicU64::new(0),
+            sim_wall_ns: AtomicU64::new(0),
+            discarded,
+        }
+    }
+
+    /// An in-memory cache (no persistence).
+    pub fn in_memory() -> Self {
+        Self::with_store(
+            Some(Store {
+                path: None,
+                map: Mutex::new(HashMap::new()),
+                pending: Mutex::new(Vec::new()),
+            }),
+            0,
+        )
+    }
+
+    /// Opens (creating if needed) a persistent cache in `dir`, loading
+    /// every valid entry of its `results.jsonl`. Damaged lines are
+    /// counted in [`ResultCache::discarded_entries`] and dropped.
+    pub fn at_dir(dir: &Path) -> std::io::Result<Self> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(CACHE_FILE);
+        let mut map = HashMap::new();
+        let mut discarded = 0;
+        if let Ok(text) = fs::read_to_string(&path) {
+            for line in text.lines() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match decode_line(line) {
+                    Some((k, m)) => {
+                        map.insert(k, m);
+                    }
+                    None => discarded += 1,
+                }
+            }
+        }
+        Ok(Self::with_store(
+            Some(Store {
+                path: Some(path),
+                map: Mutex::new(map),
+                pending: Mutex::new(Vec::new()),
+            }),
+            discarded,
+        ))
+    }
+
+    /// Opens the default persistent cache under `target/cdmm-cache/`
+    /// (override the root with `CDMM_CACHE_DIR`).
+    pub fn persistent() -> std::io::Result<Self> {
+        let dir = std::env::var_os("CDMM_CACHE_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| {
+                std::env::var_os("CARGO_TARGET_DIR")
+                    .map(PathBuf::from)
+                    .unwrap_or_else(|| PathBuf::from("target"))
+                    .join("cdmm-cache")
+            });
+        Self::at_dir(&dir)
+    }
+
+    /// Is any storage (memory or disk) behind this cache?
+    pub fn is_enabled(&self) -> bool {
+        self.store.is_some()
+    }
+
+    /// Number of entries currently held.
+    pub fn len(&self) -> usize {
+        self.store
+            .as_ref()
+            .map_or(0, |s| s.map.lock().expect("cache lock").len())
+    }
+
+    /// True when no entries are held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Persisted lines discarded at load time (corrupt or stale format).
+    pub fn discarded_entries(&self) -> u64 {
+        self.discarded
+    }
+
+    /// Looks a key up, counting a hit or miss.
+    pub fn lookup(&self, key: CacheKey) -> Option<Metrics> {
+        let found = self
+            .store
+            .as_ref()
+            .and_then(|s| s.map.lock().expect("cache lock").get(&key).copied());
+        match found {
+            Some(m) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(m)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a freshly computed result.
+    pub fn insert(&self, key: CacheKey, m: Metrics) {
+        if let Some(s) = &self.store {
+            s.map.lock().expect("cache lock").insert(key, m);
+            if s.path.is_some() {
+                s.pending.lock().expect("cache lock").push((key, m));
+            }
+        }
+    }
+
+    /// Records the wall time of one simulated (non-cached) point.
+    pub fn record_sim(&self, wall: Duration) {
+        self.sim_points.fetch_add(1, Ordering::Relaxed);
+        self.sim_wall_ns.fetch_add(
+            wall.as_nanos().min(u64::MAX as u128) as u64,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Appends pending entries to the persistent file. Returns the number
+    /// of lines written (0 for memory-only and disabled caches).
+    pub fn flush(&self) -> std::io::Result<usize> {
+        let Some(s) = &self.store else { return Ok(0) };
+        let Some(path) = &s.path else { return Ok(0) };
+        let drained: Vec<_> = s.pending.lock().expect("cache lock").drain(..).collect();
+        if drained.is_empty() {
+            return Ok(0);
+        }
+        let mut out = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        for (k, m) in &drained {
+            writeln!(out, "{}", encode_line(*k, m))?;
+        }
+        Ok(drained.len())
+    }
+
+    /// Snapshot of the execution counters.
+    pub fn stats(&self) -> ExecStats {
+        ExecStats {
+            cache_hits: self.hits.load(Ordering::Relaxed),
+            cache_misses: self.misses.load(Ordering::Relaxed),
+            sim_points: self.sim_points.load(Ordering::Relaxed),
+            sim_wall_ns: self.sim_wall_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for ResultCache {
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_metrics(seed: u64) -> Metrics {
+        Metrics {
+            refs: seed * 31 + 7,
+            faults: seed * 3,
+            mem_integral: (seed as u128) << 64 | 42,
+            fault_mem_integral: seed as u128 * 999,
+            fault_service: 2000,
+            peak_resident: seed as usize % 97,
+            recovered_directives: seed % 5,
+            degraded_refs: seed % 11,
+        }
+    }
+
+    #[test]
+    fn hasher_is_deterministic_and_sensitive() {
+        let mut a = KeyHasher::new();
+        let mut b = KeyHasher::new();
+        a.write_str("hello");
+        b.write_str("hello");
+        assert_eq!(a.finish(), b.finish());
+        let mut c = KeyHasher::new();
+        c.write_str("hellp");
+        assert_ne!(a.finish(), c.finish());
+        // Length is absorbed: "ab","c" != "a","bc".
+        let mut d = KeyHasher::new();
+        d.write_str("ab");
+        d.write_str("c");
+        let mut e = KeyHasher::new();
+        e.write_str("a");
+        e.write_str("bc");
+        assert_ne!(d.finish(), e.finish());
+    }
+
+    #[test]
+    fn key_hex_round_trips() {
+        let k = CacheKey {
+            hi: 0x0123_4567_89ab_cdef,
+            lo: 0xfedc_ba98_7654_3210,
+        };
+        assert_eq!(CacheKey::from_hex(&k.to_hex()), Some(k));
+        assert_eq!(CacheKey::from_hex("zz"), None);
+    }
+
+    #[test]
+    fn line_round_trips_bit_exactly() {
+        for seed in 0..50 {
+            let key = CacheKey {
+                hi: mix(seed),
+                lo: mix(seed ^ GAMMA),
+            };
+            let m = sample_metrics(seed);
+            let line = encode_line(key, &m);
+            let (k2, m2) = decode_line(&line).expect("round trip");
+            assert_eq!(k2, key);
+            assert_eq!(m2, m, "u128 integrals survive the string encoding");
+        }
+    }
+
+    #[test]
+    fn tampered_lines_are_rejected() {
+        let key = CacheKey { hi: 1, lo: 2 };
+        let m = sample_metrics(9);
+        let good = encode_line(key, &m);
+        assert!(decode_line(&good).is_some());
+        // Flip the fault count: checksum must catch it.
+        let bad = good.replace("\"pf\":27", "\"pf\":28");
+        assert_ne!(good, bad);
+        assert_eq!(decode_line(&bad), None);
+        assert_eq!(decode_line("not json at all"), None);
+        assert_eq!(decode_line("{\"v\":2}"), None);
+    }
+
+    #[test]
+    fn disabled_cache_counts_misses_only() {
+        let c = ResultCache::disabled();
+        let k = CacheKey { hi: 7, lo: 8 };
+        assert_eq!(c.lookup(k), None);
+        c.insert(k, sample_metrics(1));
+        assert_eq!(c.lookup(k), None, "disabled cache stores nothing");
+        let s = c.stats();
+        assert_eq!(s.cache_hits, 0);
+        assert_eq!(s.cache_misses, 2);
+    }
+
+    #[test]
+    fn in_memory_cache_hits_after_insert() {
+        let c = ResultCache::in_memory();
+        let k = CacheKey { hi: 7, lo: 8 };
+        let m = sample_metrics(3);
+        assert_eq!(c.lookup(k), None);
+        c.insert(k, m);
+        assert_eq!(c.lookup(k), Some(m));
+        let s = c.stats();
+        assert_eq!((s.cache_hits, s.cache_misses), (1, 1));
+        assert!((s.hit_rate() - 50.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,151 @@
+//! Parallel experiment execution with deterministic result order.
+//!
+//! The executor shards a flat job list across `std::thread::scope`
+//! workers that pull indices from a shared atomic cursor — a work queue
+//! with no per-shard imbalance, so one slow point (a large LRU
+//! allocation, a long WS window) does not idle the other cores. Results
+//! are merged by *job index*, never by completion order, so the output
+//! is bit-identical for every thread count; `with_threads(1)` runs the
+//! jobs inline in order, reproducing the serial path exactly.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A deterministic parallel map over a flat job grid.
+#[derive(Debug, Clone)]
+pub struct Executor {
+    threads: usize,
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Executor {
+    /// An executor using all available parallelism.
+    pub fn new() -> Self {
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::with_threads(n)
+    }
+
+    /// A single-threaded executor (the bit-identical serial path).
+    pub fn serial() -> Self {
+        Self::with_threads(1)
+    }
+
+    /// An executor with exactly `n` worker threads (`n` is clamped to at
+    /// least 1).
+    pub fn with_threads(n: usize) -> Self {
+        Executor { threads: n.max(1) }
+    }
+
+    /// An executor honoring the `CDMM_THREADS` environment variable,
+    /// falling back to the available parallelism.
+    pub fn from_env() -> Self {
+        match std::env::var("CDMM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            Some(n) => Self::with_threads(n),
+            None => Self::new(),
+        }
+    }
+
+    /// The worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Applies `f` to every job and returns the results in job order,
+    /// regardless of which worker finished which job when.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from `f` (the scope joins all workers first).
+    pub fn map<J, T, F>(&self, jobs: &[J], f: F) -> Vec<T>
+    where
+        J: Sync,
+        T: Send,
+        F: Fn(usize, &J) -> T + Sync,
+    {
+        if self.threads == 1 || jobs.len() <= 1 {
+            return jobs.iter().enumerate().map(|(i, j)| f(i, j)).collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let workers = self.threads.min(jobs.len());
+        let mut slots: Vec<Option<T>> = Vec::with_capacity(jobs.len());
+        slots.resize_with(jobs.len(), || None);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= jobs.len() {
+                                break;
+                            }
+                            local.push((i, f(i, &jobs[i])));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (i, t) in h.join().expect("executor worker panicked") {
+                    slots[i] = Some(t);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|o| o.expect("every claimed job produced a result"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn serial_and_parallel_agree_in_order() {
+        let jobs: Vec<u64> = (0..257).collect();
+        let expect: Vec<u64> = jobs.iter().map(|j| j * j + 1).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = Executor::with_threads(threads).map(&jobs, |_, &j| j * j + 1);
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let jobs: Vec<usize> = (0..1000).collect();
+        let runs = AtomicU64::new(0);
+        let got = Executor::with_threads(7).map(&jobs, |i, &j| {
+            runs.fetch_add(1, Ordering::Relaxed);
+            assert_eq!(i, j, "index matches the job slot");
+            i
+        });
+        assert_eq!(runs.load(Ordering::Relaxed), 1000);
+        assert_eq!(got, jobs);
+    }
+
+    #[test]
+    fn empty_and_singleton_grids() {
+        let e = Executor::with_threads(4);
+        let empty: Vec<u32> = vec![];
+        assert!(e.map(&empty, |_, &j| j).is_empty());
+        assert_eq!(e.map(&[41u32], |_, &j| j + 1), vec![42]);
+    }
+
+    #[test]
+    fn thread_count_is_clamped() {
+        assert_eq!(Executor::with_threads(0).threads(), 1);
+        assert!(Executor::new().threads() >= 1);
+    }
+}

@@ -46,6 +46,6 @@ pub mod sim;
 pub mod stack;
 
 pub use error::SimError;
-pub use metrics::Metrics;
+pub use metrics::{ExecStats, Metrics};
 pub use policy::Policy;
 pub use sim::{simulate, SimConfig};

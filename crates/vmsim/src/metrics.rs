@@ -108,6 +108,51 @@ impl Metrics {
     }
 }
 
+/// Execution-engine counters for one sweep or table run: result-cache
+/// hits and misses plus per-point simulation wall time.
+///
+/// Kept separate from [`Metrics`] on purpose: a `Metrics` value must be
+/// bit-identical whether it was recomputed or recalled from cache, so
+/// nondeterministic wall-clock counters cannot live inside it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecStats {
+    /// Points answered from the result cache.
+    pub cache_hits: u64,
+    /// Points that missed the cache.
+    pub cache_misses: u64,
+    /// Points actually simulated (cache misses that ran).
+    pub sim_points: u64,
+    /// Total wall time spent simulating, in nanoseconds.
+    pub sim_wall_ns: u64,
+}
+
+impl ExecStats {
+    /// Cache hit rate in percent (0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64 * 100.0
+        }
+    }
+
+    /// Mean wall time per simulated point, in nanoseconds.
+    pub fn mean_point_ns(&self) -> u64 {
+        self.sim_wall_ns.checked_div(self.sim_points).unwrap_or(0)
+    }
+
+    /// The counter delta since an earlier snapshot.
+    pub fn since(&self, earlier: &ExecStats) -> ExecStats {
+        ExecStats {
+            cache_hits: self.cache_hits - earlier.cache_hits,
+            cache_misses: self.cache_misses - earlier.cache_misses,
+            sim_points: self.sim_points - earlier.sim_points,
+            sim_wall_ns: self.sim_wall_ns - earlier.sim_wall_ns,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,6 +186,29 @@ mod tests {
         assert!((lru.mem_excess_pct(&cd) - 150.0).abs() < 1e-9);
         assert!((lru.st_excess_pct(&cd) - 150.0).abs() < 1e-9);
         assert_eq!(lru.pf_excess(&cd), 0);
+    }
+
+    #[test]
+    fn exec_stats_rates_and_deltas() {
+        let a = ExecStats {
+            cache_hits: 9,
+            cache_misses: 1,
+            sim_points: 1,
+            sim_wall_ns: 5000,
+        };
+        assert!((a.hit_rate() - 90.0).abs() < 1e-9);
+        assert_eq!(a.mean_point_ns(), 5000);
+        let zero = ExecStats::default();
+        assert_eq!(zero.hit_rate(), 0.0);
+        assert_eq!(zero.mean_point_ns(), 0);
+        let d = a.since(&ExecStats {
+            cache_hits: 4,
+            cache_misses: 1,
+            sim_points: 1,
+            sim_wall_ns: 2000,
+        });
+        assert_eq!(d.cache_hits, 5);
+        assert_eq!(d.sim_wall_ns, 3000);
     }
 
     #[test]
