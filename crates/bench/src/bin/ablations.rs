@@ -1,10 +1,12 @@
 //! Ablation studies for the design choices DESIGN.md calls out:
 //! honoring LOCK/UNLOCK at run time, and inserting LOCK at compile time.
-//! Pass `--small` for the reduced test scale.
+//! Pass `--small` for the reduced test scale; see `--help` for the
+//! full flag set.
 
 fn main() {
-    let scale = cdmm_bench::scale_from_args();
-    cdmm_bench::print_lock_ablation(scale);
-    cdmm_bench::print_insertion_ablation(scale);
-    cdmm_bench::print_sizer_ablation(scale);
+    let env = cdmm_bench::BenchEnv::from_env();
+    cdmm_bench::print_lock_ablation(&env);
+    cdmm_bench::print_insertion_ablation(&env);
+    cdmm_bench::print_sizer_ablation(&env);
+    env.finish();
 }

@@ -7,8 +7,8 @@ use cdmm_core::anomalies::{fifo_belady_anomalies, ws_memory_anomalies};
 use cdmm_core::experiments::Harness;
 
 fn main() {
-    let scale = cdmm_bench::scale_from_args();
-    let mut h = Harness::new(scale);
+    let env = cdmm_bench::BenchEnv::from_env();
+    let mut h = Harness::new(env.scale());
     for row in [
         "MAIN", "FDJAC", "TQL1", "FIELD", "INIT", "APPROX", "HYBRJ", "CONDUCT", "HWSCRT",
     ] {
@@ -38,4 +38,5 @@ fn main() {
         }
         println!();
     }
+    env.finish();
 }

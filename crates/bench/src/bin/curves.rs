@@ -6,8 +6,8 @@ use cdmm_core::curves;
 use cdmm_core::experiments::Harness;
 
 fn main() {
-    let scale = cdmm_bench::scale_from_args();
-    let mut h = Harness::new(scale);
+    let env = cdmm_bench::BenchEnv::from_env();
+    let mut h = Harness::new(env.scale());
     for row in ["MAIN", "FDJAC", "CONDUCT"] {
         let (w, _) = h.resolve(row);
         let variants = w.variants.clone();
@@ -43,4 +43,5 @@ fn main() {
         }
         println!();
     }
+    env.finish();
 }

@@ -5,11 +5,12 @@ use cdmm_core::experiments::{table1, table2, table3, table4, Harness};
 use cdmm_core::report::render_markdown;
 
 fn main() {
-    let scale = cdmm_bench::scale_from_args();
-    let mut h = Harness::new(scale);
+    let env = cdmm_bench::BenchEnv::from_env();
+    let mut h = Harness::new(env.scale());
     let t1 = table1(&mut h);
     let t2 = table2(&mut h);
     let t3 = table3(&mut h);
     let t4 = table4(&mut h);
     print!("{}", render_markdown(&t1, &t2, &t3, &t4));
+    env.finish();
 }

@@ -1,9 +1,11 @@
 //! Multiprogramming comparison (the paper's stated future work): the
 //! same three-program mix under CD's PI-driven first-fit allocation and
 //! under the Working Set policy, sharing one memory.
-//! Pass `--small` for the reduced test scale.
+//! Pass `--small` for the reduced test scale; see `--help` for the
+//! full flag set.
 
 fn main() {
-    let scale = cdmm_bench::scale_from_args();
-    cdmm_bench::print_multiprog_grid(scale, &[48, 96, 192]);
+    let env = cdmm_bench::BenchEnv::from_env();
+    cdmm_bench::print_multiprog_grid(&env, &[48, 96, 192]);
+    env.finish();
 }

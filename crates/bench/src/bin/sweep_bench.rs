@@ -3,33 +3,33 @@
 //! ```text
 //! sweep_bench [--small] [--threads N] [--cache-dir PATH]
 //!             [--assert-hit-rate PCT] [--quick]
+//!             [--trace-out PATH] [--trace-events]
 //! ```
 //!
 //! Without `--cache-dir` the run uses an in-memory cache. A first run
 //! against a persistent directory populates it; an immediate re-run
 //! with `--quick --assert-hit-rate 90` verifies the warm-cache path
-//! (the CI cache-warm step).
+//! (the CI cache-warm step). With `--trace-out` the executor and cache
+//! stream `job_done` / `cache_query` events into a checksummed JSONL
+//! file.
 
 use std::process::ExitCode;
 
-use cdmm_bench::{exec_from_args, run_sweep_summary, scale_from_args, SweepSummaryOptions};
+use cdmm_bench::{run_sweep_summary, BenchEnv, SweepSummaryOptions};
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().collect();
-    let value_of = |name: &str| {
-        args.iter()
-            .position(|a| a == name)
-            .and_then(|i| args.get(i + 1))
-            .cloned()
-    };
+    let env = BenchEnv::from_env();
+    let o = env.options();
     let opts = SweepSummaryOptions {
-        scale: scale_from_args(),
-        threads: exec_from_args().threads(),
-        cache_dir: value_of("--cache-dir").map(Into::into),
-        assert_hit_rate: value_of("--assert-hit-rate").and_then(|v| v.parse().ok()),
-        quick: args.iter().any(|a| a == "--quick"),
+        scale: o.scale,
+        threads: o.executor().threads(),
+        cache_dir: o.cache_dir.clone(),
+        assert_hit_rate: o.assert_hit_rate,
+        quick: o.quick,
     };
-    match run_sweep_summary(&opts) {
+    let result = run_sweep_summary(&opts, env.tracer().cloned());
+    env.finish();
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("sweep_bench: {msg}");

@@ -1,6 +1,8 @@
 //! Regenerates Table 4 of the paper. Pass `--small` for the reduced
-//! test scale.
+//! test scale; see `--help` for the full flag set.
 
 fn main() {
-    cdmm_bench::print_table4(cdmm_bench::scale_from_args());
+    let env = cdmm_bench::BenchEnv::from_env();
+    cdmm_bench::print_table4(&env);
+    env.finish();
 }

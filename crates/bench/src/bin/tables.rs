@@ -1,10 +1,12 @@
 //! Regenerates all four tables of the paper's evaluation section.
-//! Pass `--small` for the reduced test scale.
+//! Pass `--small` for the reduced test scale; see `--help` for the
+//! full flag set.
 
 fn main() {
-    let scale = cdmm_bench::scale_from_args();
-    cdmm_bench::print_table1(scale);
-    cdmm_bench::print_table2(scale);
-    cdmm_bench::print_table3(scale);
-    cdmm_bench::print_table4(scale);
+    let env = cdmm_bench::BenchEnv::from_env();
+    cdmm_bench::print_table1(&env);
+    cdmm_bench::print_table2(&env);
+    cdmm_bench::print_table3(&env);
+    cdmm_bench::print_table4(&env);
+    env.finish();
 }

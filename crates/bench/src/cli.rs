@@ -1,0 +1,377 @@
+//! The one command-line parser shared by every bench binary.
+//!
+//! Every binary accepts the same flag set — `--small`, `--threads N`,
+//! `--cache-dir PATH`, `--assert-hit-rate PCT`, `--quick`,
+//! `--trace-out PATH`, `--trace-events` — parsed into [`Options`] with
+//! unknown flags rejected instead of silently ignored. [`BenchEnv`]
+//! turns parsed options into the runtime pieces the printing helpers
+//! need: a scale, an executor, and (when `--trace-out` is given) a
+//! shared [`JsonlSink`] tracer every subsystem feeds.
+
+use std::fmt;
+use std::path::PathBuf;
+
+use cdmm_core::sweep::Executor;
+use cdmm_vmsim::observe::{shared, SharedTracer};
+use cdmm_vmsim::JsonlSink;
+use cdmm_workloads::Scale;
+
+/// Parsed command-line options for a bench binary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Options {
+    /// Workload scale (`--small` selects [`Scale::Small`]).
+    pub scale: Scale,
+    /// Worker threads (`--threads N`); `None` defers to `CDMM_THREADS`
+    /// then the available parallelism.
+    pub threads: Option<usize>,
+    /// Persistent sweep-cache directory (`--cache-dir PATH`).
+    pub cache_dir: Option<PathBuf>,
+    /// Required cache hit rate in percent (`--assert-hit-rate PCT`).
+    pub assert_hit_rate: Option<f64>,
+    /// Skip serial baselines (`--quick`).
+    pub quick: bool,
+    /// Write a checksummed JSONL event trace here (`--trace-out PATH`).
+    pub trace_out: Option<PathBuf>,
+    /// Include per-reference events in the trace (`--trace-events`;
+    /// large output — off by default).
+    pub trace_events: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            scale: Scale::Paper,
+            threads: None,
+            cache_dir: None,
+            assert_hit_rate: None,
+            quick: false,
+            trace_out: None,
+            trace_events: false,
+        }
+    }
+}
+
+/// A command-line rejection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// A flag no bench binary understands.
+    UnknownFlag(String),
+    /// A value-taking flag at the end of the argument list.
+    MissingValue(String),
+    /// A value that does not parse for its flag.
+    BadValue {
+        /// The flag the value belonged to.
+        flag: String,
+        /// The rejected text.
+        value: String,
+    },
+    /// `--help` was requested (not an error; callers print usage).
+    Help,
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::UnknownFlag(flag) => write!(f, "unknown flag {flag:?}"),
+            CliError::MissingValue(flag) => write!(f, "{flag} needs a value"),
+            CliError::BadValue { flag, value } => {
+                write!(f, "{flag}: cannot parse {value:?}")
+            }
+            CliError::Help => write!(f, "help requested"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// The flag summary every binary prints on `--help` or a parse error.
+pub fn usage(bin: &str) -> String {
+    format!(
+        "usage: {bin} [--small] [--threads N] [--cache-dir PATH]\n\
+         {pad}[--assert-hit-rate PCT] [--quick]\n\
+         {pad}[--trace-out PATH] [--trace-events]\n\
+         \n\
+         --small            reduced workload scale (CI/tests)\n\
+         --threads N        executor worker threads\n\
+         --cache-dir PATH   persistent sweep-result cache\n\
+         --assert-hit-rate PCT  fail unless the cache hit rate reaches PCT\n\
+         --quick            skip serial baselines\n\
+         --trace-out PATH   write a checksummed JSONL event trace\n\
+         --trace-events     include per-reference events in the trace",
+        pad = " ".repeat(bin.len() + 8),
+    )
+}
+
+impl Options {
+    /// Parses flags (without the program name). Rejects unknown flags.
+    pub fn parse<I>(args: I) -> Result<Options, CliError>
+    where
+        I: IntoIterator,
+        I::Item: Into<String>,
+    {
+        let mut opts = Options::default();
+        let mut it = args.into_iter().map(Into::into);
+        while let Some(arg) = it.next() {
+            let mut value = |flag: &str| {
+                it.next()
+                    .ok_or_else(|| CliError::MissingValue(flag.to_string()))
+            };
+            match arg.as_str() {
+                "--small" => opts.scale = Scale::Small,
+                "--quick" => opts.quick = true,
+                "--trace-events" => opts.trace_events = true,
+                "--threads" => {
+                    let v = value("--threads")?;
+                    opts.threads = Some(parse_value("--threads", &v)?);
+                }
+                "--cache-dir" => opts.cache_dir = Some(value("--cache-dir")?.into()),
+                "--assert-hit-rate" => {
+                    let v = value("--assert-hit-rate")?;
+                    opts.assert_hit_rate = Some(parse_value("--assert-hit-rate", &v)?);
+                }
+                "--trace-out" => opts.trace_out = Some(value("--trace-out")?.into()),
+                "--help" | "-h" => return Err(CliError::Help),
+                other => return Err(CliError::UnknownFlag(other.to_string())),
+            }
+        }
+        Ok(opts)
+    }
+
+    /// Parses the process arguments, printing usage and exiting on a
+    /// bad or `--help` invocation (binaries only; libraries should use
+    /// [`Options::parse`]).
+    pub fn from_env() -> Options {
+        let mut args = std::env::args();
+        let bin = args.next().unwrap_or_else(|| "bench".to_string());
+        match Self::parse(args) {
+            Ok(opts) => opts,
+            Err(CliError::Help) => {
+                println!("{}", usage(&bin));
+                std::process::exit(0);
+            }
+            Err(e) => {
+                eprintln!("{bin}: {e}\n\n{}", usage(&bin));
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// The executor these options select: `--threads` wins, then
+    /// `CDMM_THREADS`, then the available parallelism.
+    pub fn executor(&self) -> Executor {
+        match self.threads {
+            Some(n) => Executor::with_threads(n),
+            None => Executor::from_env(),
+        }
+    }
+}
+
+fn parse_value<T: std::str::FromStr>(flag: &str, v: &str) -> Result<T, CliError> {
+    v.parse().map_err(|_| CliError::BadValue {
+        flag: flag.to_string(),
+        value: v.to_string(),
+    })
+}
+
+/// Runtime environment of one bench invocation: the parsed [`Options`]
+/// plus, when `--trace-out` was given, a [`SharedTracer`] writing the
+/// JSONL event stream.
+pub struct BenchEnv {
+    opts: Options,
+    tracer: Option<SharedTracer>,
+    trace_path: Option<PathBuf>,
+}
+
+impl fmt::Debug for BenchEnv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BenchEnv")
+            .field("opts", &self.opts)
+            .field("trace_path", &self.trace_path)
+            .finish()
+    }
+}
+
+impl BenchEnv {
+    /// Builds the environment from parsed options, opening the trace
+    /// sink when one was requested.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `--trace-out` names an unwritable path — a bench run
+    /// that silently drops its requested trace would be worse.
+    pub fn new(opts: Options) -> Self {
+        let trace_path = opts.trace_out.clone();
+        let tracer = trace_path.as_ref().map(|path| {
+            let sink = JsonlSink::create(path)
+                .unwrap_or_else(|e| panic!("--trace-out {}: {e}", path.display()))
+                .with_refs(opts.trace_events);
+            shared(sink)
+        });
+        BenchEnv {
+            opts,
+            tracer,
+            trace_path,
+        }
+    }
+
+    /// Parses the process arguments and builds the environment
+    /// (binaries only; exits on a bad invocation).
+    pub fn from_env() -> Self {
+        Self::new(Options::from_env())
+    }
+
+    /// The parsed options.
+    pub fn options(&self) -> &Options {
+        &self.opts
+    }
+
+    /// The workload scale.
+    pub fn scale(&self) -> Scale {
+        self.opts.scale
+    }
+
+    /// The executor, with the trace sink attached as its job observer
+    /// when tracing is on.
+    pub fn executor(&self) -> Executor {
+        let exec = self.opts.executor();
+        match &self.tracer {
+            Some(t) => exec.with_observer(t.clone()),
+            None => exec,
+        }
+    }
+
+    /// The shared trace sink, when `--trace-out` was given.
+    pub fn tracer(&self) -> Option<&SharedTracer> {
+        self.tracer.as_ref()
+    }
+
+    /// Flushes the trace sink and reports where the trace went. Call
+    /// once at the end of `main`.
+    pub fn finish(&self) {
+        if let Some(t) = &self.tracer {
+            t.lock().expect("tracer lock").flush();
+            if let Some(path) = &self.trace_path {
+                eprintln!("trace written to {}", path.display());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, CliError> {
+        Options::parse(args.iter().copied())
+    }
+
+    #[test]
+    fn defaults_are_paper_scale_untraced() {
+        let opts = parse(&[]).unwrap();
+        assert_eq!(opts, Options::default());
+        assert_eq!(opts.scale, Scale::Paper);
+        assert!(opts.trace_out.is_none());
+    }
+
+    #[test]
+    fn all_flags_parse() {
+        let opts = parse(&[
+            "--small",
+            "--threads",
+            "3",
+            "--cache-dir",
+            "/tmp/c",
+            "--assert-hit-rate",
+            "90.5",
+            "--quick",
+            "--trace-out",
+            "/tmp/t.jsonl",
+            "--trace-events",
+        ])
+        .unwrap();
+        assert_eq!(opts.scale, Scale::Small);
+        assert_eq!(opts.threads, Some(3));
+        assert_eq!(
+            opts.cache_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/c"))
+        );
+        assert_eq!(opts.assert_hit_rate, Some(90.5));
+        assert!(opts.quick);
+        assert_eq!(
+            opts.trace_out.as_deref(),
+            Some(std::path::Path::new("/tmp/t.jsonl"))
+        );
+        assert!(opts.trace_events);
+        assert_eq!(opts.executor().threads(), 3);
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        assert_eq!(
+            parse(&["--smol"]),
+            Err(CliError::UnknownFlag("--smol".to_string()))
+        );
+        assert!(parse(&["--smol"])
+            .unwrap_err()
+            .to_string()
+            .contains("--smol"));
+    }
+
+    #[test]
+    fn missing_and_bad_values_are_rejected() {
+        assert_eq!(
+            parse(&["--threads"]),
+            Err(CliError::MissingValue("--threads".to_string()))
+        );
+        assert_eq!(
+            parse(&["--threads", "many"]),
+            Err(CliError::BadValue {
+                flag: "--threads".to_string(),
+                value: "many".to_string(),
+            })
+        );
+        assert_eq!(parse(&["--help"]), Err(CliError::Help));
+    }
+
+    #[test]
+    fn usage_names_every_flag() {
+        let u = usage("tables");
+        for flag in [
+            "--small",
+            "--threads",
+            "--cache-dir",
+            "--assert-hit-rate",
+            "--quick",
+            "--trace-out",
+            "--trace-events",
+        ] {
+            assert!(u.contains(flag), "usage must mention {flag}");
+        }
+    }
+
+    #[test]
+    fn env_without_trace_has_no_tracer() {
+        let env = BenchEnv::new(Options {
+            scale: Scale::Small,
+            ..Options::default()
+        });
+        assert!(env.tracer().is_none());
+        assert_eq!(env.scale(), Scale::Small);
+        env.finish();
+    }
+
+    #[test]
+    fn env_with_trace_out_opens_the_sink() {
+        let path = std::env::temp_dir().join(format!("cdmm-cli-{}.jsonl", std::process::id()));
+        let env = BenchEnv::new(Options {
+            scale: Scale::Small,
+            trace_out: Some(path.clone()),
+            ..Options::default()
+        });
+        assert!(env.tracer().is_some());
+        assert!(env.executor().observer().is_some());
+        env.finish();
+        assert!(path.exists());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -11,10 +11,20 @@ use cdmm_core::pipeline::PipelineConfig;
 use cdmm_core::report;
 use cdmm_core::sweep::{Executor, ResultCache};
 use cdmm_vmsim::multiprog::{run_multiprogram, MultiConfig, MultiReport, ProcPolicy};
+use cdmm_vmsim::observe::SharedTracer;
 use cdmm_vmsim::policy::cd::CdSelector;
 use cdmm_workloads::Scale;
 
+pub mod cli;
+
+pub use cli::{BenchEnv, CliError, Options};
+
 /// Parses the common `--small` flag used by every binary.
+#[deprecated(
+    since = "0.1.0",
+    note = "sniffs the process argv from library code; use `cli::Options::parse` \
+            (or `BenchEnv::from_env` in binaries) instead"
+)]
 pub fn scale_from_args() -> Scale {
     if std::env::args().any(|a| a == "--small") {
         Scale::Small
@@ -25,6 +35,11 @@ pub fn scale_from_args() -> Scale {
 
 /// Parses the common `--threads N` flag; falls back to `CDMM_THREADS`,
 /// then to the available parallelism.
+#[deprecated(
+    since = "0.1.0",
+    note = "sniffs the process argv from library code; use `cli::Options::executor` \
+            (or `BenchEnv::executor` in binaries) instead"
+)]
 pub fn exec_from_args() -> Executor {
     let args: Vec<String> = std::env::args().collect();
     match args
@@ -38,31 +53,31 @@ pub fn exec_from_args() -> Executor {
     }
 }
 
-fn table_harness(scale: Scale) -> Harness {
-    Harness::new(scale).with_executor(exec_from_args())
+fn table_harness(env: &BenchEnv) -> Harness {
+    Harness::new(env.scale()).with_executor(env.executor())
 }
 
 /// Prints Table 1.
-pub fn print_table1(scale: Scale) {
-    let mut h = table_harness(scale);
+pub fn print_table1(env: &BenchEnv) {
+    let mut h = table_harness(env);
     println!("{}", report::render_table1(&table1(&mut h)));
 }
 
 /// Prints Table 2.
-pub fn print_table2(scale: Scale) {
-    let mut h = table_harness(scale);
+pub fn print_table2(env: &BenchEnv) {
+    let mut h = table_harness(env);
     println!("{}", report::render_table2(&table2(&mut h)));
 }
 
 /// Prints Table 3.
-pub fn print_table3(scale: Scale) {
-    let mut h = table_harness(scale);
+pub fn print_table3(env: &BenchEnv) {
+    let mut h = table_harness(env);
     println!("{}", report::render_table3(&table3(&mut h)));
 }
 
 /// Prints Table 4.
-pub fn print_table4(scale: Scale) {
-    let mut h = table_harness(scale);
+pub fn print_table4(env: &BenchEnv) {
+    let mut h = table_harness(env);
     println!("{}", report::render_table4(&table4(&mut h)));
 }
 
@@ -70,7 +85,7 @@ pub fn print_table4(scale: Scale) {
 /// The paper inserts LOCK but defers its evaluation ("the effectiveness
 /// of LOCK and UNLOCK directives is not studied in this work") — this is
 /// that missing measurement.
-pub fn print_lock_ablation(scale: Scale) {
+pub fn print_lock_ablation(env: &BenchEnv) {
     println!("Ablation: CD with vs without LOCK/UNLOCK honored");
     println!(
         "{:<8} | {:>10} {:>10} {:>12} | {:>10} {:>10} {:>12}",
@@ -79,7 +94,7 @@ pub fn print_lock_ablation(scale: Scale) {
     println!("{}", "-".repeat(86));
     // Locks must be inserted for this ablation; the paper-faithful
     // default harness strips them.
-    let mut h = Harness::with_config(scale, PipelineConfig::default());
+    let mut h = Harness::with_config(env.scale(), PipelineConfig::default());
     for row in TABLE1_ROWS {
         let (_, variant) = h.resolve(row);
         let selector = cdmm_core::selector_for(variant.level);
@@ -102,7 +117,7 @@ pub fn print_lock_ablation(scale: Scale) {
 
 /// Ablation: ALLOCATE-only instrumentation (no LOCK at compile time)
 /// versus full instrumentation.
-pub fn print_insertion_ablation(scale: Scale) {
+pub fn print_insertion_ablation(env: &BenchEnv) {
     println!("Ablation: compile-time insertion of LOCK directives");
     println!(
         "{:<8} | {:>12} {:>12} | {:>12} {:>12}",
@@ -111,8 +126,8 @@ pub fn print_insertion_ablation(scale: Scale) {
     println!("{}", "-".repeat(66));
     // `Harness::new` is already ALLOCATE-only; the "full" harness adds
     // compile-time LOCK insertion back.
-    let mut h_full = Harness::with_config(scale, PipelineConfig::default());
-    let mut h_alloc = Harness::new(scale);
+    let mut h_full = Harness::with_config(env.scale(), PipelineConfig::default());
+    let mut h_alloc = Harness::new(env.scale());
     for row in TABLE1_ROWS {
         let full = h_full.cd(row);
         let alloc = h_alloc.cd(row);
@@ -130,7 +145,7 @@ pub fn print_insertion_ablation(scale: Scale) {
 
 /// Ablation: the paper's upper-bound locality counting versus the tight
 /// contiguity-aware counting (DESIGN.md §5½).
-pub fn print_sizer_ablation(scale: Scale) {
+pub fn print_sizer_ablation(env: &BenchEnv) {
     use cdmm_locality::SizerMode;
     println!("Ablation: locality-size counting mode (CD at each row's default level)");
     println!(
@@ -146,8 +161,8 @@ pub fn print_sizer_ablation(scale: Scale) {
         sizer_mode: SizerMode::PaperBound,
         ..PipelineConfig::default()
     };
-    let mut h_tight = Harness::new(scale);
-    let mut h_paper = Harness::with_config(scale, paper_mode);
+    let mut h_tight = Harness::new(env.scale());
+    let mut h_paper = Harness::with_config(env.scale(), paper_mode);
     // The modes differ most on stencil codes, which Table 1 does not
     // include — scan those too.
     let rows = [
@@ -176,15 +191,15 @@ pub fn print_sizer_ablation(scale: Scale) {
 ///
 /// The two mixes are independent simulations, so they run as executor
 /// jobs; reports print in fixed order regardless of completion order.
-pub fn print_multiprog(scale: Scale, total_frames: u64) {
-    print_multiprog_grid(scale, &[total_frames]);
+pub fn print_multiprog(env: &BenchEnv, total_frames: u64) {
+    print_multiprog_grid(env, &[total_frames]);
 }
 
 /// [`print_multiprog`] over several frame budgets, all simulated as one
 /// executor grid.
-pub fn print_multiprog_grid(scale: Scale, frame_budgets: &[u64]) {
+pub fn print_multiprog_grid(env: &BenchEnv, frame_budgets: &[u64]) {
     let labels = ["CD ", "WS "];
-    let reports = run_multiprog_mixes(scale, frame_budgets);
+    let reports = run_multiprog_mixes(env.scale(), frame_budgets, &env.executor());
     for (i, &total_frames) in frame_budgets.iter().enumerate() {
         println!("Multiprogramming: CD mix vs WS mix ({total_frames} shared frames)");
         for (label, r) in labels.iter().zip(&reports[i * 2..i * 2 + 2]) {
@@ -213,7 +228,11 @@ pub fn print_multiprog_grid(scale: Scale, frame_budgets: &[u64]) {
 /// Runs the (frame budget × policy mix) grid through the executor and
 /// returns reports in deterministic order: for each frame budget, the CD
 /// mix then the WS mix.
-pub fn run_multiprog_mixes(scale: Scale, frame_budgets: &[u64]) -> Vec<MultiReport> {
+pub fn run_multiprog_mixes(
+    scale: Scale,
+    frame_budgets: &[u64],
+    exec: &Executor,
+) -> Vec<MultiReport> {
     let names = ["FDJAC", "TQL", "HYBRJ"];
     let prepared: Vec<_> = names
         .iter()
@@ -232,7 +251,7 @@ pub fn run_multiprog_mixes(scale: Scale, frame_budgets: &[u64]) -> Vec<MultiRepo
         .iter()
         .flat_map(|&f| policies.iter().map(move |&p| (f, p)))
         .collect();
-    exec_from_args().map(&grid, |_, &(total_frames, policy)| {
+    exec.map(&grid, |_, &(total_frames, policy)| {
         let specs: Vec<_> = prepared
             .iter()
             .map(|(name, p)| {
@@ -270,12 +289,22 @@ pub struct SweepSummaryOptions {
 /// Prints the execution-engine summary: full-LRU-sweep speedup, then a
 /// per-table wall-clock/speedup/cache-hit report for Tables 2–4.
 /// Returns an error when `assert_hit_rate` is not met.
-pub fn run_sweep_summary(opts: &SweepSummaryOptions) -> Result<(), String> {
+///
+/// With an `observer` attached, the parallel executor emits one
+/// `job_done` event per sweep point and the result cache one
+/// `cache_query` event per lookup.
+pub fn run_sweep_summary(
+    opts: &SweepSummaryOptions,
+    observer: Option<SharedTracer>,
+) -> Result<(), String> {
     use cdmm_core::sweep;
     use std::time::Instant;
 
     let threads = opts.threads.max(1);
-    let exec = Executor::with_threads(threads);
+    let mut exec = Executor::with_threads(threads);
+    if let Some(t) = &observer {
+        exec = exec.with_observer(t.clone());
+    }
     println!(
         "Sweep engine summary ({:?} scale, {} threads, cache: {})",
         opts.scale,
@@ -324,10 +353,13 @@ pub fn run_sweep_summary(opts: &SweepSummaryOptions) -> Result<(), String> {
     }
 
     // Per-table report against the configured cache.
-    let cache = match &opts.cache_dir {
+    let mut cache = match &opts.cache_dir {
         Some(dir) => ResultCache::at_dir(dir).map_err(|e| format!("cache at {dir:?}: {e}"))?,
         None => ResultCache::in_memory(),
     };
+    if let Some(t) = &observer {
+        cache = cache.with_observer(t.clone());
+    }
     if cache.discarded_entries() > 0 {
         println!(
             "cache: discarded {} corrupt persisted entries",
@@ -402,11 +434,37 @@ pub fn run_sweep_summary(opts: &SweepSummaryOptions) -> Result<(), String> {
 mod tests {
     use super::*;
 
+    fn small_env() -> BenchEnv {
+        BenchEnv::new(Options {
+            scale: Scale::Small,
+            threads: Some(2),
+            ..Options::default()
+        })
+    }
+
     #[test]
     fn small_scale_tables_print() {
         // The printing paths must not panic at small scale.
-        print_table1(Scale::Small);
-        print_lock_ablation(Scale::Small);
+        let env = small_env();
+        print_table1(&env);
+        print_lock_ablation(&env);
+    }
+
+    #[test]
+    fn traced_tables_write_a_validating_event_file() {
+        let path =
+            std::env::temp_dir().join(format!("cdmm-bench-trace-{}.jsonl", std::process::id()));
+        let env = BenchEnv::new(Options {
+            scale: Scale::Small,
+            threads: Some(2),
+            trace_out: Some(path.clone()),
+            ..Options::default()
+        });
+        print_table1(&env);
+        env.finish();
+        let lines = cdmm_vmsim::JsonlSink::validate_file(&path).expect("trace validates");
+        assert!(lines > 0, "table runs emit job_done events");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
@@ -420,12 +478,12 @@ mod tests {
             quick: true,
         };
         // Cold pass populates the cache; warm pass must hit ≥90%.
-        run_sweep_summary(&opts).expect("cold pass");
+        run_sweep_summary(&opts, None).expect("cold pass");
         let warm = SweepSummaryOptions {
             assert_hit_rate: Some(90.0),
             ..opts
         };
-        run_sweep_summary(&warm).expect("warm pass reaches 90% hits");
+        run_sweep_summary(&warm, None).expect("warm pass reaches 90% hits");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

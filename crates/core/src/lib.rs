@@ -46,5 +46,7 @@ pub mod pipeline;
 pub mod report;
 pub mod sweep;
 
-pub use pipeline::{prepare, selector_for, PipelineConfig, PipelineError, Prepared, ValidateError};
+pub use pipeline::{
+    prepare, selector_for, PipelineConfig, PipelineError, PolicySpec, Prepared, ValidateError,
+};
 pub use sweep::{CacheKey, Executor, Point, ResultCache};

@@ -9,9 +9,15 @@ use cdmm_locality::{
 };
 use cdmm_trace::{trace_program, InterpError, Trace};
 use cdmm_vmsim::policy::cd::{CdPolicy, CdSelector};
+use cdmm_vmsim::policy::clock::Clock;
+use cdmm_vmsim::policy::fifo::Fifo;
 use cdmm_vmsim::policy::lru::Lru;
+use cdmm_vmsim::policy::opt::Opt;
+use cdmm_vmsim::policy::pff::Pff;
 use cdmm_vmsim::policy::ws::WorkingSet;
-use cdmm_vmsim::{simulate, Metrics, SimConfig};
+use cdmm_vmsim::policy::ws_variants::{DampedWs, SampledWs, VariableSampledWs};
+use cdmm_vmsim::policy::Policy;
+use cdmm_vmsim::{simulate, simulate_with, Metrics, SimConfig, Tracer};
 use cdmm_workloads::DirectiveLevel;
 
 /// Pipeline-wide knobs.
@@ -104,6 +110,8 @@ impl std::error::Error for PipelineError {}
 pub struct Prepared {
     name: String,
     analysis: Analysis,
+    /// Source text after directive insertion (what produced `cd_trace`).
+    instrumented_source: String,
     /// Trace of the uninstrumented program (what LRU/WS/OPT see).
     plain_trace: Trace,
     /// Trace of the instrumented program (directive events embedded).
@@ -134,6 +142,7 @@ pub fn prepare(
     Ok(Prepared {
         name: name.to_string(),
         analysis,
+        instrumented_source: instrumented_src,
         plain_trace,
         cd_trace,
         config,
@@ -188,6 +197,87 @@ fn check_alignment(plain: &Trace, cd: &Trace) -> Result<(), ValidateError> {
     Ok(())
 }
 
+/// A policy choice expressed as plain data, so callers (the facade,
+/// sweep drivers, benches) can pick a policy without naming concrete
+/// simulator types.
+///
+/// [`Prepared::run_policy`] routes each variant onto the right trace:
+/// CD variants consume the instrumented trace, everything else the
+/// plain reference string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicySpec {
+    /// The paper's compiler-directed policy.
+    Cd {
+        /// Which loop level's ALLOCATE requests to honor.
+        selector: CdSelector,
+    },
+    /// CD with LOCK/UNLOCK ignored (ablation).
+    CdNoLocks {
+        /// Which loop level's ALLOCATE requests to honor.
+        selector: CdSelector,
+    },
+    /// Fixed-allocation LRU.
+    Lru {
+        /// Frame allocation.
+        frames: usize,
+    },
+    /// Denning's Working Set.
+    Ws {
+        /// Window in references.
+        tau: u64,
+    },
+    /// Fixed-allocation FIFO.
+    Fifo {
+        /// Frame allocation.
+        frames: usize,
+    },
+    /// Clock (second-chance) replacement.
+    Clock {
+        /// Frame allocation.
+        frames: usize,
+    },
+    /// Belady's optimal fixed-space policy (needs trace lookahead).
+    Opt {
+        /// Frame allocation.
+        frames: usize,
+    },
+    /// Page-Fault Frequency.
+    Pff {
+        /// Inter-fault threshold in references.
+        threshold: u64,
+    },
+    /// WS with a damped release reserve.
+    DampedWs {
+        /// Window in references.
+        tau: u64,
+        /// Reserve capacity in pages.
+        reserve_cap: usize,
+    },
+    /// WS evaluated only every `sigma` references.
+    SampledWs {
+        /// Window in references.
+        tau: u64,
+        /// Sampling interval in references.
+        sigma: u64,
+    },
+    /// WS with a fault-driven variable sampling interval.
+    VariableSampledWs {
+        /// Shortest sampling interval.
+        min_interval: u64,
+        /// Longest sampling interval.
+        max_interval: u64,
+        /// Faults tolerated per interval before tightening.
+        fault_quota: u64,
+    },
+}
+
+impl PolicySpec {
+    /// True for the variants that consume the instrumented trace.
+    pub fn uses_directives(&self) -> bool {
+        matches!(self, PolicySpec::Cd { .. } | PolicySpec::CdNoLocks { .. })
+    }
+}
+
 /// Maps a workload's neutral directive level onto the CD selector.
 pub fn selector_for(level: DirectiveLevel) -> CdSelector {
     match level {
@@ -240,10 +330,22 @@ impl Prepared {
         }
     }
 
+    /// The instrumented source text (original program plus inserted
+    /// ALLOCATE/LOCK/UNLOCK directives).
+    pub fn instrumented_source(&self) -> &str {
+        &self.instrumented_source
+    }
+
     /// Runs the CD policy with the given request selector.
     pub fn run_cd(&self, selector: CdSelector) -> Metrics {
         let mut cd = CdPolicy::new(selector).with_min_alloc(self.config.min_alloc);
         simulate(&self.cd_trace, &mut cd, self.sim_config())
+    }
+
+    /// [`Prepared::run_cd`] with an event tracer attached.
+    pub fn run_cd_with(&self, selector: CdSelector, tracer: &mut dyn Tracer) -> Metrics {
+        let mut cd = CdPolicy::new(selector).with_min_alloc(self.config.min_alloc);
+        simulate_with(&self.cd_trace, &mut cd, self.sim_config(), tracer)
     }
 
     /// Runs the CD policy without honoring LOCK/UNLOCK (ablation).
@@ -260,10 +362,91 @@ impl Prepared {
         simulate(&self.plain_trace, &mut lru, self.sim_config())
     }
 
+    /// [`Prepared::run_lru`] with an event tracer attached.
+    pub fn run_lru_with(&self, frames: usize, tracer: &mut dyn Tracer) -> Metrics {
+        let mut lru = Lru::new(frames.max(1));
+        simulate_with(&self.plain_trace, &mut lru, self.sim_config(), tracer)
+    }
+
     /// Runs the Working Set policy with window `tau`.
     pub fn run_ws(&self, tau: u64) -> Metrics {
         let mut ws = WorkingSet::new(tau.max(1));
         simulate(&self.plain_trace, &mut ws, self.sim_config())
+    }
+
+    /// [`Prepared::run_ws`] with an event tracer attached.
+    pub fn run_ws_with(&self, tau: u64, tracer: &mut dyn Tracer) -> Metrics {
+        let mut ws = WorkingSet::new(tau.max(1));
+        simulate_with(&self.plain_trace, &mut ws, self.sim_config(), tracer)
+    }
+
+    /// Builds the policy a [`PolicySpec`] describes, parameterized by
+    /// this program's config (CD min-alloc) and traces (OPT lookahead).
+    pub fn build_policy(&self, spec: PolicySpec) -> Box<dyn Policy> {
+        match spec {
+            PolicySpec::Cd { selector } => {
+                Box::new(CdPolicy::new(selector).with_min_alloc(self.config.min_alloc))
+            }
+            PolicySpec::CdNoLocks { selector } => Box::new(
+                CdPolicy::new(selector)
+                    .with_min_alloc(self.config.min_alloc)
+                    .with_locks(false),
+            ),
+            PolicySpec::Lru { frames } => Box::new(Lru::new(frames.max(1))),
+            PolicySpec::Ws { tau } => Box::new(WorkingSet::new(tau.max(1))),
+            PolicySpec::Fifo { frames } => Box::new(Fifo::new(frames.max(1))),
+            PolicySpec::Clock { frames } => Box::new(Clock::new(frames.max(1))),
+            PolicySpec::Opt { frames } => {
+                Box::new(Opt::for_trace(&self.plain_trace, frames.max(1)))
+            }
+            PolicySpec::Pff { threshold } => Box::new(Pff::new(threshold.max(1))),
+            PolicySpec::DampedWs { tau, reserve_cap } => {
+                Box::new(DampedWs::new(tau.max(1), reserve_cap))
+            }
+            PolicySpec::SampledWs { tau, sigma } => {
+                Box::new(SampledWs::new(tau.max(1), sigma.max(1)))
+            }
+            PolicySpec::VariableSampledWs {
+                min_interval,
+                max_interval,
+                fault_quota,
+            } => Box::new(VariableSampledWs::new(
+                min_interval.max(1),
+                max_interval.max(min_interval.max(1)),
+                fault_quota,
+            )),
+        }
+    }
+
+    /// The label the built policy will report, e.g. `"LRU(26)"`.
+    pub fn policy_label(&self, spec: PolicySpec) -> String {
+        self.build_policy(spec).label()
+    }
+
+    /// Runs any [`PolicySpec`] over the trace it belongs on (CD variants
+    /// see the instrumented trace; everything else the plain one).
+    pub fn run_policy(&self, spec: PolicySpec) -> Metrics {
+        let mut policy = self.build_policy(spec);
+        simulate(self.trace_for(spec), policy.as_mut(), self.sim_config())
+    }
+
+    /// [`Prepared::run_policy`] with an event tracer attached.
+    pub fn run_policy_with(&self, spec: PolicySpec, tracer: &mut dyn Tracer) -> Metrics {
+        let mut policy = self.build_policy(spec);
+        simulate_with(
+            self.trace_for(spec),
+            policy.as_mut(),
+            self.sim_config(),
+            tracer,
+        )
+    }
+
+    fn trace_for(&self, spec: PolicySpec) -> &Trace {
+        if spec.uses_directives() {
+            &self.cd_trace
+        } else {
+            &self.plain_trace
+        }
     }
 }
 
@@ -359,6 +542,49 @@ mod tests {
         assert!(PipelineError::Validate(err)
             .to_string()
             .contains("validate"));
+    }
+
+    #[test]
+    fn policy_spec_matches_direct_runs() {
+        let p = prepared("MAIN");
+        assert_eq!(
+            p.run_policy(PolicySpec::Cd {
+                selector: CdSelector::Outermost
+            }),
+            p.run_cd(CdSelector::Outermost)
+        );
+        assert_eq!(p.run_policy(PolicySpec::Lru { frames: 8 }), p.run_lru(8));
+        assert_eq!(p.run_policy(PolicySpec::Ws { tau: 500 }), p.run_ws(500));
+        assert!(p
+            .policy_label(PolicySpec::Cd {
+                selector: CdSelector::Outermost
+            })
+            .starts_with("CD"));
+    }
+
+    #[test]
+    fn traced_pipeline_runs_match_untraced() {
+        use cdmm_vmsim::EventLog;
+        let p = prepared("FDJAC");
+        let mut log = EventLog::new(1 << 14);
+        let traced = p.run_policy_with(
+            PolicySpec::Cd {
+                selector: CdSelector::Innermost,
+            },
+            &mut log,
+        );
+        assert_eq!(traced, p.run_cd(CdSelector::Innermost));
+        assert!(!log.is_empty(), "CD run must produce events");
+        let mut log = EventLog::new(1 << 14);
+        assert_eq!(p.run_lru_with(8, &mut log), p.run_lru(8));
+        let mut log = EventLog::new(1 << 14);
+        assert_eq!(p.run_ws_with(500, &mut log), p.run_ws(500));
+    }
+
+    #[test]
+    fn instrumented_source_embeds_directives() {
+        let p = prepared("MAIN");
+        assert!(p.instrumented_source().contains("ALLOCATE"));
     }
 
     #[test]

@@ -5,6 +5,8 @@ use std::fmt::Write as _;
 
 use crate::experiments::{Table1Row, Table2Row, Table3Row, Table4Row};
 
+pub mod timeline;
+
 /// The paper's published numbers, used only for reporting next to the
 /// reproduction's measurements (never for computing them).
 pub mod paper {

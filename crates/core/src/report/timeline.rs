@@ -1,0 +1,259 @@
+//! Per-phase timeline rendering of a traced simulation run.
+//!
+//! The CD policy's ALLOCATE directives mark program phase boundaries
+//! (each one re-targets the resident set for a new loop nest), so the
+//! event stream splits naturally at [`SimEvent::Alloc`]: everything up
+//! to the first directive is the preamble, and each directive opens a
+//! new phase. [`phases`] folds a recorded stream into one
+//! [`PhaseSummary`] per phase; [`render_markdown`] and [`render_jsonl`]
+//! turn the result into the two shapes the bench binaries emit.
+
+use std::fmt::Write as _;
+
+use cdmm_vmsim::observe::{encode_event_line, AllocDecision, SimEvent, TimedEvent};
+
+/// Aggregate counts for one directive-delimited phase of a traced run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseSummary {
+    /// Phase number (0 is the preamble before the first ALLOCATE).
+    pub index: usize,
+    /// Clock (references processed) at the first event of the phase.
+    pub start: u64,
+    /// Clock at the last event of the phase.
+    pub end: u64,
+    /// The opening ALLOCATE, if any: `(priority index, pages, decision)`.
+    pub directive: Option<(u32, u64, AllocDecision)>,
+    /// Page faults observed in the phase.
+    pub faults: u64,
+    /// Pages evicted (including broken locks).
+    pub evictions: u64,
+    /// LOCK directives honored.
+    pub locks: u64,
+    /// UNLOCK directives honored.
+    pub unlocks: u64,
+    /// Locked pages reclaimed under memory pressure.
+    pub lock_breaks: u64,
+    /// Largest resident-set size reported by any event in the phase.
+    pub peak_resident: u32,
+}
+
+impl PhaseSummary {
+    fn opening(index: usize, at: u64, directive: Option<(u32, u64, AllocDecision)>) -> Self {
+        PhaseSummary {
+            index,
+            start: at,
+            end: at,
+            directive,
+            faults: 0,
+            evictions: 0,
+            locks: 0,
+            unlocks: 0,
+            lock_breaks: 0,
+            peak_resident: 0,
+        }
+    }
+
+    /// References spanned by the phase.
+    pub fn span(&self) -> u64 {
+        self.end.saturating_sub(self.start)
+    }
+
+    fn absorb(&mut self, e: &TimedEvent) {
+        self.end = self.end.max(e.at);
+        match e.event {
+            SimEvent::Ref { resident, .. } => {
+                self.peak_resident = self.peak_resident.max(resident);
+            }
+            SimEvent::Fault { resident, .. } => {
+                self.faults += 1;
+                self.peak_resident = self.peak_resident.max(resident);
+            }
+            SimEvent::Evict { .. } => self.evictions += 1,
+            SimEvent::Lock { .. } => self.locks += 1,
+            SimEvent::Unlock { .. } => self.unlocks += 1,
+            SimEvent::LockBroken { .. } => {
+                self.lock_breaks += 1;
+                self.evictions += 1;
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Splits a recorded event stream into directive-delimited phases.
+///
+/// Returns one [`PhaseSummary`] per ALLOCATE directive, preceded by a
+/// preamble phase when events occur before the first directive. An
+/// empty stream yields no phases.
+pub fn phases(events: &[TimedEvent]) -> Vec<PhaseSummary> {
+    let mut out: Vec<PhaseSummary> = Vec::new();
+    for e in events {
+        if let SimEvent::Alloc {
+            pi,
+            pages,
+            decision,
+        } = e.event
+        {
+            let index = out.len();
+            out.push(PhaseSummary::opening(
+                index,
+                e.at,
+                Some((pi, pages, decision)),
+            ));
+            continue;
+        }
+        if out.is_empty() {
+            out.push(PhaseSummary::opening(0, e.at, None));
+        }
+        out.last_mut()
+            .expect("phase list is non-empty here")
+            .absorb(e);
+    }
+    out
+}
+
+fn decision_tag(d: AllocDecision) -> &'static str {
+    match d {
+        AllocDecision::Granted => "granted",
+        AllocDecision::HeldOver => "held over",
+        AllocDecision::SwapNeeded => "swap needed",
+    }
+}
+
+/// Renders the phase table as markdown (one row per phase).
+pub fn render_markdown(events: &[TimedEvent]) -> String {
+    let mut s = String::new();
+    s.push_str("| phase | directive | span | faults | evict | locks | breaks | peak |\n");
+    s.push_str("|---|---|---|---|---|---|---|---|\n");
+    for p in phases(events) {
+        let directive = match p.directive {
+            Some((pi, pages, d)) => format!("ALLOC pi={pi} {pages}p ({})", decision_tag(d)),
+            None => "(preamble)".to_string(),
+        };
+        let _ = writeln!(
+            s,
+            "| {} | {} | {}..{} | {} | {} | {}/{} | {} | {} |",
+            p.index,
+            directive,
+            p.start,
+            p.end,
+            p.faults,
+            p.evictions,
+            p.locks,
+            p.unlocks,
+            p.lock_breaks,
+            p.peak_resident,
+        );
+    }
+    s
+}
+
+/// Renders the raw event stream as checksummed JSON lines — the same
+/// wire format `JsonlSink` writes, so the output validates with
+/// `validate_event_line`.
+pub fn render_jsonl(events: &[TimedEvent]) -> String {
+    let mut s = String::new();
+    for e in events {
+        s.push_str(&encode_event_line(e.at, &e.event));
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdmm_trace::PageId;
+    use cdmm_vmsim::observe::validate_event_line;
+
+    fn stream() -> Vec<TimedEvent> {
+        let ev = |at, event| TimedEvent { at, event };
+        vec![
+            ev(
+                0,
+                SimEvent::Fault {
+                    page: PageId(0),
+                    resident: 1,
+                },
+            ),
+            ev(
+                1,
+                SimEvent::Alloc {
+                    pi: 1,
+                    pages: 4,
+                    decision: AllocDecision::Granted,
+                },
+            ),
+            ev(
+                2,
+                SimEvent::Fault {
+                    page: PageId(1),
+                    resident: 2,
+                },
+            ),
+            ev(3, SimEvent::Lock { pj: 2, pinned: 3 }),
+            ev(
+                4,
+                SimEvent::LockBroken {
+                    page: PageId(1),
+                    pj: 2,
+                },
+            ),
+            ev(5, SimEvent::Unlock { released: 2 }),
+            ev(
+                9,
+                SimEvent::Alloc {
+                    pi: 2,
+                    pages: 1,
+                    decision: AllocDecision::HeldOver,
+                },
+            ),
+            ev(10, SimEvent::Evict { page: PageId(0) }),
+        ]
+    }
+
+    #[test]
+    fn stream_splits_into_preamble_and_directive_phases() {
+        let ps = phases(&stream());
+        assert_eq!(ps.len(), 3);
+        assert_eq!(ps[0].directive, None);
+        assert_eq!(ps[0].faults, 1);
+        assert_eq!(
+            ps[1].directive,
+            Some((1, 4, AllocDecision::Granted)),
+            "phase 1 opens at the first ALLOCATE"
+        );
+        assert_eq!(ps[1].faults, 1);
+        assert_eq!(ps[1].locks, 1);
+        assert_eq!(ps[1].unlocks, 1);
+        assert_eq!(ps[1].lock_breaks, 1);
+        assert_eq!(ps[1].evictions, 1, "a broken lock counts as an eviction");
+        assert_eq!(ps[1].peak_resident, 2);
+        assert_eq!((ps[1].start, ps[1].end), (1, 5));
+        assert_eq!(ps[2].evictions, 1);
+        assert_eq!(ps[2].span(), 1);
+    }
+
+    #[test]
+    fn empty_stream_has_no_phases() {
+        assert!(phases(&[]).is_empty());
+    }
+
+    #[test]
+    fn markdown_has_one_row_per_phase() {
+        let md = render_markdown(&stream());
+        assert_eq!(md.lines().count(), 2 + 3, "header + separator + 3 phases");
+        assert!(md.contains("(preamble)"));
+        assert!(md.contains("ALLOC pi=1 4p (granted)"));
+        assert!(md.contains("ALLOC pi=2 1p (held over)"));
+    }
+
+    #[test]
+    fn jsonl_lines_validate() {
+        let out = render_jsonl(&stream());
+        assert_eq!(out.lines().count(), stream().len());
+        for line in out.lines() {
+            assert!(validate_event_line(line), "{line}");
+        }
+    }
+}

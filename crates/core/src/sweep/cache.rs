@@ -22,6 +22,7 @@ use std::sync::Mutex;
 use std::time::Duration;
 
 use cdmm_trace::{Event, Trace};
+use cdmm_vmsim::observe::{SharedTracer, SimEvent};
 use cdmm_vmsim::{ExecStats, Metrics};
 
 /// SplitMix64 increment (golden-ratio constant).
@@ -258,6 +259,7 @@ pub struct ResultCache {
     sim_points: AtomicU64,
     sim_wall_ns: AtomicU64,
     discarded: u64,
+    observer: Option<SharedTracer>,
 }
 
 impl ResultCache {
@@ -275,7 +277,17 @@ impl ResultCache {
             sim_points: AtomicU64::new(0),
             sim_wall_ns: AtomicU64::new(0),
             discarded,
+            observer: None,
         }
+    }
+
+    /// Attaches a shared tracer; every lookup then emits a
+    /// [`SimEvent::CacheQuery`], stamped with the running query count.
+    /// A disabled tracer is dropped here so the hot path stays clean.
+    pub fn with_observer(mut self, observer: SharedTracer) -> Self {
+        let enabled = observer.lock().map(|g| g.enabled()).unwrap_or(false);
+        self.observer = enabled.then_some(observer);
+        self
     }
 
     /// An in-memory cache (no persistence).
@@ -363,16 +375,16 @@ impl ResultCache {
             .store
             .as_ref()
             .and_then(|s| s.map.lock().expect("cache lock").get(&key).copied());
-        match found {
-            Some(m) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(m)
-            }
-            None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
-            }
+        let hit = found.is_some();
+        let counter = if hit { &self.hits } else { &self.misses };
+        counter.fetch_add(1, Ordering::Relaxed);
+        if let Some(obs) = &self.observer {
+            let at = self.hits.load(Ordering::Relaxed) + self.misses.load(Ordering::Relaxed);
+            obs.lock()
+                .expect("tracer lock")
+                .record(at, &SimEvent::CacheQuery { hit });
         }
+        found
     }
 
     /// Stores a freshly computed result.
@@ -516,6 +528,33 @@ mod tests {
         let s = c.stats();
         assert_eq!(s.cache_hits, 0);
         assert_eq!(s.cache_misses, 2);
+    }
+
+    #[test]
+    fn observed_cache_emits_one_query_event_per_lookup() {
+        use cdmm_vmsim::observe::{shared, NullTracer, Tracer};
+        use std::sync::Arc;
+
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        struct Forward(Arc<Mutex<Vec<bool>>>);
+        impl Tracer for Forward {
+            fn record(&mut self, _at: u64, event: &SimEvent) {
+                if let SimEvent::CacheQuery { hit } = event {
+                    self.0.lock().unwrap().push(*hit);
+                }
+            }
+        }
+
+        let c = ResultCache::in_memory().with_observer(shared(Forward(Arc::clone(&seen))));
+        let k = CacheKey { hi: 1, lo: 2 };
+        assert_eq!(c.lookup(k), None);
+        c.insert(k, sample_metrics(4));
+        assert!(c.lookup(k).is_some());
+        assert_eq!(*seen.lock().unwrap(), vec![false, true]);
+
+        // A disabled tracer is dropped at attach time.
+        let c = ResultCache::in_memory().with_observer(shared(NullTracer));
+        assert!(c.observer.is_none());
     }
 
     #[test]

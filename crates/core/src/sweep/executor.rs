@@ -8,12 +8,30 @@
 //! is bit-identical for every thread count; `with_threads(1)` runs the
 //! jobs inline in order, reproducing the serial path exactly.
 
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use cdmm_vmsim::observe::{SharedTracer, SimEvent};
 
 /// A deterministic parallel map over a flat job grid.
-#[derive(Debug, Clone)]
+///
+/// Attach a [`SharedTracer`] with [`Executor::with_observer`] to get one
+/// [`SimEvent::JobDone`] per job, carrying the job's index and wall
+/// time; observation never changes results or their order.
+#[derive(Clone)]
 pub struct Executor {
     threads: usize,
+    observer: Option<SharedTracer>,
+}
+
+impl fmt::Debug for Executor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Executor")
+            .field("threads", &self.threads)
+            .field("observed", &self.observer.is_some())
+            .finish()
+    }
 }
 
 impl Default for Executor {
@@ -39,7 +57,22 @@ impl Executor {
     /// An executor with exactly `n` worker threads (`n` is clamped to at
     /// least 1).
     pub fn with_threads(n: usize) -> Self {
-        Executor { threads: n.max(1) }
+        Executor {
+            threads: n.max(1),
+            observer: None,
+        }
+    }
+
+    /// Attaches a shared tracer; every completed job emits a
+    /// [`SimEvent::JobDone`] into it, stamped with the job index.
+    pub fn with_observer(mut self, observer: SharedTracer) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// The attached observer, if any (cloneable handle).
+    pub fn observer(&self) -> Option<&SharedTracer> {
+        self.observer.as_ref()
     }
 
     /// An executor honoring the `CDMM_THREADS` environment variable,
@@ -71,8 +104,30 @@ impl Executor {
         T: Send,
         F: Fn(usize, &J) -> T + Sync,
     {
+        let observer = self
+            .observer
+            .as_ref()
+            .filter(|o| o.lock().map(|g| g.enabled()).unwrap_or(false));
+        let run = |i: usize, j: &J| -> T {
+            match observer {
+                Some(obs) => {
+                    let t0 = Instant::now();
+                    let out = f(i, j);
+                    let wall_ns = t0.elapsed().as_nanos() as u64;
+                    obs.lock().expect("tracer lock").record(
+                        i as u64,
+                        &SimEvent::JobDone {
+                            index: i as u64,
+                            wall_ns,
+                        },
+                    );
+                    out
+                }
+                None => f(i, j),
+            }
+        };
         if self.threads == 1 || jobs.len() <= 1 {
-            return jobs.iter().enumerate().map(|(i, j)| f(i, j)).collect();
+            return jobs.iter().enumerate().map(|(i, j)| run(i, j)).collect();
         }
         let cursor = AtomicUsize::new(0);
         let workers = self.threads.min(jobs.len());
@@ -88,7 +143,7 @@ impl Executor {
                             if i >= jobs.len() {
                                 break;
                             }
-                            local.push((i, f(i, &jobs[i])));
+                            local.push((i, run(i, &jobs[i])));
                         }
                         local
                     })
@@ -147,5 +202,40 @@ mod tests {
     fn thread_count_is_clamped() {
         assert_eq!(Executor::with_threads(0).threads(), 1);
         assert!(Executor::new().threads() >= 1);
+    }
+
+    #[test]
+    fn observer_sees_one_job_done_per_job() {
+        use cdmm_vmsim::observe::{shared, SimEvent, Tracer};
+        use std::sync::Arc;
+
+        struct Counting(Arc<AtomicU64>);
+        impl Tracer for Counting {
+            fn record(&mut self, _at: u64, event: &SimEvent) {
+                if matches!(event, SimEvent::JobDone { .. }) {
+                    self.0.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+
+        let jobs: Vec<u64> = (0..37).collect();
+        let count = Arc::new(AtomicU64::new(0));
+        for threads in [1, 4] {
+            count.store(0, Ordering::Relaxed);
+            let exec =
+                Executor::with_threads(threads).with_observer(shared(Counting(Arc::clone(&count))));
+            let got = exec.map(&jobs, |_, &j| j + 1);
+            assert_eq!(got, (1..38).collect::<Vec<u64>>(), "threads={threads}");
+            assert_eq!(count.load(Ordering::Relaxed), 37, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn disabled_observer_is_skipped() {
+        use cdmm_vmsim::observe::{shared, NullTracer};
+        let exec = Executor::with_threads(2).with_observer(shared(NullTracer));
+        assert!(exec.observer().is_some());
+        let got = exec.map(&[1u64, 2, 3], |_, &j| j);
+        assert_eq!(got, vec![1, 2, 3]);
     }
 }

@@ -19,6 +19,9 @@
 //! - [`policy::cd::CdPolicy`] — the Compiler-Directed policy (Section 4).
 //! - [`multiprog`] — a multiprogrammed memory with CD's PI-driven
 //!   allocation and swapper.
+//! - [`observe`] — zero-cost-when-disabled event tracing: policies emit
+//!   typed [`SimEvent`]s (grants, hold-overs, evictions, lock breaks,
+//!   degradations) that [`simulate_with`] forwards to a [`Tracer`].
 //!
 //! # Examples
 //!
@@ -40,6 +43,7 @@
 pub mod error;
 pub mod metrics;
 pub mod multiprog;
+pub mod observe;
 pub mod policy;
 pub mod recency;
 pub mod sim;
@@ -47,5 +51,9 @@ pub mod stack;
 
 pub use error::SimError;
 pub use metrics::{ExecStats, Metrics};
+pub use observe::{
+    EventLog, HistogramRecorder, JsonlSink, NullTracer, SharedSink, SharedTracer, SimEvent,
+    TimedEvent, Tracer,
+};
 pub use policy::Policy;
-pub use sim::{simulate, SimConfig};
+pub use sim::{simulate, simulate_with, SimConfig};

@@ -48,6 +48,7 @@ impl Metrics {
     }
 
     /// Records one processed reference.
+    #[inline]
     pub fn record(&mut self, resident: usize, fault: bool) {
         self.refs += 1;
         self.mem_integral += resident as u128;

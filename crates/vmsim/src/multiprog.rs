@@ -15,6 +15,7 @@ use cdmm_trace::{Event, Trace};
 
 use crate::error::SimError;
 use crate::metrics::Metrics;
+use crate::observe::{NullTracer, SimEvent, Tracer};
 use crate::policy::cd::{AllocOutcome, CdPolicy, CdSelector};
 use crate::policy::lru::Lru;
 use crate::policy::ws::WorkingSet;
@@ -175,6 +176,20 @@ pub fn try_run_multiprogram(
     specs: Vec<(String, Trace, ProcPolicy)>,
     config: MultiConfig,
 ) -> Result<MultiReport, SimError> {
+    try_run_multiprogram_with(specs, config, &mut NullTracer)
+}
+
+/// [`try_run_multiprogram`] with an event [`Tracer`] attached.
+///
+/// While the tracer is enabled, each process's policy events (grants,
+/// hold-overs, evictions, lock breaks) are forwarded stamped with the
+/// *global* clock, and every swapper decision emits a
+/// [`SimEvent::SwapOut`] naming the victim's submission index.
+pub fn try_run_multiprogram_with(
+    specs: Vec<(String, Trace, ProcPolicy)>,
+    config: MultiConfig,
+    tracer: &mut dyn Tracer,
+) -> Result<MultiReport, SimError> {
     if specs.is_empty() {
         return Err(SimError::NoProcesses);
     }
@@ -202,6 +217,14 @@ pub fn try_run_multiprogram(
             swap_outs: 0,
         })
         .collect();
+
+    let on = tracer.enabled();
+    if on {
+        for p in procs.iter_mut() {
+            p.engine.policy().set_tracing(true);
+        }
+    }
+    let mut pending: Vec<SimEvent> = Vec::new();
 
     let mut clock: u64 = 0;
     let mut busy: u64 = 0;
@@ -247,9 +270,18 @@ pub fn try_run_multiprogram(
         let mut executed = 0u64;
         while executed < config.quantum {
             let (done, faulted, swap_victim) = step(&mut procs, pick, clock, &config);
+            if on {
+                procs[pick].engine.policy().drain_events(&mut pending);
+                for e in pending.drain(..) {
+                    tracer.record(clock, &e);
+                }
+            }
             if let Some(v) = swap_victim {
                 swap_events += 1;
                 procs[v].swap_outs += 1;
+                if on {
+                    tracer.record(clock, &SimEvent::SwapOut { process: v as u32 });
+                }
             }
             match (done, faulted) {
                 (true, _) => {
@@ -272,6 +304,13 @@ pub fn try_run_multiprogram(
                 }
             }
         }
+    }
+
+    if on {
+        for p in procs.iter_mut() {
+            p.engine.policy().set_tracing(false);
+        }
+        tracer.flush();
     }
 
     let total_faults = procs.iter().map(|p| p.metrics.faults).sum();

@@ -1,0 +1,1056 @@
+//! Structured event tracing for the simulator and policies.
+//!
+//! The paper's CD policy is defined by *runtime decisions* — which
+//! `ALLOCATE` alternative was granted, when a `PI = 1` request invokes
+//! the swapper, when a `LOCK` survives (or is broken by) a reclaim
+//! (Sections 3–4, Figure 6) — yet aggregate [`crate::Metrics`] cannot
+//! show any of them. This module adds a typed event stream next to the
+//! metrics: policies buffer [`SimEvent`]s at each decision point and the
+//! driver ([`crate::sim::simulate_with`]) forwards them, timestamped
+//! with the reference clock, to a [`Tracer`].
+//!
+//! Tracing is zero-cost when disabled: the default [`NullTracer`]
+//! reports [`Tracer::enabled`]` == false`, the driver hoists that flag
+//! out of the reference loop, and every policy guards its emission
+//! sites on a plain `bool` that stays `false` — the disabled path does
+//! no buffering, no allocation and no virtual dispatch per reference.
+//!
+//! Provided sinks:
+//!
+//! - [`NullTracer`] — the disabled default.
+//! - [`EventLog`] — a bounded ring buffer of [`TimedEvent`]s (oldest
+//!   events drop first) for in-process inspection and tests.
+//! - [`JsonlSink`] — append-only, checksummed JSON-lines files, the
+//!   same self-validating line discipline as the sweep result cache.
+//! - [`HistogramRecorder`] — inter-fault-distance and resident-set-size
+//!   histograms plus per-priority-index `ALLOCATE` outcome counts.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::fmt::Write as _;
+use std::fs;
+use std::io::{BufWriter, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use cdmm_trace::PageId;
+
+/// What happened to an `ALLOCATE` directive (Figure 6's three exits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocDecision {
+    /// A request fit and became the new allocation target.
+    Granted,
+    /// Nothing fit but the innermost listed priority exceeds 1: the
+    /// program continues under its old allocation.
+    HeldOver,
+    /// Nothing fit and a `PI = 1` request is pending: the swapper must
+    /// run.
+    SwapNeeded,
+}
+
+/// One observable simulation event.
+///
+/// Events are `Copy` and carry only scalars so that buffering them in a
+/// policy costs a few machine words per decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimEvent {
+    /// A page reference completed (emitted only when the tracer asks
+    /// for per-reference detail via [`Tracer::wants_refs`]).
+    Ref {
+        /// The referenced page.
+        page: PageId,
+        /// Resident-set size after the reference.
+        resident: u32,
+        /// Whether the reference faulted.
+        fault: bool,
+    },
+    /// A page fault (always emitted while tracing).
+    Fault {
+        /// The faulting page.
+        page: PageId,
+        /// Resident-set size after the fault was serviced.
+        resident: u32,
+    },
+    /// A page left the resident set by normal replacement.
+    Evict {
+        /// The evicted page.
+        page: PageId,
+    },
+    /// An `ALLOCATE` directive was processed.
+    Alloc {
+        /// Priority index of the decisive request (the granted one, or
+        /// the innermost listed PI when nothing fit).
+        pi: u32,
+        /// Pages of the decisive request (0 when nothing was granted).
+        pages: u64,
+        /// Which Figure 6 exit was taken.
+        decision: AllocDecision,
+    },
+    /// A `LOCK` directive pinned resident pages.
+    Lock {
+        /// The lock's priority `PJ`.
+        pj: u32,
+        /// Pages pinned by this directive.
+        pinned: u32,
+    },
+    /// An `UNLOCK` directive released pins.
+    Unlock {
+        /// Pages unpinned by this directive.
+        released: u32,
+    },
+    /// Memory pressure broke a lock ("the operating system is entitled
+    /// to release the locked pages").
+    LockBroken {
+        /// The sacrificed page.
+        page: PageId,
+        /// Priority of the broken lock.
+        pj: u32,
+    },
+    /// The directive validator clamped or discarded an invalid
+    /// directive.
+    Recovered {
+        /// Total recoveries so far in this run.
+        total: u64,
+    },
+    /// The policy stopped trusting its directive stream and fell back
+    /// to plain LRU demand paging.
+    Degraded,
+    /// The multiprogramming swapper evicted a whole process.
+    SwapOut {
+        /// Index of the swapped process (submission order).
+        process: u32,
+    },
+    /// The parallel executor finished one job.
+    JobDone {
+        /// Job index in the submitted grid.
+        index: u64,
+        /// Wall time of the job in nanoseconds.
+        wall_ns: u64,
+    },
+    /// The sweep result cache answered one lookup.
+    CacheQuery {
+        /// Whether the lookup hit.
+        hit: bool,
+    },
+}
+
+impl SimEvent {
+    /// Short stable tag naming the event kind (used in the JSONL
+    /// encoding and in summaries).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SimEvent::Ref { .. } => "ref",
+            SimEvent::Fault { .. } => "fault",
+            SimEvent::Evict { .. } => "evict",
+            SimEvent::Alloc { .. } => "alloc",
+            SimEvent::Lock { .. } => "lock",
+            SimEvent::Unlock { .. } => "unlock",
+            SimEvent::LockBroken { .. } => "lock_broken",
+            SimEvent::Recovered { .. } => "recovered",
+            SimEvent::Degraded => "degraded",
+            SimEvent::SwapOut { .. } => "swap_out",
+            SimEvent::JobDone { .. } => "job_done",
+            SimEvent::CacheQuery { .. } => "cache_query",
+        }
+    }
+}
+
+/// A [`SimEvent`] stamped with the reference clock at which it occurred
+/// (references processed so far; directive events carry the clock of
+/// the preceding reference).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedEvent {
+    /// Reference clock.
+    pub at: u64,
+    /// The event.
+    pub event: SimEvent,
+}
+
+/// A sink for simulation events.
+///
+/// The driver calls [`Tracer::enabled`] once per run and skips all
+/// event plumbing when it returns `false`, so a disabled tracer costs
+/// one branch per reference.
+pub trait Tracer {
+    /// Whether this tracer wants events at all. Defaults to `true`;
+    /// [`NullTracer`] overrides it to `false`.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Whether this tracer wants one [`SimEvent::Ref`] per reference
+    /// (orders of magnitude more events than decisions alone). Defaults
+    /// to `false`.
+    fn wants_refs(&self) -> bool {
+        false
+    }
+
+    /// Receives one event at reference clock `at`.
+    fn record(&mut self, at: u64, event: &SimEvent);
+
+    /// Flushes any buffered output (called once at the end of a run).
+    fn flush(&mut self) {}
+}
+
+/// The disabled tracer: records nothing, costs nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullTracer;
+
+impl Tracer for NullTracer {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&mut self, _at: u64, _event: &SimEvent) {}
+}
+
+/// A bounded in-memory ring buffer of [`TimedEvent`]s.
+///
+/// When full, the oldest event is dropped (and counted) to admit the
+/// newest — the tail of a run is always retained.
+#[derive(Debug, Clone)]
+pub struct EventLog {
+    capacity: usize,
+    buf: VecDeque<TimedEvent>,
+    dropped: u64,
+    want_refs: bool,
+}
+
+impl EventLog {
+    /// Creates a ring buffer holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "event log needs a positive capacity");
+        EventLog {
+            capacity,
+            buf: VecDeque::with_capacity(capacity),
+            dropped: 0,
+            want_refs: false,
+        }
+    }
+
+    /// Also record one [`SimEvent::Ref`] per reference.
+    pub fn with_refs(mut self, want: bool) -> Self {
+        self.want_refs = want;
+        self
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events currently held (oldest first).
+    pub fn events(&self) -> impl Iterator<Item = &TimedEvent> {
+        self.buf.iter()
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no events are held.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events dropped because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Copies the retained events out, oldest first.
+    pub fn to_vec(&self) -> Vec<TimedEvent> {
+        self.buf.iter().copied().collect()
+    }
+}
+
+impl Tracer for EventLog {
+    fn wants_refs(&self) -> bool {
+        self.want_refs
+    }
+
+    fn record(&mut self, at: u64, event: &SimEvent) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(TimedEvent { at, event: *event });
+    }
+}
+
+// ---------------------------------------------------------------------
+// Checksummed JSONL encoding.
+//
+// Same line discipline as the sweep result cache: every line carries a
+// SplitMix64-folded checksum over its own payload, so a damaged file is
+// detected line by line. (The mixer is duplicated here rather than
+// imported because the cache lives in cdmm-core, which depends on this
+// crate.)
+
+/// SplitMix64 increment (golden-ratio constant).
+const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The SplitMix64 output mixer.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Checksum over a serialized line's payload prefix.
+fn line_checksum(payload: &str) -> u64 {
+    let mut h = mix(0x7ACE_0BE5_EED5_11E5);
+    for chunk in payload.as_bytes().chunks(8) {
+        let mut buf = [0u8; 8];
+        buf[..chunk.len()].copy_from_slice(chunk);
+        h = mix(h ^ u64::from_le_bytes(buf).wrapping_mul(GAMMA));
+    }
+    mix(h ^ payload.len() as u64)
+}
+
+/// Renders the event-specific JSON fields (no surrounding braces).
+fn event_fields(event: &SimEvent) -> String {
+    let kind = event.kind();
+    match event {
+        SimEvent::Ref {
+            page,
+            resident,
+            fault,
+        } => format!(
+            "\"ev\":\"{kind}\",\"page\":{},\"resident\":{resident},\"fault\":{fault}",
+            page.0
+        ),
+        SimEvent::Fault { page, resident } => format!(
+            "\"ev\":\"{kind}\",\"page\":{},\"resident\":{resident}",
+            page.0
+        ),
+        SimEvent::Evict { page } => format!("\"ev\":\"{kind}\",\"page\":{}", page.0),
+        SimEvent::Alloc {
+            pi,
+            pages,
+            decision,
+        } => {
+            let d = match decision {
+                AllocDecision::Granted => "granted",
+                AllocDecision::HeldOver => "held_over",
+                AllocDecision::SwapNeeded => "swap_needed",
+            };
+            format!("\"ev\":\"{kind}\",\"pi\":{pi},\"pages\":{pages},\"decision\":\"{d}\"")
+        }
+        SimEvent::Lock { pj, pinned } => {
+            format!("\"ev\":\"{kind}\",\"pj\":{pj},\"pinned\":{pinned}")
+        }
+        SimEvent::Unlock { released } => format!("\"ev\":\"{kind}\",\"released\":{released}"),
+        SimEvent::LockBroken { page, pj } => {
+            format!("\"ev\":\"{kind}\",\"page\":{},\"pj\":{pj}", page.0)
+        }
+        SimEvent::Recovered { total } => format!("\"ev\":\"{kind}\",\"total\":{total}"),
+        SimEvent::Degraded => format!("\"ev\":\"{kind}\""),
+        SimEvent::SwapOut { process } => format!("\"ev\":\"{kind}\",\"process\":{process}"),
+        SimEvent::JobDone { index, wall_ns } => {
+            format!("\"ev\":\"{kind}\",\"index\":{index},\"wall_ns\":{wall_ns}")
+        }
+        SimEvent::CacheQuery { hit } => format!("\"ev\":\"{kind}\",\"hit\":{hit}"),
+    }
+}
+
+/// Serializes one timed event as a self-checksummed JSON line (without
+/// the trailing newline).
+pub fn encode_event_line(at: u64, event: &SimEvent) -> String {
+    let payload = format!("{{\"v\":1,\"at\":{at},{}", event_fields(event));
+    let c = line_checksum(&payload);
+    format!("{payload},\"c\":\"{c:016x}\"}}")
+}
+
+/// Verifies one line produced by [`encode_event_line`]: version tag
+/// present and checksum matching the payload prefix.
+pub fn validate_event_line(line: &str) -> bool {
+    let Some(cut) = line.rfind(",\"c\":\"") else {
+        return false;
+    };
+    let payload = &line[..cut];
+    if !payload.starts_with("{\"v\":1,\"at\":") {
+        return false;
+    }
+    let tail = &line[cut + 6..];
+    let Some(hex) = tail.strip_suffix("\"}") else {
+        return false;
+    };
+    match u64::from_str_radix(hex, 16) {
+        Ok(stored) => stored == line_checksum(payload),
+        Err(_) => false,
+    }
+}
+
+/// A tracer appending checksummed JSON lines to a file.
+///
+/// The file uses the same self-validating line discipline as the sweep
+/// result cache (`target/cdmm-cache/results.jsonl`), so the same
+/// tooling can audit both. Writes are buffered; the driver's end-of-run
+/// [`Tracer::flush`] (or dropping the sink) flushes them.
+#[derive(Debug)]
+pub struct JsonlSink {
+    out: BufWriter<fs::File>,
+    path: PathBuf,
+    written: u64,
+    limit: Option<u64>,
+    want_refs: bool,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the trace file at `path`.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                fs::create_dir_all(dir)?;
+            }
+        }
+        Ok(JsonlSink {
+            out: BufWriter::new(fs::File::create(path)?),
+            path: path.to_path_buf(),
+            written: 0,
+            limit: None,
+            want_refs: false,
+        })
+    }
+
+    /// Creates `<name>.trace.jsonl` next to the sweep cache: under
+    /// `CDMM_CACHE_DIR` when set, else `CARGO_TARGET_DIR`/`target` +
+    /// `cdmm-cache/`.
+    pub fn in_cache_dir(name: &str) -> std::io::Result<Self> {
+        let dir = std::env::var_os("CDMM_CACHE_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| {
+                std::env::var_os("CARGO_TARGET_DIR")
+                    .map(PathBuf::from)
+                    .unwrap_or_else(|| PathBuf::from("target"))
+                    .join("cdmm-cache")
+            });
+        Self::create(&dir.join(format!("{name}.trace.jsonl")))
+    }
+
+    /// Stops recording after `limit` events (the file notes the
+    /// truncation via [`JsonlSink::truncated`]); `None` is unbounded.
+    pub fn with_limit(mut self, limit: Option<u64>) -> Self {
+        self.limit = limit;
+        self
+    }
+
+    /// Also record one [`SimEvent::Ref`] per reference.
+    pub fn with_refs(mut self, want: bool) -> Self {
+        self.want_refs = want;
+        self
+    }
+
+    /// The file being written.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Lines written so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// True when the event limit cut the stream short.
+    pub fn truncated(&self) -> bool {
+        self.limit.is_some_and(|l| self.written >= l)
+    }
+
+    /// Validates every line of a trace file; returns the number of
+    /// valid lines or a description of the first damaged one.
+    pub fn validate_file(path: &Path) -> Result<u64, String> {
+        let text = fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let mut n = 0;
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            if !validate_event_line(line) {
+                return Err(format!(
+                    "{}:{}: damaged trace line: {line}",
+                    path.display(),
+                    i + 1
+                ));
+            }
+            n += 1;
+        }
+        Ok(n)
+    }
+}
+
+impl Tracer for JsonlSink {
+    fn wants_refs(&self) -> bool {
+        self.want_refs
+    }
+
+    fn record(&mut self, at: u64, event: &SimEvent) {
+        if self.limit.is_some_and(|l| self.written >= l) {
+            return;
+        }
+        // Buffered-writer failures surface at flush; per-event error
+        // handling would put a Result on the hot path for nothing.
+        let _ = writeln!(self.out, "{}", encode_event_line(at, event));
+        self.written += 1;
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// A log2-bucketed histogram of `u64` samples.
+///
+/// Bucket 0 holds the value 0; bucket `k ≥ 1` holds `[2^(k-1), 2^k)`.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; 65],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    fn bucket_index(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        }
+    }
+
+    /// Lower bound (inclusive) of bucket `i`.
+    pub fn bucket_lo(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << (i - 1)
+        }
+    }
+
+    /// Upper bound (inclusive) of bucket `i`.
+    pub fn bucket_hi(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            64 => u64::MAX,
+            _ => (1u64 << i) - 1,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += u128::from(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest sample recorded (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of all samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Samples in bucket `i`.
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.buckets.get(i).copied().unwrap_or(0)
+    }
+
+    /// Non-empty buckets as `(lo, hi, count)`, in value order.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Self::bucket_lo(i), Self::bucket_hi(i), c))
+    }
+}
+
+/// Per-priority-index `ALLOCATE` outcome counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PiCounts {
+    /// Requests granted at this PI.
+    pub granted: u64,
+    /// Directives held over with this innermost PI.
+    pub held_over: u64,
+    /// Swap requests raised with this innermost PI.
+    pub swap_needed: u64,
+}
+
+/// A tracer aggregating distribution-level statistics:
+/// inter-fault distance, resident-set size over time (per reference,
+/// so it opts into [`Tracer::wants_refs`]), and per-priority-index
+/// `ALLOCATE` grant / hold-over / swap counts.
+#[derive(Debug, Clone, Default)]
+pub struct HistogramRecorder {
+    inter_fault: Histogram,
+    resident: Histogram,
+    pi: BTreeMap<u32, PiCounts>,
+    last_fault: Option<u64>,
+    refs: u64,
+    faults: u64,
+    evictions: u64,
+}
+
+impl HistogramRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Distance (in references) between consecutive faults.
+    pub fn inter_fault(&self) -> &Histogram {
+        &self.inter_fault
+    }
+
+    /// Resident-set size sampled at every reference.
+    pub fn resident(&self) -> &Histogram {
+        &self.resident
+    }
+
+    /// `ALLOCATE` outcome counts keyed by priority index.
+    pub fn pi_counts(&self) -> &BTreeMap<u32, PiCounts> {
+        &self.pi
+    }
+
+    /// References observed.
+    pub fn refs(&self) -> u64 {
+        self.refs
+    }
+
+    /// Faults observed.
+    pub fn faults(&self) -> u64 {
+        self.faults
+    }
+
+    /// Evictions observed.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Renders a plain-text summary of all three distributions.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "refs {}  faults {}  evictions {}  mean resident {:.2} (peak {})",
+            self.refs,
+            self.faults,
+            self.evictions,
+            self.resident.mean(),
+            self.resident.max()
+        );
+        let _ = writeln!(
+            out,
+            "inter-fault distance (mean {:.1}, max {}):",
+            self.inter_fault.mean(),
+            self.inter_fault.max()
+        );
+        for (lo, hi, c) in self.inter_fault.nonzero_buckets() {
+            let _ = writeln!(out, "  {lo:>8}..={hi:<10} {c:>8}");
+        }
+        let _ = writeln!(out, "resident-set size:");
+        for (lo, hi, c) in self.resident.nonzero_buckets() {
+            let _ = writeln!(out, "  {lo:>8}..={hi:<10} {c:>8}");
+        }
+        if !self.pi.is_empty() {
+            let _ = writeln!(out, "ALLOCATE outcomes by priority index:");
+            for (pi, c) in &self.pi {
+                let _ = writeln!(
+                    out,
+                    "  PI {pi}: granted {:>6}  held over {:>4}  swap needed {:>4}",
+                    c.granted, c.held_over, c.swap_needed
+                );
+            }
+        }
+        out
+    }
+}
+
+impl Tracer for HistogramRecorder {
+    fn wants_refs(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, at: u64, event: &SimEvent) {
+        match event {
+            SimEvent::Ref { resident, .. } => {
+                self.refs += 1;
+                self.resident.record(u64::from(*resident));
+            }
+            SimEvent::Fault { .. } => {
+                self.faults += 1;
+                if let Some(prev) = self.last_fault {
+                    self.inter_fault.record(at.saturating_sub(prev));
+                }
+                self.last_fault = Some(at);
+            }
+            SimEvent::Evict { .. } => self.evictions += 1,
+            SimEvent::Alloc { pi, decision, .. } => {
+                let c = self.pi.entry(*pi).or_default();
+                match decision {
+                    AllocDecision::Granted => c.granted += 1,
+                    AllocDecision::HeldOver => c.held_over += 1,
+                    AllocDecision::SwapNeeded => c.swap_needed += 1,
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A shareable, mutex-guarded tracer handle — the form the parallel
+/// executor and the result cache accept, since their events originate
+/// on several threads.
+pub type SharedTracer = Arc<Mutex<dyn Tracer + Send>>;
+
+/// Wraps a tracer into a [`SharedTracer`] handle.
+pub fn shared<T: Tracer + Send + 'static>(tracer: T) -> SharedTracer {
+    Arc::new(Mutex::new(tracer))
+}
+
+/// A [`Tracer`] that forwards every event into a [`SharedTracer`],
+/// letting single-threaded drivers (`simulate_with`, the
+/// multiprogramming loop) feed the same sink as the parallel plumbing.
+///
+/// The `enabled`/`wants_refs` flags are snapshotted at construction so
+/// the hot path takes the mutex only when an event actually fires.
+#[derive(Clone)]
+pub struct SharedSink {
+    inner: SharedTracer,
+    enabled: bool,
+    want_refs: bool,
+}
+
+impl fmt::Debug for SharedSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SharedSink")
+            .field("enabled", &self.enabled)
+            .field("want_refs", &self.want_refs)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SharedSink {
+    /// Snapshots the shared tracer's flags and wraps it.
+    pub fn new(inner: &SharedTracer) -> Self {
+        let (enabled, want_refs) = {
+            let g = inner.lock().expect("tracer lock");
+            (g.enabled(), g.wants_refs())
+        };
+        SharedSink {
+            inner: Arc::clone(inner),
+            enabled,
+            want_refs,
+        }
+    }
+}
+
+impl Tracer for SharedSink {
+    fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    fn wants_refs(&self) -> bool {
+        self.want_refs
+    }
+
+    fn record(&mut self, at: u64, event: &SimEvent) {
+        self.inner.lock().expect("tracer lock").record(at, event);
+    }
+
+    fn flush(&mut self) {
+        self.inner.lock().expect("tracer lock").flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_tracer_is_disabled() {
+        assert!(!NullTracer.enabled());
+        assert!(!NullTracer.wants_refs());
+    }
+
+    #[test]
+    fn ring_buffer_wraps_and_counts_drops() {
+        let mut log = EventLog::new(3);
+        for i in 0..5u64 {
+            log.record(
+                i,
+                &SimEvent::Evict {
+                    page: PageId(i as u32),
+                },
+            );
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 2);
+        // The oldest two (at=0,1) were dropped; 2,3,4 survive in order.
+        let ats: Vec<u64> = log.events().map(|e| e.at).collect();
+        assert_eq!(ats, vec![2, 3, 4]);
+        assert_eq!(log.capacity(), 3);
+        assert_eq!(log.to_vec().len(), 3);
+    }
+
+    #[test]
+    fn ring_buffer_below_capacity_drops_nothing() {
+        let mut log = EventLog::new(8);
+        log.record(1, &SimEvent::Degraded);
+        assert_eq!((log.len(), log.dropped()), (1, 0));
+        assert!(!log.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive capacity")]
+    fn zero_capacity_panics() {
+        EventLog::new(0);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        // 0 → bucket 0; 1 → bucket 1; powers of two open new buckets.
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 7, 8, 1023, 1024, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.bucket_count(0), 1, "value 0");
+        assert_eq!(h.bucket_count(1), 1, "value 1");
+        assert_eq!(h.bucket_count(2), 2, "values 2..=3");
+        assert_eq!(h.bucket_count(3), 2, "values 4..=7");
+        assert_eq!(h.bucket_count(4), 1, "value 8");
+        assert_eq!(h.bucket_count(10), 1, "value 1023");
+        assert_eq!(h.bucket_count(11), 1, "value 1024");
+        assert_eq!(h.bucket_count(64), 1, "value u64::MAX");
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(Histogram::bucket_lo(0), 0);
+        assert_eq!(Histogram::bucket_hi(0), 0);
+        assert_eq!(Histogram::bucket_lo(4), 8);
+        assert_eq!(Histogram::bucket_hi(4), 15);
+        assert_eq!(Histogram::bucket_hi(64), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_mean_and_nonzero_iteration() {
+        let mut h = Histogram::new();
+        h.record(2);
+        h.record(4);
+        assert!((h.mean() - 3.0).abs() < 1e-12);
+        let buckets: Vec<_> = h.nonzero_buckets().collect();
+        assert_eq!(buckets, vec![(2, 3, 1), (4, 7, 1)]);
+        assert_eq!(Histogram::new().mean(), 0.0);
+    }
+
+    #[test]
+    fn event_lines_checksum_and_validate() {
+        let e = SimEvent::Alloc {
+            pi: 2,
+            pages: 40,
+            decision: AllocDecision::Granted,
+        };
+        let line = encode_event_line(17, &e);
+        assert!(line.contains("\"ev\":\"alloc\""));
+        assert!(line.contains("\"decision\":\"granted\""));
+        assert!(validate_event_line(&line));
+        // Any payload tamper breaks the checksum.
+        let bad = line.replace("\"pages\":40", "\"pages\":41");
+        assert_ne!(line, bad);
+        assert!(!validate_event_line(&bad));
+        assert!(!validate_event_line("not a trace line"));
+        assert!(!validate_event_line("{\"v\":1,\"at\":0,\"c\":\"zz\"}"));
+    }
+
+    #[test]
+    fn every_event_kind_encodes_validly() {
+        let events = [
+            SimEvent::Ref {
+                page: PageId(1),
+                resident: 2,
+                fault: true,
+            },
+            SimEvent::Fault {
+                page: PageId(1),
+                resident: 2,
+            },
+            SimEvent::Evict { page: PageId(3) },
+            SimEvent::Alloc {
+                pi: 1,
+                pages: 0,
+                decision: AllocDecision::SwapNeeded,
+            },
+            SimEvent::Lock { pj: 2, pinned: 4 },
+            SimEvent::Unlock { released: 4 },
+            SimEvent::LockBroken {
+                page: PageId(9),
+                pj: 3,
+            },
+            SimEvent::Recovered { total: 7 },
+            SimEvent::Degraded,
+            SimEvent::SwapOut { process: 1 },
+            SimEvent::JobDone {
+                index: 5,
+                wall_ns: 123,
+            },
+            SimEvent::CacheQuery { hit: false },
+        ];
+        for e in events {
+            let line = encode_event_line(42, &e);
+            assert!(validate_event_line(&line), "{line}");
+            assert!(line.contains(&format!("\"ev\":\"{}\"", e.kind())), "{line}");
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_writes_validating_lines() {
+        let path = std::env::temp_dir().join(format!("cdmm-observe-{}.jsonl", std::process::id()));
+        let mut sink = JsonlSink::create(&path).expect("create sink");
+        sink.record(1, &SimEvent::Degraded);
+        sink.record(2, &SimEvent::CacheQuery { hit: true });
+        sink.flush();
+        assert_eq!(sink.written(), 2);
+        assert_eq!(JsonlSink::validate_file(&path), Ok(2));
+        // Corrupt a byte: validation pinpoints the line.
+        let mut text = fs::read_to_string(&path).expect("read");
+        text = text.replace("\"hit\":true", "\"hit\":false");
+        fs::write(&path, text).expect("write");
+        assert!(JsonlSink::validate_file(&path).unwrap_err().contains(":2:"));
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn jsonl_sink_honors_event_limit() {
+        let path = std::env::temp_dir().join(format!("cdmm-limit-{}.jsonl", std::process::id()));
+        let mut sink = JsonlSink::create(&path)
+            .expect("create sink")
+            .with_limit(Some(2));
+        for i in 0..10 {
+            sink.record(i, &SimEvent::Degraded);
+        }
+        sink.flush();
+        assert_eq!(sink.written(), 2);
+        assert!(sink.truncated());
+        assert_eq!(JsonlSink::validate_file(&path), Ok(2));
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn histogram_recorder_aggregates_events() {
+        let mut r = HistogramRecorder::new();
+        assert!(r.wants_refs());
+        r.record(
+            1,
+            &SimEvent::Ref {
+                page: PageId(0),
+                resident: 1,
+                fault: true,
+            },
+        );
+        r.record(
+            1,
+            &SimEvent::Fault {
+                page: PageId(0),
+                resident: 1,
+            },
+        );
+        r.record(
+            9,
+            &SimEvent::Fault {
+                page: PageId(1),
+                resident: 2,
+            },
+        );
+        r.record(9, &SimEvent::Evict { page: PageId(0) });
+        r.record(
+            9,
+            &SimEvent::Alloc {
+                pi: 2,
+                pages: 10,
+                decision: AllocDecision::Granted,
+            },
+        );
+        r.record(
+            9,
+            &SimEvent::Alloc {
+                pi: 2,
+                pages: 0,
+                decision: AllocDecision::HeldOver,
+            },
+        );
+        assert_eq!(r.faults(), 2);
+        assert_eq!(r.refs(), 1);
+        assert_eq!(r.evictions(), 1);
+        // One inter-fault gap of 8 references.
+        assert_eq!(r.inter_fault().count(), 1);
+        assert_eq!(r.inter_fault().bucket_count(4), 1);
+        let c = r.pi_counts().get(&2).copied().expect("PI 2 counted");
+        assert_eq!(
+            c,
+            PiCounts {
+                granted: 1,
+                held_over: 1,
+                swap_needed: 0
+            }
+        );
+        let text = r.render();
+        assert!(text.contains("PI 2"));
+        assert!(text.contains("inter-fault"));
+    }
+
+    #[test]
+    fn shared_sink_forwards_into_the_shared_tracer() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        struct Counting(Arc<AtomicU64>);
+        impl Tracer for Counting {
+            fn record(&mut self, _at: u64, _event: &SimEvent) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+
+        let n = Arc::new(AtomicU64::new(0));
+        let handle = shared(Counting(Arc::clone(&n)));
+        let mut sink = SharedSink::new(&handle);
+        assert!(sink.enabled());
+        assert!(!sink.wants_refs());
+        sink.record(3, &SimEvent::Degraded);
+        sink.record(4, &SimEvent::Degraded);
+        sink.flush();
+        assert_eq!(n.load(Ordering::SeqCst), 2);
+    }
+}

@@ -31,6 +31,7 @@ use cdmm_lang::ast::AllocArg;
 use cdmm_trace::validate::{ranges_cover, ranges_overlap};
 use cdmm_trace::{Event, PageId, PageRange};
 
+use crate::observe::{AllocDecision, SimEvent};
 use crate::policy::Policy;
 use crate::recency::RecencySet;
 
@@ -125,6 +126,11 @@ pub struct CdPolicy {
     lock_ledger: Vec<Vec<PageRange>>,
     recovered: u64,
     degraded: bool,
+    /// Event collection switch; when off (the default) the emission
+    /// sites cost one untaken branch each.
+    tracing: bool,
+    /// Events buffered since the driver's last drain.
+    events: Vec<SimEvent>,
 }
 
 impl CdPolicy {
@@ -147,6 +153,16 @@ impl CdPolicy {
             lock_ledger: Vec::new(),
             recovered: 0,
             degraded: false,
+            tracing: false,
+            events: Vec::new(),
+        }
+    }
+
+    /// Buffers one event when tracing is on.
+    #[inline]
+    fn emit(&mut self, event: SimEvent) {
+        if self.tracing {
+            self.events.push(event);
         }
     }
 
@@ -232,6 +248,9 @@ impl CdPolicy {
     /// plain LRU once the configured threshold is reached.
     fn recover(&mut self) {
         self.recovered += 1;
+        self.emit(SimEvent::Recovered {
+            total: self.recovered,
+        });
         if self.degrade_after.is_some_and(|t| self.recovered >= t) {
             self.degrade();
         }
@@ -245,6 +264,7 @@ impl CdPolicy {
         self.locked.clear();
         self.lock_ledger.clear();
         self.target = u64::MAX;
+        self.emit(SimEvent::Degraded);
     }
 
     /// Clamps one directive page range into `[0, virtual_pages)`.
@@ -328,6 +348,7 @@ impl CdPolicy {
             .pop_lru_where(|p| !locked.contains_key(&p) && Some(p) != protect)
         {
             self.locked.remove(&page);
+            self.emit(SimEvent::Evict { page });
             return;
         }
         // Everything evictable is locked: the OS "is entitled to release
@@ -338,9 +359,10 @@ impl CdPolicy {
             .filter(|(p, _)| self.resident.contains(**p) && Some(**p) != protect)
             .max_by_key(|(p, &pj)| (pj, p.0))
         {
-            self.locked.remove(&victim);
+            let pj = self.locked.remove(&victim).unwrap_or(0);
             self.resident.remove(victim);
             self.broken_locks += 1;
+            self.emit(SimEvent::LockBroken { page: victim, pj });
         } else {
             // Nothing evictable at all; allocation stays oversubscribed.
         }
@@ -378,14 +400,29 @@ impl CdPolicy {
         let outcome = match self.selector.choose(args, self.available) {
             Some(arg) => {
                 self.target = arg.pages.max(self.min_alloc);
+                self.emit(SimEvent::Alloc {
+                    pi: arg.pi,
+                    pages: arg.pages,
+                    decision: AllocDecision::Granted,
+                });
                 AllocOutcome::Granted(self.target)
             }
             None => {
                 let min_pi = args.last().map(|a| a.pi).unwrap_or(u32::MAX);
                 if min_pi <= 1 {
                     self.swap_requests += 1;
+                    self.emit(SimEvent::Alloc {
+                        pi: min_pi,
+                        pages: 0,
+                        decision: AllocDecision::SwapNeeded,
+                    });
                     AllocOutcome::SwapNeeded
                 } else {
+                    self.emit(SimEvent::Alloc {
+                        pi: min_pi,
+                        pages: 0,
+                        decision: AllocDecision::HeldOver,
+                    });
                     AllocOutcome::HeldOver
                 }
             }
@@ -455,10 +492,12 @@ impl CdPolicy {
             .iter_lru()
             .filter(|p| clean.iter().any(|r| r.contains(*p)))
             .collect();
+        let pinned = to_lock.len() as u32;
         for p in to_lock {
             self.locked.insert(p, pj);
         }
         self.lock_ledger.push(clean);
+        self.emit(SimEvent::Lock { pj, pinned });
     }
 
     fn handle_unlock(&mut self, ranges: &[PageRange]) {
@@ -479,6 +518,9 @@ impl CdPolicy {
         let pinned_before = self.locked.len();
         self.locked
             .retain(|p, _| !clean.iter().any(|r| r.contains(*p)));
+        self.emit(SimEvent::Unlock {
+            released: (pinned_before - self.locked.len()) as u32,
+        });
         if self.lock_ledger.len() == held_before && self.locked.len() == pinned_before {
             // Released neither a lock nor a page: double-unlock or
             // unlock of a never-locked array.
@@ -535,6 +577,17 @@ impl Policy for CdPolicy {
 
     fn is_degraded(&self) -> bool {
         self.degraded
+    }
+
+    fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+        if !on {
+            self.events.clear();
+        }
+    }
+
+    fn drain_events(&mut self, out: &mut Vec<SimEvent>) {
+        out.append(&mut self.events);
     }
 }
 

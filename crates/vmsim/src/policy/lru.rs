@@ -2,6 +2,7 @@
 
 use cdmm_trace::PageId;
 
+use crate::observe::SimEvent;
 use crate::policy::Policy;
 use crate::recency::RecencySet;
 
@@ -14,6 +15,8 @@ pub struct Lru {
     frames: usize,
     set: RecencySet,
     faults: u64,
+    tracing: bool,
+    events: Vec<SimEvent>,
 }
 
 impl Lru {
@@ -28,6 +31,8 @@ impl Lru {
             frames,
             set: RecencySet::new(),
             faults: 0,
+            tracing: false,
+            events: Vec::new(),
         }
     }
 
@@ -62,13 +67,29 @@ impl Policy for Lru {
         if self.set.len() > self.frames {
             // The just-touched page is the most recent; pop_lru removes a
             // different (older) page.
-            self.set.pop_lru();
+            let victim = self.set.pop_lru();
+            if self.tracing {
+                if let Some(page) = victim {
+                    self.events.push(SimEvent::Evict { page });
+                }
+            }
         }
         true
     }
 
     fn resident(&self) -> usize {
         self.set.len()
+    }
+
+    fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+        if !on {
+            self.events.clear();
+        }
+    }
+
+    fn drain_events(&mut self, out: &mut Vec<SimEvent>) {
+        out.append(&mut self.events);
     }
 }
 

@@ -22,6 +22,8 @@ pub mod ws_variants;
 use cdmm_trace::Event;
 use cdmm_trace::PageId;
 
+use crate::observe::SimEvent;
+
 /// A demand-paging memory-management policy.
 ///
 /// The simulator calls [`Policy::reference`] once per page reference and
@@ -52,5 +54,18 @@ pub trait Policy {
     /// and fallen back to plain demand paging.
     fn is_degraded(&self) -> bool {
         false
+    }
+
+    /// Turns in-policy event collection on or off. Instrumented
+    /// policies start buffering [`SimEvent`]s when enabled; policies
+    /// without emission sites ignore the call (the default).
+    fn set_tracing(&mut self, on: bool) {
+        let _ = on;
+    }
+
+    /// Moves the events buffered since the last drain into `out`
+    /// (in emission order). The default buffers nothing.
+    fn drain_events(&mut self, out: &mut Vec<SimEvent>) {
+        let _ = out;
     }
 }

@@ -8,6 +8,7 @@ use std::collections::{HashMap, VecDeque};
 
 use cdmm_trace::PageId;
 
+use crate::observe::SimEvent;
 use crate::policy::Policy;
 
 /// The Working Set policy with window `τ` (in references).
@@ -18,6 +19,8 @@ pub struct WorkingSet {
     last_ref: HashMap<PageId, u64>,
     /// Reference history `(time, page)` pending expiry.
     expiry: VecDeque<(u64, PageId)>,
+    tracing: bool,
+    events: Vec<SimEvent>,
 }
 
 impl WorkingSet {
@@ -33,6 +36,8 @@ impl WorkingSet {
             clock: 0,
             last_ref: HashMap::new(),
             expiry: VecDeque::new(),
+            tracing: false,
+            events: Vec::new(),
         }
     }
 
@@ -58,6 +63,9 @@ impl WorkingSet {
                 // Only drop the page if this history entry is its latest.
                 if self.last_ref.get(&page) == Some(&t) {
                     self.last_ref.remove(&page);
+                    if self.tracing {
+                        self.events.push(SimEvent::Evict { page });
+                    }
                 }
             } else {
                 break;
@@ -82,6 +90,17 @@ impl Policy for WorkingSet {
 
     fn resident(&self) -> usize {
         self.last_ref.len()
+    }
+
+    fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+        if !on {
+            self.events.clear();
+        }
+    }
+
+    fn drain_events(&mut self, out: &mut Vec<SimEvent>) {
+        out.append(&mut self.events);
     }
 }
 

@@ -3,6 +3,7 @@
 use cdmm_trace::{Event, Trace};
 
 use crate::metrics::Metrics;
+use crate::observe::{SimEvent, Tracer};
 use crate::policy::Policy;
 
 /// Simulation parameters.
@@ -38,6 +39,91 @@ impl Default for SimConfig {
 /// assert_eq!(m.faults, 4, "a large window only cold-faults");
 /// ```
 pub fn simulate(trace: &Trace, policy: &mut dyn Policy, config: SimConfig) -> Metrics {
+    run_untraced(trace, policy, config)
+}
+
+/// [`simulate`] with an event [`Tracer`] attached.
+///
+/// While the tracer is enabled, the policy buffers [`SimEvent`]s at its
+/// decision points and the driver forwards them after each trace event,
+/// stamped with the reference clock (references processed so far): the
+/// policy's own events first (evictions, grants, lock breaks …), then
+/// the driver's [`SimEvent::Fault`], then — only when the tracer opts
+/// in via [`Tracer::wants_refs`] — one [`SimEvent::Ref`].
+///
+/// With a disabled tracer ([`crate::observe::NullTracer`]) this is
+/// exactly [`simulate`] — both run the same untraced loop, which
+/// carries no tracing code at all. Metrics are identical either way:
+/// tracing observes the run, it never alters it.
+pub fn simulate_with(
+    trace: &Trace,
+    policy: &mut dyn Policy,
+    config: SimConfig,
+    tracer: &mut dyn Tracer,
+) -> Metrics {
+    if !tracer.enabled() {
+        return run_untraced(trace, policy, config);
+    }
+
+    let want_refs = tracer.wants_refs();
+    policy.set_tracing(true);
+    let mut pending: Vec<SimEvent> = Vec::new();
+    let mut metrics = Metrics::new(config.fault_service);
+    for event in &trace.events {
+        match event {
+            Event::Ref(page) => {
+                let fault = policy.reference(*page);
+                metrics.record(policy.resident(), fault);
+                if policy.is_degraded() {
+                    metrics.degraded_refs += 1;
+                }
+                let at = metrics.refs;
+                policy.drain_events(&mut pending);
+                for e in pending.drain(..) {
+                    tracer.record(at, &e);
+                }
+                let resident = policy.resident() as u32;
+                if fault {
+                    tracer.record(
+                        at,
+                        &SimEvent::Fault {
+                            page: *page,
+                            resident,
+                        },
+                    );
+                }
+                if want_refs {
+                    tracer.record(
+                        at,
+                        &SimEvent::Ref {
+                            page: *page,
+                            resident,
+                            fault,
+                        },
+                    );
+                }
+            }
+            other => {
+                policy.directive(other);
+                let at = metrics.refs;
+                policy.drain_events(&mut pending);
+                for e in pending.drain(..) {
+                    tracer.record(at, &e);
+                }
+            }
+        }
+    }
+    metrics.recovered_directives = policy.recovered_directives();
+    policy.set_tracing(false);
+    tracer.flush();
+    metrics
+}
+
+/// The hot path: no tracing code at all, so a disabled tracer costs one
+/// branch per run instead of per reference. `simulate` and a disabled
+/// `simulate_with` both land here; `traced_run_metrics_match_untraced`
+/// pins this loop and the instrumented one to the same results.
+fn run_untraced(trace: &Trace, policy: &mut dyn Policy, config: SimConfig) -> Metrics {
     let mut metrics = Metrics::new(config.fault_service);
     for event in &trace.events {
         match event {
@@ -101,6 +187,72 @@ mod tests {
         let mut cd = CdPolicy::new(CdSelector::Innermost).with_min_alloc(1);
         let m = simulate(&t, &mut cd, SimConfig::default());
         assert_eq!(m.faults, 3, "1-page target: page 0 refaults");
+    }
+
+    #[test]
+    fn traced_run_metrics_match_untraced() {
+        use crate::observe::EventLog;
+        // Tracing must observe the run without altering it, for every
+        // policy family.
+        let t = synth::phased(
+            &[
+                synth::Phase {
+                    base: 0,
+                    pages: 6,
+                    refs: 400,
+                },
+                synth::Phase {
+                    base: 6,
+                    pages: 3,
+                    refs: 400,
+                },
+            ],
+            9,
+        );
+        let plain = simulate(&t, &mut Lru::new(4), SimConfig::default());
+        let mut log = EventLog::new(4096).with_refs(true);
+        let traced = simulate_with(&t, &mut Lru::new(4), SimConfig::default(), &mut log);
+        assert_eq!(plain, traced);
+        assert!(!log.is_empty());
+
+        let plain = simulate(&t, &mut WorkingSet::new(50), SimConfig::default());
+        let mut log = EventLog::new(4096);
+        let traced = simulate_with(&t, &mut WorkingSet::new(50), SimConfig::default(), &mut log);
+        assert_eq!(plain, traced);
+    }
+
+    #[test]
+    fn tracer_sees_directive_and_fault_events() {
+        use crate::observe::{AllocDecision, EventLog, SimEvent};
+        use cdmm_lang::ast::AllocArg;
+        use cdmm_trace::{Event, PageId};
+        let events = vec![
+            Event::Alloc(vec![AllocArg { pi: 1, pages: 1 }]),
+            Event::Ref(PageId(0)),
+            Event::Ref(PageId(1)),
+            Event::Ref(PageId(0)),
+        ];
+        let t = Trace::from_events(events);
+        let mut cd = CdPolicy::new(CdSelector::Innermost).with_min_alloc(1);
+        let mut log = EventLog::new(64);
+        let m = simulate_with(&t, &mut cd, SimConfig::default(), &mut log);
+        assert_eq!(m.faults, 3);
+        let kinds: Vec<&str> = log.events().map(|e| e.event.kind()).collect();
+        // ALLOCATE granted at clock 0, then three faults with evictions
+        // once the 1-page target is exceeded.
+        assert_eq!(kinds.first(), Some(&"alloc"));
+        assert_eq!(kinds.iter().filter(|k| **k == "fault").count(), 3);
+        assert!(kinds.iter().any(|k| *k == "evict"));
+        assert!(log.events().any(|e| matches!(
+            e.event,
+            SimEvent::Alloc {
+                pi: 1,
+                decision: AllocDecision::Granted,
+                ..
+            }
+        )));
+        // Directive events carry the clock of the preceding reference.
+        assert_eq!(log.events().next().map(|e| e.at), Some(0));
     }
 
     #[test]

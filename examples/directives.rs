@@ -5,8 +5,8 @@
 //!
 //! Run with `cargo run --example directives`.
 
-use cdmm_repro::lang::to_source;
-use cdmm_repro::locality::{analyze_program, instrument, InsertOptions, PageGeometry};
+use cdmm_lang::to_source;
+use cdmm_locality::{analyze_program, instrument, InsertOptions, PageGeometry};
 
 /// A reconstruction of the paper's Figure 5a program shape.
 const FIG5: &str = "
@@ -49,7 +49,7 @@ fn main() {
     println!("{text}");
 
     // The instrumented text is itself a valid program.
-    let reparsed = cdmm_repro::lang::parse(&text).expect("instrumented source reparses");
+    let reparsed = cdmm_lang::parse(&text).expect("instrumented source reparses");
     assert_eq!(instrumented, reparsed);
     println!("Round trip OK: the directive syntax reparses to the same program.");
 }

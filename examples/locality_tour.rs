@@ -4,7 +4,7 @@
 //!
 //! Run with `cargo run --example locality_tour`.
 
-use cdmm_repro::locality::{analyze_program, PageGeometry};
+use cdmm_locality::{analyze_program, PageGeometry};
 
 /// The Figure 1 code: E and F referenced row-wise in loop 20, G and H
 /// column-wise in loop 30, all inside loop 10.

@@ -5,9 +5,9 @@
 //!
 //! Run with `cargo run --release --example multiprogramming`.
 
-use cdmm_repro::core::{prepare, PipelineConfig};
-use cdmm_repro::vmsim::multiprog::{run_multiprogram, MultiConfig, ProcPolicy};
-use cdmm_repro::workloads::{by_name, Scale};
+use cdmm_core::{prepare, PipelineConfig};
+use cdmm_vmsim::multiprog::{run_multiprogram, MultiConfig, ProcPolicy};
+use cdmm_workloads::{by_name, Scale};
 
 fn main() {
     let names = ["FDJAC", "TQL", "HYBRJ"];

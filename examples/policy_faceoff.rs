@@ -1,103 +1,87 @@
 //! Policy face-off on a real workload: run one of the paper's traced
 //! programs under the full policy zoo — CD, LRU, WS, FIFO, OPT, PFF and
 //! the WS variants — and print the PF / MEM / ST trade-off each policy
-//! achieves.
+//! achieves. Every policy is named as a `PolicySpec` value and run
+//! through one `Simulation` handle.
 //!
 //! Run with `cargo run --release --example policy_faceoff [PROGRAM]`
 //! (default CONDUCT; any of the nine paper programs works).
 
-use cdmm_repro::core::{prepare, PipelineConfig};
-use cdmm_repro::vmsim::policy::cd::CdSelector;
-use cdmm_repro::vmsim::policy::fifo::Fifo;
-use cdmm_repro::vmsim::policy::opt::Opt;
-use cdmm_repro::vmsim::policy::pff::Pff;
-use cdmm_repro::vmsim::policy::ws_variants::{DampedWs, SampledWs, VariableSampledWs};
-use cdmm_repro::vmsim::{simulate, Metrics, SimConfig};
-use cdmm_repro::workloads::{by_name, Scale};
+use cdmm_repro::{CdSelector, PolicySpec, Report, Simulation};
 
 fn main() {
     let program = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "CONDUCT".to_string());
-    let workload = by_name(&program, Scale::Small)
-        .unwrap_or_else(|| panic!("unknown program {program}; try MAIN, FDJAC, TQL, ..."));
-    let prepared =
-        prepare(workload.name, &workload.source, PipelineConfig::default()).expect("pipeline");
+    let mut sim = Simulation::workload(&program)
+        .policy(PolicySpec::Cd {
+            selector: CdSelector::AtLevel(2),
+        })
+        .prepare()
+        .unwrap_or_else(|e| panic!("{e}"));
 
     println!(
-        "{}: {}\n{} refs over {} pages\n",
-        workload.name,
-        workload.description,
-        prepared.plain_trace().ref_count(),
-        prepared.virtual_pages()
+        "{}: {} refs over {} pages\n",
+        sim.prepared().name(),
+        sim.prepared().plain_trace().ref_count(),
+        sim.prepared().virtual_pages()
     );
 
-    let cd = prepared.run_cd(CdSelector::AtLevel(2));
-    let frames = cd.mean_mem().round().max(1.0) as usize;
+    let cd = sim.run();
+    let frames = cd.metrics.mean_mem().round().max(1.0) as usize;
     let tau = 1_000;
-    let cfg = SimConfig::default();
-    let trace = prepared.plain_trace();
 
-    let mut rows: Vec<(String, Metrics)> = vec![
-        ("CD (level 2)".into(), cd),
-        (
-            "CD (outermost)".into(),
-            prepared.run_cd(CdSelector::Outermost),
-        ),
-        (
-            "CD (innermost)".into(),
-            prepared.run_cd(CdSelector::Innermost),
-        ),
-        (format!("LRU({frames})"), prepared.run_lru(frames)),
-        (format!("WS({tau})"), prepared.run_ws(tau)),
+    let specs = [
+        PolicySpec::Cd {
+            selector: CdSelector::Outermost,
+        },
+        PolicySpec::Cd {
+            selector: CdSelector::Innermost,
+        },
+        PolicySpec::Lru { frames },
+        PolicySpec::Ws { tau },
+        PolicySpec::Fifo { frames },
+        PolicySpec::Opt { frames },
+        PolicySpec::Pff { threshold: 200 },
+        PolicySpec::DampedWs {
+            tau,
+            reserve_cap: 8,
+        },
+        PolicySpec::SampledWs { tau, sigma: 100 },
+        PolicySpec::VariableSampledWs {
+            min_interval: 50,
+            max_interval: 2_000,
+            fault_quota: 10,
+        },
     ];
-    rows.push((
-        format!("FIFO({frames})"),
-        simulate(trace, &mut Fifo::new(frames), cfg),
-    ));
-    rows.push((
-        format!("OPT({frames})"),
-        simulate(trace, &mut Opt::for_trace(trace, frames), cfg),
-    ));
-    rows.push(("PFF(200)".into(), simulate(trace, &mut Pff::new(200), cfg)));
-    rows.push((
-        format!("DWS({tau},8)"),
-        simulate(trace, &mut DampedWs::new(tau, 8), cfg),
-    ));
-    rows.push((
-        format!("SWS({tau},100)"),
-        simulate(trace, &mut SampledWs::new(tau, 100), cfg),
-    ));
-    rows.push((
-        "VSWS(50,2000,10)".into(),
-        simulate(trace, &mut VariableSampledWs::new(50, 2_000, 10), cfg),
-    ));
+    let mut rows: Vec<Report> = vec![cd];
+    rows.extend(specs.iter().map(|&s| sim.run_policy(s)));
 
     println!(
         "{:<18} {:>8} {:>9} {:>13} {:>9}",
         "policy", "PF", "MEM", "ST", "peak"
     );
-    for (name, m) in &rows {
+    for r in &rows {
         println!(
             "{:<18} {:>8} {:>9.2} {:>13.3e} {:>9}",
-            name,
-            m.faults,
-            m.mean_mem(),
-            m.st_cost(),
-            m.peak_resident
+            r.policy,
+            r.metrics.faults,
+            r.metrics.mean_mem(),
+            r.metrics.st_cost(),
+            r.metrics.peak_resident
         );
     }
 
     let opt = &rows
         .iter()
-        .find(|(n, _)| n.starts_with("OPT"))
+        .find(|r| r.policy.starts_with("OPT"))
         .expect("OPT row")
-        .1;
+        .metrics;
     let lru = &rows
         .iter()
-        .find(|(n, _)| n.starts_with("LRU"))
+        .find(|r| r.policy.starts_with("LRU"))
         .expect("LRU row")
-        .1;
+        .metrics;
     assert!(opt.faults <= lru.faults, "OPT lower-bounds LRU");
     println!("\nSanity: OPT({frames}) <= LRU({frames}) in faults, as theory demands.");
 }

@@ -1,10 +1,10 @@
 //! Quickstart: compile a numerical program, let the compiler insert
-//! memory directives, and compare the CD policy against LRU and WS.
+//! memory directives, and compare the CD policy against LRU and WS —
+//! all through the `Simulation` facade.
 //!
 //! Run with `cargo run --example quickstart`.
 
-use cdmm_repro::core::{prepare, PipelineConfig};
-use cdmm_repro::vmsim::policy::cd::CdSelector;
+use cdmm_repro::{PolicySpec, Simulation};
 
 const SOURCE: &str = "
 PROGRAM DEMO
@@ -35,45 +35,40 @@ END
 ";
 
 fn main() {
-    // Compile, analyse, insert directives, and trace — one call.
-    let prepared = prepare("DEMO", SOURCE, PipelineConfig::default()).expect("pipeline");
+    // Compile, analyse, insert directives, and trace — one builder.
+    // The default policy is CD honoring the mid-level requests.
+    let mut sim = Simulation::from_source("DEMO", SOURCE)
+        .prepare()
+        .expect("pipeline");
 
     println!(
         "DEMO: {} array references over {} virtual pages, {} directives inserted\n",
-        prepared.plain_trace().ref_count(),
-        prepared.virtual_pages(),
-        prepared.cd_trace().directive_count(),
+        sim.prepared().plain_trace().ref_count(),
+        sim.prepared().virtual_pages(),
+        sim.prepared().cd_trace().directive_count(),
     );
 
-    // The CD policy, honoring the mid-level directive requests.
-    let cd = prepared.run_cd(CdSelector::AtLevel(2));
+    let cd = sim.run();
 
     // Classic baselines at comparable operating points.
-    let lru = prepared.run_lru(cd.mean_mem().round() as usize);
-    let ws_tau = 2_000;
-    let ws = prepared.run_ws(ws_tau);
+    let frames = cd.metrics.mean_mem().round() as usize;
+    let lru = sim.run_policy(PolicySpec::Lru { frames });
+    let ws = sim.run_policy(PolicySpec::Ws { tau: 2_000 });
 
     println!("{:<18} {:>10} {:>10} {:>14}", "policy", "PF", "MEM", "ST");
-    for (name, m) in [
-        ("CD (level 2)".to_string(), cd),
-        (
-            format!("LRU({} frames)", cd.mean_mem().round() as usize),
-            lru,
-        ),
-        (format!("WS(tau={ws_tau})"), ws),
-    ] {
+    for r in [&cd, &lru, &ws] {
         println!(
             "{:<18} {:>10} {:>10.2} {:>14.3e}",
-            name,
-            m.faults,
-            m.mean_mem(),
-            m.st_cost()
+            r.policy,
+            r.metrics.faults,
+            r.metrics.mean_mem(),
+            r.metrics.st_cost()
         );
     }
     println!(
         "\nAt the same average memory, CD faults {}x less than LRU.",
-        if cd.faults > 0 {
-            lru.faults / cd.faults.max(1)
+        if cd.metrics.faults > 0 {
+            lru.metrics.faults / cd.metrics.faults.max(1)
         } else {
             0
         }

@@ -1,18 +1,76 @@
 //! Umbrella crate for the CDMM reproduction workspace.
 //!
-//! Re-exports every sub-crate so integration tests and examples can use a
-//! single dependency. See the individual crates for the real APIs:
+//! The front door is the [`Simulation`] facade — a fluent builder over
+//! the whole compile → instrument → trace → simulate pipeline:
 //!
-//! - [`lang`] — mini-FORTRAN front end
-//! - [`locality`] — compile-time locality analysis and directive insertion
-//! - [`trace`] — program interpreter and reference-trace generation
-//! - [`vmsim`] — virtual-memory simulator and the CD/LRU/WS policy zoo
-//! - [`workloads`] — the nine numerical programs from the paper
-//! - [`core`] — end-to-end pipeline and experiment harness
+//! ```
+//! use cdmm_repro::{PolicySpec, Simulation};
+//!
+//! let report = Simulation::workload("MAIN")
+//!     .policy(PolicySpec::Lru { frames: 8 })
+//!     .run()
+//!     .expect("built-in workload");
+//! println!("{}: {} faults", report.policy, report.metrics.faults);
+//! ```
+//!
+//! The sub-crates remain the fine-grained API:
+//!
+//! - [`cdmm_lang`] — mini-FORTRAN front end
+//! - [`cdmm_locality`] — compile-time locality analysis and directive insertion
+//! - [`cdmm_trace`] — program interpreter and reference-trace generation
+//! - [`cdmm_vmsim`] — virtual-memory simulator, the CD/LRU/WS policy zoo,
+//!   and the `observe` event-tracing layer
+//! - [`cdmm_workloads`] — the nine numerical programs from the paper
+//! - [`cdmm_core`] — end-to-end pipeline and experiment harness
+//!
+//! The pre-facade module aliases (`cdmm_repro::core`, `::vmsim`, ...)
+//! still work but are deprecated; depend on the sub-crates directly.
 
-pub use cdmm_core as core;
-pub use cdmm_lang as lang;
-pub use cdmm_locality as locality;
-pub use cdmm_trace as trace;
-pub use cdmm_vmsim as vmsim;
-pub use cdmm_workloads as workloads;
+pub mod simulation;
+
+pub use simulation::{PreparedSimulation, Report, Simulation, SimulationError};
+
+// The names a facade user needs, lifted to the crate root.
+pub use cdmm_core::{PipelineConfig, PipelineError, PolicySpec};
+pub use cdmm_locality::{InsertOptions, PageGeometry, SizerMode};
+pub use cdmm_vmsim::policy::cd::CdSelector;
+pub use cdmm_vmsim::{
+    EventLog, HistogramRecorder, JsonlSink, Metrics, NullTracer, SimEvent, Tracer,
+};
+pub use cdmm_workloads::Scale;
+
+/// Deprecated alias of [`cdmm_core`].
+#[deprecated(since = "0.1.0", note = "use the `cdmm_core` crate directly")]
+pub mod core {
+    pub use cdmm_core::*;
+}
+
+/// Deprecated alias of [`cdmm_lang`].
+#[deprecated(since = "0.1.0", note = "use the `cdmm_lang` crate directly")]
+pub mod lang {
+    pub use cdmm_lang::*;
+}
+
+/// Deprecated alias of [`cdmm_locality`].
+#[deprecated(since = "0.1.0", note = "use the `cdmm_locality` crate directly")]
+pub mod locality {
+    pub use cdmm_locality::*;
+}
+
+/// Deprecated alias of [`cdmm_trace`].
+#[deprecated(since = "0.1.0", note = "use the `cdmm_trace` crate directly")]
+pub mod trace {
+    pub use cdmm_trace::*;
+}
+
+/// Deprecated alias of [`cdmm_vmsim`].
+#[deprecated(since = "0.1.0", note = "use the `cdmm_vmsim` crate directly")]
+pub mod vmsim {
+    pub use cdmm_vmsim::*;
+}
+
+/// Deprecated alias of [`cdmm_workloads`].
+#[deprecated(since = "0.1.0", note = "use the `cdmm_workloads` crate directly")]
+pub mod workloads {
+    pub use cdmm_workloads::*;
+}

@@ -15,14 +15,14 @@
 //! Campaign count defaults to 1000 and can be overridden with the
 //! `CHAOS_CAMPAIGNS` environment variable (CI runs a smoke subset).
 
-use cdmm_repro::core::{prepare, PipelineConfig, Prepared};
-use cdmm_repro::trace::validate::DirectiveFuzzer;
-use cdmm_repro::trace::{Event, PageId, Trace};
-use cdmm_repro::vmsim::multiprog::{try_run_multiprogram, MultiConfig, ProcPolicy};
-use cdmm_repro::vmsim::policy::cd::{CdPolicy, CdSelector};
-use cdmm_repro::vmsim::policy::lru::Lru;
-use cdmm_repro::vmsim::{simulate, Metrics, SimConfig};
-use cdmm_repro::workloads::{all, Scale};
+use cdmm_core::{prepare, PipelineConfig, Prepared};
+use cdmm_trace::validate::DirectiveFuzzer;
+use cdmm_trace::{Event, PageId, Trace};
+use cdmm_vmsim::multiprog::{try_run_multiprogram, MultiConfig, ProcPolicy};
+use cdmm_vmsim::policy::cd::{CdPolicy, CdSelector};
+use cdmm_vmsim::policy::lru::Lru;
+use cdmm_vmsim::{simulate, Metrics, SimConfig};
+use cdmm_workloads::{all, Scale};
 
 /// Campaign count, honoring the `CHAOS_CAMPAIGNS` override.
 fn campaigns(default: usize) -> usize {

@@ -1,10 +1,10 @@
 //! End-to-end integration tests: source text in, policy metrics out,
 //! exercising every crate in the workspace together.
 
-use cdmm_repro::core::{prepare, PipelineConfig};
-use cdmm_repro::locality::{analyze_program, instrument, InsertOptions, PageGeometry};
-use cdmm_repro::vmsim::policy::cd::CdSelector;
-use cdmm_repro::workloads::{all, by_name, Scale};
+use cdmm_core::{prepare, PipelineConfig};
+use cdmm_locality::{analyze_program, instrument, InsertOptions, PageGeometry};
+use cdmm_vmsim::policy::cd::CdSelector;
+use cdmm_workloads::{all, by_name, Scale};
 
 #[test]
 fn every_workload_runs_through_the_full_pipeline() {
@@ -79,20 +79,19 @@ fn instrumented_sources_reparse_for_every_workload() {
         let analysis = analyze_program(&w.source, PageGeometry::PAPER)
             .unwrap_or_else(|e| panic!("{}: {e}", w.name));
         let out = instrument(&analysis, InsertOptions::default());
-        let text = cdmm_repro::lang::to_source(&out);
-        let mut reparsed = cdmm_repro::lang::parse(&text)
-            .unwrap_or_else(|e| panic!("{} reparse: {e}\n{text}", w.name));
+        let text = cdmm_lang::to_source(&out);
+        let mut reparsed =
+            cdmm_lang::parse(&text).unwrap_or_else(|e| panic!("{} reparse: {e}\n{text}", w.name));
         // `out` went through semantic analysis (intrinsics rewritten to
         // calls); bring the reparsed program to the same stage.
-        cdmm_repro::lang::analyze(&mut reparsed)
-            .unwrap_or_else(|e| panic!("{} recheck: {e}", w.name));
+        cdmm_lang::analyze(&mut reparsed).unwrap_or_else(|e| panic!("{} recheck: {e}", w.name));
         assert_eq!(out, reparsed, "{}", w.name);
     }
 }
 
 #[test]
 fn allocate_lists_satisfy_paper_invariants_in_every_workload_trace() {
-    use cdmm_repro::trace::Event;
+    use cdmm_trace::Event;
     for w in all(Scale::Small) {
         let p = prepare(w.name, &w.source, PipelineConfig::default()).unwrap();
         let mut saw_alloc = false;
@@ -120,9 +119,9 @@ fn page_geometry_is_consistent_across_layout_and_analysis() {
     // every workload — they are computed by different crates.
     for w in all(Scale::Small) {
         let analysis = analyze_program(&w.source, PageGeometry::PAPER).unwrap();
-        let mut program = cdmm_repro::lang::parse(&w.source).unwrap();
-        let syms = cdmm_repro::lang::analyze(&mut program).unwrap();
-        let layout = cdmm_repro::trace::MemoryLayout::new(&syms, PageGeometry::PAPER);
+        let mut program = cdmm_lang::parse(&w.source).unwrap();
+        let syms = cdmm_lang::analyze(&mut program).unwrap();
+        let layout = cdmm_trace::MemoryLayout::new(&syms, PageGeometry::PAPER);
         assert_eq!(
             analysis.sizes.total_pages,
             u64::from(layout.total_pages()),

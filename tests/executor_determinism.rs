@@ -11,12 +11,12 @@
 
 use std::path::PathBuf;
 
-use cdmm_repro::core::sweep::cache::{decode_line, encode_line};
-use cdmm_repro::core::sweep::{cached_lru, point_key, PolicyId};
-use cdmm_repro::core::{prepare, CacheKey, Executor, PipelineConfig, Prepared, ResultCache};
-use cdmm_repro::trace::synth::SplitMix64;
-use cdmm_repro::vmsim::Metrics;
-use cdmm_repro::workloads::{by_name, Scale};
+use cdmm_core::sweep::cache::{decode_line, encode_line};
+use cdmm_core::sweep::{cached_lru, point_key, PolicyId};
+use cdmm_core::{prepare, CacheKey, Executor, PipelineConfig, Prepared, ResultCache};
+use cdmm_trace::synth::SplitMix64;
+use cdmm_vmsim::Metrics;
+use cdmm_workloads::{by_name, Scale};
 
 fn temp_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!(

@@ -17,10 +17,10 @@
 
 use std::fmt::Write as _;
 
-use cdmm_repro::core::experiments::Harness;
-use cdmm_repro::core::experiments::{table2, table3, table4, Table2Row, Table3Row, Table4Row};
-use cdmm_repro::core::Executor;
-use cdmm_repro::workloads::Scale;
+use cdmm_core::experiments::Harness;
+use cdmm_core::experiments::{table2, table3, table4, Table2Row, Table3Row, Table4Row};
+use cdmm_core::Executor;
+use cdmm_workloads::Scale;
 
 const FIXTURE: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
@@ -106,6 +106,37 @@ fn serial_run_matches_checked_in_fixture() {
         "Table 2/3/4 metrics drifted from the golden fixture.\n\
          If the change is intentional, regenerate with \
          `CDMM_BLESS=1 cargo test --test golden_tables` and commit the diff."
+    );
+}
+
+#[test]
+fn observed_run_reproduces_the_fixture_tables() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    /// Counts `JobDone` events so the test can prove the observer was
+    /// actually consulted, not silently dropped.
+    #[derive(Debug)]
+    struct Counting(Arc<AtomicU64>);
+    impl cdmm_vmsim::Tracer for Counting {
+        fn record(&mut self, _at: u64, event: &cdmm_vmsim::SimEvent) {
+            if matches!(event, cdmm_vmsim::SimEvent::JobDone { .. }) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    let serial = run_tables(Executor::serial());
+    let jobs = Arc::new(AtomicU64::new(0));
+    let obs = cdmm_vmsim::observe::shared(Counting(jobs.clone()));
+    let observed = run_tables(Executor::with_threads(2).with_observer(obs));
+    assert_eq!(
+        observed, serial,
+        "attaching an observer must not change the tables"
+    );
+    assert!(
+        jobs.load(Ordering::Relaxed) > 0,
+        "the observer saw no executor jobs"
     );
 }
 

@@ -2,8 +2,8 @@
 //! driven through the public crate APIs — these are the reproduction's
 //! "figures".
 
-use cdmm_repro::locality::{analyze_program, instrument, InsertOptions, PageGeometry};
-use cdmm_repro::locality::{LocalitySizer, SizerMode};
+use cdmm_locality::{analyze_program, instrument, InsertOptions, PageGeometry};
+use cdmm_locality::{LocalitySizer, SizerMode};
 
 const FIG5: &str = "
 PROGRAM FIG5
@@ -40,10 +40,10 @@ fn figure2_priority_indexes() {
 fn figure5_section31_locality_sizes() {
     // Recompute with the paper's own upper-bound counting and check the
     // worked numbers from Section 3.1.
-    let mut program = cdmm_repro::lang::parse(FIG5).unwrap();
-    let syms = cdmm_repro::lang::analyze(&mut program).unwrap();
-    let mut tree = cdmm_repro::locality::LoopTree::build(&program);
-    cdmm_repro::locality::priority::assign(&mut tree);
+    let mut program = cdmm_lang::parse(FIG5).unwrap();
+    let syms = cdmm_lang::analyze(&mut program).unwrap();
+    let mut tree = cdmm_locality::LoopTree::build(&program);
+    cdmm_locality::priority::assign(&mut tree);
     let sizes = LocalitySizer::new(&syms, PageGeometry::PAPER)
         .with_mode(SizerMode::PaperBound)
         .run(&tree);
@@ -74,7 +74,7 @@ fn figure5c_directive_text() {
     // ALLOCATEs that accumulate (PI, X) pairs, LOCKs before inner loops,
     // and a trailing UNLOCK naming every locked array.
     let a = analyze_program(FIG5, PageGeometry::PAPER).unwrap();
-    let text = cdmm_repro::lang::to_source(&instrument(&a, InsertOptions::default()));
+    let text = cdmm_lang::to_source(&instrument(&a, InsertOptions::default()));
 
     let lock_ab = text.find("!MD$ LOCK (3,A,B)").expect("LOCK (3,A,B)");
     let lock_ef = text.find("!MD$ LOCK (2,E,F)").expect("LOCK (2,E,F)");
@@ -145,10 +145,10 @@ DO 10 I = 1, N
 10 CONTINUE
 END
 ";
-    let mut program = cdmm_repro::lang::parse(src).unwrap();
-    let syms = cdmm_repro::lang::analyze(&mut program).unwrap();
-    let mut tree = cdmm_repro::locality::LoopTree::build(&program);
-    cdmm_repro::locality::priority::assign(&mut tree);
+    let mut program = cdmm_lang::parse(src).unwrap();
+    let syms = cdmm_lang::analyze(&mut program).unwrap();
+    let mut tree = cdmm_locality::LoopTree::build(&program);
+    cdmm_locality::priority::assign(&mut tree);
     let sizes = LocalitySizer::new(&syms, PageGeometry::PAPER)
         .with_mode(SizerMode::PaperBound)
         .run(&tree);

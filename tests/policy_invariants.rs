@@ -1,15 +1,15 @@
 //! Property-style tests over the policy zoo and the front end, driven
 //! by seeded exhaustive loops (deterministic, dependency-free).
 
-use cdmm_repro::lang::{analyze, parse, to_source};
-use cdmm_repro::trace::synth::{self, SplitMix64};
-use cdmm_repro::trace::{Event, PageId, PageRange, Trace};
-use cdmm_repro::vmsim::policy::cd::{CdPolicy, CdSelector};
-use cdmm_repro::vmsim::policy::lru::Lru;
-use cdmm_repro::vmsim::policy::opt::Opt;
-use cdmm_repro::vmsim::policy::ws::WorkingSet;
-use cdmm_repro::vmsim::policy::Policy;
-use cdmm_repro::vmsim::stack::StackProfile;
+use cdmm_lang::{analyze, parse, to_source};
+use cdmm_trace::synth::{self, SplitMix64};
+use cdmm_trace::{Event, PageId, PageRange, Trace};
+use cdmm_vmsim::policy::cd::{CdPolicy, CdSelector};
+use cdmm_vmsim::policy::lru::Lru;
+use cdmm_vmsim::policy::opt::Opt;
+use cdmm_vmsim::policy::ws::WorkingSet;
+use cdmm_vmsim::policy::Policy;
+use cdmm_vmsim::stack::StackProfile;
 
 /// A random reference-only trace over `max_pages` pages.
 fn random_trace(rng: &mut SplitMix64, max_pages: u32, len: usize) -> Trace {
@@ -125,7 +125,7 @@ fn pinned_policy() -> CdPolicy {
     let mut cd = CdPolicy::new(CdSelector::Outermost)
         .with_min_alloc(1)
         .with_virtual_pages(Some(8));
-    cd.directive(&Event::Alloc(vec![cdmm_repro::lang::ast::AllocArg {
+    cd.directive(&Event::Alloc(vec![cdmm_lang::ast::AllocArg {
         pi: 2,
         pages: 8,
     }]));
@@ -205,7 +205,7 @@ fn lock_range_exceeding_virtual_pages_recovers_and_counts() {
     });
     assert_eq!(cd.recovered_directives(), 2, "unhonorable lock counted");
     // The pages named by the clamped lock really are pinned.
-    cd.directive(&Event::Alloc(vec![cdmm_repro::lang::ast::AllocArg {
+    cd.directive(&Event::Alloc(vec![cdmm_lang::ast::AllocArg {
         pi: 1,
         pages: 1,
     }]));
@@ -274,14 +274,14 @@ fn generated_programs_trace_in_bounds() {
         if analyze(&mut program).is_err() {
             continue;
         }
-        match cdmm_repro::trace::trace_program(&src, cdmm_repro::locality::PageGeometry::PAPER) {
+        match cdmm_trace::trace_program(&src, cdmm_locality::PageGeometry::PAPER) {
             Ok(trace) => {
                 let v = trace.virtual_pages;
                 for p in trace.refs() {
                     assert!(p.0 < v, "page {} outside virtual space {v}", p.0);
                 }
             }
-            Err(cdmm_repro::trace::InterpError::OutOfBounds { .. }) => {}
+            Err(cdmm_trace::InterpError::OutOfBounds { .. }) => {}
             Err(other) => panic!("{other}"),
         }
     }

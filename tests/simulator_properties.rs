@@ -1,11 +1,11 @@
 //! Cross-cutting simulator properties: geometry sensitivity, determinism,
 //! and selector equivalences.
 
-use cdmm_repro::core::{prepare, PipelineConfig};
-use cdmm_repro::locality::PageGeometry;
-use cdmm_repro::vmsim::multiprog::{run_multiprogram, MultiConfig, ProcPolicy};
-use cdmm_repro::vmsim::policy::cd::CdSelector;
-use cdmm_repro::workloads::{by_name, Scale};
+use cdmm_core::{prepare, PipelineConfig};
+use cdmm_locality::PageGeometry;
+use cdmm_vmsim::multiprog::{run_multiprogram, MultiConfig, ProcPolicy};
+use cdmm_vmsim::policy::cd::CdSelector;
+use cdmm_workloads::{by_name, Scale};
 
 #[test]
 fn larger_pages_shrink_the_virtual_space() {

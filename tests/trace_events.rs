@@ -1,0 +1,130 @@
+//! Event-stream regression suite.
+//!
+//! A small two-level loop nest is pushed through the full pipeline and
+//! a traced CD run is streamed to a [`JsonlSink`]; the resulting
+//! checksummed JSONL file must match the checked-in fixture byte for
+//! byte. Because the simulator, the policy, and the encoding are all
+//! deterministic, any drift in the event stream — reordered events, a
+//! changed clock, a new field — fails this test before it can silently
+//! change what observers see.
+//!
+//! Regenerate the fixture after an intentional event-stream change with:
+//!
+//! ```text
+//! CDMM_BLESS=1 cargo test --test trace_events
+//! ```
+
+use cdmm_core::{prepare, PipelineConfig, PolicySpec, Prepared};
+use cdmm_vmsim::policy::cd::CdSelector;
+use cdmm_vmsim::{EventLog, JsonlSink};
+use cdmm_workloads::{by_name, Scale};
+
+const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/trace_events.jsonl"
+);
+
+/// A compact Figure 5-shaped nest: the outer loop carries an `ALLOCATE`
+/// with one request per level and the inner loops get `LOCK`/`UNLOCK`
+/// pairs, so the fixture exercises every directive-driven event kind.
+const SOURCE: &str = "
+PROGRAM TRACEFIX
+PARAMETER (N = 64)
+DIMENSION A(N), B(N), C(N), D(N)
+DIMENSION CC(N,N), DD(N,N)
+DO 3 I = 1, N
+  A(I) = B(I) + 1.0
+  DO 1 J = 1, N
+    C(J) = D(J) + CC(I,J)
+1 CONTINUE
+  DO 2 K = 1, N
+    DD(K,I) = C(K) * 2.0
+2 CONTINUE
+3 CONTINUE
+END
+";
+
+fn prepared() -> Prepared {
+    prepare("TRACEFIX", SOURCE, PipelineConfig::default()).expect("pipeline accepts the fixture")
+}
+
+/// Streams one traced CD run to a throwaway JSONL file and returns its
+/// contents, after checking the checksums and that tracing did not
+/// perturb the metrics.
+fn traced_jsonl() -> String {
+    let p = prepared();
+    let path = std::env::temp_dir().join(format!("cdmm_trace_events_{}.jsonl", std::process::id()));
+    let mut sink = JsonlSink::create(&path).expect("create jsonl sink");
+    let traced = p.run_cd_with(CdSelector::AtLevel(2), &mut sink);
+    let untraced = p.run_cd(CdSelector::AtLevel(2));
+    assert_eq!(traced, untraced, "the sink must not alter the run");
+
+    let lines = JsonlSink::validate_file(&path).expect("every line checksums");
+    assert!(lines > 0, "the traced run produced no events");
+    let text = std::fs::read_to_string(&path).expect("read sink file");
+    std::fs::remove_file(&path).ok();
+    text
+}
+
+#[test]
+fn cd_event_stream_matches_checked_in_fixture() {
+    let got = traced_jsonl();
+    if std::env::var_os("CDMM_BLESS").is_some() {
+        std::fs::write(FIXTURE, &got).expect("write fixture");
+        eprintln!("blessed {FIXTURE}");
+        return;
+    }
+    let want = std::fs::read_to_string(FIXTURE)
+        .expect("fixture missing — run `CDMM_BLESS=1 cargo test --test trace_events`");
+    assert_eq!(
+        got, want,
+        "the CD event stream drifted from the golden fixture.\n\
+         If the change is intentional, regenerate with \
+         `CDMM_BLESS=1 cargo test --test trace_events` and commit the diff."
+    );
+}
+
+#[test]
+fn fixture_file_itself_validates() {
+    let lines = JsonlSink::validate_file(std::path::Path::new(FIXTURE))
+        .expect("checked-in fixture must checksum");
+    assert!(lines > 0);
+}
+
+#[test]
+fn event_stream_covers_the_directive_kinds() {
+    let p = prepared();
+    let mut log = EventLog::new(1 << 14);
+    p.run_cd_with(CdSelector::AtLevel(2), &mut log);
+    assert_eq!(log.dropped(), 0, "ring too small for the fixture run");
+    let kinds: std::collections::BTreeSet<&str> = log.events().map(|e| e.event.kind()).collect();
+    for want in ["alloc", "lock", "unlock", "fault", "evict"] {
+        assert!(kinds.contains(want), "no `{want}` event in {kinds:?}");
+    }
+}
+
+#[test]
+fn tracing_is_inert_across_policies_and_workloads() {
+    let specs = [
+        PolicySpec::Cd {
+            selector: CdSelector::AtLevel(2),
+        },
+        PolicySpec::Lru { frames: 8 },
+        PolicySpec::Ws { tau: 2_000 },
+    ];
+    for name in ["MAIN", "FDJAC"] {
+        let w = by_name(name, Scale::Small).expect("known workload");
+        let p = prepare(w.name, &w.source, PipelineConfig::default()).expect("pipeline");
+        for spec in specs {
+            let plain = p.run_policy(spec);
+            let mut log = EventLog::new(1 << 12).with_refs(true);
+            let traced = p.run_policy_with(spec, &mut log);
+            assert_eq!(
+                plain,
+                traced,
+                "{name}/{}: tracing must not alter metrics",
+                p.policy_label(spec)
+            );
+        }
+    }
+}

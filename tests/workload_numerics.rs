@@ -3,11 +3,11 @@
 //! A tracer that emitted the right pages for the wrong values would pass
 //! the paging tests; these catch it.
 
-use cdmm_repro::locality::PageGeometry;
-use cdmm_repro::trace::trace_program_with_state;
-use cdmm_repro::workloads::{by_name, Scale};
+use cdmm_locality::PageGeometry;
+use cdmm_trace::trace_program_with_state;
+use cdmm_workloads::{by_name, Scale};
 
-fn state_of(name: &str) -> cdmm_repro::trace::ProgramState {
+fn state_of(name: &str) -> cdmm_trace::ProgramState {
     let w = by_name(name, Scale::Small).unwrap();
     trace_program_with_state(&w.source, PageGeometry::PAPER)
         .unwrap_or_else(|e| panic!("{name}: {e}"))
