@@ -1,0 +1,127 @@
+//! The perf-regression gate: regenerates fresh `BENCH_perf.json` and
+//! `BENCH_tables.json` artifacts and diffs them against the checked-in
+//! baselines in `crates/bench/baselines/`.
+//!
+//! ```text
+//! perf_regress [--small] [--threads N] [--bench-out DIR]
+//! ```
+//!
+//! Exit status is non-zero on any hard finding: a deterministic
+//! fault-metric drift, a missing or extra entry, or (unless advisory)
+//! a wall-clock regression past the tolerance. Knobs:
+//!
+//! - `CDMM_BLESS=1` — overwrite the baselines with the fresh artifacts
+//!   instead of comparing (run after an intended perf or metric
+//!   change, then commit the diff).
+//! - `CDMM_WALL_ADVISORY=1` — downgrade wall-clock findings to
+//!   warnings (shared CI runners; fault-metric drift stays hard).
+//! - `CDMM_PERF_TOLERANCE=PCT` — wall-clock tolerance (default 10).
+//! - `CDMM_BASELINE_DIR=DIR` — baseline directory override.
+//! - `CDMM_PROFILE_WORKLOADS=A,B` — profile (and gate) only these
+//!   workloads; the baseline is subset to match, so a bounded CI run
+//!   is not failed for workloads it never profiled.
+//!
+//! With `--bench-out DIR` the fresh artifacts are also written there
+//! (the CI job uploads them for later inspection). Baselines are
+//! scale-tagged; compare at the scale they were blessed at (`--small`
+//! for the checked-in ones).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use cdmm_bench::artifact::Artifact;
+use cdmm_bench::profile::{profile, ProfileOptions};
+use cdmm_bench::regress::{compare, has_hard, retain_workloads, RegressOptions};
+use cdmm_bench::{tables_artifact, BenchEnv};
+
+fn baseline_dir() -> PathBuf {
+    match std::env::var("CDMM_BASELINE_DIR") {
+        Ok(dir) => PathBuf::from(dir),
+        Err(_) => PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/baselines")),
+    }
+}
+
+fn env_flag(name: &str) -> bool {
+    std::env::var(name).is_ok_and(|v| v == "1")
+}
+
+fn main() -> ExitCode {
+    let env = BenchEnv::from_env();
+    let mut popts = ProfileOptions::at_scale(env.scale());
+    if let Ok(names) = std::env::var("CDMM_PROFILE_WORKLOADS") {
+        popts.workloads = Some(names.split(',').map(|s| s.trim().to_string()).collect());
+    }
+    let (perf, _) = profile(&popts);
+    let tables = tables_artifact(env.scale(), env.executor());
+    let fresh = [perf, tables];
+
+    if let Some(dir) = &env.options().bench_out {
+        for a in &fresh {
+            let path = a
+                .write_to_dir(dir)
+                .unwrap_or_else(|e| panic!("--bench-out {}: {e}", dir.display()));
+            println!("fresh artifact written to {}", path.display());
+        }
+    }
+
+    let dir = baseline_dir();
+    if env_flag("CDMM_BLESS") {
+        for a in &fresh {
+            let path = a
+                .write_to_dir(&dir)
+                .unwrap_or_else(|e| panic!("bless {}: {e}", dir.display()));
+            println!("blessed {}", path.display());
+        }
+        env.finish();
+        return ExitCode::SUCCESS;
+    }
+
+    let opts = RegressOptions {
+        wall_tolerance_pct: std::env::var("CDMM_PERF_TOLERANCE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(10.0),
+        advisory_wall: env_flag("CDMM_WALL_ADVISORY"),
+    };
+    let mut failed = false;
+    for a in &fresh {
+        let mut baseline = match Artifact::read_from_dir(&dir, &a.kind) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("perf_regress: {e} (CDMM_BLESS=1 to create baselines)");
+                failed = true;
+                continue;
+            }
+        };
+        if a.kind == "perf" {
+            if let Some(only) = &popts.workloads {
+                retain_workloads(&mut baseline, only);
+                println!(
+                    "BENCH_perf: gating the CDMM_PROFILE_WORKLOADS subset \
+                     ({} baseline entries)",
+                    baseline.entries.len()
+                );
+            }
+        }
+        let findings = compare(&baseline, a, &opts);
+        for f in &findings {
+            println!("BENCH_{}: {f}", a.kind);
+        }
+        if has_hard(&findings) {
+            failed = true;
+        } else {
+            println!(
+                "BENCH_{}: {} entries match the baseline ({} advisory)",
+                a.kind,
+                a.entries.len(),
+                findings.len()
+            );
+        }
+    }
+    env.finish();
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,45 @@
+//! Hot-loop profiler: times prepare/simulate/report for every workload
+//! × {CD, LRU, WS} and writes the schema-versioned `BENCH_perf.json`
+//! artifact.
+//!
+//! ```text
+//! perf_report [--small] [--bench-out DIR]
+//! ```
+//!
+//! The artifact lands in `--bench-out` (default `target/bench`). Set
+//! `CDMM_PROFILE_WORKLOADS=MAIN,FDJAC` to profile a reduced workload
+//! set (the CI perf job does this to bound runtime) and
+//! `CDMM_PROFILE_SAMPLES=N` to change the min-of-N simulate timing.
+//! Compare the result against the checked-in baselines with
+//! `perf_regress`.
+
+use std::path::PathBuf;
+
+use cdmm_bench::profile::{profile, render_summary, ProfileOptions};
+use cdmm_bench::BenchEnv;
+
+fn main() {
+    let env = BenchEnv::from_env();
+    let mut opts = ProfileOptions::at_scale(env.scale());
+    if let Ok(names) = std::env::var("CDMM_PROFILE_WORKLOADS") {
+        opts.workloads = Some(names.split(',').map(|s| s.trim().to_string()).collect());
+    }
+    if let Ok(n) = std::env::var("CDMM_PROFILE_SAMPLES") {
+        opts.samples = n
+            .parse()
+            .unwrap_or_else(|_| panic!("CDMM_PROFILE_SAMPLES: cannot parse {n:?}"));
+    }
+    let (artifact, scorecard) = profile(&opts);
+    print!("{}", render_summary(&artifact));
+    println!("\nlast scorecard:\n{scorecard}");
+    let dir = env
+        .options()
+        .bench_out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("target/bench"));
+    let path = artifact
+        .write_to_dir(&dir)
+        .unwrap_or_else(|e| panic!("--bench-out {}: {e}", dir.display()));
+    println!("artifact written to {}", path.display());
+    env.finish();
+}

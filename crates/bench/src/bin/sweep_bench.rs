@@ -11,7 +11,9 @@
 //! with `--quick --assert-hit-rate 90` verifies the warm-cache path
 //! (the CI cache-warm step). With `--trace-out` the executor and cache
 //! stream `job_done` / `cache_query` events into a checksummed JSONL
-//! file.
+//! file. With `--bench-out DIR` the run writes the canonical
+//! `BENCH_tables.json` artifact (the old console speedup printout is
+//! deprecated in its favor).
 
 use std::process::ExitCode;
 
@@ -26,6 +28,7 @@ fn main() -> ExitCode {
         cache_dir: o.cache_dir.clone(),
         assert_hit_rate: o.assert_hit_rate,
         quick: o.quick,
+        bench_out: o.bench_out.clone(),
     };
     let result = run_sweep_summary(&opts, env.tracer().cloned());
     env.finish();

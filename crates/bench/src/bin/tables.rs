@@ -8,5 +8,12 @@ fn main() {
     cdmm_bench::print_table2(&env);
     cdmm_bench::print_table3(&env);
     cdmm_bench::print_table4(&env);
+    if let Some(dir) = &env.options().bench_out {
+        let a = cdmm_bench::tables_artifact(env.scale(), env.executor());
+        let path = a
+            .write_to_dir(dir)
+            .unwrap_or_else(|e| panic!("--bench-out {}: {e}", dir.display()));
+        eprintln!("artifact written to {}", path.display());
+    }
     env.finish();
 }

@@ -31,10 +31,14 @@ pub struct Options {
     /// Skip serial baselines (`--quick`).
     pub quick: bool,
     /// Write a checksummed JSONL event trace here (`--trace-out PATH`).
+    /// Rejected at parse time when the parent directory is missing.
     pub trace_out: Option<PathBuf>,
     /// Include per-reference events in the trace (`--trace-events`;
     /// large output — off by default).
     pub trace_events: bool,
+    /// Write `BENCH_*.json` artifacts into this directory
+    /// (`--bench-out DIR`; created if missing).
+    pub bench_out: Option<PathBuf>,
 }
 
 impl Default for Options {
@@ -47,6 +51,7 @@ impl Default for Options {
             quick: false,
             trace_out: None,
             trace_events: false,
+            bench_out: None,
         }
     }
 }
@@ -65,6 +70,14 @@ pub enum CliError {
         /// The rejected text.
         value: String,
     },
+    /// A path whose parent directory does not exist — rejected up
+    /// front instead of failing mid-run with an opaque io error.
+    BadPath {
+        /// The flag the path belonged to.
+        flag: String,
+        /// The rejected path.
+        path: PathBuf,
+    },
     /// `--help` was requested (not an error; callers print usage).
     Help,
 }
@@ -76,6 +89,13 @@ impl fmt::Display for CliError {
             CliError::MissingValue(flag) => write!(f, "{flag} needs a value"),
             CliError::BadValue { flag, value } => {
                 write!(f, "{flag}: cannot parse {value:?}")
+            }
+            CliError::BadPath { flag, path } => {
+                write!(
+                    f,
+                    "{flag} {}: parent directory does not exist",
+                    path.display()
+                )
             }
             CliError::Help => write!(f, "help requested"),
         }
@@ -89,7 +109,7 @@ pub fn usage(bin: &str) -> String {
     format!(
         "usage: {bin} [--small] [--threads N] [--cache-dir PATH]\n\
          {pad}[--assert-hit-rate PCT] [--quick]\n\
-         {pad}[--trace-out PATH] [--trace-events]\n\
+         {pad}[--trace-out PATH] [--trace-events] [--bench-out DIR]\n\
          \n\
          --small            reduced workload scale (CI/tests)\n\
          --threads N        executor worker threads\n\
@@ -97,7 +117,8 @@ pub fn usage(bin: &str) -> String {
          --assert-hit-rate PCT  fail unless the cache hit rate reaches PCT\n\
          --quick            skip serial baselines\n\
          --trace-out PATH   write a checksummed JSONL event trace\n\
-         --trace-events     include per-reference events in the trace",
+         --trace-events     include per-reference events in the trace\n\
+         --bench-out DIR    write BENCH_*.json artifacts into DIR",
         pad = " ".repeat(bin.len() + 8),
     )
 }
@@ -129,7 +150,21 @@ impl Options {
                     let v = value("--assert-hit-rate")?;
                     opts.assert_hit_rate = Some(parse_value("--assert-hit-rate", &v)?);
                 }
-                "--trace-out" => opts.trace_out = Some(value("--trace-out")?.into()),
+                "--trace-out" => {
+                    let path: PathBuf = value("--trace-out")?.into();
+                    // Fail now, not minutes into the run when the sink
+                    // first opens.
+                    if let Some(parent) = path.parent() {
+                        if !parent.as_os_str().is_empty() && !parent.is_dir() {
+                            return Err(CliError::BadPath {
+                                flag: "--trace-out".to_string(),
+                                path,
+                            });
+                        }
+                    }
+                    opts.trace_out = Some(path);
+                }
+                "--bench-out" => opts.bench_out = Some(value("--bench-out")?.into()),
                 "--help" | "-h" => return Err(CliError::Help),
                 other => return Err(CliError::UnknownFlag(other.to_string())),
             }
@@ -287,6 +322,8 @@ mod tests {
             "--trace-out",
             "/tmp/t.jsonl",
             "--trace-events",
+            "--bench-out",
+            "/tmp/bench",
         ])
         .unwrap();
         assert_eq!(opts.scale, Scale::Small);
@@ -302,7 +339,30 @@ mod tests {
             Some(std::path::Path::new("/tmp/t.jsonl"))
         );
         assert!(opts.trace_events);
+        assert_eq!(
+            opts.bench_out.as_deref(),
+            Some(std::path::Path::new("/tmp/bench"))
+        );
         assert_eq!(opts.executor().threads(), 3);
+    }
+
+    #[test]
+    fn trace_out_with_missing_parent_dir_is_rejected_up_front() {
+        let missing = "/definitely/not/a/dir/t.jsonl";
+        let err = parse(&["--trace-out", missing]).unwrap_err();
+        assert_eq!(
+            err,
+            CliError::BadPath {
+                flag: "--trace-out".to_string(),
+                path: missing.into(),
+            }
+        );
+        assert!(err.to_string().contains("parent directory"), "{err}");
+        // A bare file name (empty parent) and an existing directory
+        // both still parse.
+        assert!(parse(&["--trace-out", "t.jsonl"]).is_ok());
+        let tmp = std::env::temp_dir().join("t.jsonl");
+        assert!(parse(&["--trace-out", &tmp.to_string_lossy()]).is_ok());
     }
 
     #[test]
@@ -344,6 +404,7 @@ mod tests {
             "--quick",
             "--trace-out",
             "--trace-events",
+            "--bench-out",
         ] {
             assert!(u.contains(flag), "usage must mention {flag}");
         }

@@ -15,7 +15,10 @@ use cdmm_vmsim::observe::SharedTracer;
 use cdmm_vmsim::policy::cd::CdSelector;
 use cdmm_workloads::Scale;
 
+pub mod artifact;
 pub mod cli;
+pub mod profile;
+pub mod regress;
 
 pub use cli::{BenchEnv, CliError, Options};
 
@@ -55,6 +58,63 @@ pub fn exec_from_args() -> Executor {
 
 fn table_harness(env: &BenchEnv) -> Harness {
     Harness::new(env.scale()).with_executor(env.executor())
+}
+
+/// Builds the `BENCH_tables.json` artifact: every deterministic
+/// fault-rate metric from Tables 1–4, one entry per `(table, program)`.
+/// This is the canonical machine-readable table output — `tables` and
+/// `sweep_bench` both write it when `--bench-out` is given, and the
+/// `perf_regress` gate compares it exactly against the checked-in
+/// baseline.
+pub fn tables_artifact(scale: Scale, exec: Executor) -> artifact::Artifact {
+    let mut h = Harness::new(scale).with_executor(exec);
+    tables_artifact_from(&mut h, scale)
+}
+
+/// [`tables_artifact`] against an existing harness, reusing whatever
+/// its result cache already memoized.
+pub fn tables_artifact_from(h: &mut Harness, scale: Scale) -> artifact::Artifact {
+    use artifact::{Artifact, Entry};
+    let mut a = Artifact::new("tables", profile::scale_tag(scale));
+    for r in table1(h) {
+        a.entries.push(
+            Entry::new(format!("table1/{}", r.program))
+                .float("mem", r.mem)
+                .int("pf", r.pf)
+                .float("st", r.st)
+                .int("recovered", r.recovered),
+        );
+    }
+    for r in table2(h) {
+        a.entries.push(
+            Entry::new(format!("table2/{}", r.program))
+                .float("cd_st", r.cd_st)
+                .float("lru_pct_st", r.lru_pct_st)
+                .float("ws_pct_st", r.ws_pct_st),
+        );
+    }
+    for r in table3(h) {
+        a.entries.push(
+            Entry::new(format!("table3/{}", r.program))
+                .float("cd_mem", r.cd_mem)
+                .int("cd_pf", r.cd_pf)
+                .float("lru_dpf", r.lru_dpf as f64)
+                .float("lru_pct_st", r.lru_pct_st)
+                .float("ws_dpf", r.ws_dpf as f64)
+                .float("ws_pct_st", r.ws_pct_st),
+        );
+    }
+    for r in table4(h) {
+        a.entries.push(
+            Entry::new(format!("table4/{}", r.program))
+                .int("cd_pf", r.cd_pf)
+                .float("lru_pct_mem", r.lru_pct_mem)
+                .float("lru_pct_st", r.lru_pct_st)
+                .float("ws_pct_mem", r.ws_pct_mem)
+                .float("ws_pct_st", r.ws_pct_st),
+        );
+    }
+    a
 }
 
 /// Prints Table 1.
@@ -284,6 +344,62 @@ pub struct SweepSummaryOptions {
     /// Skip the serial baselines (no speedup columns; used by the CI
     /// cache-warm re-run).
     pub quick: bool,
+    /// Write the `BENCH_tables.json` artifact into this directory
+    /// after the table runs — the canonical machine-readable output.
+    pub bench_out: Option<std::path::PathBuf>,
+}
+
+/// The old ad-hoc speedup printout: a full LRU sweep over every
+/// workload, serial vs parallel, with a one-line speedup summary.
+#[deprecated(
+    since = "0.1.0",
+    note = "ad-hoc console output with no schema; the canonical machine-readable \
+            output is the BENCH_tables.json artifact (`--bench-out DIR`, \
+            `tables_artifact`), gated by `perf_regress`"
+)]
+pub fn print_lru_sweep_speedup(scale: Scale, exec: &Executor) {
+    use cdmm_core::sweep;
+    use std::time::Instant;
+
+    let threads = exec.threads();
+    // Full LRU sweep over every workload, serial vs parallel, both
+    // uncached: pure compute speedup.
+    let workloads = cdmm_workloads::all(scale);
+    let prepared: Vec<_> = exec.map(&workloads, |_, w| {
+        cdmm_core::prepare(w.name, &w.source, PipelineConfig::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name))
+    });
+    // One flat (workload × allocation) grid, so parallelism spans
+    // workloads even when each program's virtual size is small.
+    let jobs: Vec<(usize, usize)> = prepared
+        .iter()
+        .enumerate()
+        .flat_map(|(i, p)| sweep::full_lru_range(p).map(move |m| (i, m)))
+        .collect();
+    let run_full_sweep = |e: &Executor| {
+        let off = ResultCache::disabled();
+        e.map(&jobs, |_, &(i, m)| {
+            sweep::cached_lru(&off, &prepared[i], m).faults
+        })
+        .len()
+    };
+    let t0 = Instant::now();
+    let n_serial = run_full_sweep(&Executor::serial());
+    let serial = t0.elapsed();
+    let t0 = Instant::now();
+    let n_par = run_full_sweep(exec);
+    let parallel = t0.elapsed();
+    assert_eq!(n_serial, n_par);
+    println!(
+        "full LRU sweep ({} workloads, {} points): serial {serial:>9.3?} | {threads} threads {parallel:>9.3?} | speedup {:.2}x",
+        prepared.len(),
+        n_serial,
+        serial.as_secs_f64() / parallel.as_secs_f64().max(1e-9),
+    );
+    println!(
+        "note: this speedup printout is deprecated; pass --bench-out DIR for the \
+         canonical BENCH_tables.json artifact"
+    );
 }
 
 /// Prints the execution-engine summary: full-LRU-sweep speedup, then a
@@ -297,7 +413,6 @@ pub fn run_sweep_summary(
     opts: &SweepSummaryOptions,
     observer: Option<SharedTracer>,
 ) -> Result<(), String> {
-    use cdmm_core::sweep;
     use std::time::Instant;
 
     let threads = opts.threads.max(1);
@@ -316,40 +431,8 @@ pub fn run_sweep_summary(
     );
 
     if !opts.quick {
-        // Full LRU sweep over every workload, serial vs parallel, both
-        // uncached: pure compute speedup.
-        let workloads = cdmm_workloads::all(opts.scale);
-        let prepared: Vec<_> = exec.map(&workloads, |_, w| {
-            cdmm_core::prepare(w.name, &w.source, PipelineConfig::default())
-                .unwrap_or_else(|e| panic!("{}: {e}", w.name))
-        });
-        // One flat (workload × allocation) grid, so parallelism spans
-        // workloads even when each program's virtual size is small.
-        let jobs: Vec<(usize, usize)> = prepared
-            .iter()
-            .enumerate()
-            .flat_map(|(i, p)| sweep::full_lru_range(p).map(move |m| (i, m)))
-            .collect();
-        let run_full_sweep = |e: &Executor| {
-            let off = ResultCache::disabled();
-            e.map(&jobs, |_, &(i, m)| {
-                sweep::cached_lru(&off, &prepared[i], m).faults
-            })
-            .len()
-        };
-        let t0 = Instant::now();
-        let n_serial = run_full_sweep(&Executor::serial());
-        let serial = t0.elapsed();
-        let t0 = Instant::now();
-        let n_par = run_full_sweep(&exec);
-        let parallel = t0.elapsed();
-        assert_eq!(n_serial, n_par);
-        println!(
-            "full LRU sweep ({} workloads, {} points): serial {serial:>9.3?} | {threads} threads {parallel:>9.3?} | speedup {:.2}x",
-            prepared.len(),
-            n_serial,
-            serial.as_secs_f64() / parallel.as_secs_f64().max(1e-9),
-        );
+        #[allow(deprecated)]
+        print_lru_sweep_speedup(opts.scale, &exec);
     }
 
     // Per-table report against the configured cache.
@@ -419,6 +502,15 @@ pub fn run_sweep_summary(
             println!("cache: persisted {written} new entries");
         }
     }
+    if let Some(dir) = &opts.bench_out {
+        // Cheap here: every point the artifact needs is already
+        // memoized in the harness cache.
+        let a = tables_artifact_from(&mut par_h, opts.scale);
+        let path = a
+            .write_to_dir(dir)
+            .map_err(|e| format!("--bench-out {}: {e}", dir.display()))?;
+        println!("artifact written to {}", path.display());
+    }
     if let Some(want) = opts.assert_hit_rate {
         if total.hit_rate() < want {
             return Err(format!(
@@ -476,6 +568,7 @@ mod tests {
             cache_dir: Some(dir.clone()),
             assert_hit_rate: None,
             quick: true,
+            bench_out: None,
         };
         // Cold pass populates the cache; warm pass must hit ≥90%.
         run_sweep_summary(&opts, None).expect("cold pass");
@@ -485,6 +578,39 @@ mod tests {
         };
         run_sweep_summary(&warm, None).expect("warm pass reaches 90% hits");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sweep_summary_writes_the_tables_artifact() {
+        let dir = std::env::temp_dir().join(format!("cdmm-sweep-artifact-{}", std::process::id()));
+        let opts = SweepSummaryOptions {
+            scale: Scale::Small,
+            threads: 2,
+            cache_dir: None,
+            assert_hit_rate: None,
+            quick: true,
+            bench_out: Some(dir.clone()),
+        };
+        run_sweep_summary(&opts, None).expect("sweep with artifact");
+        let a = artifact::Artifact::read_from_dir(&dir, "tables").expect("artifact written");
+        assert_eq!(a.scale, "small");
+        // 8 + 8 + 14 + 14 rows across the four tables.
+        assert_eq!(a.entries.len(), 44);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tables_artifact_is_deterministic_and_carries_recovered() {
+        let a = tables_artifact(Scale::Small, Executor::with_threads(2));
+        let b = tables_artifact(Scale::Small, Executor::serial());
+        assert_eq!(a, b, "thread count never changes table metrics");
+        let t1 = a
+            .entries
+            .iter()
+            .find(|e| e.id == "table1/MAIN")
+            .expect("table1 row");
+        assert!(t1.get("recovered").is_some(), "recovered surfaced: {t1:?}");
+        assert!(t1.get("pf").is_some_and(|v| v.as_f64() > 0.0));
     }
 }
 

@@ -1,0 +1,320 @@
+//! The perf-regression gate: diffs a fresh `BENCH_*.json` artifact
+//! against a checked-in baseline with noise-aware thresholds.
+//!
+//! Two classes of field, told apart by name
+//! ([`crate::artifact::is_wall_field`]):
+//!
+//! - **Wall-clock fields** (`*_ns`, `refs_per_sec`) are machine- and
+//!   load-dependent, so they compare by ratio: a finding fires only
+//!   past [`RegressOptions::wall_tolerance_pct`] (default 10%) in the
+//!   slow direction. On shared CI runners
+//!   [`RegressOptions::advisory_wall`] downgrades these findings to
+//!   warnings that never fail the gate.
+//! - **Everything else** (`faults`, `mean_mem`, `st`, table values) is
+//!   a deterministic simulation output; *any* drift is a hard finding,
+//!   because it means the simulator's behavior changed, not the
+//!   machine.
+//!
+//! Missing entries, extra entries, missing fields, and kind/scale
+//! mismatches are always hard findings. `CDMM_BLESS=1` (handled by the
+//! `perf_regress` binary) re-baselines instead of comparing.
+
+use std::fmt;
+
+use crate::artifact::{is_wall_field, Artifact};
+
+/// How bad one finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails the gate.
+    Hard,
+    /// Printed but never fails the gate (wall-time findings on shared
+    /// runners).
+    Advisory,
+}
+
+/// One difference between baseline and fresh artifacts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// Whether this finding fails the gate.
+    pub severity: Severity,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tag = match self.severity {
+            Severity::Hard => "FAIL",
+            Severity::Advisory => "warn",
+        };
+        write!(f, "{tag}: {}", self.message)
+    }
+}
+
+/// Gate thresholds.
+#[derive(Debug, Clone)]
+pub struct RegressOptions {
+    /// Allowed wall-clock slowdown in percent before a finding fires
+    /// (default 10).
+    pub wall_tolerance_pct: f64,
+    /// Downgrade wall-clock findings to [`Severity::Advisory`].
+    pub advisory_wall: bool,
+}
+
+impl Default for RegressOptions {
+    fn default() -> Self {
+        RegressOptions {
+            wall_tolerance_pct: 10.0,
+            advisory_wall: false,
+        }
+    }
+}
+
+/// True when any finding is hard — the gate's exit condition.
+pub fn has_hard(findings: &[Finding]) -> bool {
+    findings.iter().any(|f| f.severity == Severity::Hard)
+}
+
+/// Restricts a perf artifact to entries whose workload (the id segment
+/// before `/`) is in `only`, case-insensitively. The gate applies this
+/// to the *baseline* when `CDMM_PROFILE_WORKLOADS` reduces the fresh
+/// set, so a bounded CI run is not failed for the workloads it never
+/// profiled.
+pub fn retain_workloads(artifact: &mut Artifact, only: &[String]) {
+    artifact.entries.retain(|e| {
+        let workload = e.id.split('/').next().unwrap_or("");
+        only.iter().any(|n| n.eq_ignore_ascii_case(workload))
+    });
+}
+
+/// Diffs `fresh` against `baseline`, returning every finding (hard
+/// first is NOT guaranteed; use [`has_hard`] for the verdict).
+pub fn compare(baseline: &Artifact, fresh: &Artifact, opts: &RegressOptions) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let hard = |message: String| Finding {
+        severity: Severity::Hard,
+        message,
+    };
+    if baseline.kind != fresh.kind {
+        out.push(hard(format!(
+            "artifact kind mismatch: baseline {:?} vs fresh {:?}",
+            baseline.kind, fresh.kind
+        )));
+        return out;
+    }
+    if baseline.scale != fresh.scale {
+        out.push(hard(format!(
+            "scale mismatch: baseline {:?} vs fresh {:?} — regenerate baselines at the \
+             comparison scale (CDMM_BLESS=1)",
+            baseline.scale, fresh.scale
+        )));
+        return out;
+    }
+    let wall_severity = if opts.advisory_wall {
+        Severity::Advisory
+    } else {
+        Severity::Hard
+    };
+    for b in &baseline.entries {
+        let Some(f) = fresh.entries.iter().find(|e| e.id == b.id) else {
+            out.push(hard(format!(
+                "entry {:?} missing from fresh artifact",
+                b.id
+            )));
+            continue;
+        };
+        for (name, bv) in &b.fields {
+            let Some(fv) = f.get(name) else {
+                out.push(hard(format!("{}: field {name:?} missing", b.id)));
+                continue;
+            };
+            let (bv, fv) = (bv.as_f64(), fv.as_f64());
+            if is_wall_field(name) {
+                if bv <= 0.0 {
+                    continue;
+                }
+                // Higher is better only for throughput; `_ns` phases
+                // regress upward.
+                let regression_pct = if name == "refs_per_sec" {
+                    (bv - fv) / bv * 100.0
+                } else {
+                    (fv - bv) / bv * 100.0
+                };
+                if regression_pct > opts.wall_tolerance_pct {
+                    out.push(Finding {
+                        severity: wall_severity,
+                        message: format!(
+                            "{}: {name} regressed {regression_pct:.1}% \
+                             (baseline {bv}, fresh {fv}, tolerance {}%)",
+                            b.id, opts.wall_tolerance_pct
+                        ),
+                    });
+                }
+            } else if bv != fv {
+                out.push(hard(format!(
+                    "{}: {name} drifted from {bv} to {fv} — deterministic metrics must \
+                     match the baseline exactly (CDMM_BLESS=1 to accept)",
+                    b.id
+                )));
+            }
+        }
+    }
+    for f in &fresh.entries {
+        if !baseline.entries.iter().any(|b| b.id == f.id) {
+            out.push(hard(format!(
+                "entry {:?} not in baseline — bless to add it (CDMM_BLESS=1)",
+                f.id
+            )));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::Entry;
+
+    fn base() -> Artifact {
+        let mut a = Artifact::new("perf", "small");
+        a.entries.push(
+            Entry::new("MAIN/CD")
+                .int("faults", 123)
+                .float("mean_mem", 2.5)
+                .int("simulate_ns", 1_000_000)
+                .float("refs_per_sec", 1.0e8),
+        );
+        a
+    }
+
+    #[test]
+    fn identical_artifacts_pass_clean() {
+        let findings = compare(&base(), &base(), &RegressOptions::default());
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn injected_20pct_throughput_regression_fails_the_gate() {
+        let mut fresh = base();
+        fresh.entries[0] = Entry::new("MAIN/CD")
+            .int("faults", 123)
+            .float("mean_mem", 2.5)
+            .int("simulate_ns", 1_250_000)
+            .float("refs_per_sec", 0.8e8); // 20% slower than baseline
+        let findings = compare(&base(), &fresh, &RegressOptions::default());
+        assert!(has_hard(&findings), "{findings:?}");
+        assert!(
+            findings.iter().any(|f| f.message.contains("refs_per_sec")),
+            "{findings:?}"
+        );
+        // Same regression inside the 10% window passes.
+        let mut ok = base();
+        ok.entries[0] = Entry::new("MAIN/CD")
+            .int("faults", 123)
+            .float("mean_mem", 2.5)
+            .int("simulate_ns", 1_050_000)
+            .float("refs_per_sec", 0.95e8);
+        assert!(compare(&base(), &ok, &RegressOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn wall_speedups_never_fire() {
+        let mut fresh = base();
+        fresh.entries[0] = Entry::new("MAIN/CD")
+            .int("faults", 123)
+            .float("mean_mem", 2.5)
+            .int("simulate_ns", 100)
+            .float("refs_per_sec", 9.0e9);
+        assert!(compare(&base(), &fresh, &RegressOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn advisory_mode_downgrades_wall_but_not_fault_drift() {
+        let opts = RegressOptions {
+            advisory_wall: true,
+            ..RegressOptions::default()
+        };
+        let mut fresh = base();
+        fresh.entries[0] = Entry::new("MAIN/CD")
+            .int("faults", 124) // drift
+            .float("mean_mem", 2.5)
+            .int("simulate_ns", 9_000_000) // 9x slower
+            .float("refs_per_sec", 1.0e8);
+        let findings = compare(&base(), &fresh, &opts);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        let wall = findings
+            .iter()
+            .find(|f| f.message.contains("simulate_ns"))
+            .expect("wall finding");
+        assert_eq!(wall.severity, Severity::Advisory);
+        let drift = findings
+            .iter()
+            .find(|f| f.message.contains("faults"))
+            .expect("drift finding");
+        assert_eq!(drift.severity, Severity::Hard);
+        assert!(has_hard(&findings));
+        assert!(drift.to_string().starts_with("FAIL:"));
+        assert!(wall.to_string().starts_with("warn:"));
+    }
+
+    #[test]
+    fn any_fault_metric_drift_is_hard_even_when_tiny() {
+        let mut fresh = base();
+        fresh.entries[0] = Entry::new("MAIN/CD")
+            .int("faults", 123)
+            .float("mean_mem", 2.5000001)
+            .int("simulate_ns", 1_000_000)
+            .float("refs_per_sec", 1.0e8);
+        let findings = compare(&base(), &fresh, &RegressOptions::default());
+        assert!(has_hard(&findings), "{findings:?}");
+    }
+
+    #[test]
+    fn structural_differences_are_hard() {
+        let empty_fresh = Artifact::new("perf", "small");
+        assert!(has_hard(&compare(
+            &base(),
+            &empty_fresh,
+            &RegressOptions::default()
+        )));
+        let extra = {
+            let mut a = base();
+            a.entries.push(Entry::new("NEW/CD").int("faults", 1));
+            a
+        };
+        let findings = compare(&base(), &extra, &RegressOptions::default());
+        assert!(findings.iter().any(|f| f.message.contains("NEW/CD")));
+        let missing_field = {
+            let mut a = base();
+            a.entries[0] = Entry::new("MAIN/CD").int("faults", 123);
+            a
+        };
+        assert!(has_hard(&compare(
+            &base(),
+            &missing_field,
+            &RegressOptions::default()
+        )));
+    }
+
+    #[test]
+    fn retain_workloads_subsets_the_baseline_for_reduced_runs() {
+        let mut baseline = base();
+        baseline
+            .entries
+            .push(Entry::new("HYBRJ/CD").int("faults", 7));
+        retain_workloads(&mut baseline, &["main".to_string()]);
+        assert_eq!(baseline.entries.len(), 1);
+        assert_eq!(baseline.entries[0].id, "MAIN/CD");
+        // The subset baseline now matches a reduced fresh run cleanly.
+        assert!(compare(&baseline, &base(), &RegressOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn scale_mismatch_is_explained() {
+        let paper = Artifact::new("perf", "paper");
+        let findings = compare(&base(), &paper, &RegressOptions::default());
+        assert!(has_hard(&findings));
+        assert!(findings[0].message.contains("CDMM_BLESS"), "{findings:?}");
+    }
+}

@@ -220,6 +220,9 @@ pub struct Table1Row {
     pub pf: u64,
     /// Space-time cost.
     pub st: f64,
+    /// Malformed directives the hardened CD policy clamped or
+    /// discarded (0 on clean compiler output).
+    pub recovered: u64,
 }
 
 /// Regenerates Table 1. Rows are sharded across the harness executor
@@ -234,6 +237,7 @@ pub fn table1(harness: &mut Harness) -> Vec<Table1Row> {
             mem: m.mean_mem(),
             pf: m.faults,
             st: m.st_cost(),
+            recovered: m.recovered_directives,
         }
     })
 }

@@ -5,6 +5,7 @@ use std::fmt::Write as _;
 
 use crate::experiments::{Table1Row, Table2Row, Table3Row, Table4Row};
 
+pub mod scorecard;
 pub mod timeline;
 
 /// The paper's published numbers, used only for reporting next to the
@@ -87,19 +88,20 @@ pub fn render_table1(rows: &[Table1Row]) -> String {
     );
     let _ = writeln!(
         out,
-        "{:<8} | {:>8} {:>6} {:>12} | {:>9} {:>6} {:>9}",
-        "program", "MEM", "PF", "ST", "pMEM", "pPF", "pST(e6)"
+        "{:<8} | {:>8} {:>6} {:>12} {:>4} | {:>9} {:>6} {:>9}",
+        "program", "MEM", "PF", "ST", "REC", "pMEM", "pPF", "pST(e6)"
     );
-    let _ = writeln!(out, "{}", "-".repeat(72));
+    let _ = writeln!(out, "{}", "-".repeat(77));
     for r in rows {
         let p = paper1(&r.program);
         let _ = writeln!(
             out,
-            "{:<8} | {:>8.2} {:>6} {:>12.3e} | {:>9} {:>6} {:>9}",
+            "{:<8} | {:>8.2} {:>6} {:>12.3e} {:>4} | {:>9} {:>6} {:>9}",
             r.program,
             r.mem,
             r.pf,
             r.st,
+            r.recovered,
             p.map_or("-".into(), |x| format!("{:.2}", x.0)),
             p.map_or("-".into(), |x| format!("{}", x.1)),
             p.map_or("-".into(), |x| format!("{:.2}", x.2)),
@@ -237,18 +239,19 @@ pub fn render_markdown(
     );
     let _ = writeln!(
         out,
-        "| program | MEM | PF | ST | paper MEM | paper PF | paper ST |"
+        "| program | MEM | PF | ST | recovered | paper MEM | paper PF | paper ST |"
     );
-    let _ = writeln!(out, "|---|---:|---:|---:|---:|---:|---:|");
+    let _ = writeln!(out, "|---|---:|---:|---:|---:|---:|---:|---:|");
     for r in t1 {
         let p = paper::TABLE1.iter().find(|x| x.0 == r.program);
         let _ = writeln!(
             out,
-            "| {} | {:.2} | {} | {:.3e} | {} | {} | {} |",
+            "| {} | {:.2} | {} | {:.3e} | {} | {} | {} | {} |",
             r.program,
             r.mem,
             r.pf,
             r.st,
+            r.recovered,
             p.map_or("—".into(), |x| format!("{:.2}", x.1)),
             p.map_or("—".into(), |x| format!("{}", x.2)),
             p.map_or("—".into(), |x| format!("{:.2}e6", x.3)),
@@ -351,10 +354,12 @@ mod tests {
             mem: 2.0,
             pf: 100,
             st: 1.0e6,
+            recovered: 3,
         }];
         let s = render_table1(&rows);
         assert!(s.contains("MAIN"));
         assert!(s.contains("531"), "paper PF value shown: {s}");
+        assert!(s.contains("REC"), "recovered column header shown: {s}");
     }
 
     #[test]
@@ -364,10 +369,12 @@ mod tests {
             mem: 2.0,
             pf: 100,
             st: 1.0e6,
+            recovered: 0,
         }];
         let md = render_markdown(&t1, &[], &[], &[]);
         assert!(md.contains("### Table 1"));
         assert!(md.contains("| MAIN |"));
+        assert!(md.contains("| recovered |"), "recovered column in header");
         assert!(md.contains("### Table 4"));
     }
 

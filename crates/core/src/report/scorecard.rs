@@ -1,0 +1,153 @@
+//! Scorecard rendering of a [`RegistrySnapshot`] — the distribution
+//! counterpart to the event-level [`super::timeline`].
+//!
+//! A [`cdmm_vmsim::MetricsRegistry`] attached to a run folds the event
+//! stream into counters and histogram digests; this module turns one
+//! frozen snapshot into the two shapes the bench binaries and reports
+//! emit: a markdown scorecard ([`render_markdown`]) and machine-
+//! readable JSON lines ([`render_jsonl`], one metric per line).
+//!
+//! Both renderings are deterministic: snapshots are name-ordered and
+//! floats print with Rust's shortest-round-trip `Display`, so the same
+//! run always produces byte-identical output — the property the golden
+//! fixtures and the `BENCH_*.json` drift gates rely on.
+
+use std::fmt::Write as _;
+
+use cdmm_vmsim::{HistogramSummary, RegistrySnapshot};
+
+/// Renders a snapshot as a markdown scorecard: a counters/gauges table,
+/// a histogram digest table, and a per-PI ALLOCATE table. Empty
+/// sections are omitted; an empty snapshot renders a placeholder line.
+pub fn render_markdown(snap: &RegistrySnapshot) -> String {
+    let mut s = String::new();
+    if snap.is_empty() {
+        s.push_str("_no metrics recorded_\n");
+        return s;
+    }
+    if !snap.counters.is_empty() || !snap.gauges.is_empty() {
+        s.push_str("| metric | value |\n|---|---:|\n");
+        for (name, v) in &snap.counters {
+            let _ = writeln!(s, "| {name} | {v} |");
+        }
+        for (name, v) in &snap.gauges {
+            let _ = writeln!(s, "| {name} (gauge) | {v} |");
+        }
+    }
+    if !snap.hists.is_empty() {
+        s.push_str("\n| histogram | n | mean | p50 | p90 | p99 | max |\n");
+        s.push_str("|---|---:|---:|---:|---:|---:|---:|\n");
+        for (name, h) in &snap.hists {
+            let _ = writeln!(
+                s,
+                "| {name} | {} | {:.2} | {} | {} | {} | {} |",
+                h.count, h.mean, h.p50, h.p90, h.p99, h.max
+            );
+        }
+    }
+    if !snap.pi.is_empty() {
+        s.push_str("\n| PI | granted | held over | swap needed | pages p50 | pages max |\n");
+        s.push_str("|---:|---:|---:|---:|---:|---:|\n");
+        for (pi, p) in &snap.pi {
+            let _ = writeln!(
+                s,
+                "| {pi} | {} | {} | {} | {} | {} |",
+                p.granted, p.held_over, p.swap_needed, p.grant_pages.p50, p.grant_pages.max
+            );
+        }
+    }
+    s
+}
+
+fn hist_json(h: &HistogramSummary) -> String {
+    format!(
+        r#"{{"n":{},"mean":{},"p50":{},"p90":{},"p99":{},"max":{}}}"#,
+        h.count, h.mean, h.p50, h.p90, h.p99, h.max
+    )
+}
+
+/// Renders a snapshot as JSON lines, one metric per line:
+/// `{"kind":"counter"|"gauge"|"hist"|"alloc_pi", ...}`. Metric names
+/// are `'static` identifiers chosen in-crate, so no string escaping is
+/// required.
+pub fn render_jsonl(snap: &RegistrySnapshot) -> String {
+    let mut s = String::new();
+    for (name, v) in &snap.counters {
+        let _ = writeln!(s, r#"{{"kind":"counter","name":"{name}","value":{v}}}"#);
+    }
+    for (name, v) in &snap.gauges {
+        let _ = writeln!(s, r#"{{"kind":"gauge","name":"{name}","value":{v}}}"#);
+    }
+    for (name, h) in &snap.hists {
+        let _ = writeln!(
+            s,
+            r#"{{"kind":"hist","name":"{name}","summary":{}}}"#,
+            hist_json(h)
+        );
+    }
+    for (pi, p) in &snap.pi {
+        let _ = writeln!(
+            s,
+            r#"{{"kind":"alloc_pi","pi":{pi},"granted":{},"held_over":{},"swap_needed":{},"grant_pages":{}}}"#,
+            p.granted,
+            p.held_over,
+            p.swap_needed,
+            hist_json(&p.grant_pages)
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdmm_vmsim::observe::{AllocDecision, SimEvent, Tracer as _};
+    use cdmm_vmsim::MetricsRegistry;
+
+    fn sample() -> RegistrySnapshot {
+        let mut r = MetricsRegistry::new();
+        r.record(
+            0,
+            &SimEvent::Alloc {
+                pi: 2,
+                pages: 8,
+                decision: AllocDecision::Granted,
+            },
+        );
+        r.record(0, &SimEvent::Recovered { total: 1 });
+        r.record_sample("dwell", 16);
+        r.snapshot()
+    }
+
+    #[test]
+    fn empty_snapshot_renders_placeholder() {
+        let snap = RegistrySnapshot::default();
+        assert!(render_markdown(&snap).contains("no metrics recorded"));
+        assert_eq!(render_jsonl(&snap), "");
+    }
+
+    #[test]
+    fn markdown_has_all_three_sections() {
+        let md = render_markdown(&sample());
+        assert!(md.contains("| recovered_directives | 1 |"));
+        assert!(md.contains("| dwell | 1 |"), "histogram row: {md}");
+        assert!(md.contains("| 2 | 1 | 0 | 0 | 8 | 8 |"), "PI row: {md}");
+    }
+
+    #[test]
+    fn jsonl_is_one_object_per_metric() {
+        let out = render_jsonl(&sample());
+        for line in out.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        assert!(out.contains(r#""kind":"counter","name":"recovered_directives","value":1"#));
+        assert!(out.contains(r#""kind":"alloc_pi","pi":2,"granted":1"#));
+        assert!(out.contains(r#""p50":16"#));
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        assert_eq!(render_markdown(&sample()), render_markdown(&sample()));
+        assert_eq!(render_jsonl(&sample()), render_jsonl(&sample()));
+    }
+}

@@ -22,6 +22,9 @@
 //! - [`observe`] — zero-cost-when-disabled event tracing: policies emit
 //!   typed [`SimEvent`]s (grants, hold-overs, evictions, lock breaks,
 //!   degradations) that [`simulate_with`] forwards to a [`Tracer`].
+//! - [`stats`] — a [`MetricsRegistry`] tracer that folds the event
+//!   stream into counters and streaming histograms (fault
+//!   inter-arrival, per-PI grant levels, lock dwell, occupancy).
 //!
 //! # Examples
 //!
@@ -48,12 +51,17 @@ pub mod policy;
 pub mod recency;
 pub mod sim;
 pub mod stack;
+pub mod stats;
 
 pub use error::SimError;
 pub use metrics::{ExecStats, Metrics};
 pub use observe::{
-    EventLog, HistogramRecorder, JsonlSink, NullTracer, SharedSink, SharedTracer, SimEvent,
-    TimedEvent, Tracer,
+    EventLog, Histogram, HistogramRecorder, JsonlSink, NullTracer, SharedSink, SharedTracer,
+    SimEvent, Tee, TimedEvent, Tracer,
 };
 pub use policy::Policy;
 pub use sim::{simulate, simulate_with, SimConfig};
+pub use stats::{
+    shared_registry, snapshot_shared, HistogramSummary, MetricsRegistry, PiStats, PiSummary,
+    RegistrySnapshot, SharedRegistry,
+};

@@ -590,6 +590,29 @@ impl Histogram {
         self.buckets.get(i).copied().unwrap_or(0)
     }
 
+    /// Streaming percentile estimate: the upper bound of the bucket
+    /// holding the `q`-quantile sample, clamped to the exact maximum.
+    ///
+    /// `q` is a fraction in `[0, 1]` (`0.5` = p50). Log bucketing makes
+    /// the estimate exact for 0/1-valued samples and within a factor of
+    /// two elsewhere; clamping to [`Histogram::max`] makes single-sample
+    /// histograms report that sample for every percentile. Empty
+    /// histograms report 0.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_hi(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
     /// Non-empty buckets as `(lo, hi, count)`, in value order.
     pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
         self.buckets
@@ -798,6 +821,59 @@ impl Tracer for SharedSink {
     }
 }
 
+/// A fan-out tracer forwarding every event to two underlying tracers —
+/// how the facade runs a user tracer and a
+/// [`crate::stats::MetricsRegistry`] off one instrumented pass.
+///
+/// Per-reference [`SimEvent::Ref`] events are forwarded only to the
+/// side that opted in via [`Tracer::wants_refs`], so an attached
+/// decision-level tracer never sees reference noise it did not ask for.
+pub struct Tee<'a, 'b> {
+    a: &'a mut dyn Tracer,
+    b: &'b mut dyn Tracer,
+}
+
+impl fmt::Debug for Tee<'_, '_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tee")
+            .field("a_enabled", &self.a.enabled())
+            .field("b_enabled", &self.b.enabled())
+            .finish()
+    }
+}
+
+impl<'a, 'b> Tee<'a, 'b> {
+    /// Fans one event stream out to `a` and `b`.
+    pub fn new(a: &'a mut dyn Tracer, b: &'b mut dyn Tracer) -> Self {
+        Tee { a, b }
+    }
+}
+
+impl Tracer for Tee<'_, '_> {
+    fn enabled(&self) -> bool {
+        self.a.enabled() || self.b.enabled()
+    }
+
+    fn wants_refs(&self) -> bool {
+        self.a.wants_refs() || self.b.wants_refs()
+    }
+
+    fn record(&mut self, at: u64, event: &SimEvent) {
+        let is_ref = matches!(event, SimEvent::Ref { .. });
+        if self.a.enabled() && (!is_ref || self.a.wants_refs()) {
+            self.a.record(at, event);
+        }
+        if self.b.enabled() && (!is_ref || self.b.wants_refs()) {
+            self.b.record(at, event);
+        }
+    }
+
+    fn flush(&mut self) {
+        self.a.flush();
+        self.b.flush();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -875,6 +951,45 @@ mod tests {
         let buckets: Vec<_> = h.nonzero_buckets().collect();
         assert_eq!(buckets, vec![(2, 3, 1), (4, 7, 1)]);
         assert_eq!(Histogram::new().mean(), 0.0);
+    }
+
+    #[test]
+    fn percentiles_walk_the_buckets() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        // Log buckets bound every estimate by a factor of two from above.
+        assert!(h.percentile(0.5) >= 500 && h.percentile(0.5) <= 1000);
+        assert!(h.percentile(0.99) >= 990);
+        assert_eq!(h.percentile(1.0), 1000, "p100 is the exact max");
+        assert!(h.percentile(0.0) >= 1, "rank clamps to the first sample");
+        assert!(h.percentile(0.5) <= h.percentile(0.9));
+    }
+
+    #[test]
+    fn tee_splits_refs_by_appetite() {
+        let mut refs_log = EventLog::new(16).with_refs(true);
+        let mut decisions_log = EventLog::new(16);
+        let mut tee = Tee::new(&mut refs_log, &mut decisions_log);
+        assert!(tee.enabled());
+        assert!(tee.wants_refs(), "one side wants refs");
+        tee.record(
+            1,
+            &SimEvent::Ref {
+                page: PageId(0),
+                resident: 1,
+                fault: false,
+            },
+        );
+        tee.record(2, &SimEvent::Degraded);
+        tee.flush();
+        assert_eq!(refs_log.len(), 2, "ref-hungry side sees both");
+        assert_eq!(decisions_log.len(), 1, "other side skips Ref events");
+        assert_eq!(
+            decisions_log.events().next().map(|e| e.event.kind()),
+            Some("degraded")
+        );
     }
 
     #[test]

@@ -35,7 +35,8 @@ pub use cdmm_core::{PipelineConfig, PipelineError, PolicySpec};
 pub use cdmm_locality::{InsertOptions, PageGeometry, SizerMode};
 pub use cdmm_vmsim::policy::cd::CdSelector;
 pub use cdmm_vmsim::{
-    EventLog, HistogramRecorder, JsonlSink, Metrics, NullTracer, SimEvent, Tracer,
+    EventLog, HistogramRecorder, HistogramSummary, JsonlSink, Metrics, MetricsRegistry, NullTracer,
+    RegistrySnapshot, SimEvent, Tee, Tracer,
 };
 pub use cdmm_workloads::Scale;
 

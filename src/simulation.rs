@@ -31,7 +31,7 @@ use std::fmt;
 use cdmm_core::{prepare, PipelineConfig, PipelineError, PolicySpec, Prepared};
 use cdmm_locality::{InsertOptions, PageGeometry, SizerMode};
 use cdmm_vmsim::policy::cd::CdSelector;
-use cdmm_vmsim::{Metrics, NullTracer, Tracer};
+use cdmm_vmsim::{Metrics, MetricsRegistry, NullTracer, RegistrySnapshot, Tee, Tracer};
 use cdmm_workloads::{by_name, Scale};
 
 /// Facade failure: either the workload name or the pipeline rejected
@@ -92,6 +92,7 @@ pub struct Simulation<'t> {
     config: PipelineConfig,
     policy: PolicySpec,
     tracer: Option<&'t mut dyn Tracer>,
+    metrics: bool,
 }
 
 impl fmt::Debug for Simulation<'_> {
@@ -118,6 +119,7 @@ impl<'t> Simulation<'t> {
                 selector: CdSelector::AtLevel(2),
             },
             tracer: None,
+            metrics: false,
         }
     }
 
@@ -192,6 +194,17 @@ impl<'t> Simulation<'t> {
         self
     }
 
+    /// Attaches an internal [`MetricsRegistry`] (default off). When
+    /// enabled, every run feeds the registry and
+    /// [`PreparedSimulation::metrics_snapshot`] returns the accumulated
+    /// counters and histogram digests. Like tracing, the registry
+    /// observes the run without changing its numbers; it composes with
+    /// a user [`Tracer`] via a [`Tee`].
+    pub fn metrics(mut self, enabled: bool) -> Self {
+        self.metrics = enabled;
+        self
+    }
+
     /// Runs the front half of the pipeline once, returning a handle
     /// that can simulate many policies without re-compiling.
     pub fn prepare(self) -> Result<PreparedSimulation<'t>, SimulationError> {
@@ -207,6 +220,7 @@ impl<'t> Simulation<'t> {
             prepared,
             policy: self.policy,
             tracer: self.tracer,
+            registry: self.metrics.then(MetricsRegistry::new),
         })
     }
 
@@ -226,6 +240,7 @@ pub struct PreparedSimulation<'t> {
     prepared: Prepared,
     policy: PolicySpec,
     tracer: Option<&'t mut dyn Tracer>,
+    registry: Option<MetricsRegistry>,
 }
 
 impl fmt::Debug for PreparedSimulation<'_> {
@@ -234,6 +249,7 @@ impl fmt::Debug for PreparedSimulation<'_> {
             .field("program", &self.prepared.name())
             .field("policy", &self.policy)
             .field("traced", &self.tracer.is_some())
+            .field("metrics", &self.registry.is_some())
             .finish()
     }
 }
@@ -246,16 +262,30 @@ impl PreparedSimulation<'_> {
     }
 
     /// Runs any policy on the prepared program, reusing the compiled
-    /// traces. The builder's tracer (if any) observes this run too.
+    /// traces. The builder's tracer and metrics registry (if attached)
+    /// observe this run too.
     pub fn run_policy(&mut self, policy: PolicySpec) -> Report {
-        let tracer: &mut dyn Tracer = match &mut self.tracer {
-            Some(t) => *t,
-            None => &mut NullTracer,
+        let label = self.prepared.policy_label(policy);
+        let metrics = match (&mut self.registry, &mut self.tracer) {
+            (Some(reg), Some(t)) => {
+                let mut tee = Tee::new(*t, reg);
+                self.prepared.run_policy_with(policy, &mut tee)
+            }
+            (Some(reg), None) => self.prepared.run_policy_with(policy, reg),
+            (None, Some(t)) => self.prepared.run_policy_with(policy, *t),
+            (None, None) => self.prepared.run_policy_with(policy, &mut NullTracer),
         };
         Report {
-            policy: self.prepared.policy_label(policy),
-            metrics: self.prepared.run_policy_with(policy, tracer),
+            policy: label,
+            metrics,
         }
+    }
+
+    /// A snapshot of the internal metrics registry, accumulated over
+    /// every run so far. `None` unless the builder enabled
+    /// [`Simulation::metrics`].
+    pub fn metrics_snapshot(&self) -> Option<RegistrySnapshot> {
+        self.registry.as_ref().map(MetricsRegistry::snapshot)
     }
 
     /// The underlying [`Prepared`] program, for everything the facade
@@ -313,6 +343,45 @@ mod tests {
         let plain = Simulation::workload("MAIN").run().unwrap();
         assert_eq!(traced, plain);
         assert!(!log.is_empty(), "a CD run emits directive events");
+    }
+
+    #[test]
+    fn metrics_knob_accumulates_a_snapshot_without_changing_the_run() {
+        let mut with = Simulation::workload("MAIN")
+            .metrics(true)
+            .prepare()
+            .expect("MAIN");
+        let mut without = Simulation::workload("MAIN").prepare().expect("MAIN");
+        assert_eq!(without.metrics_snapshot(), None, "registry is opt-in");
+        let a = with.run();
+        let b = without.run();
+        assert_eq!(a, b, "an attached registry never changes the numbers");
+        let snap = with.metrics_snapshot().expect("metrics enabled");
+        assert_eq!(snap.counter("faults"), a.metrics.faults);
+        assert_eq!(snap.counter("refs"), a.metrics.refs);
+        assert!(
+            snap.histogram("resident_occupancy").is_some(),
+            "per-ref occupancy recorded"
+        );
+        // The registry accumulates across runs on the same handle.
+        with.run();
+        let twice = with.metrics_snapshot().expect("metrics enabled");
+        assert_eq!(twice.counter("faults"), 2 * a.metrics.faults);
+    }
+
+    #[test]
+    fn metrics_and_tracer_compose_through_a_tee() {
+        let mut log = EventLog::new(1 << 14);
+        let mut sim = Simulation::workload("MAIN")
+            .tracer(&mut log)
+            .metrics(true)
+            .prepare()
+            .expect("MAIN");
+        let report = sim.run();
+        let snap = sim.metrics_snapshot().expect("metrics enabled");
+        assert_eq!(snap.counter("faults"), report.metrics.faults);
+        drop(sim);
+        assert!(!log.is_empty(), "the user tracer still sees events");
     }
 
     #[test]

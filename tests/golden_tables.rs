@@ -141,6 +141,35 @@ fn observed_run_reproduces_the_fixture_tables() {
 }
 
 #[test]
+fn metrics_registry_rerun_is_byte_identical_to_the_fixture() {
+    // A full MetricsRegistry (histograms, counters, per-PI stats)
+    // attached as the executor observer must leave the golden tables
+    // bit-identical to the checked-in fixture: the stats layer
+    // observes the simulation, never participates in it.
+    let registry = cdmm_vmsim::shared_registry(cdmm_vmsim::MetricsRegistry::new());
+    let got = run_tables(Executor::with_threads(2).with_observer(registry.clone()));
+    if std::env::var_os("CDMM_BLESS").is_some() {
+        // The serial test owns blessing; this one only compares.
+        return;
+    }
+    let want = std::fs::read_to_string(FIXTURE)
+        .expect("fixture missing — run `CDMM_BLESS=1 cargo test --test golden_tables`");
+    assert_eq!(
+        got, want,
+        "a metrics-enabled rerun drifted from the golden fixture"
+    );
+    let snap = cdmm_vmsim::snapshot_shared(&registry);
+    assert!(
+        snap.counter("jobs_done") > 0,
+        "the registry saw no executor jobs: {snap:?}"
+    );
+    assert!(
+        snap.histogram("job_wall_ns").is_some(),
+        "job wall-time histogram missing"
+    );
+}
+
+#[test]
 fn parallel_executors_reproduce_serial_bit_identically() {
     let serial = run_tables(Executor::serial());
     let threads: Vec<usize> = std::env::var("CDMM_GOLDEN_THREADS")
