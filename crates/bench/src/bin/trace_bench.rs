@@ -22,7 +22,7 @@ use std::time::{Duration, Instant};
 
 use cdmm_bench::BenchEnv;
 use cdmm_core::{prepare, PipelineConfig, Prepared};
-use cdmm_trace::Event;
+use cdmm_trace::{EventRef, EventSource};
 use cdmm_vmsim::policy::cd::{CdPolicy, CdSelector};
 use cdmm_vmsim::policy::lru::Lru;
 use cdmm_vmsim::policy::Policy;
@@ -35,18 +35,16 @@ fn seed_loop(p: &Prepared, policy: &mut dyn Policy) -> Metrics {
         fault_service: p.config().fault_service,
     };
     let mut metrics = Metrics::new(config.fault_service);
-    for event in &p.plain_trace().events {
-        match event {
-            Event::Ref(page) => {
-                let fault = policy.reference(*page);
-                metrics.record(policy.resident(), fault);
-                if policy.is_degraded() {
-                    metrics.degraded_refs += 1;
-                }
+    p.plain_trace().for_each_event(|event| match event {
+        EventRef::Ref(page) => {
+            let fault = policy.reference(page);
+            metrics.record(policy.resident(), fault);
+            if policy.is_degraded() {
+                metrics.degraded_refs += 1;
             }
-            other => policy.directive(other),
         }
-    }
+        EventRef::Directive(other) => policy.directive(other),
+    });
     metrics.recovered_directives = policy.recovered_directives();
     metrics
 }

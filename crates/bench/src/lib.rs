@@ -22,40 +22,6 @@ pub mod regress;
 
 pub use cli::{BenchEnv, CliError, Options};
 
-/// Parses the common `--small` flag used by every binary.
-#[deprecated(
-    since = "0.1.0",
-    note = "sniffs the process argv from library code; use `cli::Options::parse` \
-            (or `BenchEnv::from_env` in binaries) instead"
-)]
-pub fn scale_from_args() -> Scale {
-    if std::env::args().any(|a| a == "--small") {
-        Scale::Small
-    } else {
-        Scale::Paper
-    }
-}
-
-/// Parses the common `--threads N` flag; falls back to `CDMM_THREADS`,
-/// then to the available parallelism.
-#[deprecated(
-    since = "0.1.0",
-    note = "sniffs the process argv from library code; use `cli::Options::executor` \
-            (or `BenchEnv::executor` in binaries) instead"
-)]
-pub fn exec_from_args() -> Executor {
-    let args: Vec<String> = std::env::args().collect();
-    match args
-        .iter()
-        .position(|a| a == "--threads")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse::<usize>().ok())
-    {
-        Some(n) => Executor::with_threads(n),
-        None => Executor::from_env(),
-    }
-}
-
 fn table_harness(env: &BenchEnv) -> Harness {
     Harness::new(env.scale()).with_executor(env.executor())
 }
@@ -315,9 +281,12 @@ pub fn run_multiprog_mixes(
         let specs: Vec<_> = prepared
             .iter()
             .map(|(name, p)| {
+                // The multiprogramming driver needs random access for
+                // its per-process cursors, so decompress at this
+                // boundary.
                 let trace = match policy {
-                    ProcPolicy::Cd { .. } => p.cd_trace().clone(),
-                    _ => p.plain_trace().clone(),
+                    ProcPolicy::Cd { .. } => p.cd_trace().to_trace(),
+                    _ => p.plain_trace().to_trace(),
                 };
                 (name.clone(), trace, policy)
             })

@@ -83,7 +83,7 @@ pub fn fifo_belady_anomalies(p: &Prepared, max_frames: usize) -> Vec<FifoAnomaly
         let mut fifo = Fifo::new(m);
         let f = p
             .plain_trace()
-            .refs()
+            .iter_refs()
             .filter(|&r| fifo.reference(r))
             .count() as u64;
         faults.push(f);

@@ -7,7 +7,7 @@ use cdmm_lang::LangError;
 use cdmm_locality::{
     analyze_program_with_mode, instrument, Analysis, InsertOptions, PageGeometry, SizerMode,
 };
-use cdmm_trace::{trace_program, InterpError, Trace};
+use cdmm_trace::{trace_program_compressed, CompressedTrace, InterpError};
 use cdmm_vmsim::policy::cd::{CdPolicy, CdSelector};
 use cdmm_vmsim::policy::clock::Clock;
 use cdmm_vmsim::policy::fifo::Fifo;
@@ -112,10 +112,11 @@ pub struct Prepared {
     analysis: Analysis,
     /// Source text after directive insertion (what produced `cd_trace`).
     instrumented_source: String,
-    /// Trace of the uninstrumented program (what LRU/WS/OPT see).
-    plain_trace: Trace,
+    /// Trace of the uninstrumented program (what LRU/WS/OPT see),
+    /// stored run-length-compressed; the simulator streams it directly.
+    plain_trace: CompressedTrace,
     /// Trace of the instrumented program (directive events embedded).
-    cd_trace: Trace,
+    cd_trace: CompressedTrace,
     config: PipelineConfig,
     /// Content hash of everything that determines simulation results:
     /// source text, both traces (reference string and directive stream),
@@ -134,9 +135,10 @@ pub fn prepare(
         .map_err(PipelineError::Lang)?;
     let instrumented = instrument(&analysis, config.insert);
     let instrumented_src = cdmm_lang::to_source(&instrumented);
-    let plain_trace = trace_program(source, config.geometry).map_err(PipelineError::Interp)?;
-    let cd_trace =
-        trace_program(&instrumented_src, config.geometry).map_err(PipelineError::Interp)?;
+    let plain_trace =
+        trace_program_compressed(source, config.geometry).map_err(PipelineError::Interp)?;
+    let cd_trace = trace_program_compressed(&instrumented_src, config.geometry)
+        .map_err(PipelineError::Interp)?;
     check_alignment(&plain_trace, &cd_trace).map_err(PipelineError::Validate)?;
     let fingerprint = content_fingerprint(source, &plain_trace, &cd_trace, &config);
     Ok(Prepared {
@@ -150,18 +152,19 @@ pub fn prepare(
     })
 }
 
-/// Hashes the full simulation input of a prepared program.
+/// Hashes the full simulation input of a prepared program. Runs over
+/// the compressed ops, so the cost is O(runs), not O(references).
 fn content_fingerprint(
     source: &str,
-    plain: &Trace,
-    cd: &Trace,
+    plain: &CompressedTrace,
+    cd: &CompressedTrace,
     config: &PipelineConfig,
 ) -> crate::sweep::CacheKey {
-    use crate::sweep::cache::fingerprint_trace;
+    use crate::sweep::cache::fingerprint_compressed;
     let mut h = crate::sweep::KeyHasher::new();
     h.write_str(source);
-    fingerprint_trace(&mut h, plain);
-    fingerprint_trace(&mut h, cd);
+    fingerprint_compressed(&mut h, plain);
+    fingerprint_compressed(&mut h, cd);
     h.write_u64(config.geometry.page_bytes);
     h.write_u64(config.geometry.elem_bytes);
     h.write_u64(config.fault_service);
@@ -177,7 +180,7 @@ fn content_fingerprint(
 
 /// Verifies that directives did not change the observable reference
 /// string (the paper's instrumentation-transparency requirement).
-fn check_alignment(plain: &Trace, cd: &Trace) -> Result<(), ValidateError> {
+fn check_alignment(plain: &CompressedTrace, cd: &CompressedTrace) -> Result<(), ValidateError> {
     let plain_refs = plain.ref_count();
     let cd_refs = cd.ref_count();
     if plain_refs != cd_refs {
@@ -187,7 +190,11 @@ fn check_alignment(plain: &Trace, cd: &Trace) -> Result<(), ValidateError> {
             first_divergence: None,
         });
     }
-    if let Some(i) = plain.refs().zip(cd.refs()).position(|(a, b)| a != b) {
+    if let Some(i) = plain
+        .iter_refs()
+        .zip(cd.iter_refs())
+        .position(|(a, b)| a != b)
+    {
         return Err(ValidateError {
             plain_refs,
             cd_refs,
@@ -298,13 +305,15 @@ impl Prepared {
         &self.analysis
     }
 
-    /// The uninstrumented trace (page references only).
-    pub fn plain_trace(&self) -> &Trace {
+    /// The uninstrumented trace (page references only), compressed.
+    /// Decompress with [`CompressedTrace::to_trace`] at consumers that
+    /// need random access (e.g. the multiprogramming driver).
+    pub fn plain_trace(&self) -> &CompressedTrace {
         &self.plain_trace
     }
 
-    /// The instrumented trace (with directive events).
-    pub fn cd_trace(&self) -> &Trace {
+    /// The instrumented trace (with directive events), compressed.
+    pub fn cd_trace(&self) -> &CompressedTrace {
         &self.cd_trace
     }
 
@@ -321,7 +330,7 @@ impl Prepared {
 
     /// Total pages in the program's virtual space (the paper's `V`).
     pub fn virtual_pages(&self) -> u32 {
-        self.plain_trace.virtual_pages
+        self.plain_trace.virtual_pages()
     }
 
     fn sim_config(&self) -> SimConfig {
@@ -426,8 +435,18 @@ impl Prepared {
     /// Runs any [`PolicySpec`] over the trace it belongs on (CD variants
     /// see the instrumented trace; everything else the plain one).
     pub fn run_policy(&self, spec: PolicySpec) -> Metrics {
-        let mut policy = self.build_policy(spec);
-        simulate(self.trace_for(spec), policy.as_mut(), self.sim_config())
+        // The three policies the paper's tables sweep run monomorphized
+        // (the policy inlines into the trace-decode loop); the long
+        // tail of ablation policies takes the boxed fallback.
+        match spec {
+            PolicySpec::Cd { selector } => self.run_cd(selector),
+            PolicySpec::Lru { frames } => self.run_lru(frames),
+            PolicySpec::Ws { tau } => self.run_ws(tau),
+            _ => {
+                let mut policy = self.build_policy(spec);
+                simulate(self.trace_for(spec), policy.as_mut(), self.sim_config())
+            }
+        }
     }
 
     /// [`Prepared::run_policy`] with an event tracer attached.
@@ -441,7 +460,7 @@ impl Prepared {
         )
     }
 
-    fn trace_for(&self, spec: PolicySpec) -> &Trace {
+    fn trace_for(&self, spec: PolicySpec) -> &CompressedTrace {
         if spec.uses_directives() {
             &self.cd_trace
         } else {
@@ -465,8 +484,8 @@ mod tests {
     fn traces_align_between_plain_and_instrumented() {
         for name in ["MAIN", "FDJAC", "CONDUCT"] {
             let p = prepared(name);
-            let a: Vec<_> = p.plain_trace().refs().collect();
-            let b: Vec<_> = p.cd_trace().refs().collect();
+            let a: Vec<_> = p.plain_trace().iter_refs().collect();
+            let b: Vec<_> = p.cd_trace().iter_refs().collect();
             assert_eq!(a, b, "{name}: directives changed the references");
             assert!(p.cd_trace().directive_count() > 0, "{name}: no directives");
         }
@@ -524,19 +543,21 @@ mod tests {
 
     #[test]
     fn alignment_check_rejects_divergent_traces() {
-        use cdmm_trace::{Event, PageId};
-        let plain = Trace::from_events(vec![Event::Ref(PageId(0)), Event::Ref(PageId(1))]);
+        use cdmm_trace::{Event, PageId, Trace};
+        let compress =
+            |events: Vec<Event>| CompressedTrace::from_trace(&Trace::from_events(events));
+        let plain = compress(vec![Event::Ref(PageId(0)), Event::Ref(PageId(1))]);
         let same = plain.clone();
         assert_eq!(check_alignment(&plain, &same), Ok(()));
 
-        let short = Trace::from_events(vec![Event::Ref(PageId(0))]);
+        let short = compress(vec![Event::Ref(PageId(0))]);
         let err = check_alignment(&plain, &short).unwrap_err();
         assert_eq!(err.plain_refs, 2);
         assert_eq!(err.cd_refs, 1);
         assert_eq!(err.first_divergence, None);
         assert!(err.to_string().contains("reference count"));
 
-        let swapped = Trace::from_events(vec![Event::Ref(PageId(1)), Event::Ref(PageId(0))]);
+        let swapped = compress(vec![Event::Ref(PageId(1)), Event::Ref(PageId(0))]);
         let err = check_alignment(&plain, &swapped).unwrap_err();
         assert_eq!(err.first_divergence, Some(0));
         assert!(PipelineError::Validate(err)

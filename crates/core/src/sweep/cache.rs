@@ -21,7 +21,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
-use cdmm_trace::{Event, Trace};
+use cdmm_trace::{COp, CompressedTrace, Event, Trace};
 use cdmm_vmsim::observe::{SharedTracer, SimEvent};
 use cdmm_vmsim::{ExecStats, Metrics};
 
@@ -129,42 +129,69 @@ impl KeyHasher {
     }
 }
 
+/// Absorbs one event (reference or directive) into a hasher.
+fn fingerprint_event(h: &mut KeyHasher, e: &Event) {
+    match e {
+        Event::Ref(p) => {
+            h.write_u64(1);
+            h.write_u64(p.0 as u64);
+        }
+        Event::Alloc(args) => {
+            h.write_u64(2);
+            h.write_u64(args.len() as u64);
+            for a in args {
+                h.write_u64(a.pi as u64);
+                h.write_u64(a.pages);
+            }
+        }
+        Event::Lock { pj, ranges } => {
+            h.write_u64(3);
+            h.write_u64(*pj as u64);
+            h.write_u64(ranges.len() as u64);
+            for r in ranges {
+                h.write_u64(r.start as u64);
+                h.write_u64(r.end as u64);
+            }
+        }
+        Event::Unlock { ranges } => {
+            h.write_u64(4);
+            h.write_u64(ranges.len() as u64);
+            for r in ranges {
+                h.write_u64(r.start as u64);
+                h.write_u64(r.end as u64);
+            }
+        }
+    }
+}
+
 /// Absorbs a full trace — reference string *and* directive stream — into
 /// a hasher. Two traces differing in any event produce different keys.
 pub fn fingerprint_trace(h: &mut KeyHasher, t: &Trace) {
     h.write_u64(t.virtual_pages as u64);
     h.write_u64(t.events.len() as u64);
     for e in &t.events {
-        match e {
-            Event::Ref(p) => {
-                h.write_u64(1);
-                h.write_u64(p.0 as u64);
+        fingerprint_event(h, e);
+    }
+}
+
+/// Absorbs a compressed trace by its run/directive ops — O(ops), not
+/// O(references). The builder is deterministic, so two compressed
+/// traces encode the same event stream iff their ops are identical;
+/// hashing ops therefore distinguishes content exactly like
+/// [`fingerprint_trace`] (under a distinct tag, so the two forms never
+/// collide with each other).
+pub fn fingerprint_compressed(h: &mut KeyHasher, t: &CompressedTrace) {
+    h.write_u64(t.virtual_pages() as u64);
+    h.write_u64(t.op_count() as u64);
+    for op in t.ops() {
+        match op {
+            COp::Run { start, stride, len } => {
+                h.write_u64(5);
+                h.write_u64(*start as u64);
+                h.write_u64(*stride as u32 as u64);
+                h.write_u64(*len as u64);
             }
-            Event::Alloc(args) => {
-                h.write_u64(2);
-                h.write_u64(args.len() as u64);
-                for a in args {
-                    h.write_u64(a.pi as u64);
-                    h.write_u64(a.pages);
-                }
-            }
-            Event::Lock { pj, ranges } => {
-                h.write_u64(3);
-                h.write_u64(*pj as u64);
-                h.write_u64(ranges.len() as u64);
-                for r in ranges {
-                    h.write_u64(r.start as u64);
-                    h.write_u64(r.end as u64);
-                }
-            }
-            Event::Unlock { ranges } => {
-                h.write_u64(4);
-                h.write_u64(ranges.len() as u64);
-                for r in ranges {
-                    h.write_u64(r.start as u64);
-                    h.write_u64(r.end as u64);
-                }
-            }
+            COp::Dir(e) => fingerprint_event(h, e),
         }
     }
 }

@@ -1,0 +1,396 @@
+//! Run-length/stride-compressed reference traces.
+//!
+//! The nine workloads are numerical inner loops, so their reference
+//! strings are dominated by constant-stride runs (column-major sweeps
+//! are stride 1 at page granularity for long stretches, with short
+//! stride jumps between columns). [`CompressedTrace`] stores the trace
+//! as `(start, stride, len)` runs plus verbatim directive events:
+//! typically one op per tens-to-thousands of references, so a whole
+//! trace fits in cache and the simulator streams it back as a counted
+//! loop instead of walking a `Vec<Event>` of ~32-byte enums.
+//!
+//! [`TraceBuilder`] builds the compressed form incrementally — the
+//! interpreter pushes one reference at a time and never materializes
+//! the flat event vector — and [`EventSource`] lets `simulate` and the
+//! stack-distance profiler consume either representation unchanged.
+
+use crate::event::{Event, EventRef, EventSource, PageId, Trace};
+
+/// One compressed trace operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum COp {
+    /// `len` references `start, start+stride, start+2·stride, …`.
+    /// Every decoded page is a valid `u32` by construction.
+    Run {
+        /// First page of the run.
+        start: u32,
+        /// Per-reference page delta (0 for repeated touches).
+        stride: i32,
+        /// Number of references (≥ 1).
+        len: u32,
+    },
+    /// A directive event, stored verbatim (never `Event::Ref`).
+    Dir(Event),
+}
+
+/// A complete trace in run-length-compressed form.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CompressedTrace {
+    ops: Vec<COp>,
+    refs: u64,
+    virtual_pages: u32,
+}
+
+impl CompressedTrace {
+    /// Compresses an existing flat trace.
+    pub fn from_trace(trace: &Trace) -> CompressedTrace {
+        let mut b = TraceBuilder::new();
+        for e in &trace.events {
+            match e {
+                Event::Ref(p) => b.push_ref(*p),
+                other => b.push_directive(other.clone()),
+            }
+        }
+        b.finish(trace.virtual_pages)
+    }
+
+    /// Decompresses back to the flat representation (for consumers that
+    /// need random access, e.g. the multiprogramming driver).
+    pub fn to_trace(&self) -> Trace {
+        let mut events = Vec::with_capacity(self.refs as usize + self.directive_count() as usize);
+        self.for_each_event(|e| match e {
+            EventRef::Ref(p) => events.push(Event::Ref(p)),
+            EventRef::Directive(d) => events.push(d.clone()),
+        });
+        Trace {
+            events,
+            virtual_pages: self.virtual_pages,
+        }
+    }
+
+    /// The compressed operations, in execution order.
+    pub fn ops(&self) -> &[COp] {
+        &self.ops
+    }
+
+    /// Number of compressed operations (the compression denominator:
+    /// `ref_count + directive_count` over `op_count`).
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Number of page references.
+    pub fn ref_count(&self) -> u64 {
+        self.refs
+    }
+
+    /// Number of directive events.
+    pub fn directive_count(&self) -> u64 {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, COp::Dir(_)))
+            .count() as u64
+    }
+
+    /// Total virtual pages of the traced program (0 when unknown).
+    pub fn virtual_pages(&self) -> u32 {
+        self.virtual_pages
+    }
+
+    /// Number of distinct pages referenced.
+    pub fn distinct_pages(&self) -> u32 {
+        let mut seen = std::collections::HashSet::new();
+        self.for_each_ref(|p| {
+            seen.insert(p);
+        });
+        seen.len() as u32
+    }
+
+    /// Iterates over the decoded page references, in order.
+    pub fn iter_refs(&self) -> RefIter<'_> {
+        RefIter {
+            ops: &self.ops,
+            next_op: 0,
+            cur: 0,
+            stride: 0,
+            remaining: 0,
+        }
+    }
+}
+
+impl EventSource for CompressedTrace {
+    fn for_each_event<F: FnMut(EventRef<'_>)>(&self, mut f: F) {
+        for op in &self.ops {
+            match op {
+                COp::Run { start, stride, len } => {
+                    let mut p = *start as i64;
+                    let stride = *stride as i64;
+                    for _ in 0..*len {
+                        f(EventRef::Ref(PageId(p as u32)));
+                        p += stride;
+                    }
+                }
+                COp::Dir(d) => f(EventRef::Directive(d)),
+            }
+        }
+    }
+
+    fn for_each_ref<F: FnMut(PageId)>(&self, mut f: F) {
+        for op in &self.ops {
+            if let COp::Run { start, stride, len } = op {
+                let mut p = *start as i64;
+                let stride = *stride as i64;
+                for _ in 0..*len {
+                    f(PageId(p as u32));
+                    p += stride;
+                }
+            }
+        }
+    }
+
+    fn ref_count(&self) -> u64 {
+        self.refs
+    }
+
+    fn page_count_hint(&self) -> usize {
+        if self.virtual_pages > 0 {
+            self.virtual_pages as usize
+        } else {
+            self.ops
+                .iter()
+                .filter_map(|op| match op {
+                    COp::Run { start, stride, len } => {
+                        let end = *start as i64 + *stride as i64 * (*len as i64 - 1);
+                        Some((*start as i64).max(end) as usize + 1)
+                    }
+                    COp::Dir(_) => None,
+                })
+                .max()
+                .unwrap_or(0)
+        }
+    }
+}
+
+/// External iterator over a compressed trace's page references.
+#[derive(Debug, Clone)]
+pub struct RefIter<'a> {
+    ops: &'a [COp],
+    next_op: usize,
+    cur: i64,
+    stride: i64,
+    remaining: u32,
+}
+
+impl Iterator for RefIter<'_> {
+    type Item = PageId;
+
+    fn next(&mut self) -> Option<PageId> {
+        while self.remaining == 0 {
+            let op = self.ops.get(self.next_op)?;
+            self.next_op += 1;
+            if let COp::Run { start, stride, len } = op {
+                self.cur = *start as i64;
+                self.stride = *stride as i64;
+                self.remaining = *len;
+            }
+        }
+        let page = PageId(self.cur as u32);
+        self.cur += self.stride;
+        self.remaining -= 1;
+        Some(page)
+    }
+}
+
+/// The open run a [`TraceBuilder`] is extending.
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    start: u32,
+    stride: i32,
+    len: u32,
+    last: u32,
+}
+
+/// Streaming constructor for [`CompressedTrace`]: push references and
+/// directives in execution order, stride runs coalesce greedily.
+#[derive(Debug, Clone, Default)]
+pub struct TraceBuilder {
+    ops: Vec<COp>,
+    refs: u64,
+    pending: Option<Pending>,
+}
+
+impl TraceBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> TraceBuilder {
+        TraceBuilder::default()
+    }
+
+    /// Logical events pushed so far (references + directives), for
+    /// runaway-trace caps.
+    pub fn logical_len(&self) -> u64 {
+        self.refs
+            + self
+                .ops
+                .iter()
+                .filter(|op| matches!(op, COp::Dir(_)))
+                .count() as u64
+    }
+
+    fn flush(&mut self) {
+        if let Some(run) = self.pending.take() {
+            self.ops.push(COp::Run {
+                start: run.start,
+                stride: run.stride,
+                len: run.len,
+            });
+        }
+    }
+
+    /// Appends one page reference.
+    #[inline]
+    pub fn push_ref(&mut self, page: PageId) {
+        let p = page.0;
+        self.refs += 1;
+        match &mut self.pending {
+            None => {
+                self.pending = Some(Pending {
+                    start: p,
+                    stride: 0,
+                    len: 1,
+                    last: p,
+                });
+            }
+            Some(run) => {
+                let delta = p as i64 - run.last as i64;
+                if run.len == 1 {
+                    if let Ok(s) = i32::try_from(delta) {
+                        run.stride = s;
+                        run.len = 2;
+                        run.last = p;
+                        return;
+                    }
+                } else if delta == run.stride as i64 && run.len < u32::MAX {
+                    run.len += 1;
+                    run.last = p;
+                    return;
+                }
+                self.flush();
+                self.pending = Some(Pending {
+                    start: p,
+                    stride: 0,
+                    len: 1,
+                    last: p,
+                });
+            }
+        }
+    }
+
+    /// Appends one directive event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `event` is an `Event::Ref` (use [`Self::push_ref`]).
+    pub fn push_directive(&mut self, event: Event) {
+        assert!(
+            !matches!(event, Event::Ref(_)),
+            "push references through push_ref"
+        );
+        self.flush();
+        self.ops.push(COp::Dir(event));
+    }
+
+    /// Seals the builder into a trace over `virtual_pages` pages.
+    pub fn finish(mut self, virtual_pages: u32) -> CompressedTrace {
+        self.flush();
+        CompressedTrace {
+            ops: self.ops,
+            refs: self.refs,
+            virtual_pages,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth;
+
+    fn roundtrip(t: &Trace) -> CompressedTrace {
+        let c = CompressedTrace::from_trace(t);
+        assert_eq!(c.ref_count(), Trace::ref_count(t));
+        assert_eq!(c.directive_count(), t.directive_count());
+        assert_eq!(c.virtual_pages(), t.virtual_pages);
+        assert_eq!(&c.to_trace(), t, "decompression is lossless");
+        let via_iter: Vec<PageId> = c.iter_refs().collect();
+        let direct: Vec<PageId> = t.refs().collect();
+        assert_eq!(via_iter, direct, "iter_refs matches the flat refs");
+        c
+    }
+
+    #[test]
+    fn stride_one_sweep_compresses_to_one_op_per_cycle() {
+        let t = synth::cyclic(64, 10);
+        let c = roundtrip(&t);
+        assert_eq!(c.op_count(), 10, "one run per sweep");
+        match c.ops()[0] {
+            COp::Run { start, stride, len } => {
+                assert_eq!((start, stride, len), (0, 1, 64));
+            }
+            ref other => panic!("expected a run, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn constant_page_and_negative_strides_coalesce() {
+        let refs: Vec<u32> = vec![5, 5, 5, 9, 7, 5, 3, 100];
+        let t = Trace::from_events(refs.iter().map(|&p| Event::Ref(PageId(p))).collect());
+        let c = roundtrip(&t);
+        // [5×3 stride 0] [9,7,5,3 stride −2] [100]
+        assert_eq!(c.op_count(), 3, "{:?}", c.ops());
+    }
+
+    #[test]
+    fn directives_break_runs_and_survive_verbatim() {
+        use cdmm_lang::ast::AllocArg;
+        let t = Trace::from_events(vec![
+            Event::Ref(PageId(0)),
+            Event::Ref(PageId(1)),
+            Event::Alloc(vec![AllocArg { pi: 2, pages: 3 }]),
+            Event::Ref(PageId(2)),
+            Event::Ref(PageId(3)),
+            Event::Unlock { ranges: vec![] },
+        ]);
+        let c = roundtrip(&t);
+        assert_eq!(c.op_count(), 4);
+        assert_eq!(c.directive_count(), 2);
+    }
+
+    #[test]
+    fn random_traces_roundtrip() {
+        for seed in 0..6 {
+            roundtrip(&synth::uniform(40, 2_000, seed));
+        }
+        roundtrip(&synth::nested_loops(5, 3, 9, 2));
+        roundtrip(&Trace::default());
+    }
+
+    #[test]
+    fn builder_streams_like_from_trace() {
+        let t = synth::nested_loops(4, 2, 8, 3);
+        let mut b = TraceBuilder::new();
+        for p in t.refs() {
+            b.push_ref(p);
+        }
+        assert_eq!(b.logical_len(), Trace::ref_count(&t));
+        let c = b.finish(t.virtual_pages);
+        assert_eq!(c, CompressedTrace::from_trace(&t));
+    }
+
+    #[test]
+    fn distinct_pages_and_hints_match() {
+        let t = synth::uniform(23, 500, 9);
+        let c = CompressedTrace::from_trace(&t);
+        assert_eq!(c.distinct_pages(), t.distinct_pages());
+        assert_eq!(c.page_count_hint(), 23);
+    }
+}

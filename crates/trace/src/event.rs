@@ -132,6 +132,77 @@ impl Trace {
     }
 }
 
+/// One event as seen by a streaming consumer: references are delivered
+/// by value (the hot case), directives by reference so their payloads
+/// (`ALLOCATE` request lists, `LOCK` ranges) are never cloned.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventRef<'a> {
+    /// A page reference.
+    Ref(PageId),
+    /// A runtime directive (`Alloc`/`Lock`/`Unlock`; never `Ref`).
+    Directive(&'a Event),
+}
+
+/// Anything the simulator can stream events out of — a plain [`Trace`]
+/// or a compressed one — without materializing a `Vec<Event>`.
+///
+/// Internal iteration (`for_each_*` taking a closure) rather than an
+/// `Iterator` lets each source keep its decode state in registers: a
+/// compressed run decodes as a tight counted loop, which is the point
+/// of compressing in the first place.
+pub trait EventSource {
+    /// Streams every event in execution order.
+    fn for_each_event<F: FnMut(EventRef<'_>)>(&self, f: F);
+
+    /// Streams only the page references, in order.
+    fn for_each_ref<F: FnMut(PageId)>(&self, mut f: F) {
+        self.for_each_event(|e| {
+            if let EventRef::Ref(p) = e {
+                f(p)
+            }
+        });
+    }
+
+    /// Number of page references (the paper's trace length `R`).
+    fn ref_count(&self) -> u64;
+
+    /// Sizing hint for page-indexed tables: one past the highest page
+    /// id that can appear (the program's virtual size when known).
+    fn page_count_hint(&self) -> usize;
+}
+
+impl EventSource for Trace {
+    fn for_each_event<F: FnMut(EventRef<'_>)>(&self, mut f: F) {
+        for e in &self.events {
+            match e {
+                Event::Ref(p) => f(EventRef::Ref(*p)),
+                other => f(EventRef::Directive(other)),
+            }
+        }
+    }
+
+    fn for_each_ref<F: FnMut(PageId)>(&self, mut f: F) {
+        for e in &self.events {
+            if let Event::Ref(p) = e {
+                f(*p)
+            }
+        }
+    }
+
+    fn ref_count(&self) -> u64 {
+        Trace::ref_count(self)
+    }
+
+    fn page_count_hint(&self) -> usize {
+        if self.virtual_pages > 0 {
+            self.virtual_pages as usize
+        } else {
+            // Synthetic traces built raw: fall back to a scan.
+            self.refs().map(|p| p.0 as usize + 1).max().unwrap_or(0)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

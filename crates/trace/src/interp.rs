@@ -14,6 +14,7 @@ use cdmm_lang::ast::{BinOp, Directive, Expr, Program, RelOp, Stmt, UnOp};
 use cdmm_lang::sema::SymbolTable;
 use cdmm_lang::LangError;
 
+use crate::compress::{CompressedTrace, TraceBuilder};
 use crate::event::{Event, Trace};
 use crate::layout::MemoryLayout;
 
@@ -101,7 +102,10 @@ pub struct Interpreter<'a> {
     config: InterpConfig,
     scalars: HashMap<String, f64>,
     arrays: HashMap<String, Vec<f64>>,
-    events: Vec<Event>,
+    /// References and directives stream into the compressed builder;
+    /// the flat `Vec<Event>` only exists if a caller asks for it.
+    builder: TraceBuilder,
+    emitted: u64,
 }
 
 impl<'a> Interpreter<'a> {
@@ -123,7 +127,8 @@ impl<'a> Interpreter<'a> {
             config: InterpConfig::default(),
             scalars,
             arrays,
-            events: Vec::new(),
+            builder: TraceBuilder::new(),
+            emitted: 0,
         }
     }
 
@@ -140,13 +145,24 @@ impl<'a> Interpreter<'a> {
 
     /// Runs the program and also returns its final variable state, for
     /// validating that the traced computations are numerically sensible.
-    pub fn run_with_state(mut self) -> Result<(Trace, ProgramState), InterpError> {
+    pub fn run_with_state(self) -> Result<(Trace, ProgramState), InterpError> {
+        let (compressed, state) = self.run_compressed_with_state()?;
+        Ok((compressed.to_trace(), state))
+    }
+
+    /// Runs the program and returns the compressed trace — the native
+    /// output; [`Self::run`] is this plus a decompression.
+    pub fn run_compressed(self) -> Result<CompressedTrace, InterpError> {
+        Ok(self.run_compressed_with_state()?.0)
+    }
+
+    /// [`Self::run_compressed`] with the final variable state.
+    pub fn run_compressed_with_state(
+        mut self,
+    ) -> Result<(CompressedTrace, ProgramState), InterpError> {
         let body = &self.program.body;
         self.exec_block(body)?;
-        let trace = Trace {
-            events: self.events,
-            virtual_pages: self.layout.total_pages(),
-        };
+        let trace = self.builder.finish(self.layout.total_pages());
         let state = ProgramState {
             scalars: self.scalars,
             arrays: self.arrays,
@@ -154,13 +170,20 @@ impl<'a> Interpreter<'a> {
         Ok((trace, state))
     }
 
-    fn push(&mut self, ev: Event) -> Result<(), InterpError> {
-        if self.events.len() as u64 >= self.config.max_events {
+    /// Charges one logical event against the runaway-trace cap.
+    fn charge(&mut self) -> Result<(), InterpError> {
+        if self.emitted >= self.config.max_events {
             return Err(InterpError::EventLimit {
                 limit: self.config.max_events,
             });
         }
-        self.events.push(ev);
+        self.emitted += 1;
+        Ok(())
+    }
+
+    fn push(&mut self, ev: Event) -> Result<(), InterpError> {
+        self.charge()?;
+        self.builder.push_directive(ev);
         Ok(())
     }
 
@@ -261,7 +284,11 @@ impl<'a> Interpreter<'a> {
     /// Records a reference to element `(row, col)` of `array`.
     fn touch(&mut self, array: &str, row: i64, col: i64) -> Result<(), InterpError> {
         match self.layout.page_of(array, row, col) {
-            Some(page) => self.push(Event::Ref(page)),
+            Some(page) => {
+                self.charge()?;
+                self.builder.push_ref(page);
+                Ok(())
+            }
             None => Err(InterpError::OutOfBounds {
                 array: array.to_string(),
                 row,

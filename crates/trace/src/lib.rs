@@ -43,6 +43,7 @@
 #![warn(clippy::unwrap_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
+pub mod compress;
 pub mod event;
 pub mod interp;
 pub mod layout;
@@ -50,7 +51,8 @@ pub mod stats;
 pub mod synth;
 pub mod validate;
 
-pub use event::{Event, PageId, PageRange, Trace};
+pub use compress::{COp, CompressedTrace, TraceBuilder};
+pub use event::{Event, EventRef, EventSource, PageId, PageRange, Trace};
 pub use interp::{InterpConfig, InterpError, Interpreter, ProgramState};
 pub use layout::MemoryLayout;
 pub use stats::TraceStats;
@@ -64,6 +66,28 @@ use cdmm_locality::PageGeometry;
 /// [`cdmm_locality::instrument`]) become directive events in the trace.
 pub fn trace_program(src: &str, geometry: PageGeometry) -> Result<Trace, InterpError> {
     Ok(trace_program_with_state(src, geometry)?.0)
+}
+
+/// [`trace_program`] in run-length-compressed form: the interpreter
+/// streams references straight into a [`TraceBuilder`], so the flat
+/// `Vec<Event>` is never materialized.
+pub fn trace_program_compressed(
+    src: &str,
+    geometry: PageGeometry,
+) -> Result<CompressedTrace, InterpError> {
+    Ok(trace_program_compressed_with_state(src, geometry)?.0)
+}
+
+/// Like [`trace_program_compressed`], but also returns the final
+/// variable state for numerical validation.
+pub fn trace_program_compressed_with_state(
+    src: &str,
+    geometry: PageGeometry,
+) -> Result<(CompressedTrace, ProgramState), InterpError> {
+    let mut program = cdmm_lang::parse(src).map_err(InterpError::Lang)?;
+    let symbols = cdmm_lang::analyze(&mut program).map_err(InterpError::Lang)?;
+    let layout = MemoryLayout::new(&symbols, geometry);
+    Interpreter::new(&program, &symbols, layout).run_compressed_with_state()
 }
 
 /// Like [`trace_program`], but also returns the final variable state so

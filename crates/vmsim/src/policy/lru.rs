@@ -47,9 +47,10 @@ impl Lru {
     }
 
     /// Releases every resident page (used when the multiprogramming
-    /// driver swaps the process out).
+    /// driver swaps the process out). Keeps the set's page table so
+    /// swapping back in allocates nothing.
     pub fn swap_out(&mut self) {
-        self.set = RecencySet::new();
+        self.set.clear();
     }
 }
 

@@ -8,12 +8,35 @@
 
 use std::collections::{BTreeSet, HashMap};
 
-use cdmm_trace::{Event, PageId, Trace};
+use cdmm_trace::{Event, EventSource, PageId};
 
 use crate::error::SimError;
 use crate::policy::Policy;
 
 const NEVER: u64 = u64::MAX;
+
+/// `next_use[i]` = position of the next reference to the same page
+/// after reference `i` (`NEVER` if none). Shared by OPT and VMIN; the
+/// per-page state is a flat position table indexed by the dense page
+/// id, so the backward pass is hash-free.
+pub(crate) fn next_use_chain<S: EventSource + ?Sized>(trace: &S) -> Vec<u64> {
+    const NO_POS: usize = usize::MAX;
+    let mut refs: Vec<PageId> = Vec::with_capacity(trace.ref_count() as usize);
+    trace.for_each_ref(|p| refs.push(p));
+    let mut next_use = vec![NEVER; refs.len()];
+    let mut last_pos = vec![NO_POS; trace.page_count_hint()];
+    for (i, &p) in refs.iter().enumerate().rev() {
+        let idx = p.0 as usize;
+        if idx >= last_pos.len() {
+            last_pos.resize(idx + 1, NO_POS);
+        }
+        if last_pos[idx] != NO_POS {
+            next_use[i] = last_pos[idx] as u64;
+        }
+        last_pos[idx] = i;
+    }
+    next_use
+}
 
 /// Offline-optimal replacement for a fixed allocation.
 #[derive(Debug, Clone)]
@@ -30,13 +53,14 @@ pub struct Opt {
 }
 
 impl Opt {
-    /// Builds OPT for a specific trace and allocation.
+    /// Builds OPT for a specific trace (any [`EventSource`]) and
+    /// allocation.
     ///
     /// # Panics
     ///
     /// Panics if `frames` is zero; [`Opt::try_for_trace`] is the
     /// non-panicking form.
-    pub fn for_trace(trace: &Trace, frames: usize) -> Self {
+    pub fn for_trace<S: EventSource + ?Sized>(trace: &S, frames: usize) -> Self {
         match Self::try_for_trace(trace, frames) {
             Ok(opt) => opt,
             Err(e) => panic!("{e}"),
@@ -45,19 +69,14 @@ impl Opt {
 
     /// Builds OPT for a specific trace and allocation, rejecting a
     /// zero-frame configuration with a typed error.
-    pub fn try_for_trace(trace: &Trace, frames: usize) -> Result<Self, SimError> {
+    pub fn try_for_trace<S: EventSource + ?Sized>(
+        trace: &S,
+        frames: usize,
+    ) -> Result<Self, SimError> {
         if frames == 0 {
             return Err(SimError::ZeroFrames { what: "OPT" });
         }
-        let refs: Vec<PageId> = trace.refs().collect();
-        let mut next_use = vec![NEVER; refs.len()];
-        let mut last_pos: HashMap<PageId, usize> = HashMap::new();
-        for (i, &p) in refs.iter().enumerate().rev() {
-            if let Some(&later) = last_pos.get(&p) {
-                next_use[i] = later as u64;
-            }
-            last_pos.insert(p, i);
-        }
+        let next_use = next_use_chain(trace);
         Ok(Opt {
             frames,
             next_use,
@@ -114,7 +133,7 @@ impl Policy for Opt {
 mod tests {
     use super::*;
     use crate::policy::lru::Lru;
-    use cdmm_trace::synth;
+    use cdmm_trace::{synth, Trace};
 
     fn faults(trace: &Trace, mut p: impl Policy) -> u64 {
         trace.refs().filter(|&r| p.reference(r)).count() as u64

@@ -9,10 +9,11 @@
 //! formalizes for fixed budgets. The operating-curve experiment plots
 //! LRU, WS and CD against it.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
-use cdmm_trace::{PageId, Trace};
+use cdmm_trace::{EventSource, PageId};
 
+use crate::policy::opt::next_use_chain;
 use crate::policy::Policy;
 
 const NEVER: u64 = u64::MAX;
@@ -28,22 +29,14 @@ pub struct Vmin {
 }
 
 impl Vmin {
-    /// Builds VMIN for a trace and window `tau`.
+    /// Builds VMIN for a trace (any [`EventSource`]) and window `tau`.
     ///
     /// # Panics
     ///
     /// Panics if `tau` is zero.
-    pub fn for_trace(trace: &Trace, tau: u64) -> Self {
+    pub fn for_trace<S: EventSource + ?Sized>(trace: &S, tau: u64) -> Self {
         assert!(tau > 0, "VMIN window must be positive");
-        let refs: Vec<PageId> = trace.refs().collect();
-        let mut next_use = vec![NEVER; refs.len()];
-        let mut last_pos: HashMap<PageId, usize> = HashMap::new();
-        for (i, &p) in refs.iter().enumerate().rev() {
-            if let Some(&later) = last_pos.get(&p) {
-                next_use[i] = later as u64;
-            }
-            last_pos.insert(p, i);
-        }
+        let next_use = next_use_chain(trace);
         Vmin {
             tau,
             next_use,
@@ -88,7 +81,7 @@ mod tests {
     use super::*;
     use crate::policy::ws::WorkingSet;
     use crate::{simulate, SimConfig};
-    use cdmm_trace::synth;
+    use cdmm_trace::{synth, Trace};
 
     fn run(trace: &Trace, tau: u64) -> crate::Metrics {
         simulate(

@@ -4,7 +4,7 @@
 //! references. Allocation is variable: the resident set grows at faults
 //! and shrinks as pages age out of the window.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use cdmm_trace::PageId;
 
@@ -12,11 +12,18 @@ use crate::observe::SimEvent;
 use crate::policy::Policy;
 
 /// The Working Set policy with window `τ` (in references).
+///
+/// Per-page state is a flat last-use table indexed directly by the
+/// (dense) page id — one load per membership test, no hashing on the
+/// per-reference path.
 #[derive(Debug, Clone)]
 pub struct WorkingSet {
     tau: u64,
     clock: u64,
-    last_ref: HashMap<PageId, u64>,
+    /// `last_ref[p]` = clock of page `p`'s latest reference while in
+    /// the working set; 0 = not resident (the clock starts at 1).
+    last_ref: Vec<u64>,
+    resident: usize,
     /// Reference history `(time, page)` pending expiry.
     expiry: VecDeque<(u64, PageId)>,
     tracing: bool,
@@ -34,7 +41,8 @@ impl WorkingSet {
         WorkingSet {
             tau,
             clock: 0,
-            last_ref: HashMap::new(),
+            last_ref: Vec::new(),
+            resident: 0,
             expiry: VecDeque::new(),
             tracing: false,
             events: Vec::new(),
@@ -47,9 +55,11 @@ impl WorkingSet {
     }
 
     /// Releases every resident page (used when the multiprogramming
-    /// driver swaps the process out).
+    /// driver swaps the process out). Keeps the last-use table's
+    /// capacity so swapping back in allocates nothing.
     pub fn swap_out(&mut self) {
-        self.last_ref.clear();
+        self.last_ref.fill(0);
+        self.resident = 0;
         self.expiry.clear();
     }
 
@@ -61,8 +71,9 @@ impl WorkingSet {
             if t + self.tau < self.clock {
                 self.expiry.pop_front();
                 // Only drop the page if this history entry is its latest.
-                if self.last_ref.get(&page) == Some(&t) {
-                    self.last_ref.remove(&page);
+                if self.last_ref[page.0 as usize] == t {
+                    self.last_ref[page.0 as usize] = 0;
+                    self.resident -= 1;
                     if self.tracing {
                         self.events.push(SimEvent::Evict { page });
                     }
@@ -82,14 +93,21 @@ impl Policy for WorkingSet {
     fn reference(&mut self, page: PageId) -> bool {
         self.clock += 1;
         self.expire();
-        let fault = !self.last_ref.contains_key(&page);
-        self.last_ref.insert(page, self.clock);
+        let idx = page.0 as usize;
+        if idx >= self.last_ref.len() {
+            self.last_ref.resize(idx + 1, 0);
+        }
+        let fault = self.last_ref[idx] == 0;
+        if fault {
+            self.resident += 1;
+        }
+        self.last_ref[idx] = self.clock;
         self.expiry.push_back((self.clock, page));
         fault
     }
 
     fn resident(&self) -> usize {
-        self.last_ref.len()
+        self.resident
     }
 
     fn set_tracing(&mut self, on: bool) {

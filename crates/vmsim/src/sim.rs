@@ -1,6 +1,6 @@
 //! The uniprogramming simulation driver.
 
-use cdmm_trace::{Event, Trace};
+use cdmm_trace::{EventRef, EventSource};
 
 use crate::metrics::Metrics;
 use crate::observe::{SimEvent, Tracer};
@@ -25,7 +25,14 @@ impl Default for SimConfig {
 ///
 /// Directive events are forwarded to the policy before the next
 /// reference; policies that ignore directives see exactly the page
-/// reference string.
+/// reference string. The trace may be any [`EventSource`] — a flat
+/// [`cdmm_trace::Trace`] or a [`cdmm_trace::CompressedTrace`], which
+/// streams without ever materializing the event vector.
+///
+/// The driver is generic over the policy too: pass a concrete policy
+/// type and the whole loop monomorphizes (the policy's `reference`
+/// inlines into the trace decode); pass `&mut dyn Policy` where one
+/// loop must drive interchangeable policies.
 ///
 /// # Examples
 ///
@@ -38,7 +45,11 @@ impl Default for SimConfig {
 /// let m = simulate(&trace, &mut WorkingSet::new(1_000), SimConfig::default());
 /// assert_eq!(m.faults, 4, "a large window only cold-faults");
 /// ```
-pub fn simulate(trace: &Trace, policy: &mut dyn Policy, config: SimConfig) -> Metrics {
+pub fn simulate<S: EventSource + ?Sized, P: Policy + ?Sized>(
+    trace: &S,
+    policy: &mut P,
+    config: SimConfig,
+) -> Metrics {
     run_untraced(trace, policy, config)
 }
 
@@ -55,9 +66,9 @@ pub fn simulate(trace: &Trace, policy: &mut dyn Policy, config: SimConfig) -> Me
 /// exactly [`simulate`] — both run the same untraced loop, which
 /// carries no tracing code at all. Metrics are identical either way:
 /// tracing observes the run, it never alters it.
-pub fn simulate_with(
-    trace: &Trace,
-    policy: &mut dyn Policy,
+pub fn simulate_with<S: EventSource + ?Sized, P: Policy + ?Sized>(
+    trace: &S,
+    policy: &mut P,
     config: SimConfig,
     tracer: &mut dyn Tracer,
 ) -> Metrics {
@@ -69,50 +80,42 @@ pub fn simulate_with(
     policy.set_tracing(true);
     let mut pending: Vec<SimEvent> = Vec::new();
     let mut metrics = Metrics::new(config.fault_service);
-    for event in &trace.events {
-        match event {
-            Event::Ref(page) => {
-                let fault = policy.reference(*page);
-                metrics.record(policy.resident(), fault);
-                if policy.is_degraded() {
-                    metrics.degraded_refs += 1;
-                }
-                let at = metrics.refs;
-                policy.drain_events(&mut pending);
-                for e in pending.drain(..) {
-                    tracer.record(at, &e);
-                }
-                let resident = policy.resident() as u32;
-                if fault {
-                    tracer.record(
-                        at,
-                        &SimEvent::Fault {
-                            page: *page,
-                            resident,
-                        },
-                    );
-                }
-                if want_refs {
-                    tracer.record(
-                        at,
-                        &SimEvent::Ref {
-                            page: *page,
-                            resident,
-                            fault,
-                        },
-                    );
-                }
+    trace.for_each_event(|event| match event {
+        EventRef::Ref(page) => {
+            let fault = policy.reference(page);
+            metrics.record(policy.resident(), fault);
+            if policy.is_degraded() {
+                metrics.degraded_refs += 1;
             }
-            other => {
-                policy.directive(other);
-                let at = metrics.refs;
-                policy.drain_events(&mut pending);
-                for e in pending.drain(..) {
-                    tracer.record(at, &e);
-                }
+            let at = metrics.refs;
+            policy.drain_events(&mut pending);
+            for e in pending.drain(..) {
+                tracer.record(at, &e);
+            }
+            let resident = policy.resident() as u32;
+            if fault {
+                tracer.record(at, &SimEvent::Fault { page, resident });
+            }
+            if want_refs {
+                tracer.record(
+                    at,
+                    &SimEvent::Ref {
+                        page,
+                        resident,
+                        fault,
+                    },
+                );
             }
         }
-    }
+        EventRef::Directive(other) => {
+            policy.directive(other);
+            let at = metrics.refs;
+            policy.drain_events(&mut pending);
+            for e in pending.drain(..) {
+                tracer.record(at, &e);
+            }
+        }
+    });
     metrics.recovered_directives = policy.recovered_directives();
     policy.set_tracing(false);
     tracer.flush();
@@ -123,20 +126,22 @@ pub fn simulate_with(
 /// branch per run instead of per reference. `simulate` and a disabled
 /// `simulate_with` both land here; `traced_run_metrics_match_untraced`
 /// pins this loop and the instrumented one to the same results.
-fn run_untraced(trace: &Trace, policy: &mut dyn Policy, config: SimConfig) -> Metrics {
+fn run_untraced<S: EventSource + ?Sized, P: Policy + ?Sized>(
+    trace: &S,
+    policy: &mut P,
+    config: SimConfig,
+) -> Metrics {
     let mut metrics = Metrics::new(config.fault_service);
-    for event in &trace.events {
-        match event {
-            Event::Ref(page) => {
-                let fault = policy.reference(*page);
-                metrics.record(policy.resident(), fault);
-                if policy.is_degraded() {
-                    metrics.degraded_refs += 1;
-                }
+    trace.for_each_event(|event| match event {
+        EventRef::Ref(page) => {
+            let fault = policy.reference(page);
+            metrics.record(policy.resident(), fault);
+            if policy.is_degraded() {
+                metrics.degraded_refs += 1;
             }
-            other => policy.directive(other),
         }
-    }
+        EventRef::Directive(other) => policy.directive(other),
+    });
     metrics.recovered_directives = policy.recovered_directives();
     metrics
 }
@@ -147,7 +152,7 @@ mod tests {
     use crate::policy::cd::{CdPolicy, CdSelector};
     use crate::policy::lru::Lru;
     use crate::policy::ws::WorkingSet;
-    use cdmm_trace::synth;
+    use cdmm_trace::{synth, Trace};
 
     #[test]
     fn lru_metrics_on_cyclic_trace() {
@@ -242,7 +247,7 @@ mod tests {
         // once the 1-page target is exceeded.
         assert_eq!(kinds.first(), Some(&"alloc"));
         assert_eq!(kinds.iter().filter(|k| **k == "fault").count(), 3);
-        assert!(kinds.iter().any(|k| *k == "evict"));
+        assert!(kinds.contains(&"evict"));
         assert!(log.events().any(|e| matches!(
             e.event,
             SimEvent::Alloc {

@@ -5,8 +5,18 @@
 //! allocation simultaneously (Mattson et al.). The experiment sweeps use
 //! this to pick allocations, and the property tests use it to verify the
 //! inclusion property of the direct LRU simulation.
+//!
+//! The pass is the Bennett–Kruskal/Olken tree algorithm: a Fenwick tree
+//! over last-use times counts, in `O(log P)` per reference, how many
+//! *distinct* pages were touched since the current page's previous use —
+//! which is exactly its LRU stack distance. Time slots are compacted
+//! back to one-per-distinct-page whenever the tree fills, so the whole
+//! profile costs `O(R log P)` for `R` references over `P` pages and the
+//! tree never grows beyond `2P` slots. (The old move-to-front list was
+//! `O(R·s)` in the mean stack depth `s`; it survives as the test
+//! oracle.)
 
-use cdmm_trace::{PageId, Trace};
+use cdmm_trace::EventSource;
 
 /// The LRU fault-count profile of one trace.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -20,38 +30,147 @@ pub struct StackProfile {
     distinct: usize,
 }
 
+/// Fenwick (binary indexed) tree over 1-based positions; `add` marks or
+/// unmarks a position, `prefix` counts marks in `[1, i]`.
+struct Fenwick {
+    tree: Vec<u32>,
+}
+
+impl Fenwick {
+    fn new(n: usize) -> Fenwick {
+        Fenwick {
+            tree: vec![0; n + 1],
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.tree.len() - 1
+    }
+
+    #[inline]
+    fn add(&mut self, mut i: usize, delta: i32) {
+        while i < self.tree.len() {
+            self.tree[i] = self.tree[i].wrapping_add(delta as u32);
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    #[inline]
+    fn prefix(&self, mut i: usize) -> u32 {
+        let mut s = 0u32;
+        while i > 0 {
+            s += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+
+    fn reset(&mut self) {
+        self.tree.fill(0);
+    }
+}
+
+/// Per-page last-use bookkeeping for the tree pass: `last[p]` is the
+/// 1-based time slot of page `p`'s most recent reference (0 = never).
+struct LastUse {
+    slot: Vec<u32>,
+}
+
+impl LastUse {
+    fn with_capacity(pages: usize) -> LastUse {
+        LastUse {
+            slot: vec![0; pages],
+        }
+    }
+
+    #[inline]
+    fn get(&mut self, page: usize) -> u32 {
+        if page >= self.slot.len() {
+            self.slot.resize(page + 1, 0);
+        }
+        self.slot[page]
+    }
+
+    #[inline]
+    fn set(&mut self, page: usize, t: u32) {
+        self.slot[page] = t;
+    }
+}
+
 impl StackProfile {
-    /// Computes the profile with a move-to-front list (`O(R·s)` where `s`
-    /// is the mean stack depth — fine for the few-hundred-page programs
-    /// in this reproduction).
-    pub fn compute(trace: &Trace) -> StackProfile {
-        let mut stack: Vec<PageId> = Vec::new();
-        let mut hist: Vec<u64> = Vec::new(); // hist[d] = refs with stack distance d (1-based)
+    /// Computes the profile in `O(R log P)` with a Fenwick tree over
+    /// last-use times. Accepts anything that can stream page
+    /// references — a plain [`cdmm_trace::Trace`] or a compressed one.
+    pub fn compute<S: EventSource + ?Sized>(trace: &S) -> StackProfile {
+        let hint = trace.page_count_hint().max(16);
+        // Tree over time slots; sized to 2× the page hint so compaction
+        // (an O(P) renumbering) amortizes to O(1) per reference.
+        let mut fen = Fenwick::new(hint * 2);
+        let mut last = LastUse::with_capacity(hint);
+        // Marked slots in chronological order: slot_page[i] = page whose
+        // last use occupies slot i+1, or NONE if superseded.
+        const NONE: u32 = u32::MAX;
+        let mut slot_page: Vec<u32> = Vec::with_capacity(fen.len());
+        let mut hist: Vec<u64> = Vec::new(); // hist[d] = refs at stack distance d (1-based)
         let mut cold = 0u64;
         let mut refs = 0u64;
-        for page in trace.refs() {
+        let mut distinct = 0usize;
+        let mut now = 0usize; // slots consumed so far
+
+        trace.for_each_ref(|page: cdmm_trace::PageId| {
             refs += 1;
-            // The stack itself is the authoritative membership record:
-            // a page is cold exactly when it is not on the stack, so no
-            // auxiliary index can disagree with it.
-            match stack.iter().position(|&p| p == page) {
-                None => {
-                    cold += 1;
-                    stack.insert(0, page);
+            let p = page.0 as usize;
+            if now == fen.len() {
+                // Compact: renumber the live slots 1..=distinct.
+                let mut t = 0u32;
+                let live: Vec<u32> = slot_page.iter().copied().filter(|&q| q != NONE).collect();
+                fen.reset();
+                slot_page.clear();
+                for q in live {
+                    t += 1;
+                    last.set(q as usize, t);
+                    fen.add(t as usize, 1);
+                    slot_page.push(q);
                 }
-                Some(d) => {
-                    stack.remove(d);
-                    stack.insert(0, page);
-                    let dist = d + 1; // 1-based stack distance
-                    if hist.len() <= dist {
-                        hist.resize(dist + 1, 0);
+                now = t as usize;
+                // Growth keeps the 2× slack for traces whose distinct
+                // set itself keeps growing.
+                if now * 2 > fen.len() {
+                    let new_len = now * 2;
+                    fen = Fenwick::new(new_len);
+                    for (i, _) in slot_page.iter().enumerate() {
+                        fen.add(i + 1, 1);
                     }
-                    hist[dist] += 1;
                 }
             }
-        }
-        let distinct = stack.len();
-        // faults(m) = cold + Σ_{d > m} hist[d].
+            let prev = last.get(p);
+            now += 1;
+            let t = now as u32;
+            if prev == 0 {
+                cold += 1;
+                distinct += 1;
+            } else {
+                // Stack distance = distinct pages used at or after the
+                // previous use of `p` = marks in [prev, now-1].
+                let dist = (fen.prefix(now - 1) - fen.prefix(prev as usize - 1)) as usize;
+                if hist.len() <= dist {
+                    hist.resize(dist + 1, 0);
+                }
+                hist[dist] += 1;
+                fen.add(prev as usize, -1);
+                slot_page[prev as usize - 1] = NONE;
+            }
+            last.set(p, t);
+            fen.add(now, 1);
+            slot_page.push(page.0);
+        });
+
+        Self::from_histogram(hist, cold, refs, distinct)
+    }
+
+    /// Builds the profile from a stack-distance histogram:
+    /// `faults(m) = cold + Σ_{d > m} hist[d]`.
+    fn from_histogram(hist: Vec<u64>, cold: u64, refs: u64, distinct: usize) -> StackProfile {
         let max_m = distinct.max(1);
         let mut faults = vec![0u64; max_m + 1];
         let mut tail: u64 = hist.iter().sum();
@@ -67,6 +186,38 @@ impl StackProfile {
             refs,
             distinct,
         }
+    }
+
+    /// The original move-to-front implementation (`O(R·s)` in the mean
+    /// stack depth `s`), kept as the property-test oracle for the tree
+    /// pass.
+    #[cfg(test)]
+    pub(crate) fn compute_naive(trace: &cdmm_trace::Trace) -> StackProfile {
+        use cdmm_trace::PageId;
+        let mut stack: Vec<PageId> = Vec::new();
+        let mut hist: Vec<u64> = Vec::new();
+        let mut cold = 0u64;
+        let mut refs = 0u64;
+        for page in trace.refs() {
+            refs += 1;
+            match stack.iter().position(|&p| p == page) {
+                None => {
+                    cold += 1;
+                    stack.insert(0, page);
+                }
+                Some(d) => {
+                    stack.remove(d);
+                    stack.insert(0, page);
+                    let dist = d + 1;
+                    if hist.len() <= dist {
+                        hist.resize(dist + 1, 0);
+                    }
+                    hist[dist] += 1;
+                }
+            }
+        }
+        let distinct = stack.len();
+        Self::from_histogram(hist, cold, refs, distinct)
     }
 
     /// LRU faults for an allocation of `m` pages (`m >= 1`).
@@ -99,7 +250,7 @@ mod tests {
     use super::*;
     use crate::policy::lru::Lru;
     use crate::policy::Policy;
-    use cdmm_trace::synth;
+    use cdmm_trace::{synth, Trace};
 
     fn direct_lru_faults(trace: &Trace, m: usize) -> u64 {
         let mut lru = Lru::new(m);
@@ -118,6 +269,49 @@ mod tests {
                     "mismatch at m={m}, seed={seed}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn tree_profile_equals_naive_oracle_on_random_traces() {
+        for seed in 0..8 {
+            // Few pages and many refs forces heavy slot compaction.
+            let t = synth::uniform(5 + (seed as u32 % 40), 4_000, seed);
+            assert_eq!(
+                StackProfile::compute(&t),
+                StackProfile::compute_naive(&t),
+                "seed={seed}"
+            );
+        }
+        for (pages, len) in [(1, 500), (3, 1), (100, 100), (64, 10_000)] {
+            let t = synth::uniform(pages, len, 42);
+            assert_eq!(StackProfile::compute(&t), StackProfile::compute_naive(&t));
+        }
+    }
+
+    #[test]
+    fn tree_profile_equals_naive_oracle_on_structured_traces() {
+        for t in [
+            synth::cyclic(12, 40),
+            synth::cyclic(1, 100),
+            synth::phased(
+                &[
+                    synth::Phase {
+                        base: 0,
+                        pages: 8,
+                        refs: 200,
+                    },
+                    synth::Phase {
+                        base: 8,
+                        pages: 5,
+                        refs: 150,
+                    },
+                ],
+                3,
+            ),
+            synth::nested_loops(6, 4, 10, 2),
+        ] {
+            assert_eq!(StackProfile::compute(&t), StackProfile::compute_naive(&t));
         }
     }
 

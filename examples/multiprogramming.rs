@@ -29,8 +29,8 @@ fn main() {
                 .iter()
                 .map(|p| {
                     let trace = match policy {
-                        ProcPolicy::Cd { .. } => p.cd_trace().clone(),
-                        _ => p.plain_trace().clone(),
+                        ProcPolicy::Cd { .. } => p.cd_trace().to_trace(),
+                        _ => p.plain_trace().to_trace(),
                     };
                     (p.name().to_string(), trace, policy)
                 })

@@ -58,10 +58,10 @@ fn seeded_campaigns_survive_without_panics() {
     let n = campaigns(1000);
     for seed in 0..n as u64 {
         let p = &preps[seed as usize % preps.len()];
-        let clean = p.cd_trace();
+        let clean = p.cd_trace().to_trace();
         let report = DirectiveFuzzer::new(seed)
             .with_injections(1 + (seed % 5) as usize)
-            .fuzz(clean);
+            .fuzz(&clean);
         // Conservation: the fuzzer must not touch the reference string.
         assert_eq!(
             report.trace.ref_count(),
@@ -109,7 +109,7 @@ fn multiprogramming_terminates_on_fuzzed_streams() {
                 let p = &preps[(seed as usize + i) % preps.len()];
                 let fuzzed = DirectiveFuzzer::new(seed * 31 + i as u64)
                     .with_injections(3)
-                    .fuzz(p.cd_trace());
+                    .fuzz(&p.cd_trace().to_trace());
                 (
                     format!("{}-{i}", p.name()),
                     fuzzed.trace,
@@ -144,14 +144,15 @@ fn multiprogramming_terminates_on_fuzzed_streams() {
 #[test]
 fn corrupted_run_degrades_to_lru_equivalent() {
     for p in prepared_workloads() {
-        let mut events = p.cd_trace().events.clone();
+        let base = p.cd_trace().to_trace();
+        let mut events = base.events;
         // Corrupt the stream before the first reference: an empty
         // ALLOCATE is discarded, counted, and (with the threshold at 1)
         // trips degradation immediately.
         events.insert(0, Event::Alloc(vec![]));
         let corrupted = Trace {
             events,
-            virtual_pages: p.cd_trace().virtual_pages,
+            virtual_pages: base.virtual_pages,
         };
         let cd = run_hardened(&corrupted, p.virtual_pages(), Some(1));
         assert!(
@@ -185,7 +186,7 @@ fn degradation_ladder_is_threshold_gated() {
     let p = &preps[0];
     let report = DirectiveFuzzer::new(99)
         .with_injections(10)
-        .fuzz(p.cd_trace());
+        .fuzz(&p.cd_trace().to_trace());
 
     let strict = run_hardened(&report.trace, p.virtual_pages(), Some(1));
     let lenient = run_hardened(&report.trace, p.virtual_pages(), None);

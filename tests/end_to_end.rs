@@ -37,8 +37,8 @@ fn every_workload_runs_through_the_full_pipeline() {
 fn directives_never_change_the_reference_string() {
     for w in all(Scale::Small) {
         let p = prepare(w.name, &w.source, PipelineConfig::default()).unwrap();
-        let plain: Vec<_> = p.plain_trace().refs().collect();
-        let cd: Vec<_> = p.cd_trace().refs().collect();
+        let plain: Vec<_> = p.plain_trace().iter_refs().collect();
+        let cd: Vec<_> = p.cd_trace().iter_refs().collect();
         assert_eq!(plain, cd, "{}", w.name);
     }
 }
@@ -95,7 +95,7 @@ fn allocate_lists_satisfy_paper_invariants_in_every_workload_trace() {
     for w in all(Scale::Small) {
         let p = prepare(w.name, &w.source, PipelineConfig::default()).unwrap();
         let mut saw_alloc = false;
-        for ev in &p.cd_trace().events {
+        for ev in &p.cd_trace().to_trace().events {
             if let Event::Alloc(args) = ev {
                 saw_alloc = true;
                 assert!(!args.is_empty(), "{}", w.name);

@@ -1,0 +1,142 @@
+//! Property tests for the hot-path simulator kernels, run end-to-end on
+//! every reproduced workload (the synthetic-trace properties live next
+//! to each kernel in `cdmm-vmsim`/`cdmm-trace`):
+//!
+//! - the run-length-compressed trace representation is lossless, and
+//!   simulating straight off the compressed form yields byte-identical
+//!   `Metrics` for CD, LRU, and WS;
+//! - the Fenwick-tree stack-distance pass agrees with the naive
+//!   move-to-front definition at every allocation.
+
+use cdmm_core::{prepare, PipelineConfig, Prepared};
+use cdmm_trace::{CompressedTrace, PageId, Trace};
+use cdmm_vmsim::policy::cd::{CdPolicy, CdSelector};
+use cdmm_vmsim::policy::lru::Lru;
+use cdmm_vmsim::policy::ws::WorkingSet;
+use cdmm_vmsim::stack::StackProfile;
+use cdmm_vmsim::{simulate, SimConfig};
+use cdmm_workloads::{all, Scale};
+
+fn prepared_workloads() -> Vec<Prepared> {
+    all(Scale::Small)
+        .iter()
+        .map(|w| {
+            prepare(w.name, &w.source, PipelineConfig::default())
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name))
+        })
+        .collect()
+}
+
+#[test]
+fn compressed_roundtrip_is_lossless_on_every_workload() {
+    for p in prepared_workloads() {
+        for (kind, c) in [("plain", p.plain_trace()), ("cd", p.cd_trace())] {
+            let t = c.to_trace();
+            let back = CompressedTrace::from_trace(&t);
+            assert_eq!(
+                &back,
+                c,
+                "{} {kind}: decompress→recompress drifted",
+                p.name()
+            );
+            let streamed: Vec<PageId> = c.iter_refs().collect();
+            let direct: Vec<PageId> = t.refs().collect();
+            assert_eq!(streamed, direct, "{} {kind}: ref sequence", p.name());
+            assert_eq!(c.ref_count(), t.ref_count(), "{} {kind}", p.name());
+            assert_eq!(
+                c.distinct_pages(),
+                t.distinct_pages(),
+                "{} {kind}",
+                p.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn compressed_and_plain_simulation_metrics_are_identical() {
+    let cfg = SimConfig::default();
+    for p in prepared_workloads() {
+        let plain = p.plain_trace().to_trace();
+        let cd_plain = p.cd_trace().to_trace();
+
+        let mut a = CdPolicy::new(CdSelector::Outermost).with_min_alloc(2);
+        let mut b = CdPolicy::new(CdSelector::Outermost).with_min_alloc(2);
+        assert_eq!(
+            simulate(p.cd_trace(), &mut a, cfg),
+            simulate(&cd_plain, &mut b, cfg),
+            "{}: CD metrics diverge on compressed input",
+            p.name()
+        );
+        for frames in [2, 8, 32] {
+            assert_eq!(
+                simulate(p.plain_trace(), &mut Lru::new(frames), cfg),
+                simulate(&plain, &mut Lru::new(frames), cfg),
+                "{}: LRU({frames}) metrics diverge on compressed input",
+                p.name()
+            );
+        }
+        for tau in [100, 2_000] {
+            assert_eq!(
+                simulate(p.plain_trace(), &mut WorkingSet::new(tau), cfg),
+                simulate(&plain, &mut WorkingSet::new(tau), cfg),
+                "{}: WS(τ={tau}) metrics diverge on compressed input",
+                p.name()
+            );
+        }
+    }
+}
+
+/// Move-to-front stack-distance fault profile — the textbook definition,
+/// used here as the oracle for the `O(R log P)` Fenwick pass.
+fn naive_lru_faults(trace: &Trace, m: usize) -> u64 {
+    let mut stack: Vec<PageId> = Vec::new();
+    let mut faults = 0u64;
+    for page in trace.refs() {
+        match stack.iter().position(|&p| p == page) {
+            Some(d) => {
+                stack.remove(d);
+                if d + 1 > m {
+                    faults += 1;
+                }
+            }
+            None => faults += 1,
+        }
+        stack.insert(0, page);
+    }
+    faults
+}
+
+#[test]
+fn stack_profile_matches_naive_oracle_on_every_workload() {
+    for p in prepared_workloads() {
+        let prof = StackProfile::compute(p.plain_trace());
+        let plain = p.plain_trace().to_trace();
+        assert_eq!(prof.refs(), plain.ref_count(), "{}", p.name());
+        assert_eq!(
+            prof.distinct(),
+            plain.distinct_pages() as usize,
+            "{}",
+            p.name()
+        );
+        for m in [
+            1,
+            2,
+            3,
+            5,
+            8,
+            13,
+            21,
+            34,
+            prof.distinct(),
+            prof.distinct() + 5,
+        ] {
+            assert_eq!(
+                prof.faults_at(m),
+                naive_lru_faults(&plain, m),
+                "{}: profile disagrees with move-to-front at m={m}",
+                p.name()
+            );
+        }
+    }
+}

@@ -71,7 +71,7 @@ fn multiprogramming_is_deterministic() {
                 let p = prepare(w.name, &w.source, PipelineConfig::default()).unwrap();
                 (
                     w.name.to_string(),
-                    p.cd_trace().clone(),
+                    p.cd_trace().to_trace(),
                     ProcPolicy::Cd { min_alloc: 2 },
                 )
             })
