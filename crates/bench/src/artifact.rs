@@ -185,9 +185,11 @@ impl Artifact {
 
 /// True when a field name denotes a wall-clock measurement (machine-
 /// dependent, threshold-compared by the regression gate) rather than a
-/// deterministic simulation metric (exact-compared).
+/// deterministic simulation metric (exact-compared). `_ns` names are
+/// durations (regress upward); `_per_sec` names are throughputs
+/// (regress downward).
 pub fn is_wall_field(name: &str) -> bool {
-    name.ends_with("_ns") || name == "refs_per_sec"
+    name.ends_with("_ns") || name.ends_with("_per_sec")
 }
 
 struct Parser<'a> {
@@ -412,6 +414,7 @@ mod tests {
     fn wall_fields_are_classified_by_name() {
         assert!(is_wall_field("simulate_ns"));
         assert!(is_wall_field("refs_per_sec"));
+        assert!(is_wall_field("requests_per_sec"));
         assert!(!is_wall_field("faults"));
         assert!(!is_wall_field("mean_mem"));
     }

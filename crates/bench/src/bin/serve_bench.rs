@@ -1,0 +1,129 @@
+//! Batch-service throughput benchmark: drives `cdmm-serve`'s
+//! [`BatchService`] with a deterministic request stream and writes the
+//! `BENCH_serve.json` artifact.
+//!
+//! ```text
+//! serve_bench [--small] [--threads N] [--cache-dir PATH]
+//!             [--quick] [--bench-out DIR]
+//! ```
+//!
+//! The stream covers every workload at the selected scale under a
+//! spread of policies (CD, LRU, WS, FIFO, Clock, PFF), repeated across
+//! several batches so the second and later rounds measure the warm
+//! cache path. The artifact carries:
+//!
+//! - deterministic counts (`requests`, `ok`, `failed`), exact-compared
+//!   by the perf-regression gate;
+//! - wall-clock measurements (`total_wall_ns`, `p50_ns`, `p99_ns`,
+//!   `requests_per_sec`), threshold-compared.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use cdmm_bench::artifact::{Artifact, Entry};
+use cdmm_bench::{BenchEnv, Options};
+use cdmm_serve::{BatchService, ServeConfig};
+use cdmm_workloads::{all, Scale};
+
+/// The policy spread each workload is simulated under.
+const POLICY_ARGS: &[&str] = &[
+    r#""policy":"cd""#,
+    r#""policy":"cd-nolocks""#,
+    r#""policy":"lru","frames":8"#,
+    r#""policy":"ws","tau":500"#,
+    r#""policy":"fifo","frames":8"#,
+    r#""policy":"clock","frames":8"#,
+    r#""policy":"pff","threshold":200"#,
+];
+
+/// Builds one batch of requests: every workload under every policy.
+fn batch(scale: Scale, round: usize) -> Vec<String> {
+    let scale_tag = match scale {
+        Scale::Paper => "paper",
+        Scale::Small => "small",
+    };
+    let mut lines = Vec::new();
+    for w in all(scale) {
+        for (pi, policy) in POLICY_ARGS.iter().enumerate() {
+            lines.push(format!(
+                r#"{{"id":"r{round}-{}-{pi}","workload":"{}","scale":"{scale_tag}",{policy}}}"#,
+                w.name, w.name,
+            ));
+        }
+    }
+    lines
+}
+
+fn run(env: &BenchEnv) -> Result<(), String> {
+    let o = env.options();
+    let rounds = if o.quick { 2 } else { 4 };
+    let service = BatchService::new(ServeConfig {
+        threads: o.threads.unwrap_or(0),
+        queue_depth: usize::MAX,
+        cache_dir: o.cache_dir.clone(),
+        ..ServeConfig::default()
+    })
+    .map_err(|e| format!("cannot start service: {e}"))?;
+
+    let t0 = Instant::now();
+    for round in 0..rounds {
+        let lines = batch(env.scale(), round);
+        let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+        let out = service.handle_batch(&refs);
+        for line in &out {
+            if !line.contains("\"ok\":true") {
+                return Err(format!("request failed: {line}"));
+            }
+        }
+    }
+    let total_ns = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+    let st = service.stats();
+    let cache = service.cache().stats();
+    let per_sec = st.requests as f64 / (total_ns.max(1) as f64 / 1e9);
+    eprintln!(
+        "serve_bench: {} requests in {:.1} ms ({per_sec:.0} req/s), \
+         p50 {} ns, p99 {} ns, {} cache hits / {} misses",
+        st.requests,
+        total_ns as f64 / 1e6,
+        service.latency_ns(0.50),
+        service.latency_ns(0.99),
+        cache.cache_hits,
+        cache.cache_misses,
+    );
+
+    if let Some(dir) = &o.bench_out {
+        let scale_tag = match env.scale() {
+            Scale::Paper => "paper",
+            Scale::Small => "small",
+        };
+        let mut a = Artifact::new("serve", scale_tag);
+        a.entries.push(
+            Entry::new("serve/stream")
+                .int("requests", st.requests)
+                .int("ok", st.ok)
+                .int("failed", st.failed)
+                .int("total_wall_ns", total_ns)
+                .int("p50_ns", service.latency_ns(0.50))
+                .int("p99_ns", service.latency_ns(0.99))
+                .float("requests_per_sec", per_sec),
+        );
+        let path = a
+            .write_to_dir(dir)
+            .map_err(|e| format!("write artifact: {e}"))?;
+        eprintln!("serve_bench: artifact written to {}", path.display());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let env = BenchEnv::new(Options::from_env());
+    let result = run(&env);
+    env.finish();
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("serve_bench: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -136,7 +136,7 @@ pub fn compare(baseline: &Artifact, fresh: &Artifact, opts: &RegressOptions) -> 
                 }
                 // Higher is better only for throughput; `_ns` phases
                 // regress upward.
-                let regression_pct = if name == "refs_per_sec" {
+                let regression_pct = if name.ends_with("_per_sec") {
                     (bv - fv) / bv * 100.0
                 } else {
                     (fv - bv) / bv * 100.0

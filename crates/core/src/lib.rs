@@ -46,7 +46,8 @@ pub mod pipeline;
 pub mod report;
 pub mod sweep;
 
+pub use cdmm_locality::PageGeometry;
 pub use pipeline::{
     prepare, selector_for, PipelineConfig, PipelineError, PolicySpec, Prepared, ValidateError,
 };
-pub use sweep::{CacheKey, Executor, Point, ResultCache};
+pub use sweep::{panic_message, CacheKey, Executor, JobError, Point, ResultCache};

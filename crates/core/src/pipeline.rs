@@ -17,7 +17,7 @@ use cdmm_vmsim::policy::pff::Pff;
 use cdmm_vmsim::policy::ws::WorkingSet;
 use cdmm_vmsim::policy::ws_variants::{DampedWs, SampledWs, VariableSampledWs};
 use cdmm_vmsim::policy::Policy;
-use cdmm_vmsim::{simulate, simulate_with, Metrics, SimConfig, Tracer};
+use cdmm_vmsim::{simulate, simulate_with, Metrics, SimConfig, SimError, Tracer};
 use cdmm_workloads::DirectiveLevel;
 
 /// Pipeline-wide knobs.
@@ -449,6 +449,30 @@ impl Prepared {
         }
     }
 
+    /// [`Prepared::run_policy`] under a cooperative
+    /// [`cdmm_vmsim::CancelToken`].
+    ///
+    /// The token is polled once per compressed trace run — never inside
+    /// the per-reference loop — so an uncancelled run computes exactly
+    /// the [`Metrics`] of [`Prepared::run_policy`]. A stop (deadline
+    /// expiry or explicit cancel) surfaces as
+    /// [`SimError::DeadlineExceeded`] with the number of references
+    /// processed. This is the entry point the serve layer uses to bound
+    /// jobs with per-request deadlines.
+    pub fn run_policy_cancellable(
+        &self,
+        spec: PolicySpec,
+        token: &cdmm_vmsim::CancelToken,
+    ) -> Result<Metrics, SimError> {
+        let mut policy = self.build_policy(spec);
+        cdmm_vmsim::simulate_cancellable(
+            self.trace_for(spec),
+            policy.as_mut(),
+            self.sim_config(),
+            token,
+        )
+    }
+
     /// [`Prepared::run_policy`] with an event tracer attached.
     pub fn run_policy_with(&self, spec: PolicySpec, tracer: &mut dyn Tracer) -> Metrics {
         let mut policy = self.build_policy(spec);
@@ -600,6 +624,26 @@ mod tests {
         assert_eq!(p.run_lru_with(8, &mut log), p.run_lru(8));
         let mut log = EventLog::new(1 << 14);
         assert_eq!(p.run_ws_with(500, &mut log), p.run_ws(500));
+    }
+
+    #[test]
+    fn cancellable_pipeline_runs_match_and_stop() {
+        use cdmm_vmsim::CancelToken;
+        let p = prepared("MAIN");
+        let spec = PolicySpec::Cd {
+            selector: CdSelector::Innermost,
+        };
+        let token = CancelToken::new();
+        assert_eq!(
+            p.run_policy_cancellable(spec, &token),
+            Ok(p.run_policy(spec)),
+            "an idle token must not perturb the run"
+        );
+        token.cancel();
+        assert_eq!(
+            p.run_policy_cancellable(spec, &token),
+            Err(SimError::DeadlineExceeded { refs_done: 0 })
+        );
     }
 
     #[test]

@@ -267,6 +267,30 @@ pub fn decode_line(line: &str) -> Option<(CacheKey, Metrics)> {
 /// File name of the persisted entries inside a cache directory.
 const CACHE_FILE: &str = "results.jsonl";
 
+/// Sibling file collecting damaged lines found by the startup fsck, for
+/// post-mortem inspection; never read back as entries.
+const QUARANTINE_FILE: &str = "results.jsonl.quarantine";
+
+/// The temp-file sibling every atomic rewrite goes through.
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut p = path.as_os_str().to_owned();
+    p.push(".tmp");
+    PathBuf::from(p)
+}
+
+/// Writes `contents` to `path` via temp file + `rename`, so readers (and
+/// crash recovery) only ever see the old file or the complete new one —
+/// a kill mid-write leaves the previous generation intact.
+fn atomic_write(path: &Path, contents: &str) -> std::io::Result<()> {
+    let tmp = tmp_path(path);
+    {
+        let mut out = fs::File::create(&tmp)?;
+        out.write_all(contents.as_bytes())?;
+        out.sync_all()?;
+    }
+    fs::rename(&tmp, path)
+}
+
 struct Store {
     path: Option<PathBuf>,
     map: Mutex<HashMap<CacheKey, Metrics>>,
@@ -311,9 +335,24 @@ impl ResultCache {
     /// Attaches a shared tracer; every lookup then emits a
     /// [`SimEvent::CacheQuery`], stamped with the running query count.
     /// A disabled tracer is dropped here so the hot path stays clean.
+    ///
+    /// If the startup fsck quarantined damaged lines, attaching reports
+    /// them once as a [`SimEvent::CacheQuarantine`] (the
+    /// `MetricsRegistry` folds it into its `cache_quarantined_lines`
+    /// counter).
     pub fn with_observer(mut self, observer: SharedTracer) -> Self {
         let enabled = observer.lock().map(|g| g.enabled()).unwrap_or(false);
         self.observer = enabled.then_some(observer);
+        if self.discarded > 0 {
+            if let Some(obs) = &self.observer {
+                obs.lock().expect("tracer lock").record(
+                    0,
+                    &SimEvent::CacheQuarantine {
+                        lines: self.discarded,
+                    },
+                );
+            }
+        }
         self
     }
 
@@ -329,14 +368,27 @@ impl ResultCache {
         )
     }
 
-    /// Opens (creating if needed) a persistent cache in `dir`, loading
-    /// every valid entry of its `results.jsonl`. Damaged lines are
-    /// counted in [`ResultCache::discarded_entries`] and dropped.
+    /// Opens (creating if needed) a persistent cache in `dir`, running a
+    /// startup fsck over its `results.jsonl`:
+    ///
+    /// - a stale `.tmp` sibling (crash between write and rename) is
+    ///   deleted — it was never the live file;
+    /// - every valid entry is loaded;
+    /// - damaged lines (torn tail from a kill mid-append, bit rot,
+    ///   stale format) are appended to `results.jsonl.quarantine`, the
+    ///   live file is compacted to valid entries only via atomic
+    ///   rename, and the count lands in
+    ///   [`ResultCache::discarded_entries`].
+    ///
+    /// The fsck is idempotent: reopening a quarantined cache finds a
+    /// clean file and quarantines nothing.
     pub fn at_dir(dir: &Path) -> std::io::Result<Self> {
         fs::create_dir_all(dir)?;
         let path = dir.join(CACHE_FILE);
+        let _ = fs::remove_file(tmp_path(&path));
         let mut map = HashMap::new();
-        let mut discarded = 0;
+        let mut entries = Vec::new();
+        let mut damaged: Vec<String> = Vec::new();
         if let Ok(text) = fs::read_to_string(&path) {
             for line in text.lines() {
                 if line.trim().is_empty() {
@@ -344,11 +396,32 @@ impl ResultCache {
                 }
                 match decode_line(line) {
                     Some((k, m)) => {
-                        map.insert(k, m);
+                        if map.insert(k, m).is_none() {
+                            entries.push((k, m));
+                        }
                     }
-                    None => discarded += 1,
+                    None => damaged.push(line.to_string()),
                 }
             }
+        }
+        if !damaged.is_empty() {
+            let mut q = fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(dir.join(QUARANTINE_FILE))?;
+            for line in &damaged {
+                writeln!(q, "{line}")?;
+            }
+            q.sync_all()?;
+            // Compact the live file down to its valid entries so the
+            // damage is dealt with exactly once.
+            entries.sort_by_key(|(k, _)| *k);
+            let mut clean = String::new();
+            for (k, m) in &entries {
+                clean.push_str(&encode_line(*k, m));
+                clean.push('\n');
+            }
+            atomic_write(&path, &clean)?;
         }
         Ok(Self::with_store(
             Some(Store {
@@ -356,7 +429,7 @@ impl ResultCache {
                 map: Mutex::new(map),
                 pending: Mutex::new(Vec::new()),
             }),
-            discarded,
+            damaged.len() as u64,
         ))
     }
 
@@ -433,23 +506,38 @@ impl ResultCache {
         );
     }
 
-    /// Appends pending entries to the persistent file. Returns the number
-    /// of lines written (0 for memory-only and disabled caches).
+    /// Persists the cache. Returns the number of newly flushed entries
+    /// (0 for memory-only and disabled caches, or when nothing changed).
+    ///
+    /// The write is crash-safe: the full entry set (sorted by key, so
+    /// the file is deterministic) goes to a `.tmp` sibling, is synced,
+    /// and atomically renamed over `results.jsonl`. A `kill -9` at any
+    /// instant leaves either the previous complete generation or the
+    /// new one — never a torn file.
     pub fn flush(&self) -> std::io::Result<usize> {
         let Some(s) = &self.store else { return Ok(0) };
         let Some(path) = &s.path else { return Ok(0) };
-        let drained: Vec<_> = s.pending.lock().expect("cache lock").drain(..).collect();
-        if drained.is_empty() {
+        let drained = {
+            let mut pending = s.pending.lock().expect("cache lock");
+            let n = pending.len();
+            pending.clear();
+            n
+        };
+        if drained == 0 {
             return Ok(0);
         }
-        let mut out = fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(path)?;
-        for (k, m) in &drained {
-            writeln!(out, "{}", encode_line(*k, m))?;
+        let mut entries: Vec<(CacheKey, Metrics)> = {
+            let map = s.map.lock().expect("cache lock");
+            map.iter().map(|(k, m)| (*k, *m)).collect()
+        };
+        entries.sort_by_key(|(k, _)| *k);
+        let mut out = String::new();
+        for (k, m) in &entries {
+            out.push_str(&encode_line(*k, m));
+            out.push('\n');
         }
-        Ok(drained.len())
+        atomic_write(path, &out)?;
+        Ok(drained)
     }
 
     /// Snapshot of the execution counters.
@@ -582,6 +670,153 @@ mod tests {
         // A disabled tracer is dropped at attach time.
         let c = ResultCache::in_memory().with_observer(shared(NullTracer));
         assert!(c.observer.is_none());
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "cdmm-cache-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    #[test]
+    fn flush_is_atomic_and_round_trips() {
+        let dir = temp_dir("atomic");
+        let c = ResultCache::at_dir(&dir).expect("open");
+        for seed in 0..20u64 {
+            c.insert(
+                CacheKey {
+                    hi: mix(seed),
+                    lo: mix(seed ^ 1),
+                },
+                sample_metrics(seed),
+            );
+        }
+        assert_eq!(c.flush().expect("flush"), 20);
+        assert_eq!(c.flush().expect("flush"), 0, "nothing pending");
+        assert!(
+            !tmp_path(&dir.join(CACHE_FILE)).exists(),
+            "tmp renamed away"
+        );
+
+        // Every persisted line is valid and the reopen sees all entries.
+        let text = fs::read_to_string(dir.join(CACHE_FILE)).expect("read");
+        assert_eq!(text.lines().count(), 20);
+        assert!(text.lines().all(|l| decode_line(l).is_some()));
+        let c2 = ResultCache::at_dir(&dir).expect("reopen");
+        assert_eq!(c2.len(), 20);
+        assert_eq!(c2.discarded_entries(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flushed_file_is_sorted_and_deterministic() {
+        let run = |dir: &Path, order: &[u64]| {
+            let c = ResultCache::at_dir(dir).expect("open");
+            for &seed in order {
+                c.insert(
+                    CacheKey {
+                        hi: mix(seed),
+                        lo: seed,
+                    },
+                    sample_metrics(seed),
+                );
+            }
+            c.flush().expect("flush");
+            fs::read_to_string(dir.join(CACHE_FILE)).expect("read")
+        };
+        let d1 = temp_dir("sorted-a");
+        let d2 = temp_dir("sorted-b");
+        let a = run(&d1, &[3, 1, 4, 1, 5, 9, 2, 6]);
+        let b = run(&d2, &[9, 6, 5, 4, 3, 2, 1, 1]);
+        assert_eq!(a, b, "insertion order must not leak into the file");
+        let _ = fs::remove_dir_all(&d1);
+        let _ = fs::remove_dir_all(&d2);
+    }
+
+    #[test]
+    fn fsck_quarantines_torn_tail_and_compacts() {
+        let dir = temp_dir("fsck");
+        let k1 = CacheKey { hi: 1, lo: 10 };
+        let k2 = CacheKey { hi: 2, lo: 20 };
+        let good1 = encode_line(k1, &sample_metrics(1));
+        let good2 = encode_line(k2, &sample_metrics(2));
+        // A kill -9 mid-append leaves a torn final line.
+        let torn = &good2[..good2.len() / 2];
+        fs::write(dir.join(CACHE_FILE), format!("{good1}\n{good2}\n{torn}\n")).expect("seed file");
+
+        let c = ResultCache::at_dir(&dir).expect("fsck open");
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.discarded_entries(), 1);
+        assert_eq!(c.lookup(k1), Some(sample_metrics(1)));
+        assert_eq!(c.lookup(k2), Some(sample_metrics(2)));
+
+        // The torn line moved to quarantine; the live file is clean.
+        let q = fs::read_to_string(dir.join(QUARANTINE_FILE)).expect("quarantine");
+        assert_eq!(q.lines().collect::<Vec<_>>(), vec![torn]);
+        let live = fs::read_to_string(dir.join(CACHE_FILE)).expect("live");
+        assert_eq!(live.lines().count(), 2);
+        assert!(live.lines().all(|l| decode_line(l).is_some()));
+
+        // Idempotent: the next open quarantines nothing.
+        drop(c);
+        let c2 = ResultCache::at_dir(&dir).expect("reopen");
+        assert_eq!(c2.discarded_entries(), 0);
+        assert_eq!(c2.len(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_tmp_file_is_removed_on_open() {
+        let dir = temp_dir("staletmp");
+        let path = dir.join(CACHE_FILE);
+        fs::write(
+            &path,
+            format!(
+                "{}\n",
+                encode_line(CacheKey { hi: 5, lo: 6 }, &sample_metrics(5))
+            ),
+        )
+        .expect("seed");
+        fs::write(tmp_path(&path), "half-written generation").expect("tmp");
+        let c = ResultCache::at_dir(&dir).expect("open");
+        assert!(!tmp_path(&path).exists(), "stale tmp dropped");
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.discarded_entries(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quarantine_is_reported_to_the_observer() {
+        use cdmm_vmsim::observe::{shared, Tracer};
+        use cdmm_vmsim::MetricsRegistry;
+        use std::sync::Arc;
+
+        // The registry folds the event into its counter…
+        struct Registry(MetricsRegistry, Arc<Mutex<u64>>);
+        impl Tracer for Registry {
+            fn record(&mut self, at: u64, event: &SimEvent) {
+                self.0.record(at, event);
+                *self.1.lock().unwrap() = self.0.counter("cache_quarantined_lines");
+            }
+        }
+
+        let dir = temp_dir("qobs");
+        fs::write(dir.join(CACHE_FILE), "torn garbage line\nmore rot\n").expect("seed");
+        let counted = Arc::new(Mutex::new(0));
+        let c = ResultCache::at_dir(&dir)
+            .expect("open")
+            .with_observer(shared(Registry(
+                MetricsRegistry::new(),
+                Arc::clone(&counted),
+            )));
+        assert_eq!(c.discarded_entries(), 2);
+        assert_eq!(*counted.lock().unwrap(), 2);
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

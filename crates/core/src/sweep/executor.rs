@@ -8,11 +8,48 @@
 //! is bit-identical for every thread count; `with_threads(1)` runs the
 //! jobs inline in order, reproducing the serial path exactly.
 
+use std::any::Any;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use cdmm_vmsim::observe::{SharedTracer, SimEvent};
+
+/// A job that panicked inside the executor.
+///
+/// [`Executor::try_map`] isolates each job behind `catch_unwind`, so one
+/// bad job (a policy tripping an internal assertion on a hostile input)
+/// becomes one `Err` slot in the merged output instead of tearing down
+/// the whole sweep. The index names the failing job in the submitted
+/// grid; merge order keeps errors as deterministic as results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobError {
+    /// Index of the failing job in the submitted slice.
+    pub index: usize,
+    /// The captured panic message.
+    pub message: String,
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Renders a panic payload as text: the `&str`/`String` message when the
+/// panic carried one, a placeholder otherwise.
+pub fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// A deterministic parallel map over a flat job grid.
 ///
@@ -97,8 +134,32 @@ impl Executor {
     ///
     /// # Panics
     ///
-    /// Propagates a panic from `f` (the scope joins all workers first).
+    /// Panics if any job panicked, naming the lowest panicking job index
+    /// and its message (`executor job 3 panicked: ...`). All jobs still
+    /// run first — this is [`Executor::try_map`] with the error lifted
+    /// back into a panic for callers that treat a bad job as a bug.
     pub fn map<J, T, F>(&self, jobs: &[J], f: F) -> Vec<T>
+    where
+        J: Sync,
+        T: Send,
+        F: Fn(usize, &J) -> T + Sync,
+    {
+        self.try_map(jobs, f)
+            .into_iter()
+            .map(|r| match r {
+                Ok(t) => t,
+                Err(e) => panic!("executor {e}"),
+            })
+            .collect()
+    }
+
+    /// Applies `f` to every job, isolating each behind `catch_unwind`:
+    /// a panicking job yields `Err(`[`JobError`]`)` in its slot while
+    /// every other job still runs and returns. Results are merged by job
+    /// index, so the output — errors included — is bit-identical at any
+    /// thread count; [`SimEvent::JobDone`] is emitted only for jobs that
+    /// completed.
+    pub fn try_map<J, T, F>(&self, jobs: &[J], f: F) -> Vec<Result<T, JobError>>
     where
         J: Sync,
         T: Send,
@@ -108,22 +169,26 @@ impl Executor {
             .observer
             .as_ref()
             .filter(|o| o.lock().map(|g| g.enabled()).unwrap_or(false));
-        let run = |i: usize, j: &J| -> T {
-            match observer {
-                Some(obs) => {
-                    let t0 = Instant::now();
-                    let out = f(i, j);
-                    let wall_ns = t0.elapsed().as_nanos() as u64;
-                    obs.lock().expect("tracer lock").record(
-                        i as u64,
-                        &SimEvent::JobDone {
-                            index: i as u64,
-                            wall_ns,
-                        },
-                    );
-                    out
+        let run = |i: usize, j: &J| -> Result<T, JobError> {
+            let t0 = Instant::now();
+            match catch_unwind(AssertUnwindSafe(|| f(i, j))) {
+                Ok(out) => {
+                    if let Some(obs) = observer {
+                        let wall_ns = t0.elapsed().as_nanos() as u64;
+                        obs.lock().expect("tracer lock").record(
+                            i as u64,
+                            &SimEvent::JobDone {
+                                index: i as u64,
+                                wall_ns,
+                            },
+                        );
+                    }
+                    Ok(out)
                 }
-                None => f(i, j),
+                Err(payload) => Err(JobError {
+                    index: i,
+                    message: panic_message(payload.as_ref()),
+                }),
             }
         };
         if self.threads == 1 || jobs.len() <= 1 {
@@ -131,7 +196,7 @@ impl Executor {
         }
         let cursor = AtomicUsize::new(0);
         let workers = self.threads.min(jobs.len());
-        let mut slots: Vec<Option<T>> = Vec::with_capacity(jobs.len());
+        let mut slots: Vec<Option<Result<T, JobError>>> = Vec::with_capacity(jobs.len());
         slots.resize_with(jobs.len(), || None);
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
@@ -150,8 +215,20 @@ impl Executor {
                 })
                 .collect();
             for h in handles {
-                for (i, t) in h.join().expect("executor worker panicked") {
-                    slots[i] = Some(t);
+                // `run` catches every unwind, so a worker can only die
+                // outside job code (e.g. allocation failure growing its
+                // result vec) — still name the cause rather than
+                // unwrapping blind.
+                match h.join() {
+                    Ok(local) => {
+                        for (i, t) in local {
+                            slots[i] = Some(t);
+                        }
+                    }
+                    Err(payload) => panic!(
+                        "executor worker died outside job code: {}",
+                        panic_message(payload.as_ref())
+                    ),
                 }
             }
         });
@@ -228,6 +305,125 @@ mod tests {
             assert_eq!(got, (1..38).collect::<Vec<u64>>(), "threads={threads}");
             assert_eq!(count.load(Ordering::Relaxed), 37, "threads={threads}");
         }
+    }
+
+    /// Keeps injected test panics from spamming stderr through the
+    /// default hook while the closure runs.
+    fn quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = catch_unwind(AssertUnwindSafe(f));
+        std::panic::set_hook(hook);
+        match out {
+            Ok(r) => r,
+            Err(p) => std::panic::resume_unwind(p),
+        }
+    }
+
+    #[test]
+    fn try_map_isolates_panicking_jobs() {
+        let jobs: Vec<u64> = (0..100).collect();
+        for threads in [1, 4, 16] {
+            let got = quiet_panics(|| {
+                Executor::with_threads(threads).try_map(&jobs, |_, &j| {
+                    if j % 10 == 3 {
+                        panic!("job {j} went bad");
+                    }
+                    j * 2
+                })
+            });
+            assert_eq!(got.len(), 100, "threads={threads}");
+            for (i, r) in got.iter().enumerate() {
+                if i % 10 == 3 {
+                    let e = r.as_ref().unwrap_err();
+                    assert_eq!(e.index, i);
+                    assert_eq!(e.message, format!("job {i} went bad"));
+                } else {
+                    assert_eq!(r.as_ref().unwrap(), &(i as u64 * 2), "threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn try_map_errors_are_deterministic_across_thread_counts() {
+        let jobs: Vec<u64> = (0..57).collect();
+        let run = |threads| {
+            quiet_panics(|| {
+                Executor::with_threads(threads).try_map(&jobs, |_, &j| {
+                    if j % 7 == 0 {
+                        panic!("sevens fail");
+                    }
+                    j
+                })
+            })
+        };
+        let serial = run(1);
+        for threads in [2, 5, 32] {
+            assert_eq!(run(threads), serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_panic_names_the_failing_job() {
+        let jobs: Vec<u64> = (0..20).collect();
+        let payload = quiet_panics(|| {
+            catch_unwind(AssertUnwindSafe(|| {
+                Executor::with_threads(4).map(&jobs, |_, &j| {
+                    if j == 13 || j == 17 {
+                        panic!("boom");
+                    }
+                    j
+                })
+            }))
+        })
+        .expect_err("map must propagate the panic");
+        let msg = panic_message(payload.as_ref());
+        assert_eq!(
+            msg, "executor job 13 panicked: boom",
+            "lowest failing index wins deterministically"
+        );
+    }
+
+    #[test]
+    fn job_error_display_and_panic_message() {
+        let e = JobError {
+            index: 7,
+            message: "stack overflow in policy".into(),
+        };
+        assert_eq!(e.to_string(), "job 7 panicked: stack overflow in policy");
+        assert_eq!(panic_message(&"literal"), "literal");
+        assert_eq!(panic_message(&String::from("owned")), "owned");
+        assert_eq!(panic_message(&42u32), "non-string panic payload");
+    }
+
+    #[test]
+    fn observer_skips_job_done_for_failed_jobs() {
+        use cdmm_vmsim::observe::{shared, SimEvent, Tracer};
+        use std::sync::Arc;
+
+        struct Counting(Arc<AtomicU64>);
+        impl Tracer for Counting {
+            fn record(&mut self, _at: u64, event: &SimEvent) {
+                if matches!(event, SimEvent::JobDone { .. }) {
+                    self.0.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+
+        let jobs: Vec<u64> = (0..10).collect();
+        let count = Arc::new(AtomicU64::new(0));
+        let exec = Executor::with_threads(3).with_observer(shared(Counting(Arc::clone(&count))));
+        let got = quiet_panics(|| {
+            exec.try_map(&jobs, |_, &j| {
+                if j == 4 {
+                    panic!("nope");
+                }
+                j
+            })
+        });
+        assert_eq!(got.iter().filter(|r| r.is_ok()).count(), 9);
+        assert_eq!(count.load(Ordering::Relaxed), 9, "no JobDone for the panic");
     }
 
     #[test]

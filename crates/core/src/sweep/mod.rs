@@ -31,10 +31,10 @@ use cdmm_vmsim::policy::cd::CdSelector;
 use cdmm_vmsim::stack::StackProfile;
 use cdmm_vmsim::Metrics;
 
-use crate::pipeline::Prepared;
+use crate::pipeline::{PolicySpec, Prepared};
 
 pub use cache::{CacheKey, KeyHasher, ResultCache};
-pub use executor::Executor;
+pub use executor::{panic_message, Executor, JobError};
 
 /// One simulated operating point of a policy family.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -104,6 +104,94 @@ pub fn point_key(p: &Prepared, policy: PolicyId) -> CacheKey {
     h.write_u64(fp.hi);
     h.write_u64(fp.lo);
     policy.absorb(&mut h);
+    h.finish()
+}
+
+/// The content-addressed key of an arbitrary [`PolicySpec`] operating
+/// point over a prepared program.
+///
+/// The LRU / WS / CD / CD-no-locks variants map onto the same keys as
+/// [`point_key`], so a cache warmed through one entry point (say the
+/// batch service) is warm for the other (the table harness). The
+/// remaining families absorb a variant tag from 10 upward — disjoint
+/// from [`PolicyId`]'s 1–3 — plus their parameters.
+pub fn spec_key(p: &Prepared, spec: PolicySpec) -> CacheKey {
+    match spec {
+        PolicySpec::Lru { frames } => {
+            return point_key(
+                p,
+                PolicyId::Lru {
+                    frames: frames as u64,
+                },
+            )
+        }
+        PolicySpec::Ws { tau } => return point_key(p, PolicyId::Ws { tau }),
+        PolicySpec::Cd { selector } => {
+            return point_key(
+                p,
+                PolicyId::Cd {
+                    selector,
+                    locks: true,
+                },
+            )
+        }
+        PolicySpec::CdNoLocks { selector } => {
+            return point_key(
+                p,
+                PolicyId::Cd {
+                    selector,
+                    locks: false,
+                },
+            )
+        }
+        _ => {}
+    }
+    let mut h = KeyHasher::new();
+    let fp = p.fingerprint();
+    h.write_u64(fp.hi);
+    h.write_u64(fp.lo);
+    match spec {
+        PolicySpec::Fifo { frames } => {
+            h.write_u64(10);
+            h.write_u64(frames as u64);
+        }
+        PolicySpec::Clock { frames } => {
+            h.write_u64(11);
+            h.write_u64(frames as u64);
+        }
+        PolicySpec::Opt { frames } => {
+            h.write_u64(12);
+            h.write_u64(frames as u64);
+        }
+        PolicySpec::Pff { threshold } => {
+            h.write_u64(13);
+            h.write_u64(threshold);
+        }
+        PolicySpec::DampedWs { tau, reserve_cap } => {
+            h.write_u64(14);
+            h.write_u64(tau);
+            h.write_u64(reserve_cap as u64);
+        }
+        PolicySpec::SampledWs { tau, sigma } => {
+            h.write_u64(15);
+            h.write_u64(tau);
+            h.write_u64(sigma);
+        }
+        PolicySpec::VariableSampledWs {
+            min_interval,
+            max_interval,
+            fault_quota,
+        } => {
+            h.write_u64(16);
+            h.write_u64(min_interval);
+            h.write_u64(max_interval);
+            h.write_u64(fault_quota);
+        }
+        PolicySpec::Lru { .. }
+        | PolicySpec::Ws { .. }
+        | PolicySpec::Cd { .. }
+        | PolicySpec::CdNoLocks { .. } => unreachable!("delegated to point_key above"),
+    }
     h.finish()
 }
 
@@ -501,6 +589,77 @@ mod tests {
         let s = cache.stats();
         assert_eq!((s.cache_hits, s.cache_misses), (1, 1));
         assert_eq!(s.sim_points, 1, "only the miss was simulated");
+    }
+
+    #[test]
+    fn spec_keys_cover_every_family_and_alias_point_keys() {
+        let p = prepared("INIT");
+        // The families shared with PolicyId produce identical keys, so
+        // the caches interoperate.
+        assert_eq!(
+            spec_key(&p, PolicySpec::Lru { frames: 6 }),
+            point_key(&p, PolicyId::Lru { frames: 6 })
+        );
+        assert_eq!(
+            spec_key(&p, PolicySpec::Ws { tau: 40 }),
+            point_key(&p, PolicyId::Ws { tau: 40 })
+        );
+        assert_eq!(
+            spec_key(
+                &p,
+                PolicySpec::Cd {
+                    selector: CdSelector::Outermost
+                }
+            ),
+            point_key(
+                &p,
+                PolicyId::Cd {
+                    selector: CdSelector::Outermost,
+                    locks: true
+                }
+            )
+        );
+        assert_eq!(
+            spec_key(
+                &p,
+                PolicySpec::CdNoLocks {
+                    selector: CdSelector::Outermost
+                }
+            ),
+            point_key(
+                &p,
+                PolicyId::Cd {
+                    selector: CdSelector::Outermost,
+                    locks: false
+                }
+            )
+        );
+        // Every family (and parameter) keys distinctly.
+        let specs = [
+            PolicySpec::Lru { frames: 6 },
+            PolicySpec::Ws { tau: 6 },
+            PolicySpec::Fifo { frames: 6 },
+            PolicySpec::Clock { frames: 6 },
+            PolicySpec::Opt { frames: 6 },
+            PolicySpec::Pff { threshold: 6 },
+            PolicySpec::DampedWs {
+                tau: 6,
+                reserve_cap: 2,
+            },
+            PolicySpec::SampledWs { tau: 6, sigma: 2 },
+            PolicySpec::VariableSampledWs {
+                min_interval: 2,
+                max_interval: 6,
+                fault_quota: 1,
+            },
+            PolicySpec::Fifo { frames: 7 },
+        ];
+        let keys: Vec<CacheKey> = specs.iter().map(|&s| spec_key(&p, s)).collect();
+        for (i, x) in keys.iter().enumerate() {
+            for (j, y) in keys.iter().enumerate() {
+                assert_eq!(x == y, i == j, "spec keys {i} and {j}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,537 @@
+//! The JSONL request/response schema of `cdmm-serve`.
+//!
+//! One request per line, one flat JSON object per request — parsed by a
+//! small hand-rolled scanner (the workspace is dependency-free by
+//! design, so there is no serde to lean on). Values are strings,
+//! numbers, booleans, or null; nested objects and arrays are rejected
+//! with a typed `bad_request` response rather than a panic.
+//!
+//! Responses are likewise one JSON object per line. Success rows carry
+//! only deterministic simulation fields — no wall times, no cache-hit
+//! flags — so the same request always produces the byte-identical row,
+//! whether it was simulated, recalled from the crash-safe cache, or
+//! retried around an injected fault. That invariant is what the chaos
+//! suite pins.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use cdmm_core::{PageGeometry, PipelineConfig, PolicySpec};
+use cdmm_vmsim::policy::cd::CdSelector;
+use cdmm_vmsim::Metrics;
+use cdmm_workloads::Scale;
+
+/// Where the job's program comes from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkSource {
+    /// A named workload from the paper's suite (`"MAIN"`, `"FDJAC"`, …).
+    Named(String),
+    /// Inline mini-FORTRAN source shipped in the request.
+    Inline {
+        /// Program name for labels and cache keys.
+        name: String,
+        /// The source text.
+        source: String,
+    },
+}
+
+/// One parsed job request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRequest {
+    /// Caller-chosen id, echoed on the response line.
+    pub id: String,
+    /// The program to simulate.
+    pub work: WorkSource,
+    /// Workload scale for named workloads.
+    pub scale: Scale,
+    /// The policy operating point to run.
+    pub policy: PolicySpec,
+    /// Page size in bytes (default: the paper's 256).
+    pub page_bytes: Option<u64>,
+    /// Fault service time in references (default 2000).
+    pub fault_service: Option<u64>,
+    /// Minimum CD allocation in pages (default 2).
+    pub min_alloc: Option<u64>,
+    /// Per-job deadline in milliseconds (absent: service default).
+    pub deadline_ms: Option<u64>,
+}
+
+impl JobRequest {
+    /// The pipeline configuration this request asks for.
+    pub fn pipeline_config(&self) -> PipelineConfig {
+        let mut cfg = PipelineConfig::default();
+        if let Some(pb) = self.page_bytes {
+            cfg.geometry = PageGeometry::new(pb.max(4), cfg.geometry.elem_bytes);
+        }
+        if let Some(fs) = self.fault_service {
+            cfg.fault_service = fs;
+        }
+        if let Some(ma) = self.min_alloc {
+            cfg.min_alloc = ma;
+        }
+        cfg
+    }
+}
+
+/// Typed failure classes a response line can carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The request line did not parse or misses required fields.
+    BadRequest,
+    /// A named workload does not exist at the requested scale.
+    UnknownWorkload,
+    /// The compile → trace pipeline rejected the program.
+    Pipeline,
+    /// The job panicked (after exhausting its retries).
+    Panic,
+    /// The job's deadline expired before the trace ended.
+    DeadlineExceeded,
+    /// Admission control shed the job: the batch exceeded the queue
+    /// depth.
+    Overloaded,
+}
+
+impl ErrorKind {
+    /// Stable wire tag of the error class.
+    pub fn tag(self) -> &'static str {
+        match self {
+            ErrorKind::BadRequest => "bad_request",
+            ErrorKind::UnknownWorkload => "unknown_workload",
+            ErrorKind::Pipeline => "pipeline",
+            ErrorKind::Panic => "panic",
+            ErrorKind::DeadlineExceeded => "deadline_exceeded",
+            ErrorKind::Overloaded => "overloaded",
+        }
+    }
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// Escapes a string for embedding in a JSON value.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes a success response: id, policy label, and the
+/// deterministic [`Metrics`] fields only.
+pub fn encode_ok(id: &str, label: &str, m: &Metrics) -> String {
+    format!(
+        "{{\"v\":1,\"id\":\"{}\",\"ok\":true,\"policy\":\"{}\",\"refs\":{},\"pf\":{},\"mi\":\"{}\",\"fmi\":\"{}\",\"fs\":{},\"peak\":{},\"rec\":{},\"deg\":{}}}",
+        escape_json(id),
+        escape_json(label),
+        m.refs,
+        m.faults,
+        m.mem_integral,
+        m.fault_mem_integral,
+        m.fault_service,
+        m.peak_resident,
+        m.recovered_directives,
+        m.degraded_refs,
+    )
+}
+
+/// Serializes a typed failure response.
+pub fn encode_err(id: &str, kind: ErrorKind, detail: &str) -> String {
+    format!(
+        "{{\"v\":1,\"id\":\"{}\",\"ok\":false,\"error\":\"{}\",\"detail\":\"{}\"}}",
+        escape_json(id),
+        kind.tag(),
+        escape_json(detail),
+    )
+}
+
+/// One scalar JSON value the flat schema accepts.
+#[derive(Debug, Clone, PartialEq)]
+enum Scalar {
+    Str(String),
+    /// Numbers keep their raw text; fields parse them into the width
+    /// they need.
+    Num(String),
+    Bool(bool),
+    Null,
+}
+
+/// Scans one flat JSON object (`{"k":v,...}`) into a field map.
+/// Rejects nesting, duplicate keys, and trailing garbage.
+fn parse_flat_object(line: &str) -> Result<BTreeMap<String, Scalar>, String> {
+    let mut chars = line.char_indices().peekable();
+    let mut fields = BTreeMap::new();
+
+    let skip_ws = |chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>| {
+        while matches!(chars.peek(), Some((_, c)) if c.is_ascii_whitespace()) {
+            chars.next();
+        }
+    };
+
+    fn parse_string(
+        chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>,
+    ) -> Result<String, String> {
+        match chars.next() {
+            Some((_, '"')) => {}
+            other => return Err(format!("expected string, found {other:?}")),
+        }
+        let mut out = String::new();
+        loop {
+            match chars.next() {
+                None => return Err("unterminated string".into()),
+                Some((_, '"')) => return Ok(out),
+                Some((_, '\\')) => match chars.next() {
+                    Some((_, '"')) => out.push('"'),
+                    Some((_, '\\')) => out.push('\\'),
+                    Some((_, '/')) => out.push('/'),
+                    Some((_, 'n')) => out.push('\n'),
+                    Some((_, 't')) => out.push('\t'),
+                    Some((_, 'r')) => out.push('\r'),
+                    Some((_, 'b')) => out.push('\u{8}'),
+                    Some((_, 'f')) => out.push('\u{c}'),
+                    Some((_, 'u')) => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = chars
+                                .next()
+                                .and_then(|(_, c)| c.to_digit(16))
+                                .ok_or("bad \\u escape")?;
+                            code = code * 16 + d;
+                        }
+                        out.push(char::from_u32(code).ok_or("bad \\u codepoint")?);
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some((_, c)) => out.push(c),
+            }
+        }
+    }
+
+    skip_ws(&mut chars);
+    match chars.next() {
+        Some((_, '{')) => {}
+        _ => return Err("request is not a JSON object".into()),
+    }
+    skip_ws(&mut chars);
+    if matches!(chars.peek(), Some((_, '}'))) {
+        chars.next();
+    } else {
+        loop {
+            skip_ws(&mut chars);
+            let key = parse_string(&mut chars).map_err(|e| format!("key: {e}"))?;
+            skip_ws(&mut chars);
+            match chars.next() {
+                Some((_, ':')) => {}
+                _ => return Err(format!("missing ':' after \"{key}\"")),
+            }
+            skip_ws(&mut chars);
+            let value = match chars.peek() {
+                Some((_, '"')) => Scalar::Str(parse_string(&mut chars)?),
+                Some((_, '{')) | Some((_, '[')) => {
+                    return Err(format!("field \"{key}\": nested values are not supported"))
+                }
+                Some((start, _)) => {
+                    let start = *start;
+                    let mut end = line.len();
+                    while let Some((i, c)) = chars.peek() {
+                        if matches!(c, ',' | '}') || c.is_ascii_whitespace() {
+                            end = *i;
+                            break;
+                        }
+                        chars.next();
+                    }
+                    let raw = &line[start..end];
+                    match raw {
+                        "true" => Scalar::Bool(true),
+                        "false" => Scalar::Bool(false),
+                        "null" => Scalar::Null,
+                        n if n.parse::<f64>().is_ok() => Scalar::Num(n.to_string()),
+                        other => return Err(format!("field \"{key}\": bad value `{other}`")),
+                    }
+                }
+                None => return Err("truncated object".into()),
+            };
+            if fields.insert(key.clone(), value).is_some() {
+                return Err(format!("duplicate field \"{key}\""));
+            }
+            skip_ws(&mut chars);
+            match chars.next() {
+                Some((_, ',')) => continue,
+                Some((_, '}')) => break,
+                other => return Err(format!("expected ',' or '}}', found {other:?}")),
+            }
+        }
+    }
+    skip_ws(&mut chars);
+    if let Some((_, c)) = chars.next() {
+        return Err(format!("trailing garbage `{c}` after object"));
+    }
+    Ok(fields)
+}
+
+fn get_str(fields: &BTreeMap<String, Scalar>, key: &str) -> Result<Option<String>, String> {
+    match fields.get(key) {
+        None | Some(Scalar::Null) => Ok(None),
+        Some(Scalar::Str(s)) => Ok(Some(s.clone())),
+        Some(other) => Err(format!("field \"{key}\" must be a string, got {other:?}")),
+    }
+}
+
+fn get_u64(fields: &BTreeMap<String, Scalar>, key: &str) -> Result<Option<u64>, String> {
+    match fields.get(key) {
+        None | Some(Scalar::Null) => Ok(None),
+        Some(Scalar::Num(n)) => n
+            .parse::<u64>()
+            .map(Some)
+            .map_err(|_| format!("field \"{key}\" must be a non-negative integer, got `{n}`")),
+        Some(other) => Err(format!("field \"{key}\" must be a number, got {other:?}")),
+    }
+}
+
+/// Resolves the `policy`/`level`/`frames`/`tau`/`threshold` fields into
+/// a [`PolicySpec`].
+fn parse_policy(fields: &BTreeMap<String, Scalar>) -> Result<PolicySpec, String> {
+    let name = get_str(fields, "policy")?.ok_or("missing required field \"policy\"")?;
+    let selector = || -> Result<CdSelector, String> {
+        match fields.get("level") {
+            None | Some(Scalar::Null) => Ok(CdSelector::Outermost),
+            Some(Scalar::Str(s)) => match s.as_str() {
+                "outermost" => Ok(CdSelector::Outermost),
+                "innermost" => Ok(CdSelector::Innermost),
+                "first-fit" => Ok(CdSelector::FirstFit),
+                other => Err(format!("unknown CD level \"{other}\"")),
+            },
+            Some(Scalar::Num(n)) => {
+                let k: u32 = n
+                    .parse()
+                    .map_err(|_| format!("CD level must be a small integer, got `{n}`"))?;
+                Ok(CdSelector::AtLevel(k))
+            }
+            Some(other) => Err(format!("bad \"level\": {other:?}")),
+        }
+    };
+    let frames = || -> Result<usize, String> {
+        get_u64(fields, "frames")?
+            .map(|f| f as usize)
+            .ok_or_else(|| format!("policy \"{name}\" needs a \"frames\" field"))
+    };
+    match name.as_str() {
+        "cd" => Ok(PolicySpec::Cd {
+            selector: selector()?,
+        }),
+        "cd-nolocks" => Ok(PolicySpec::CdNoLocks {
+            selector: selector()?,
+        }),
+        "lru" => Ok(PolicySpec::Lru { frames: frames()? }),
+        "fifo" => Ok(PolicySpec::Fifo { frames: frames()? }),
+        "clock" => Ok(PolicySpec::Clock { frames: frames()? }),
+        "opt" => Ok(PolicySpec::Opt { frames: frames()? }),
+        "ws" => Ok(PolicySpec::Ws {
+            tau: get_u64(fields, "tau")?.ok_or("policy \"ws\" needs a \"tau\" field")?,
+        }),
+        "pff" => Ok(PolicySpec::Pff {
+            threshold: get_u64(fields, "threshold")?
+                .ok_or("policy \"pff\" needs a \"threshold\" field")?,
+        }),
+        other => Err(format!("unknown policy \"{other}\"")),
+    }
+}
+
+/// Parses one request line. Errors are caller-facing strings — they end
+/// up in the `detail` of a `bad_request` response.
+pub fn parse_request(line: &str) -> Result<JobRequest, String> {
+    let fields = parse_flat_object(line)?;
+    let id = get_str(&fields, "id")?.ok_or("missing required field \"id\"")?;
+    if id.is_empty() {
+        return Err("field \"id\" must be non-empty".into());
+    }
+    let work = match (get_str(&fields, "workload")?, get_str(&fields, "source")?) {
+        (Some(w), None) => WorkSource::Named(w),
+        (None, Some(src)) => WorkSource::Inline {
+            name: get_str(&fields, "name")?.unwrap_or_else(|| "INLINE".into()),
+            source: src,
+        },
+        (Some(_), Some(_)) => return Err("give \"workload\" or \"source\", not both".into()),
+        (None, None) => return Err("missing \"workload\" or \"source\"".into()),
+    };
+    let scale = match get_str(&fields, "scale")?.as_deref() {
+        None | Some("small") => Scale::Small,
+        Some("paper") => Scale::Paper,
+        Some(other) => return Err(format!("unknown scale \"{other}\"")),
+    };
+    Ok(JobRequest {
+        id,
+        work,
+        scale,
+        policy: parse_policy(&fields)?,
+        page_bytes: get_u64(&fields, "page_bytes")?,
+        fault_service: get_u64(&fields, "fault_service")?,
+        min_alloc: get_u64(&fields, "min_alloc")?,
+        deadline_ms: get_u64(&fields, "deadline_ms")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_request_parses() {
+        let r = parse_request(r#"{"id":"j1","workload":"MAIN","policy":"lru","frames":8}"#)
+            .expect("parses");
+        assert_eq!(r.id, "j1");
+        assert_eq!(r.work, WorkSource::Named("MAIN".into()));
+        assert_eq!(r.scale, Scale::Small);
+        assert_eq!(r.policy, PolicySpec::Lru { frames: 8 });
+        assert_eq!(r.deadline_ms, None);
+    }
+
+    #[test]
+    fn inline_source_with_escapes_parses() {
+        let r = parse_request(
+            r#"{"id":"j2","source":"PROGRAM T\nEND\n","name":"T","policy":"cd","level":"innermost","deadline_ms":250}"#,
+        )
+        .expect("parses");
+        match &r.work {
+            WorkSource::Inline { name, source } => {
+                assert_eq!(name, "T");
+                assert_eq!(source, "PROGRAM T\nEND\n");
+            }
+            other => panic!("wrong work source {other:?}"),
+        }
+        assert_eq!(
+            r.policy,
+            PolicySpec::Cd {
+                selector: CdSelector::Innermost
+            }
+        );
+        assert_eq!(r.deadline_ms, Some(250));
+    }
+
+    #[test]
+    fn numeric_cd_level_and_knobs() {
+        let r = parse_request(
+            r#"{"id":"j3","workload":"FDJAC","scale":"paper","policy":"cd","level":2,"page_bytes":512,"fault_service":1000,"min_alloc":4}"#,
+        )
+        .expect("parses");
+        assert_eq!(r.scale, Scale::Paper);
+        assert_eq!(
+            r.policy,
+            PolicySpec::Cd {
+                selector: CdSelector::AtLevel(2)
+            }
+        );
+        let cfg = r.pipeline_config();
+        assert_eq!(cfg.geometry.page_bytes, 512);
+        assert_eq!(cfg.fault_service, 1000);
+        assert_eq!(cfg.min_alloc, 4);
+    }
+
+    #[test]
+    fn malformed_requests_are_typed_errors() {
+        for (line, needle) in [
+            ("not json", "not a JSON object"),
+            ("{\"id\":\"x\"}", "workload"),
+            (r#"{"id":"x","workload":"MAIN"}"#, "policy"),
+            (r#"{"id":"x","workload":"MAIN","policy":"lru"}"#, "frames"),
+            (
+                r#"{"id":"x","workload":"MAIN","policy":"zap"}"#,
+                "unknown policy",
+            ),
+            (
+                r#"{"id":"x","workload":"M","source":"S","policy":"cd"}"#,
+                "not both",
+            ),
+            (
+                r#"{"id":"x","workload":"MAIN","policy":"cd","level":"middle"}"#,
+                "unknown CD level",
+            ),
+            (
+                r#"{"id":"x","workload":"MAIN","policy":"cd","scale":"huge"}"#,
+                "unknown scale",
+            ),
+            (r#"{"id":"x","nested":{"a":1},"policy":"cd"}"#, "nested"),
+            (
+                r#"{"id":"x","id":"y","workload":"MAIN","policy":"cd"}"#,
+                "duplicate",
+            ),
+            (
+                r#"{"id":"x","workload":"MAIN","policy":"cd"} extra"#,
+                "trailing",
+            ),
+            (r#"{"id":"","workload":"MAIN","policy":"cd"}"#, "non-empty"),
+            (
+                r#"{"id":"x","workload":"MAIN","policy":"ws","tau":-4}"#,
+                "non-negative",
+            ),
+        ] {
+            let err = parse_request(line).expect_err(line);
+            assert!(
+                err.contains(needle),
+                "`{line}` → `{err}` (wanted `{needle}`)"
+            );
+        }
+    }
+
+    #[test]
+    fn ok_rows_are_deterministic_and_escaped() {
+        let m = Metrics {
+            refs: 100,
+            faults: 7,
+            mem_integral: 12345,
+            fault_mem_integral: 678,
+            fault_service: 2000,
+            peak_resident: 9,
+            recovered_directives: 1,
+            degraded_refs: 0,
+        };
+        let a = encode_ok("job \"quoted\"", "LRU(8)", &m);
+        let b = encode_ok("job \"quoted\"", "LRU(8)", &m);
+        assert_eq!(a, b);
+        assert!(a.contains(r#"\"quoted\""#));
+        assert!(a.contains("\"ok\":true"));
+        assert!(a.contains("\"pf\":7"));
+    }
+
+    #[test]
+    fn error_rows_carry_the_typed_tag() {
+        let line = encode_err("j9", ErrorKind::Overloaded, "queue depth 4 exceeded");
+        assert!(line.contains("\"ok\":false"));
+        assert!(line.contains("\"error\":\"overloaded\""));
+        for kind in [
+            ErrorKind::BadRequest,
+            ErrorKind::UnknownWorkload,
+            ErrorKind::Pipeline,
+            ErrorKind::Panic,
+            ErrorKind::DeadlineExceeded,
+            ErrorKind::Overloaded,
+        ] {
+            assert!(!kind.tag().is_empty());
+            assert_eq!(kind.to_string(), kind.tag());
+        }
+    }
+
+    #[test]
+    fn escape_round_trips_through_the_parser() {
+        let nasty = "line1\nline2\t\"quoted\" \\ slash\u{1}";
+        let line = format!(
+            "{{\"id\":\"{}\",\"workload\":\"MAIN\",\"policy\":\"cd\"}}",
+            escape_json(nasty)
+        );
+        let r = parse_request(&line).expect("escaped request parses");
+        assert_eq!(r.id, nasty);
+    }
+}

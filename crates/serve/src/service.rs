@@ -1,0 +1,661 @@
+//! The batch service: parse → admit → supervise → respond.
+//!
+//! A [`BatchService`] turns batches of JSONL job requests into JSONL
+//! responses, in request order, with a robustness layer at every stage:
+//!
+//! - **Admission control** — each batch admits at most `queue_depth`
+//!   jobs; the rest are shed immediately with a typed `overloaded`
+//!   response instead of queueing without bound.
+//! - **Supervision** — every admitted job runs behind the executor's
+//!   per-job `catch_unwind` isolation *and* a per-attempt retry loop
+//!   with seeded, jittered exponential backoff; a panicking job costs
+//!   one `panic` response, never the batch.
+//! - **Deadlines** — each job gets a [`CancelToken`]; the simulator
+//!   polls it once per compressed trace run, so an expired deadline
+//!   surfaces as a typed `deadline_exceeded` response without putting a
+//!   branch in the per-reference hot loop.
+//! - **Crash-safe caching** — results are memoized in a [`ResultCache`]
+//!   whose persistence is atomic-rename-based and fsck'd at startup, so
+//!   a `kill -9` mid-flush never corrupts warm state.
+//!
+//! Success responses carry only deterministic simulation fields, so a
+//! faulty run's surviving responses are byte-identical to a fault-free
+//! run's — the chaos suite's central assertion.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use cdmm_core::sweep::spec_key;
+use cdmm_core::{panic_message, prepare, Executor, Prepared, ResultCache};
+use cdmm_vmsim::{CancelToken, Histogram, Metrics, SimError};
+use cdmm_workloads::by_name;
+
+use crate::faults::FaultInjector;
+use crate::request::{encode_err, encode_ok, parse_request, ErrorKind, JobRequest, WorkSource};
+
+/// Service-wide knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads (0 = honor `CDMM_THREADS`/available parallelism).
+    pub threads: usize,
+    /// Jobs admitted per batch; the rest are shed as `overloaded`.
+    pub queue_depth: usize,
+    /// Deadline applied to jobs that do not carry their own.
+    pub default_deadline_ms: Option<u64>,
+    /// Extra attempts after a panicking first try.
+    pub max_retries: u32,
+    /// Base of the jittered exponential backoff between attempts
+    /// (zero: retry immediately — what the tests use).
+    pub backoff_base: Duration,
+    /// Seed for backoff jitter (and anything else that must replay).
+    pub seed: u64,
+    /// Cache directory (`None`: in-memory memoization only).
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            threads: 0,
+            queue_depth: 64,
+            default_deadline_ms: None,
+            max_retries: 2,
+            backoff_base: Duration::from_millis(1),
+            seed: 0,
+            cache_dir: None,
+        }
+    }
+}
+
+/// Snapshot of the service counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeStats {
+    /// Request lines seen (including malformed and shed ones).
+    pub requests: u64,
+    /// Successful responses.
+    pub ok: u64,
+    /// Typed failure responses (all kinds, shed included).
+    pub failed: u64,
+    /// Jobs shed by admission control.
+    pub shed: u64,
+    /// Jobs that failed with `deadline_exceeded`.
+    pub deadline_exceeded: u64,
+    /// Retry attempts performed (not counting first tries).
+    pub retries: u64,
+    /// Cache flushes that returned an I/O error (service kept going).
+    pub flush_failures: u64,
+}
+
+/// SplitMix64 mixer for backoff jitter.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The deterministic, jittered backoff before attempt `attempt` (≥ 1)
+/// of job `job`: `base · 2^(attempt-1)` plus a jitter in `[0, base)`,
+/// both scaled from the seed so replays sleep identically.
+pub fn backoff_delay(seed: u64, job: u64, attempt: u32, base: Duration) -> Duration {
+    if base.is_zero() {
+        return Duration::ZERO;
+    }
+    let exp = base.saturating_mul(1u32 << (attempt - 1).min(16));
+    let jitter_ns = mix(seed ^ job.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ attempt as u64)
+        % base.as_nanos().max(1) as u64;
+    exp.saturating_add(Duration::from_nanos(jitter_ns))
+}
+
+/// How one supervised job ended, before response encoding.
+enum JobOutcome {
+    Ok { label: String, metrics: Metrics },
+    Err { kind: ErrorKind, detail: String },
+}
+
+/// A fault-tolerant batch executor over the simulation pipeline.
+pub struct BatchService {
+    config: ServeConfig,
+    exec: Executor,
+    cache: ResultCache,
+    faults: Option<Arc<FaultInjector>>,
+    /// Memoized prepared programs, keyed by (source, knobs) hash.
+    programs: Mutex<HashMap<u128, Arc<Prepared>>>,
+    latency: Mutex<Histogram>,
+    requests: AtomicU64,
+    ok: AtomicU64,
+    failed: AtomicU64,
+    shed: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    retries: AtomicU64,
+    flush_failures: AtomicU64,
+}
+
+impl BatchService {
+    /// Builds a service, opening (and fsck'ing) the persistent cache
+    /// when a directory is configured.
+    pub fn new(config: ServeConfig) -> io::Result<Self> {
+        let cache = match &config.cache_dir {
+            Some(dir) => ResultCache::at_dir(dir)?,
+            None => ResultCache::in_memory(),
+        };
+        let exec = if config.threads == 0 {
+            Executor::from_env()
+        } else {
+            Executor::with_threads(config.threads)
+        };
+        Ok(BatchService {
+            config,
+            exec,
+            cache,
+            faults: None,
+            programs: Mutex::new(HashMap::new()),
+            latency: Mutex::new(Histogram::new()),
+            requests: AtomicU64::new(0),
+            ok: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            flush_failures: AtomicU64::new(0),
+        })
+    }
+
+    /// Attaches a seeded fault injector (chaos runs only).
+    pub fn with_faults(mut self, faults: Arc<FaultInjector>) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The result cache (for fsck/hit-rate assertions and stats).
+    pub fn cache(&self) -> &ResultCache {
+        &self.cache
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            ok: self.ok.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            flush_failures: self.flush_failures.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Per-request wall-time percentile in nanoseconds (p in [0, 1]).
+    pub fn latency_ns(&self, p: f64) -> u64 {
+        self.latency.lock().expect("latency lock").percentile(p)
+    }
+
+    /// Handles one blank-line-delimited batch of request lines and
+    /// returns one response line per request, in request order.
+    pub fn handle_batch(&self, lines: &[&str]) -> Vec<String> {
+        self.requests
+            .fetch_add(lines.len() as u64, Ordering::Relaxed);
+        // Parse every line first; admission control only counts jobs
+        // that could actually run.
+        let mut parsed: Vec<Result<JobRequest, String>> = Vec::with_capacity(lines.len());
+        for line in lines {
+            parsed.push(parse_request(line));
+        }
+        let mut admitted: Vec<(usize, JobRequest)> = Vec::new();
+        let mut responses: Vec<Option<String>> = vec![None; lines.len()];
+        for (i, p) in parsed.into_iter().enumerate() {
+            match p {
+                Err(detail) => {
+                    responses[i] = Some(encode_err(
+                        &request_id_hint(lines[i]),
+                        ErrorKind::BadRequest,
+                        &detail,
+                    ));
+                }
+                Ok(req) => {
+                    if admitted.len() < self.config.queue_depth {
+                        admitted.push((i, req));
+                    } else {
+                        self.shed.fetch_add(1, Ordering::Relaxed);
+                        responses[i] = Some(encode_err(
+                            &req.id,
+                            ErrorKind::Overloaded,
+                            &format!("queue depth {} exceeded", self.config.queue_depth),
+                        ));
+                    }
+                }
+            }
+        }
+
+        let outcomes = self.exec.try_map(&admitted, |job_index, (_, req)| {
+            let t0 = Instant::now();
+            let outcome = self.supervise(job_index as u64, req);
+            let wall = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            self.latency.lock().expect("latency lock").record(wall);
+            outcome
+        });
+        for ((i, req), outcome) in admitted.iter().zip(outcomes) {
+            let line = match outcome {
+                Ok(JobOutcome::Ok { label, metrics }) => encode_ok(&req.id, &label, &metrics),
+                Ok(JobOutcome::Err { kind, detail }) => encode_err(&req.id, kind, &detail),
+                // The executor's catch_unwind is the last line of
+                // defense — a panic that escaped the retry loop.
+                Err(job_err) => encode_err(&req.id, ErrorKind::Panic, &job_err.message),
+            };
+            responses[*i] = Some(line);
+        }
+        if let Err(e) = self.cache.flush() {
+            self.flush_failures.fetch_add(1, Ordering::Relaxed);
+            let _ = e;
+        }
+
+        let out: Vec<String> = responses
+            .into_iter()
+            .map(|r| r.expect("every request produced a response"))
+            .collect();
+        for line in &out {
+            if line.contains("\"ok\":true") {
+                self.ok.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.failed.fetch_add(1, Ordering::Relaxed);
+                if line.contains("\"error\":\"deadline_exceeded\"") {
+                    self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        out
+    }
+
+    /// The retry loop around one job: typed failures return immediately,
+    /// panics burn an attempt and back off with seeded jitter.
+    fn supervise(&self, job: u64, req: &JobRequest) -> JobOutcome {
+        let attempts = self.config.max_retries + 1;
+        let mut last_panic = String::new();
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                self.retries.fetch_add(1, Ordering::Relaxed);
+                let delay = backoff_delay(self.config.seed, job, attempt, self.config.backoff_base);
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
+            }
+            let run = catch_unwind(AssertUnwindSafe(|| {
+                if let Some(f) = &self.faults {
+                    f.maybe_panic(job, attempt as u64);
+                }
+                self.execute(req)
+            }));
+            match run {
+                Ok(outcome) => return outcome,
+                Err(payload) => last_panic = panic_message(payload.as_ref()),
+            }
+        }
+        JobOutcome::Err {
+            kind: ErrorKind::Panic,
+            detail: format!("{last_panic} ({attempts} attempts)"),
+        }
+    }
+
+    /// One attempt: resolve the program, consult the cache, simulate
+    /// under the job's deadline.
+    fn execute(&self, req: &JobRequest) -> JobOutcome {
+        let prepared = match self.prepared_for(req) {
+            Ok(p) => p,
+            Err(outcome) => return outcome,
+        };
+        let label = prepared.policy_label(req.policy);
+        let key = spec_key(&prepared, req.policy);
+        if let Some(metrics) = self.cache.lookup(key) {
+            return JobOutcome::Ok { label, metrics };
+        }
+        let token = match req.deadline_ms.or(self.config.default_deadline_ms) {
+            Some(ms) => CancelToken::with_deadline(Duration::from_millis(ms)),
+            None => CancelToken::new(),
+        };
+        let t0 = Instant::now();
+        match prepared.run_policy_cancellable(req.policy, &token) {
+            Ok(metrics) => {
+                self.cache.record_sim(t0.elapsed());
+                self.cache.insert(key, metrics);
+                JobOutcome::Ok { label, metrics }
+            }
+            Err(SimError::DeadlineExceeded { refs_done }) => JobOutcome::Err {
+                kind: ErrorKind::DeadlineExceeded,
+                detail: format!("deadline expired after {refs_done} references"),
+            },
+            Err(other) => JobOutcome::Err {
+                kind: ErrorKind::Pipeline,
+                detail: other.to_string(),
+            },
+        }
+    }
+
+    /// Resolves and memoizes the prepared program a request names.
+    fn prepared_for(&self, req: &JobRequest) -> Result<Arc<Prepared>, JobOutcome> {
+        let (name, source) = match &req.work {
+            WorkSource::Named(n) => match by_name(n, req.scale) {
+                Some(w) => (w.name.to_string(), w.source),
+                None => {
+                    return Err(JobOutcome::Err {
+                        kind: ErrorKind::UnknownWorkload,
+                        detail: format!("no workload named \"{n}\" at {:?} scale", req.scale),
+                    })
+                }
+            },
+            WorkSource::Inline { name, source } => (name.clone(), source.clone()),
+        };
+        let cfg = req.pipeline_config();
+        let memo_key = program_memo_key(&name, &source, req);
+        if let Some(p) = self
+            .programs
+            .lock()
+            .expect("programs lock")
+            .get(&memo_key)
+            .cloned()
+        {
+            return Ok(p);
+        }
+        match prepare(&name, &source, cfg) {
+            Ok(p) => {
+                let p = Arc::new(p);
+                self.programs
+                    .lock()
+                    .expect("programs lock")
+                    .insert(memo_key, Arc::clone(&p));
+                Ok(p)
+            }
+            Err(e) => Err(JobOutcome::Err {
+                kind: ErrorKind::Pipeline,
+                detail: e.to_string(),
+            }),
+        }
+    }
+
+    /// Streams blank-line-delimited batches from `input` to `output`:
+    /// one response line per request, a blank line after each batch,
+    /// output flushed at every batch boundary.
+    pub fn serve_stream<R: BufRead, W: Write>(&self, input: R, mut output: W) -> io::Result<()> {
+        let mut batch: Vec<String> = Vec::new();
+        let flush_batch = |batch: &mut Vec<String>, output: &mut W| -> io::Result<()> {
+            if batch.is_empty() {
+                return Ok(());
+            }
+            let refs: Vec<&str> = batch.iter().map(String::as_str).collect();
+            for line in self.handle_batch(&refs) {
+                writeln!(output, "{line}")?;
+            }
+            writeln!(output)?;
+            output.flush()?;
+            batch.clear();
+            Ok(())
+        };
+        for line in input.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                flush_batch(&mut batch, &mut output)?;
+            } else {
+                batch.push(line);
+            }
+        }
+        flush_batch(&mut batch, &mut output)
+    }
+}
+
+/// Hash key for the prepared-program memo: program identity plus every
+/// knob that changes the pipeline output.
+fn program_memo_key(name: &str, source: &str, req: &JobRequest) -> u128 {
+    use cdmm_core::sweep::KeyHasher;
+    let mut h = KeyHasher::new();
+    h.write_str(name);
+    h.write_str(source);
+    h.write_u64(req.page_bytes.unwrap_or(0));
+    h.write_u64(req.fault_service.unwrap_or(u64::MAX));
+    h.write_u64(req.min_alloc.unwrap_or(u64::MAX));
+    let k = h.finish();
+    ((k.hi as u128) << 64) | k.lo as u128
+}
+
+/// Best-effort id extraction from a line that failed to parse, so even
+/// `bad_request` responses stay correlated when possible.
+fn request_id_hint(line: &str) -> String {
+    let tag = "\"id\":\"";
+    if let Some(start) = line.find(tag) {
+        let rest = &line[start + tag.len()..];
+        if let Some(end) = rest.find('"') {
+            return rest[..end].to_string();
+        }
+    }
+    "?".to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::FaultSite;
+
+    fn quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = catch_unwind(AssertUnwindSafe(f));
+        std::panic::set_hook(hook);
+        match out {
+            Ok(r) => r,
+            Err(p) => std::panic::resume_unwind(p),
+        }
+    }
+
+    fn service(config: ServeConfig) -> BatchService {
+        BatchService::new(config).expect("service builds")
+    }
+
+    #[test]
+    fn happy_path_batch_runs_in_order() {
+        let s = service(ServeConfig::default());
+        let lines = vec![
+            r#"{"id":"a","workload":"MAIN","policy":"cd"}"#,
+            r#"{"id":"b","workload":"MAIN","policy":"lru","frames":8}"#,
+            r#"{"id":"c","workload":"MAIN","policy":"ws","tau":500}"#,
+        ];
+        let out = s.handle_batch(&lines);
+        assert_eq!(out.len(), 3);
+        for (line, id) in out.iter().zip(["a", "b", "c"]) {
+            assert!(line.contains(&format!("\"id\":\"{id}\"")), "{line}");
+            assert!(line.contains("\"ok\":true"), "{line}");
+        }
+        let st = s.stats();
+        assert_eq!((st.requests, st.ok, st.failed), (3, 3, 0));
+    }
+
+    #[test]
+    fn responses_are_deterministic_across_thread_counts() {
+        let lines: Vec<String> = (0..12)
+            .map(|i| {
+                format!(
+                    r#"{{"id":"j{i}","workload":"MAIN","policy":"lru","frames":{}}}"#,
+                    4 + i
+                )
+            })
+            .collect();
+        let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+        let serial = service(ServeConfig {
+            threads: 1,
+            ..ServeConfig::default()
+        })
+        .handle_batch(&refs);
+        let parallel = service(ServeConfig {
+            threads: 8,
+            ..ServeConfig::default()
+        })
+        .handle_batch(&refs);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn bad_lines_become_typed_responses_without_sinking_the_batch() {
+        let s = service(ServeConfig::default());
+        let lines = vec![
+            "this is not json",
+            r#"{"id":"good","workload":"MAIN","policy":"cd"}"#,
+            r#"{"id":"ghost","workload":"NOSUCH","policy":"cd"}"#,
+        ];
+        let out = s.handle_batch(&lines);
+        assert!(out[0].contains("\"error\":\"bad_request\""), "{}", out[0]);
+        assert!(out[1].contains("\"ok\":true"), "{}", out[1]);
+        assert!(
+            out[2].contains("\"error\":\"unknown_workload\""),
+            "{}",
+            out[2]
+        );
+    }
+
+    #[test]
+    fn admission_control_sheds_beyond_queue_depth() {
+        let s = service(ServeConfig {
+            queue_depth: 2,
+            ..ServeConfig::default()
+        });
+        let lines: Vec<String> = (0..5)
+            .map(|i| format!(r#"{{"id":"q{i}","workload":"MAIN","policy":"cd"}}"#))
+            .collect();
+        let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+        let out = s.handle_batch(&refs);
+        let shed: Vec<bool> = out
+            .iter()
+            .map(|l| l.contains("\"error\":\"overloaded\""))
+            .collect();
+        assert_eq!(shed, vec![false, false, true, true, true]);
+        assert_eq!(s.stats().shed, 3);
+    }
+
+    #[test]
+    fn zero_deadline_is_a_deterministic_typed_failure() {
+        let s = service(ServeConfig::default());
+        let lines = vec![r#"{"id":"dl","workload":"MAIN","policy":"cd","deadline_ms":0}"#];
+        let a = s.handle_batch(&lines);
+        assert!(a[0].contains("\"error\":\"deadline_exceeded\""), "{}", a[0]);
+        assert_eq!(s.stats().deadline_exceeded, 1);
+        // Replay: same typed failure, byte-identical (refs_done is 0
+        // both times because the token expires before the first run).
+        let b = s.handle_batch(&lines);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn injected_panics_are_retried_or_typed() {
+        // 100% panic rate: every attempt panics, so the job fails as a
+        // typed `panic` response after exhausting its retries.
+        let always = Arc::new(FaultInjector::new(7).with_rate(FaultSite::JobPanic, 100));
+        let s = service(ServeConfig {
+            max_retries: 2,
+            backoff_base: Duration::ZERO,
+            ..ServeConfig::default()
+        })
+        .with_faults(Arc::clone(&always));
+        let lines = vec![r#"{"id":"p0","workload":"MAIN","policy":"cd"}"#];
+        let out = quiet_panics(|| s.handle_batch(&lines));
+        assert!(out[0].contains("\"error\":\"panic\""), "{}", out[0]);
+        assert!(out[0].contains("injected fault"), "{}", out[0]);
+        assert_eq!(s.stats().retries, 2, "both retries were burned");
+
+        // A rate that spares some attempt lets the retry loop recover:
+        // find a seed where job 0 panics at attempt 0 but not attempt 1.
+        let seed = (0..1000)
+            .find(|&sd| {
+                let f = FaultInjector::new(sd);
+                f.should_fault(FaultSite::JobPanic, 0, 0)
+                    && !f.should_fault(FaultSite::JobPanic, 0, 1)
+            })
+            .expect("such a seed exists");
+        let flaky = Arc::new(FaultInjector::new(seed));
+        let s2 = service(ServeConfig {
+            max_retries: 2,
+            backoff_base: Duration::ZERO,
+            ..ServeConfig::default()
+        })
+        .with_faults(Arc::clone(&flaky));
+        let out = quiet_panics(|| s2.handle_batch(&lines));
+        assert!(
+            out[0].contains("\"ok\":true"),
+            "retry recovered: {}",
+            out[0]
+        );
+        assert_eq!(s2.stats().retries, 1);
+        assert_eq!(
+            flaky.journal_lines().len(),
+            1,
+            "the injected panic journaled"
+        );
+    }
+
+    #[test]
+    fn cache_hits_skip_simulation_and_preserve_bytes() {
+        let s = service(ServeConfig::default());
+        let lines = vec![r#"{"id":"c1","workload":"FDJAC","policy":"lru","frames":10}"#];
+        let cold = s.handle_batch(&lines);
+        let warm = s.handle_batch(&lines);
+        assert_eq!(cold, warm, "a cache hit must not change the response");
+        let stats = s.cache().stats();
+        assert_eq!((stats.cache_hits, stats.cache_misses), (1, 1));
+        assert_eq!(stats.sim_points, 1, "second call hit, no new simulation");
+    }
+
+    #[test]
+    fn inline_source_jobs_run() {
+        let s = service(ServeConfig::default());
+        let lines = vec![
+            r#"{"id":"inl","source":"PROGRAM TINY\nPARAMETER (N = 32)\nDIMENSION A(N)\nDO 1 I = 1, N\n  A(I) = 0.0\n1 CONTINUE\nEND\n","name":"TINY","policy":"lru","frames":4}"#,
+        ];
+        let out = s.handle_batch(&lines);
+        assert!(out[0].contains("\"ok\":true"), "{}", out[0]);
+        // Bad inline source is a typed pipeline error.
+        let bad = vec![r#"{"id":"syn","source":"NOT FORTRAN AT ALL","policy":"cd"}"#];
+        let out = s.handle_batch(&bad);
+        assert!(out[0].contains("\"error\":\"pipeline\""), "{}", out[0]);
+    }
+
+    #[test]
+    fn serve_stream_handles_batches_and_blank_lines() {
+        let s = service(ServeConfig::default());
+        let input = "\
+{\"id\":\"s1\",\"workload\":\"MAIN\",\"policy\":\"cd\"}\n\
+\n\
+{\"id\":\"s2\",\"workload\":\"MAIN\",\"policy\":\"lru\",\"frames\":6}\n\
+{\"id\":\"s3\",\"workload\":\"MAIN\",\"policy\":\"ws\",\"tau\":100}\n";
+        let mut out = Vec::new();
+        s.serve_stream(io::Cursor::new(input), &mut out)
+            .expect("stream serves");
+        let text = String::from_utf8(out).expect("utf8");
+        let blocks: Vec<&str> = text.trim_end().split("\n\n").collect();
+        assert_eq!(
+            blocks.len(),
+            2,
+            "two batches → two response blocks:\n{text}"
+        );
+        assert_eq!(blocks[0].lines().count(), 1);
+        assert_eq!(blocks[1].lines().count(), 2);
+        assert!(text
+            .lines()
+            .filter(|l| !l.is_empty())
+            .all(|l| l.contains("\"ok\":true")));
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_grows() {
+        let base = Duration::from_millis(2);
+        let d1 = backoff_delay(9, 3, 1, base);
+        let d2 = backoff_delay(9, 3, 2, base);
+        assert_eq!(d1, backoff_delay(9, 3, 1, base), "same inputs, same delay");
+        assert!(d2 >= d1, "exponential growth");
+        assert!(d1 >= base && d1 < base * 2, "attempt 1 = base + jitter");
+        assert_eq!(backoff_delay(9, 3, 1, Duration::ZERO), Duration::ZERO);
+    }
+}

@@ -135,6 +135,33 @@ impl EventSource for CompressedTrace {
         }
     }
 
+    fn for_each_event_while<K, F>(&self, mut keep_going: K, mut f: F) -> bool
+    where
+        K: FnMut() -> bool,
+        F: FnMut(EventRef<'_>),
+    {
+        // One poll per op: a run decodes with the same tight counted
+        // loop as `for_each_event`, so cancellation costs O(ops), not
+        // O(references).
+        for op in &self.ops {
+            if !keep_going() {
+                return false;
+            }
+            match op {
+                COp::Run { start, stride, len } => {
+                    let mut p = *start as i64;
+                    let stride = *stride as i64;
+                    for _ in 0..*len {
+                        f(EventRef::Ref(PageId(p as u32)));
+                        p += stride;
+                    }
+                }
+                COp::Dir(d) => f(EventRef::Directive(d)),
+            }
+        }
+        true
+    }
+
     fn for_each_ref<F: FnMut(PageId)>(&self, mut f: F) {
         for op in &self.ops {
             if let COp::Run { start, stride, len } = op {

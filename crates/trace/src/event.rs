@@ -154,6 +154,17 @@ pub trait EventSource {
     /// Streams every event in execution order.
     fn for_each_event<F: FnMut(EventRef<'_>)>(&self, f: F);
 
+    /// Streams events while `keep_going()` returns `true`, polling it at
+    /// coarse decode boundaries — once per compressed *run* for
+    /// [`crate::CompressedTrace`], once per event for a flat [`Trace`] —
+    /// so cancellation never puts a check inside the per-reference hot
+    /// loop. Returns `true` when the whole source was consumed, `false`
+    /// when the poll stopped the stream early.
+    fn for_each_event_while<K, F>(&self, keep_going: K, f: F) -> bool
+    where
+        K: FnMut() -> bool,
+        F: FnMut(EventRef<'_>);
+
     /// Streams only the page references, in order.
     fn for_each_ref<F: FnMut(PageId)>(&self, mut f: F) {
         self.for_each_event(|e| {
@@ -179,6 +190,23 @@ impl EventSource for Trace {
                 other => f(EventRef::Directive(other)),
             }
         }
+    }
+
+    fn for_each_event_while<K, F>(&self, mut keep_going: K, mut f: F) -> bool
+    where
+        K: FnMut() -> bool,
+        F: FnMut(EventRef<'_>),
+    {
+        for e in &self.events {
+            if !keep_going() {
+                return false;
+            }
+            match e {
+                Event::Ref(p) => f(EventRef::Ref(*p)),
+                other => f(EventRef::Directive(other)),
+            }
+        }
+        true
     }
 
     fn for_each_ref<F: FnMut(PageId)>(&self, mut f: F) {

@@ -32,6 +32,12 @@ pub enum SimError {
         /// Which knob was rejected.
         what: &'static str,
     },
+    /// A cancellable run was stopped by its [`crate::CancelToken`] —
+    /// deadline expiry or an explicit cancel — before the trace ended.
+    DeadlineExceeded {
+        /// References processed before the stop.
+        refs_done: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -48,6 +54,12 @@ impl fmt::Display for SimError {
                 )
             }
             SimError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
+            SimError::DeadlineExceeded { refs_done } => {
+                write!(
+                    f,
+                    "simulation cancelled after {refs_done} references (deadline exceeded)"
+                )
+            }
         }
     }
 }
@@ -71,5 +83,8 @@ mod tests {
         assert!(SimError::InvalidConfig { what: "quantum" }
             .to_string()
             .contains("quantum"));
+        let e = SimError::DeadlineExceeded { refs_done: 1234 };
+        assert!(e.to_string().contains("1234"));
+        assert!(e.to_string().contains("deadline"));
     }
 }

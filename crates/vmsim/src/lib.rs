@@ -43,6 +43,7 @@
 #![warn(clippy::unwrap_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
+pub mod cancel;
 pub mod error;
 pub mod metrics;
 pub mod multiprog;
@@ -53,6 +54,7 @@ pub mod sim;
 pub mod stack;
 pub mod stats;
 
+pub use cancel::CancelToken;
 pub use error::SimError;
 pub use metrics::{ExecStats, Metrics};
 pub use observe::{
@@ -60,7 +62,7 @@ pub use observe::{
     SimEvent, Tee, TimedEvent, Tracer,
 };
 pub use policy::Policy;
-pub use sim::{simulate, simulate_with, SimConfig};
+pub use sim::{simulate, simulate_cancellable, simulate_with, SimConfig};
 pub use stats::{
     shared_registry, snapshot_shared, HistogramSummary, MetricsRegistry, PiStats, PiSummary,
     RegistrySnapshot, SharedRegistry,

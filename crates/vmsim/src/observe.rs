@@ -132,6 +132,12 @@ pub enum SimEvent {
         /// Whether the lookup hit.
         hit: bool,
     },
+    /// The result cache's startup fsck quarantined damaged persisted
+    /// lines (torn tail after a crash, bit rot, stale format).
+    CacheQuarantine {
+        /// Number of lines moved to the quarantine file.
+        lines: u64,
+    },
 }
 
 impl SimEvent {
@@ -151,6 +157,7 @@ impl SimEvent {
             SimEvent::SwapOut { .. } => "swap_out",
             SimEvent::JobDone { .. } => "job_done",
             SimEvent::CacheQuery { .. } => "cache_query",
+            SimEvent::CacheQuarantine { .. } => "cache_quarantine",
         }
     }
 }
@@ -356,6 +363,7 @@ fn event_fields(event: &SimEvent) -> String {
             format!("\"ev\":\"{kind}\",\"index\":{index},\"wall_ns\":{wall_ns}")
         }
         SimEvent::CacheQuery { hit } => format!("\"ev\":\"{kind}\",\"hit\":{hit}"),
+        SimEvent::CacheQuarantine { lines } => format!("\"ev\":\"{kind}\",\"lines\":{lines}"),
     }
 }
 
@@ -481,6 +489,37 @@ impl JsonlSink {
             n += 1;
         }
         Ok(n)
+    }
+
+    /// Reads a trace file back, tolerating damage only as a *torn tail*
+    /// — the suffix a crash mid-append leaves behind. Returns
+    /// `(valid_lines, torn_lines)` where `torn_lines` counts the
+    /// trailing damaged run that was skipped. A damaged line followed by
+    /// a valid one is mid-file corruption, not a torn tail, and is an
+    /// error: the checksummed reader must never silently resurrect a
+    /// file whose interior rotted.
+    pub fn recover_file(path: &Path) -> Result<(u64, u64), String> {
+        let text = fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let mut valid = 0u64;
+        let mut torn = 0u64;
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            if validate_event_line(line) {
+                if torn > 0 {
+                    return Err(format!(
+                        "{}:{}: valid line after {torn} damaged line(s): mid-file corruption",
+                        path.display(),
+                        i + 1
+                    ));
+                }
+                valid += 1;
+            } else {
+                torn += 1;
+            }
+        }
+        Ok((valid, torn))
     }
 }
 
@@ -1043,6 +1082,7 @@ mod tests {
                 wall_ns: 123,
             },
             SimEvent::CacheQuery { hit: false },
+            SimEvent::CacheQuarantine { lines: 3 },
         ];
         for e in events {
             let line = encode_event_line(42, &e);

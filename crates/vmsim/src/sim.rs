@@ -2,6 +2,8 @@
 
 use cdmm_trace::{EventRef, EventSource};
 
+use crate::cancel::CancelToken;
+use crate::error::SimError;
 use crate::metrics::Metrics;
 use crate::observe::{SimEvent, Tracer};
 use crate::policy::Policy;
@@ -146,6 +148,63 @@ fn run_untraced<S: EventSource + ?Sized, P: Policy + ?Sized>(
     metrics
 }
 
+/// [`simulate`] under a cooperative [`CancelToken`].
+///
+/// The loop body is exactly the untraced hot path; the token is polled
+/// between compressed trace *runs* (per event for flat traces), so a
+/// run that is never cancelled executes the same per-reference work as
+/// [`simulate`] and completes with identical [`Metrics`]. When the
+/// token stops the run — deadline expiry or an explicit
+/// [`CancelToken::cancel`] — the partial metrics are discarded and
+/// [`SimError::DeadlineExceeded`] reports how far the run got.
+///
+/// # Examples
+///
+/// ```
+/// use cdmm_trace::synth;
+/// use cdmm_vmsim::policy::lru::Lru;
+/// use cdmm_vmsim::{simulate, simulate_cancellable, CancelToken, SimConfig, SimError};
+///
+/// let trace = synth::cyclic(4, 100);
+/// let full = simulate(&trace, &mut Lru::new(4), SimConfig::default());
+/// let token = CancelToken::new();
+/// let same = simulate_cancellable(&trace, &mut Lru::new(4), SimConfig::default(), &token)
+///     .expect("an idle token never stops the run");
+/// assert_eq!(full, same);
+///
+/// token.cancel();
+/// let err = simulate_cancellable(&trace, &mut Lru::new(4), SimConfig::default(), &token);
+/// assert_eq!(err, Err(SimError::DeadlineExceeded { refs_done: 0 }));
+/// ```
+pub fn simulate_cancellable<S: EventSource + ?Sized, P: Policy + ?Sized>(
+    trace: &S,
+    policy: &mut P,
+    config: SimConfig,
+    token: &CancelToken,
+) -> Result<Metrics, SimError> {
+    let mut metrics = Metrics::new(config.fault_service);
+    let completed = trace.for_each_event_while(
+        || !token.should_stop(),
+        |event| match event {
+            EventRef::Ref(page) => {
+                let fault = policy.reference(page);
+                metrics.record(policy.resident(), fault);
+                if policy.is_degraded() {
+                    metrics.degraded_refs += 1;
+                }
+            }
+            EventRef::Directive(other) => policy.directive(other),
+        },
+    );
+    if !completed {
+        return Err(SimError::DeadlineExceeded {
+            refs_done: metrics.refs,
+        });
+    }
+    metrics.recovered_directives = policy.recovered_directives();
+    Ok(metrics)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,6 +317,63 @@ mod tests {
         )));
         // Directive events carry the clock of the preceding reference.
         assert_eq!(log.events().next().map(|e| e.at), Some(0));
+    }
+
+    #[test]
+    fn cancellable_with_idle_token_matches_simulate() {
+        use crate::cancel::CancelToken;
+        use cdmm_trace::CompressedTrace;
+        let t = synth::phased(
+            &[
+                synth::Phase {
+                    base: 0,
+                    pages: 6,
+                    refs: 300,
+                },
+                synth::Phase {
+                    base: 6,
+                    pages: 4,
+                    refs: 300,
+                },
+            ],
+            7,
+        );
+        let token = CancelToken::new();
+        let plain = simulate(&t, &mut Lru::new(5), SimConfig::default());
+        let cancellable = simulate_cancellable(&t, &mut Lru::new(5), SimConfig::default(), &token)
+            .expect("idle token completes");
+        assert_eq!(plain, cancellable);
+
+        // Same through the compressed streaming path.
+        let c = CompressedTrace::from_trace(&t);
+        let streamed = simulate_cancellable(&c, &mut Lru::new(5), SimConfig::default(), &token)
+            .expect("idle token completes");
+        assert_eq!(plain, streamed);
+    }
+
+    #[test]
+    fn cancelled_token_stops_before_first_reference() {
+        use crate::cancel::CancelToken;
+        let t = synth::cyclic(4, 100);
+        let token = CancelToken::new();
+        token.cancel();
+        let err = simulate_cancellable(&t, &mut Lru::new(4), SimConfig::default(), &token);
+        assert_eq!(err, Err(SimError::DeadlineExceeded { refs_done: 0 }));
+    }
+
+    #[test]
+    fn expired_deadline_reports_refs_done() {
+        use crate::cancel::CancelToken;
+        use std::time::Duration;
+        let t = synth::cyclic(4, 1000);
+        let token = CancelToken::with_deadline(Duration::ZERO);
+        let err = simulate_cancellable(&t, &mut Lru::new(4), SimConfig::default(), &token);
+        match err {
+            Err(SimError::DeadlineExceeded { refs_done }) => {
+                assert!(refs_done < t.ref_count(), "must stop before the end")
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
     }
 
     #[test]

@@ -236,6 +236,9 @@ impl Tracer for MetricsRegistry {
             SimEvent::CacheQuery { hit } => {
                 self.inc(if *hit { "cache_hits" } else { "cache_misses" });
             }
+            SimEvent::CacheQuarantine { lines } => {
+                self.add("cache_quarantined_lines", *lines);
+            }
         }
     }
 }
@@ -497,12 +500,14 @@ mod tests {
         );
         r.record(0, &SimEvent::CacheQuery { hit: true });
         r.record(0, &SimEvent::CacheQuery { hit: false });
+        r.record(0, &SimEvent::CacheQuarantine { lines: 4 });
         r.record(0, &SimEvent::SwapOut { process: 1 });
         r.record(0, &SimEvent::Recovered { total: 1 });
         r.record(0, &SimEvent::Degraded);
         assert_eq!(r.counter("jobs_done"), 1);
         assert_eq!(r.counter("cache_hits"), 1);
         assert_eq!(r.counter("cache_misses"), 1);
+        assert_eq!(r.counter("cache_quarantined_lines"), 4);
         assert_eq!(r.counter("swap_outs"), 1);
         assert_eq!(r.counter("swapper_invocations"), 1);
         assert_eq!(r.counter("recovered_directives"), 1);

@@ -104,6 +104,51 @@ fn event_stream_covers_the_directive_kinds() {
 }
 
 #[test]
+fn recovery_skips_exactly_the_torn_tail() {
+    // Write a traced run, then simulate a crash mid-append by cutting
+    // the file inside its final record: the checksummed reader must
+    // recover every intact line and skip exactly the torn tail.
+    let p = prepared();
+    let path = std::env::temp_dir().join(format!(
+        "cdmm_trace_events_torn_{}.jsonl",
+        std::process::id()
+    ));
+    let mut sink = JsonlSink::create(&path).expect("create jsonl sink");
+    p.run_cd_with(CdSelector::AtLevel(2), &mut sink);
+    let written = sink.written();
+    drop(sink);
+
+    let text = std::fs::read_to_string(&path).expect("read sink file");
+    let full = JsonlSink::recover_file(&path).expect("intact file recovers");
+    assert_eq!(full, (written, 0), "no torn tail before truncation");
+
+    // Cut halfway through the last record (keep its first byte so the
+    // remnant is a non-empty damaged line, not a clean trailing \n).
+    let last_start = text.trim_end().rfind('\n').expect("multi-line file") + 1;
+    let last_len = text.trim_end().len() - last_start;
+    let cut = last_start + last_len / 2;
+    std::fs::write(&path, &text.as_bytes()[..cut]).expect("truncate");
+
+    assert!(
+        JsonlSink::validate_file(&path).is_err(),
+        "strict validation must reject the torn file"
+    );
+    let (valid, torn) = JsonlSink::recover_file(&path).expect("torn tail is recoverable");
+    assert_eq!(valid, written - 1, "every line before the tear survives");
+    assert_eq!(torn, 1, "exactly the torn record is skipped");
+
+    // Mid-file damage is NOT a torn tail: corrupt an interior line and
+    // recovery must refuse.
+    let mut lines: Vec<&str> = text.trim_end().lines().collect();
+    lines[1] = "{\"v\":1,\"at\":99,\"ev\":\"fault\",\"rotten";
+    std::fs::write(&path, lines.join("\n")).expect("corrupt interior");
+    let err = JsonlSink::recover_file(&path).expect_err("interior rot is fatal");
+    assert!(err.contains("mid-file corruption"), "{err}");
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn tracing_is_inert_across_policies_and_workloads() {
     let specs = [
         PolicySpec::Cd {
