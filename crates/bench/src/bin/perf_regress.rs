@@ -31,7 +31,9 @@ use std::process::ExitCode;
 
 use cdmm_bench::artifact::Artifact;
 use cdmm_bench::profile::{profile, ProfileOptions};
-use cdmm_bench::regress::{compare, has_hard, retain_workloads, RegressOptions};
+use cdmm_bench::regress::{
+    aggregate_refs_per_sec, check_speedup, compare, has_hard, retain_workloads, RegressOptions,
+};
 use cdmm_bench::{tables_artifact, BenchEnv};
 
 fn baseline_dir() -> PathBuf {
@@ -118,6 +120,38 @@ fn main() -> ExitCode {
             );
         }
     }
+    // Trajectory speedup milestone: compare the fresh perf artifact's
+    // aggregate simulate throughput against an archived baseline (a
+    // file under baselines/trajectory/), e.g. the pre-run-level
+    // snapshot with a >=5x target. Wall-clock, so CDMM_WALL_ADVISORY
+    // downgrades a miss to a warning.
+    if let Ok(path) = std::env::var("CDMM_SPEEDUP_BASELINE") {
+        let min_speedup = std::env::var("CDMM_MIN_SPEEDUP")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(5.0);
+        let old = std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| Artifact::from_json(&text))
+            .unwrap_or_else(|e| panic!("CDMM_SPEEDUP_BASELINE {path}: {e}"));
+        let perf = &fresh[0];
+        let findings = check_speedup(&old, perf, min_speedup, &opts);
+        for f in &findings {
+            println!("BENCH_perf speedup: {f}");
+        }
+        if has_hard(&findings) {
+            failed = true;
+        } else if findings.is_empty() {
+            println!(
+                "BENCH_perf speedup: {:.3e} refs/sec aggregate, {:.2}x the archived {:.3e} \
+                 (milestone >={min_speedup}x met)",
+                aggregate_refs_per_sec(perf),
+                aggregate_refs_per_sec(perf) / aggregate_refs_per_sec(&old),
+                aggregate_refs_per_sec(&old),
+            );
+        }
+    }
+
     env.finish();
     if failed {
         ExitCode::FAILURE

@@ -88,6 +88,62 @@ pub fn retain_workloads(artifact: &mut Artifact, only: &[String]) {
     });
 }
 
+/// Aggregate simulate throughput of a perf artifact: total references
+/// over total simulate wall time across every entry, in refs/sec. The
+/// trajectory speedup milestones compare this single number across
+/// blessed baselines.
+pub fn aggregate_refs_per_sec(a: &Artifact) -> f64 {
+    let (mut refs, mut ns) = (0.0f64, 0.0f64);
+    for e in &a.entries {
+        refs += e.get("refs").map_or(0.0, |v| v.as_f64());
+        ns += e.get("simulate_ns").map_or(0.0, |v| v.as_f64());
+    }
+    if ns <= 0.0 {
+        0.0
+    } else {
+        refs / (ns / 1e9)
+    }
+}
+
+/// Checks a trajectory speedup milestone: `fresh`'s aggregate simulate
+/// throughput must be at least `min_speedup`× the archived `old`
+/// artifact's. Returns no findings when the milestone is met. This is
+/// a wall-clock comparison, so [`RegressOptions::advisory_wall`]
+/// downgrades a miss to a warning — but a baseline with no usable wall
+/// measurements is always hard (the comparison itself is broken).
+pub fn check_speedup(
+    old: &Artifact,
+    fresh: &Artifact,
+    min_speedup: f64,
+    opts: &RegressOptions,
+) -> Vec<Finding> {
+    let before = aggregate_refs_per_sec(old);
+    let after = aggregate_refs_per_sec(fresh);
+    if before <= 0.0 {
+        return vec![Finding {
+            severity: Severity::Hard,
+            message: "speedup baseline carries no simulate wall measurements".to_string(),
+        }];
+    }
+    let ratio = after / before;
+    if ratio < min_speedup {
+        let severity = if opts.advisory_wall {
+            Severity::Advisory
+        } else {
+            Severity::Hard
+        };
+        vec![Finding {
+            severity,
+            message: format!(
+                "aggregate simulate throughput {after:.3e} refs/sec is only {ratio:.2}x \
+                 the archived {before:.3e} (milestone: >={min_speedup}x)"
+            ),
+        }]
+    } else {
+        Vec::new()
+    }
+}
+
 /// Diffs `fresh` against `baseline`, returning every finding (hard
 /// first is NOT guaranteed; use [`has_hard`] for the verdict).
 pub fn compare(baseline: &Artifact, fresh: &Artifact, opts: &RegressOptions) -> Vec<Finding> {
@@ -308,6 +364,36 @@ mod tests {
         assert_eq!(baseline.entries[0].id, "MAIN/CD");
         // The subset baseline now matches a reduced fresh run cleanly.
         assert!(compare(&baseline, &base(), &RegressOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn speedup_milestone_gates_on_aggregate_throughput() {
+        let mk = |refs: u64, ns: u64| {
+            let mut a = Artifact::new("perf", "small");
+            a.entries.push(
+                Entry::new("MAIN/CD")
+                    .int("refs", refs)
+                    .int("simulate_ns", ns),
+            );
+            a
+        };
+        let before = mk(1_000_000, 1_000_000); // 1e9 refs/sec
+        assert!((aggregate_refs_per_sec(&before) - 1e9).abs() < 1e-3);
+        let after = mk(1_000_000, 200_000); // 5e9 refs/sec, exactly 5x
+        assert!(check_speedup(&before, &after, 5.0, &RegressOptions::default()).is_empty());
+        let slow = mk(1_000_000, 500_000); // only 2x
+        let findings = check_speedup(&before, &slow, 5.0, &RegressOptions::default());
+        assert!(has_hard(&findings), "{findings:?}");
+        let advisory = RegressOptions {
+            advisory_wall: true,
+            ..RegressOptions::default()
+        };
+        let findings = check_speedup(&before, &slow, 5.0, &advisory);
+        assert_eq!(findings.len(), 1);
+        assert!(!has_hard(&findings), "advisory mode never fails the gate");
+        // A broken baseline is hard even in advisory mode.
+        let empty = Artifact::new("perf", "small");
+        assert!(has_hard(&check_speedup(&empty, &after, 5.0, &advisory)));
     }
 
     #[test]

@@ -47,7 +47,9 @@ pub mod report;
 pub mod sweep;
 
 pub use cdmm_locality::PageGeometry;
+pub use cdmm_trace::{CancelToken, InterpError};
 pub use pipeline::{
-    prepare, selector_for, PipelineConfig, PipelineError, PolicySpec, Prepared, ValidateError,
+    prepare, prepare_cancellable, selector_for, PipelineConfig, PipelineError, PolicySpec,
+    Prepared, ValidateError,
 };
 pub use sweep::{panic_message, CacheKey, Executor, JobError, Point, ResultCache};

@@ -7,7 +7,10 @@ use cdmm_lang::LangError;
 use cdmm_locality::{
     analyze_program_with_mode, instrument, Analysis, InsertOptions, PageGeometry, SizerMode,
 };
-use cdmm_trace::{trace_program_compressed, CompressedTrace, InterpError};
+use cdmm_trace::{
+    trace_program_compressed, trace_program_compressed_cancellable, CancelToken, CompressedTrace,
+    InterpError,
+};
 use cdmm_vmsim::policy::cd::{CdPolicy, CdSelector};
 use cdmm_vmsim::policy::clock::Clock;
 use cdmm_vmsim::policy::fifo::Fifo;
@@ -17,7 +20,10 @@ use cdmm_vmsim::policy::pff::Pff;
 use cdmm_vmsim::policy::ws::WorkingSet;
 use cdmm_vmsim::policy::ws_variants::{DampedWs, SampledWs, VariableSampledWs};
 use cdmm_vmsim::policy::Policy;
-use cdmm_vmsim::{simulate, simulate_with, Metrics, SimConfig, SimError, Tracer};
+use cdmm_vmsim::{
+    simulate_run_level, simulate_run_level_cancellable, simulate_with, Metrics, SimConfig,
+    SimError, Tracer,
+};
 use cdmm_workloads::DirectiveLevel;
 
 /// Pipeline-wide knobs.
@@ -138,6 +144,42 @@ pub fn prepare(
     let plain_trace =
         trace_program_compressed(source, config.geometry).map_err(PipelineError::Interp)?;
     let cd_trace = trace_program_compressed(&instrumented_src, config.geometry)
+        .map_err(PipelineError::Interp)?;
+    check_alignment(&plain_trace, &cd_trace).map_err(PipelineError::Validate)?;
+    let fingerprint = content_fingerprint(source, &plain_trace, &cd_trace, &config);
+    Ok(Prepared {
+        name: name.to_string(),
+        analysis,
+        instrumented_source: instrumented_src,
+        plain_trace,
+        cd_trace,
+        config,
+        fingerprint,
+    })
+}
+
+/// [`prepare`] under a cooperative [`CancelToken`].
+///
+/// Trace generation dominates prepare time — a pathological inline
+/// source can demand billions of interpreter events — so the
+/// interpreter polls the token every
+/// [`cdmm_trace::interp::POLL_INTERVAL`] emitted events and aborts with
+/// [`InterpError::Cancelled`] (surfaced as [`PipelineError::Interp`])
+/// when a deadline expires mid-trace. An uncancelled run returns
+/// exactly what [`prepare`] would.
+pub fn prepare_cancellable(
+    name: &str,
+    source: &str,
+    config: PipelineConfig,
+    token: &CancelToken,
+) -> Result<Prepared, PipelineError> {
+    let analysis = analyze_program_with_mode(source, config.geometry, config.sizer_mode)
+        .map_err(PipelineError::Lang)?;
+    let instrumented = instrument(&analysis, config.insert);
+    let instrumented_src = cdmm_lang::to_source(&instrumented);
+    let plain_trace = trace_program_compressed_cancellable(source, config.geometry, token)
+        .map_err(PipelineError::Interp)?;
+    let cd_trace = trace_program_compressed_cancellable(&instrumented_src, config.geometry, token)
         .map_err(PipelineError::Interp)?;
     check_alignment(&plain_trace, &cd_trace).map_err(PipelineError::Validate)?;
     let fingerprint = content_fingerprint(source, &plain_trace, &cd_trace, &config);
@@ -346,9 +388,13 @@ impl Prepared {
     }
 
     /// Runs the CD policy with the given request selector.
+    ///
+    /// Executes at run granularity ([`simulate_run_level`]): the
+    /// compressed trace's constant-stride runs hit CD's batch kernels,
+    /// with byte-identical [`Metrics`] to the per-reference driver.
     pub fn run_cd(&self, selector: CdSelector) -> Metrics {
         let mut cd = CdPolicy::new(selector).with_min_alloc(self.config.min_alloc);
-        simulate(&self.cd_trace, &mut cd, self.sim_config())
+        simulate_run_level(&self.cd_trace, &mut cd, self.sim_config())
     }
 
     /// [`Prepared::run_cd`] with an event tracer attached.
@@ -362,13 +408,14 @@ impl Prepared {
         let mut cd = CdPolicy::new(selector)
             .with_min_alloc(self.config.min_alloc)
             .with_locks(false);
-        simulate(&self.cd_trace, &mut cd, self.sim_config())
+        simulate_run_level(&self.cd_trace, &mut cd, self.sim_config())
     }
 
-    /// Runs fixed-allocation LRU with `frames` pages.
+    /// Runs fixed-allocation LRU with `frames` pages, at run
+    /// granularity ([`simulate_run_level`]).
     pub fn run_lru(&self, frames: usize) -> Metrics {
         let mut lru = Lru::new(frames.max(1));
-        simulate(&self.plain_trace, &mut lru, self.sim_config())
+        simulate_run_level(&self.plain_trace, &mut lru, self.sim_config())
     }
 
     /// [`Prepared::run_lru`] with an event tracer attached.
@@ -377,10 +424,11 @@ impl Prepared {
         simulate_with(&self.plain_trace, &mut lru, self.sim_config(), tracer)
     }
 
-    /// Runs the Working Set policy with window `tau`.
+    /// Runs the Working Set policy with window `tau`, at run
+    /// granularity ([`simulate_run_level`]).
     pub fn run_ws(&self, tau: u64) -> Metrics {
         let mut ws = WorkingSet::new(tau.max(1));
-        simulate(&self.plain_trace, &mut ws, self.sim_config())
+        simulate_run_level(&self.plain_trace, &mut ws, self.sim_config())
     }
 
     /// [`Prepared::run_ws`] with an event tracer attached.
@@ -443,8 +491,12 @@ impl Prepared {
             PolicySpec::Lru { frames } => self.run_lru(frames),
             PolicySpec::Ws { tau } => self.run_ws(tau),
             _ => {
+                // Run-level dispatch helps here too: one virtual
+                // `reference_run` call per compressed run instead of
+                // three virtual calls per reference, with the default
+                // per-ref decode inside.
                 let mut policy = self.build_policy(spec);
-                simulate(self.trace_for(spec), policy.as_mut(), self.sim_config())
+                simulate_run_level(self.trace_for(spec), policy.as_mut(), self.sim_config())
             }
         }
     }
@@ -465,7 +517,7 @@ impl Prepared {
         token: &cdmm_vmsim::CancelToken,
     ) -> Result<Metrics, SimError> {
         let mut policy = self.build_policy(spec);
-        cdmm_vmsim::simulate_cancellable(
+        simulate_run_level_cancellable(
             self.trace_for(spec),
             policy.as_mut(),
             self.sim_config(),
@@ -644,6 +696,34 @@ mod tests {
             p.run_policy_cancellable(spec, &token),
             Err(SimError::DeadlineExceeded { refs_done: 0 })
         );
+    }
+
+    #[test]
+    fn cancellable_prepare_matches_and_stops_mid_trace() {
+        use std::time::Duration;
+        let w = by_name("MAIN", Scale::Small).unwrap();
+        let token = CancelToken::new();
+        let a = prepare(w.name, &w.source, PipelineConfig::default()).unwrap();
+        let b = prepare_cancellable(w.name, &w.source, PipelineConfig::default(), &token).unwrap();
+        assert_eq!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "an idle token must not perturb prepare"
+        );
+
+        // A huge inline program (~10M references) with an expired
+        // deadline: trace generation must abort at an interpreter poll,
+        // long before the event stream completes.
+        let huge = "PROGRAM T\nDIMENSION V(64)\nDO 20 J = 1, 160000\nDO 10 I = 1, 64\n\
+                    V(I) = 1.0\n10 CONTINUE\n20 CONTINUE\nEND";
+        let token = CancelToken::with_deadline(Duration::ZERO);
+        let err = prepare_cancellable("HUGE", huge, PipelineConfig::default(), &token).unwrap_err();
+        match err {
+            PipelineError::Interp(InterpError::Cancelled { events_done }) => {
+                assert!(events_done < 10_000_000, "stopped early");
+            }
+            other => panic!("expected cancellation, got {other}"),
+        }
     }
 
     #[test]

@@ -191,6 +191,16 @@ pub fn fingerprint_compressed(h: &mut KeyHasher, t: &CompressedTrace) {
                 h.write_u64(*stride as u32 as u64);
                 h.write_u64(*len as u64);
             }
+            COp::Cycle { body, reps } => {
+                h.write_u64(6);
+                h.write_u64(*reps as u64);
+                h.write_u64(body.len() as u64);
+                for r in body.iter() {
+                    h.write_u64(r.start.0 as u64);
+                    h.write_u64(r.stride as u32 as u64);
+                    h.write_u64(r.len as u64);
+                }
+            }
             COp::Dir(e) => fingerprint_event(h, e),
         }
     }

@@ -10,10 +10,12 @@
 //!   per-job `catch_unwind` isolation *and* a per-attempt retry loop
 //!   with seeded, jittered exponential backoff; a panicking job costs
 //!   one `panic` response, never the batch.
-//! - **Deadlines** — each job gets a [`CancelToken`]; the simulator
-//!   polls it once per compressed trace run, so an expired deadline
-//!   surfaces as a typed `deadline_exceeded` response without putting a
-//!   branch in the per-reference hot loop.
+//! - **Deadlines** — each job gets a [`CancelToken`] created before any
+//!   work starts; the trace interpreter polls it every few thousand
+//!   emitted events and the simulator once per compressed trace run, so
+//!   an expired deadline surfaces as a typed `deadline_exceeded`
+//!   response — whether it expires during prepare or simulate — without
+//!   putting a branch in the per-reference hot loop.
 //! - **Crash-safe caching** — results are memoized in a [`ResultCache`]
 //!   whose persistence is atomic-rename-based and fsck'd at startup, so
 //!   a `kill -9` mid-flush never corrupts warm state.
@@ -31,7 +33,9 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use cdmm_core::sweep::spec_key;
-use cdmm_core::{panic_message, prepare, Executor, Prepared, ResultCache};
+use cdmm_core::{
+    panic_message, prepare_cancellable, Executor, InterpError, PipelineError, Prepared, ResultCache,
+};
 use cdmm_vmsim::{CancelToken, Histogram, Metrics, SimError};
 use cdmm_workloads::by_name;
 
@@ -305,10 +309,28 @@ impl BatchService {
         }
     }
 
-    /// One attempt: resolve the program, consult the cache, simulate
-    /// under the job's deadline.
+    /// One attempt: start the deadline clock, resolve the program (trace
+    /// generation polls the token), consult the cache, simulate under
+    /// the same token.
     fn execute(&self, req: &JobRequest) -> JobOutcome {
-        let prepared = match self.prepared_for(req) {
+        // The clock starts before any work: prepare — whose trace
+        // generation a pathological inline source can stretch without
+        // bound — counts against the deadline too.
+        let token = match req.deadline_ms.or(self.config.default_deadline_ms) {
+            Some(ms) => CancelToken::with_deadline(Duration::from_millis(ms)),
+            None => CancelToken::new(),
+        };
+        if token.should_stop() {
+            // A born-expired deadline (deadline_ms: 0) must fail
+            // identically whether or not the program or its result is
+            // already memoized — so it short-circuits before either
+            // lookup can introduce a replay-order dependence.
+            return JobOutcome::Err {
+                kind: ErrorKind::DeadlineExceeded,
+                detail: "deadline expired after 0 references".to_string(),
+            };
+        }
+        let prepared = match self.prepared_for(req, &token) {
             Ok(p) => p,
             Err(outcome) => return outcome,
         };
@@ -317,10 +339,6 @@ impl BatchService {
         if let Some(metrics) = self.cache.lookup(key) {
             return JobOutcome::Ok { label, metrics };
         }
-        let token = match req.deadline_ms.or(self.config.default_deadline_ms) {
-            Some(ms) => CancelToken::with_deadline(Duration::from_millis(ms)),
-            None => CancelToken::new(),
-        };
         let t0 = Instant::now();
         match prepared.run_policy_cancellable(req.policy, &token) {
             Ok(metrics) => {
@@ -339,8 +357,15 @@ impl BatchService {
         }
     }
 
-    /// Resolves and memoizes the prepared program a request names.
-    fn prepared_for(&self, req: &JobRequest) -> Result<Arc<Prepared>, JobOutcome> {
+    /// Resolves and memoizes the prepared program a request names. A
+    /// deadline expiring during trace generation surfaces as a typed
+    /// `deadline_exceeded`; cancelled prepares are never memoized (only
+    /// completed ones reach the memo insert).
+    fn prepared_for(
+        &self,
+        req: &JobRequest,
+        token: &CancelToken,
+    ) -> Result<Arc<Prepared>, JobOutcome> {
         let (name, source) = match &req.work {
             WorkSource::Named(n) => match by_name(n, req.scale) {
                 Some(w) => (w.name.to_string(), w.source),
@@ -364,7 +389,7 @@ impl BatchService {
         {
             return Ok(p);
         }
-        match prepare(&name, &source, cfg) {
+        match prepare_cancellable(&name, &source, cfg, token) {
             Ok(p) => {
                 let p = Arc::new(p);
                 self.programs
@@ -372,6 +397,14 @@ impl BatchService {
                     .expect("programs lock")
                     .insert(memo_key, Arc::clone(&p));
                 Ok(p)
+            }
+            Err(PipelineError::Interp(InterpError::Cancelled { events_done })) => {
+                Err(JobOutcome::Err {
+                    kind: ErrorKind::DeadlineExceeded,
+                    detail: format!(
+                        "deadline expired after {events_done} trace events during prepare"
+                    ),
+                })
             }
             Err(e) => Err(JobOutcome::Err {
                 kind: ErrorKind::Pipeline,

@@ -14,7 +14,7 @@
 //! the flat event vector — and [`EventSource`] lets `simulate` and the
 //! stack-distance profiler consume either representation unchanged.
 
-use crate::event::{Event, EventRef, EventSource, PageId, Trace};
+use crate::event::{Event, EventRef, EventSource, PageId, Run, RunRef, Trace};
 
 /// One compressed trace operation.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,6 +28,20 @@ pub enum COp {
         stride: i32,
         /// Number of references (≥ 1).
         len: u32,
+    },
+    /// The run sequence `body` repeated `reps ≥ 2` times back-to-back.
+    /// Numerical loops emit the same short run pattern once per
+    /// iteration (`A(I)+B(I)` alternates two or three pages at page
+    /// granularity), so the greedy run coalescer above produces long
+    /// stretches of *identical* run ops; [`TraceBuilder::finish`] folds
+    /// those into one `Cycle`, which is what lets the policy kernels
+    /// batch whole iterations once a fault-free steady state is
+    /// reached. Bodies never contain directives.
+    Cycle {
+        /// One iteration's runs, in reference order.
+        body: Box<[Run]>,
+        /// How many times the body repeats (≥ 2).
+        reps: u32,
     },
     /// A directive event, stored verbatim (never `Event::Ref`).
     Dir(Event),
@@ -114,6 +128,7 @@ impl CompressedTrace {
             cur: 0,
             stride: 0,
             remaining: 0,
+            cycle: None,
         }
     }
 }
@@ -130,6 +145,13 @@ impl EventSource for CompressedTrace {
                         p += stride;
                     }
                 }
+                COp::Cycle { body, reps } => {
+                    for _ in 0..*reps {
+                        for r in body.iter() {
+                            r.for_each_page(|p| f(EventRef::Ref(p)));
+                        }
+                    }
+                }
                 COp::Dir(d) => f(EventRef::Directive(d)),
             }
         }
@@ -140,8 +162,10 @@ impl EventSource for CompressedTrace {
         K: FnMut() -> bool,
         F: FnMut(EventRef<'_>),
     {
-        // One poll per op: a run decodes with the same tight counted
-        // loop as `for_each_event`, so cancellation costs O(ops), not
+        // One poll per op — or per cycle iteration, so a folded loop
+        // with a huge repetition count cannot starve the poll — while
+        // runs decode with the same tight counted loop as
+        // `for_each_event`. Cancellation costs O(ops + iterations), not
         // O(references).
         for op in &self.ops {
             if !keep_going() {
@@ -156,7 +180,61 @@ impl EventSource for CompressedTrace {
                         p += stride;
                     }
                 }
+                COp::Cycle { body, reps } => {
+                    for i in 0..*reps {
+                        if i > 0 && !keep_going() {
+                            return false;
+                        }
+                        for r in body.iter() {
+                            r.for_each_page(|p| f(EventRef::Ref(p)));
+                        }
+                    }
+                }
                 COp::Dir(d) => f(EventRef::Directive(d)),
+            }
+        }
+        true
+    }
+
+    fn for_each_run<F: FnMut(RunRef<'_>)>(&self, mut f: F) {
+        // Whole `COp::Run`s and `COp::Cycle`s, no decode loop at all:
+        // this is the payoff of storing the trace compressed.
+        // Directives were flushed into their own ops by `TraceBuilder`,
+        // so runs never straddle them and cycle bodies never contain
+        // them.
+        for op in &self.ops {
+            match op {
+                COp::Run { start, stride, len } => f(RunRef::Run {
+                    start: PageId(*start),
+                    stride: *stride,
+                    len: *len,
+                }),
+                COp::Cycle { body, reps } => f(RunRef::Cycle { body, reps: *reps }),
+                COp::Dir(d) => f(RunRef::Directive(d)),
+            }
+        }
+    }
+
+    fn for_each_run_while<K, F>(&self, mut keep_going: K, mut f: F) -> bool
+    where
+        K: FnMut() -> bool,
+        F: FnMut(RunRef<'_>),
+    {
+        // Same poll cadence as `for_each_run`: once per op. A cycle is
+        // one op — its kernel-side cost is O(body) once steady, so the
+        // poll interval stays bounded.
+        for op in &self.ops {
+            if !keep_going() {
+                return false;
+            }
+            match op {
+                COp::Run { start, stride, len } => f(RunRef::Run {
+                    start: PageId(*start),
+                    stride: *stride,
+                    len: *len,
+                }),
+                COp::Cycle { body, reps } => f(RunRef::Cycle { body, reps: *reps }),
+                COp::Dir(d) => f(RunRef::Directive(d)),
             }
         }
         true
@@ -164,13 +242,23 @@ impl EventSource for CompressedTrace {
 
     fn for_each_ref<F: FnMut(PageId)>(&self, mut f: F) {
         for op in &self.ops {
-            if let COp::Run { start, stride, len } = op {
-                let mut p = *start as i64;
-                let stride = *stride as i64;
-                for _ in 0..*len {
-                    f(PageId(p as u32));
-                    p += stride;
+            match op {
+                COp::Run { start, stride, len } => {
+                    let mut p = *start as i64;
+                    let stride = *stride as i64;
+                    for _ in 0..*len {
+                        f(PageId(p as u32));
+                        p += stride;
+                    }
                 }
+                COp::Cycle { body, reps } => {
+                    for _ in 0..*reps {
+                        for r in body.iter() {
+                            r.for_each_page(&mut f);
+                        }
+                    }
+                }
+                COp::Dir(_) => {}
             }
         }
     }
@@ -183,13 +271,18 @@ impl EventSource for CompressedTrace {
         if self.virtual_pages > 0 {
             self.virtual_pages as usize
         } else {
+            fn run_hint(start: u32, stride: i32, len: u32) -> usize {
+                let end = start as i64 + stride as i64 * (len as i64 - 1);
+                (start as i64).max(end) as usize + 1
+            }
             self.ops
                 .iter()
                 .filter_map(|op| match op {
-                    COp::Run { start, stride, len } => {
-                        let end = *start as i64 + *stride as i64 * (*len as i64 - 1);
-                        Some((*start as i64).max(end) as usize + 1)
-                    }
+                    COp::Run { start, stride, len } => Some(run_hint(*start, *stride, *len)),
+                    COp::Cycle { body, .. } => body
+                        .iter()
+                        .map(|r| run_hint(r.start.0, r.stride, r.len))
+                        .max(),
                     COp::Dir(_) => None,
                 })
                 .max()
@@ -206,6 +299,18 @@ pub struct RefIter<'a> {
     cur: i64,
     stride: i64,
     remaining: u32,
+    /// In-flight cycle: its body, the next body run to decode, and how
+    /// many whole iterations remain after the current one.
+    cycle: Option<(&'a [Run], usize, u32)>,
+}
+
+impl<'a> RefIter<'a> {
+    /// Arms the decode state for one constant-stride run.
+    fn load_run(&mut self, start: u32, stride: i32, len: u32) {
+        self.cur = start as i64;
+        self.stride = stride as i64;
+        self.remaining = len;
+    }
 }
 
 impl Iterator for RefIter<'_> {
@@ -213,12 +318,25 @@ impl Iterator for RefIter<'_> {
 
     fn next(&mut self) -> Option<PageId> {
         while self.remaining == 0 {
+            if let Some((body, next_run, reps_left)) = self.cycle {
+                if next_run < body.len() {
+                    let r = body[next_run];
+                    self.load_run(r.start.0, r.stride, r.len);
+                    self.cycle = Some((body, next_run + 1, reps_left));
+                    continue;
+                }
+                if reps_left > 0 {
+                    self.cycle = Some((body, 0, reps_left - 1));
+                    continue;
+                }
+                self.cycle = None;
+            }
             let op = self.ops.get(self.next_op)?;
             self.next_op += 1;
-            if let COp::Run { start, stride, len } = op {
-                self.cur = *start as i64;
-                self.stride = *stride as i64;
-                self.remaining = *len;
+            match op {
+                COp::Run { start, stride, len } => self.load_run(*start, *stride, *len),
+                COp::Cycle { body, reps } => self.cycle = Some((body, 0, *reps - 1)),
+                COp::Dir(_) => {}
             }
         }
         let page = PageId(self.cur as u32);
@@ -326,15 +444,93 @@ impl TraceBuilder {
         self.ops.push(COp::Dir(event));
     }
 
-    /// Seals the builder into a trace over `virtual_pages` pages.
+    /// Seals the builder into a trace over `virtual_pages` pages,
+    /// folding repeated run windows into [`COp::Cycle`]s.
     pub fn finish(mut self, virtual_pages: u32) -> CompressedTrace {
         self.flush();
         CompressedTrace {
-            ops: self.ops,
+            ops: fold_cycles(self.ops),
             refs: self.refs,
             virtual_pages,
         }
     }
+}
+
+/// Longest run window a cycle body may span. Numerical loop bodies at
+/// page granularity rarely exceed a handful of runs per iteration;
+/// keeping the window short bounds the fold pass at `O(MAX · ops)`.
+const MAX_CYCLE_BODY: usize = 8;
+
+/// Minimum repetition count worth folding: below three iterations the
+/// policy kernels cannot skip anything (they need warm-up iterations to
+/// prove a steady state), so short repeats stay as plain runs.
+const MIN_CYCLE_REPS: u32 = 3;
+
+/// Folds consecutive repetitions of an identical run window into
+/// [`COp::Cycle`] ops. The greedy coalescer already merged maximal
+/// constant-stride bursts, so a loop iterating over interleaved arrays
+/// leaves a fingerprint of *identical* short run ops, one group per
+/// iteration — exactly what this pass detects. Decoding a `Cycle`
+/// reproduces the folded ops verbatim, so the event stream is
+/// unchanged. Directives are never folded.
+fn fold_cycles(ops: Vec<COp>) -> Vec<COp> {
+    let mut out = Vec::with_capacity(ops.len());
+    let mut i = 0;
+    while i < ops.len() {
+        // Pick the window size maximizing the references covered.
+        let mut best: Option<(usize, u32, u64)> = None; // (w, reps, refs)
+        for w in 1..=MAX_CYCLE_BODY {
+            if i + 2 * w > ops.len() {
+                break;
+            }
+            if !matches!(ops[i + w - 1], COp::Run { .. }) {
+                // A directive (or an already-folded cycle) at the window
+                // edge blocks this and every wider window.
+                break;
+            }
+            let mut reps = 1u32;
+            let mut j = i + w;
+            while j + w <= ops.len() && ops[j..j + w] == ops[i..i + w] {
+                reps += 1;
+                j += w;
+            }
+            if reps >= MIN_CYCLE_REPS {
+                let body_refs: u64 = ops[i..i + w]
+                    .iter()
+                    .map(|op| match op {
+                        COp::Run { len, .. } => *len as u64,
+                        _ => 0,
+                    })
+                    .sum();
+                let covered = body_refs * reps as u64;
+                if best.is_none_or(|(_, _, b)| covered > b) {
+                    best = Some((w, reps, covered));
+                }
+            }
+        }
+        match best {
+            Some((w, reps, _)) => {
+                let body: Box<[Run]> = ops[i..i + w]
+                    .iter()
+                    .map(|op| match op {
+                        COp::Run { start, stride, len } => Run {
+                            start: PageId(*start),
+                            stride: *stride,
+                            len: *len,
+                        },
+                        _ => unreachable!("cycle windows contain only runs"),
+                    })
+                    .collect();
+                out.push(COp::Cycle { body, reps });
+                i += w * reps as usize;
+            }
+            None => {
+                out.push(ops[i].clone());
+                i += 1;
+            }
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -358,12 +554,80 @@ mod tests {
     fn stride_one_sweep_compresses_to_one_op_per_cycle() {
         let t = synth::cyclic(64, 10);
         let c = roundtrip(&t);
-        assert_eq!(c.op_count(), 10, "one run per sweep");
-        match c.ops()[0] {
-            COp::Run { start, stride, len } => {
-                assert_eq!((start, stride, len), (0, 1, 64));
+        // Ten identical stride-1 sweeps fold into a single cycle op.
+        assert_eq!(c.op_count(), 1, "one cycle op for the whole loop");
+        match &c.ops()[0] {
+            COp::Cycle { body, reps } => {
+                assert_eq!(*reps, 10);
+                assert_eq!(
+                    **body,
+                    [Run {
+                        start: PageId(0),
+                        stride: 1,
+                        len: 64
+                    }]
+                );
             }
-            ref other => panic!("expected a run, got {other:?}"),
+            other => panic!("expected a cycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn interleaved_loop_folds_into_a_cycle() {
+        // A(I)+B(I)-style alternation: pages 0,9,0,9,… — each iteration
+        // is one stride-9 run of length 2, identical every time.
+        let refs: Vec<u32> = (0..12).map(|i| if i % 2 == 0 { 0 } else { 9 }).collect();
+        let t = Trace::from_events(refs.iter().map(|&p| Event::Ref(PageId(p))).collect());
+        let c = roundtrip(&t);
+        assert_eq!(c.op_count(), 1, "{:?}", c.ops());
+        assert!(matches!(&c.ops()[0], COp::Cycle { reps: 6, .. }));
+    }
+
+    #[test]
+    fn two_repeats_stay_as_plain_runs() {
+        // Below MIN_CYCLE_REPS the fold would buy the kernels nothing.
+        let refs: Vec<u32> = vec![0, 9, 0, 9];
+        let t = Trace::from_events(refs.iter().map(|&p| Event::Ref(PageId(p))).collect());
+        let c = roundtrip(&t);
+        assert!(
+            c.ops().iter().all(|op| matches!(op, COp::Run { .. })),
+            "{:?}",
+            c.ops()
+        );
+    }
+
+    #[test]
+    fn directives_are_never_folded() {
+        // LOCK between iterations: the repeated window spans a
+        // directive, so nothing folds even though the runs repeat.
+        let mut events = Vec::new();
+        for _ in 0..5 {
+            events.push(Event::Ref(PageId(0)));
+            events.push(Event::Ref(PageId(9)));
+            events.push(Event::Unlock { ranges: vec![] });
+        }
+        let t = Trace::from_events(events);
+        let c = roundtrip(&t);
+        assert_eq!(c.directive_count(), 5);
+        assert!(c.ops().iter().all(|op| !matches!(op, COp::Cycle { .. })));
+    }
+
+    #[test]
+    fn wider_window_wins_when_it_covers_more() {
+        // Iterations of two runs each: [0,1,2][50,40,30] × 4. A width-1
+        // window never repeats consecutively; width 2 covers all refs.
+        let mut refs: Vec<u32> = Vec::new();
+        for _ in 0..4 {
+            refs.extend([0, 1, 2, 50, 40, 30]);
+        }
+        let t = Trace::from_events(refs.iter().map(|&p| Event::Ref(PageId(p))).collect());
+        let c = roundtrip(&t);
+        match &c.ops()[0] {
+            COp::Cycle { body, reps } => {
+                assert_eq!(*reps, 4);
+                assert_eq!(body.len(), 2);
+            }
+            other => panic!("expected a cycle, got {other:?}"),
         }
     }
 
@@ -411,6 +675,72 @@ mod tests {
         assert_eq!(b.logical_len(), Trace::ref_count(&t));
         let c = b.finish(t.virtual_pages);
         assert_eq!(c, CompressedTrace::from_trace(&t));
+    }
+
+    /// Decodes a [`RunRef`] stream back to flat events, for comparing
+    /// run iteration against event iteration.
+    fn decode_runs<S: EventSource>(src: &S) -> Vec<Event> {
+        let mut out = Vec::new();
+        src.for_each_run(|r| match r {
+            RunRef::Run { start, stride, len } => {
+                let mut p = start.0 as i64;
+                for _ in 0..len {
+                    out.push(Event::Ref(PageId(p as u32)));
+                    p += stride as i64;
+                }
+            }
+            RunRef::Cycle { body, reps } => {
+                for _ in 0..reps {
+                    for r in body {
+                        r.for_each_page(|p| out.push(Event::Ref(p)));
+                    }
+                }
+            }
+            RunRef::Directive(d) => out.push(d.clone()),
+        });
+        out
+    }
+
+    #[test]
+    fn run_iteration_decodes_to_the_event_stream() {
+        for t in [
+            synth::uniform(40, 2_000, 3),
+            synth::nested_loops(5, 3, 9, 2),
+            synth::cyclic(64, 10),
+            Trace::default(),
+        ] {
+            let c = CompressedTrace::from_trace(&t);
+            assert_eq!(decode_runs(&c), t.events, "compressed runs decode");
+            // The default (flat-trace) implementation degrades to len-1
+            // runs but must decode to the same stream.
+            assert_eq!(decode_runs(&t), t.events, "flat runs decode");
+            let whole = c.for_each_run_while(|| true, |_| {});
+            assert!(whole, "idle keep_going consumes the source");
+        }
+    }
+
+    #[test]
+    fn run_while_polls_once_per_op() {
+        let t = synth::cyclic(64, 10);
+        let c = CompressedTrace::from_trace(&t);
+        let mut polls = 0u32;
+        let mut runs = 0u32;
+        let whole = c.for_each_run_while(
+            || {
+                polls += 1;
+                true
+            },
+            |_| runs += 1,
+        );
+        assert!(whole);
+        assert_eq!(runs, c.op_count() as u32);
+        assert_eq!(polls, c.op_count() as u32, "one poll per op, not per ref");
+
+        // A dead token stops before the first run is delivered.
+        let mut delivered = 0u32;
+        let whole = c.for_each_run_while(|| false, |_| delivered += 1);
+        assert!(!whole);
+        assert_eq!(delivered, 0);
     }
 
     #[test]

@@ -143,6 +143,65 @@ pub enum EventRef<'a> {
     Directive(&'a Event),
 }
 
+/// One constant-stride reference run as plain data: `len` references
+/// `start, start+stride, start+2·stride, …`. This is the body element
+/// of a [`RunRef::Cycle`] (and of `COp::Cycle` in the compressed
+/// trace): a loop iteration is a short sequence of these, repeated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Run {
+    /// First page of the run.
+    pub start: PageId,
+    /// Per-reference page delta (0 for repeated touches).
+    pub stride: i32,
+    /// Number of references (≥ 1).
+    pub len: u32,
+}
+
+impl Run {
+    /// Streams the run's pages in order.
+    #[inline]
+    pub fn for_each_page<F: FnMut(PageId)>(&self, mut f: F) {
+        let mut p = self.start.0 as i64;
+        let stride = self.stride as i64;
+        for _ in 0..self.len {
+            f(PageId(p as u32));
+            p += stride;
+        }
+    }
+}
+
+/// One *run* as seen by a streaming consumer: a maximal constant-stride
+/// burst of page references, a repeated run-sequence (a loop), or a
+/// directive delivered verbatim. This is the unit the run-level policy
+/// kernels consume — a source that knows its run structure (a
+/// [`crate::CompressedTrace`]) hands whole runs and cycles over so the
+/// kernel can apply their closed-form effect, while a flat [`Trace`]
+/// degrades to length-1 runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RunRef<'a> {
+    /// `len` references `start, start+stride, start+2·stride, …`.
+    /// Every decoded page is a valid `u32` by construction.
+    Run {
+        /// First page of the run.
+        start: PageId,
+        /// Per-reference page delta (0 for repeated touches).
+        stride: i32,
+        /// Number of references (≥ 1).
+        len: u32,
+    },
+    /// The run sequence `body`, repeated `reps` times back-to-back — a
+    /// loop nest's steady beat. Bodies never contain directives, and
+    /// `reps ≥ 2`.
+    Cycle {
+        /// One iteration's runs, in reference order.
+        body: &'a [Run],
+        /// How many times the body repeats (≥ 2).
+        reps: u32,
+    },
+    /// A runtime directive (`Alloc`/`Lock`/`Unlock`; never `Ref`).
+    Directive(&'a Event),
+}
+
 /// Anything the simulator can stream events out of — a plain [`Trace`]
 /// or a compressed one — without materializing a `Vec<Event>`.
 ///
@@ -164,6 +223,42 @@ pub trait EventSource {
     where
         K: FnMut() -> bool,
         F: FnMut(EventRef<'_>);
+
+    /// Streams the trace as constant-stride [`RunRef`]s plus verbatim
+    /// directives. Runs never contain directives — a directive always
+    /// splits the surrounding reference burst (the compressed builder
+    /// flushes its pending run before every directive). The default
+    /// degrades each reference to a length-1 run; sources that know
+    /// their run structure override this to deliver whole runs.
+    fn for_each_run<F: FnMut(RunRef<'_>)>(&self, mut f: F) {
+        self.for_each_event(|e| match e {
+            EventRef::Ref(p) => f(RunRef::Run {
+                start: p,
+                stride: 0,
+                len: 1,
+            }),
+            EventRef::Directive(d) => f(RunRef::Directive(d)),
+        });
+    }
+
+    /// [`Self::for_each_run`] with the same cancellation contract as
+    /// [`Self::for_each_event_while`]: `keep_going()` is polled at run
+    /// boundaries (once per compressed op), never inside a run. Returns
+    /// `true` when the whole source was consumed.
+    fn for_each_run_while<K, F>(&self, keep_going: K, mut f: F) -> bool
+    where
+        K: FnMut() -> bool,
+        F: FnMut(RunRef<'_>),
+    {
+        self.for_each_event_while(keep_going, |e| match e {
+            EventRef::Ref(p) => f(RunRef::Run {
+                start: p,
+                stride: 0,
+                len: 1,
+            }),
+            EventRef::Directive(d) => f(RunRef::Directive(d)),
+        })
+    }
 
     /// Streams only the page references, in order.
     fn for_each_ref<F: FnMut(PageId)>(&self, mut f: F) {

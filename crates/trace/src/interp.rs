@@ -14,9 +14,17 @@ use cdmm_lang::ast::{BinOp, Directive, Expr, Program, RelOp, Stmt, UnOp};
 use cdmm_lang::sema::SymbolTable;
 use cdmm_lang::LangError;
 
+use crate::cancel::CancelToken;
 use crate::compress::{CompressedTrace, TraceBuilder};
 use crate::event::{Event, Trace};
 use crate::layout::MemoryLayout;
+
+/// How many emitted events pass between [`CancelToken`] polls. A poll
+/// reads the monotonic clock when a deadline is set, which would
+/// dominate the ~nanoseconds it takes to emit one reference; every 4096
+/// events the cost vanishes while a deadline still bounds `prepare`
+/// within a fraction of a millisecond of trace generation.
+pub const POLL_INTERVAL: u64 = 4096;
 
 /// Interpreter limits and switches.
 #[derive(Debug, Clone, Copy)]
@@ -69,6 +77,12 @@ pub enum InterpError {
         /// The configured cap.
         limit: u64,
     },
+    /// A [`CancelToken`] stopped trace generation (cancellation or an
+    /// expired deadline).
+    Cancelled {
+        /// Logical events emitted before the stop.
+        events_done: u64,
+    },
 }
 
 impl fmt::Display for InterpError {
@@ -88,6 +102,9 @@ impl fmt::Display for InterpError {
             InterpError::EventLimit { limit } => {
                 write!(f, "trace exceeded the {limit}-event limit")
             }
+            InterpError::Cancelled { events_done } => {
+                write!(f, "trace generation cancelled after {events_done} events")
+            }
         }
     }
 }
@@ -106,6 +123,7 @@ pub struct Interpreter<'a> {
     /// the flat `Vec<Event>` only exists if a caller asks for it.
     builder: TraceBuilder,
     emitted: u64,
+    cancel: Option<CancelToken>,
 }
 
 impl<'a> Interpreter<'a> {
@@ -129,12 +147,20 @@ impl<'a> Interpreter<'a> {
             arrays,
             builder: TraceBuilder::new(),
             emitted: 0,
+            cancel: None,
         }
     }
 
     /// Overrides the interpreter limits.
     pub fn with_config(mut self, config: InterpConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Attaches a cancellation token, polled every [`POLL_INTERVAL`]
+    /// emitted events so a deadline bounds trace generation too.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
         self
     }
 
@@ -170,12 +196,22 @@ impl<'a> Interpreter<'a> {
         Ok((trace, state))
     }
 
-    /// Charges one logical event against the runaway-trace cap.
+    /// Charges one logical event against the runaway-trace cap and, on
+    /// the poll cadence, against the cancellation token.
     fn charge(&mut self) -> Result<(), InterpError> {
         if self.emitted >= self.config.max_events {
             return Err(InterpError::EventLimit {
                 limit: self.config.max_events,
             });
+        }
+        if self.emitted.is_multiple_of(POLL_INTERVAL) {
+            if let Some(token) = &self.cancel {
+                if token.should_stop() {
+                    return Err(InterpError::Cancelled {
+                        events_done: self.emitted,
+                    });
+                }
+            }
         }
         self.emitted += 1;
         Ok(())
@@ -650,6 +686,60 @@ mod tests {
             .run()
             .unwrap_err();
         assert_eq!(err, InterpError::EventLimit { limit: 10 });
+    }
+
+    #[test]
+    fn cancelled_token_stops_trace_generation_at_the_first_poll() {
+        let mut p = cdmm_lang::parse(
+            "PROGRAM T\nDIMENSION V(4)\nDO 10 I = 1, 1000\nV(1) = 1.0\n10 CONTINUE\nEND",
+        )
+        .unwrap();
+        let syms = cdmm_lang::analyze(&mut p).unwrap();
+        let layout = MemoryLayout::new(&syms, PageGeometry::PAPER);
+        let token = CancelToken::new();
+        token.cancel();
+        let err = Interpreter::new(&p, &syms, layout)
+            .with_cancel(token)
+            .run()
+            .unwrap_err();
+        assert_eq!(err, InterpError::Cancelled { events_done: 0 });
+    }
+
+    #[test]
+    fn idle_token_leaves_the_trace_unchanged() {
+        let src = "PROGRAM T\nDIMENSION V(128)\nDO 10 I = 1, 128\nV(I) = 1.0\n10 CONTINUE\nEND";
+        let plain = trace(src);
+        let mut p = cdmm_lang::parse(src).unwrap();
+        let syms = cdmm_lang::analyze(&mut p).unwrap();
+        let layout = MemoryLayout::new(&syms, PageGeometry::PAPER);
+        let traced = Interpreter::new(&p, &syms, layout)
+            .with_cancel(CancelToken::new())
+            .run()
+            .unwrap();
+        assert_eq!(traced, plain);
+    }
+
+    #[test]
+    fn expired_deadline_cancels_a_long_trace_mid_generation() {
+        use std::time::Duration;
+        // ~10M references: far more than one poll interval, and far more
+        // than a zero deadline allows.
+        let mut p = cdmm_lang::parse(
+            "PROGRAM T\nDIMENSION V(64)\nDO 20 J = 1, 160000\nDO 10 I = 1, 64\nV(I) = 1.0\n10 CONTINUE\n20 CONTINUE\nEND",
+        )
+        .unwrap();
+        let syms = cdmm_lang::analyze(&mut p).unwrap();
+        let layout = MemoryLayout::new(&syms, PageGeometry::PAPER);
+        let err = Interpreter::new(&p, &syms, layout)
+            .with_cancel(CancelToken::with_deadline(Duration::ZERO))
+            .run()
+            .unwrap_err();
+        match err {
+            InterpError::Cancelled { events_done } => {
+                assert!(events_done < POLL_INTERVAL, "stopped at the first poll");
+            }
+            other => panic!("expected cancellation, got {other}"),
+        }
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //! - [`stats`] — simple trace statistics.
 //! - [`validate`] — directive-stream well-formedness checking and the
 //!   seeded [`DirectiveFuzzer`] behind the chaos test suite.
+//! - [`cancel`] — the [`CancelToken`] polled by both the interpreter
+//!   (so deadlines bound trace generation) and the simulate drivers.
 //!
 //! # Examples
 //!
@@ -43,6 +45,7 @@
 #![warn(clippy::unwrap_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
+pub mod cancel;
 pub mod compress;
 pub mod event;
 pub mod interp;
@@ -51,8 +54,9 @@ pub mod stats;
 pub mod synth;
 pub mod validate;
 
+pub use cancel::CancelToken;
 pub use compress::{COp, CompressedTrace, TraceBuilder};
-pub use event::{Event, EventRef, EventSource, PageId, PageRange, Trace};
+pub use event::{Event, EventRef, EventSource, PageId, PageRange, Run, RunRef, Trace};
 pub use interp::{InterpConfig, InterpError, Interpreter, ProgramState};
 pub use layout::MemoryLayout;
 pub use stats::TraceStats;
@@ -76,6 +80,24 @@ pub fn trace_program_compressed(
     geometry: PageGeometry,
 ) -> Result<CompressedTrace, InterpError> {
     Ok(trace_program_compressed_with_state(src, geometry)?.0)
+}
+
+/// [`trace_program_compressed`] under a [`CancelToken`]: the
+/// interpreter polls the token every [`interp::POLL_INTERVAL`] emitted
+/// events and fails with [`InterpError::Cancelled`] when it fires, so a
+/// deadline bounds trace generation on huge inline sources instead of
+/// only kicking in once simulation starts.
+pub fn trace_program_compressed_cancellable(
+    src: &str,
+    geometry: PageGeometry,
+    token: &CancelToken,
+) -> Result<CompressedTrace, InterpError> {
+    let mut program = cdmm_lang::parse(src).map_err(InterpError::Lang)?;
+    let symbols = cdmm_lang::analyze(&mut program).map_err(InterpError::Lang)?;
+    let layout = MemoryLayout::new(&symbols, geometry);
+    Interpreter::new(&program, &symbols, layout)
+        .with_cancel(token.clone())
+        .run_compressed()
 }
 
 /// Like [`trace_program_compressed`], but also returns the final

@@ -62,7 +62,10 @@ pub use observe::{
     SimEvent, Tee, TimedEvent, Tracer,
 };
 pub use policy::Policy;
-pub use sim::{simulate, simulate_cancellable, simulate_with, SimConfig};
+pub use sim::{
+    simulate, simulate_cancellable, simulate_run_level, simulate_run_level_cancellable,
+    simulate_with, SimConfig,
+};
 pub use stats::{
     shared_registry, snapshot_shared, HistogramSummary, MetricsRegistry, PiStats, PiSummary,
     RegistrySnapshot, SharedRegistry,

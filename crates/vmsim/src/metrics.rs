@@ -59,6 +59,45 @@ impl Metrics {
         self.peak_resident = self.peak_resident.max(resident);
     }
 
+    /// Records `n` non-faulting references at a constant resident size —
+    /// the run-level kernels' all-hit batch. Equivalent to calling
+    /// [`Metrics::record`]`(resident, false)` `n` times.
+    #[inline]
+    pub fn record_hits(&mut self, resident: usize, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.refs += n;
+        self.mem_integral += resident as u128 * n as u128;
+        self.peak_resident = self.peak_resident.max(resident);
+    }
+
+    /// Records `n` faulting references whose resident sizes (taken after
+    /// each fault is serviced) sum to `mem` and peak at `peak` — the
+    /// run-level kernels' all-miss batch, with the per-reference sizes
+    /// computed in closed form by the caller.
+    #[inline]
+    pub fn record_fault_span(&mut self, n: u64, mem: u128, peak: usize) {
+        if n == 0 {
+            return;
+        }
+        self.refs += n;
+        self.faults += n;
+        self.mem_integral += mem;
+        self.fault_mem_integral += mem;
+        self.peak_resident = self.peak_resident.max(peak);
+    }
+
+    /// Records `n` non-faulting references whose resident sizes sum to
+    /// `mem` and never exceed a size already recorded — the WS stride-0
+    /// batch, where the resident set only shrinks mid-run. The caller
+    /// owns the peak invariant; this deliberately skips the max.
+    #[inline]
+    pub fn record_shrinking_span(&mut self, n: u64, mem: u128) {
+        self.refs += n;
+        self.mem_integral += mem;
+    }
+
     /// Mean resident memory over reference time (`MEM`).
     pub fn mean_mem(&self) -> f64 {
         if self.refs == 0 {
@@ -172,6 +211,45 @@ mod tests {
         assert!((m.mean_mem() - 2.0).abs() < 1e-12);
         assert!((m.st_cost() - (6.0 + 2000.0 * 4.0)).abs() < 1e-9);
         assert!((m.fault_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_helpers_match_per_ref_record() {
+        // Hits at constant size.
+        let mut batch = Metrics::new(2000);
+        batch.record_hits(7, 5);
+        let mut one = Metrics::new(2000);
+        for _ in 0..5 {
+            one.record(7, false);
+        }
+        assert_eq!(batch, one);
+
+        // An all-miss ramp 3, 4, 5 (sizes after each fault).
+        let mut batch = Metrics::new(2000);
+        batch.record_fault_span(3, 3 + 4 + 5, 5);
+        let mut one = Metrics::new(2000);
+        for r in [3, 4, 5] {
+            one.record(r, true);
+        }
+        assert_eq!(batch, one);
+
+        // A shrinking non-faulting span 5, 4, 4 after a first ref at 5.
+        let mut batch = Metrics::new(2000);
+        batch.record(5, false);
+        batch.record_shrinking_span(3, 5 + 4 + 4);
+        let mut one = Metrics::new(2000);
+        for r in [5, 5, 4, 4] {
+            one.record(r, false);
+        }
+        assert_eq!(batch, one);
+    }
+
+    #[test]
+    fn zero_length_batches_do_not_touch_peak() {
+        let mut m = Metrics::new(2000);
+        m.record_hits(10, 0);
+        m.record_fault_span(0, 99, 99);
+        assert_eq!(m, Metrics::new(2000), "empty batches are no-ops");
     }
 
     #[test]

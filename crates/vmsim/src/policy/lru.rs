@@ -1,9 +1,10 @@
 //! Fixed-allocation Least Recently Used replacement.
 
-use cdmm_trace::PageId;
+use cdmm_trace::{PageId, Run};
 
+use crate::metrics::Metrics;
 use crate::observe::SimEvent;
-use crate::policy::Policy;
+use crate::policy::{batch_all_hit, batch_all_miss, classify_run, Policy, RunClass};
 use crate::recency::RecencySet;
 
 /// LRU with a fixed frame allocation (the paper's static baseline).
@@ -91,6 +92,62 @@ impl Policy for Lru {
 
     fn drain_events(&mut self, out: &mut Vec<SimEvent>) {
         out.append(&mut self.events);
+    }
+
+    fn reference_run(&mut self, start: PageId, stride: i32, len: u32, metrics: &mut Metrics) {
+        // Tracing needs per-eviction events with per-ref interleaving;
+        // short runs are not worth classifying.
+        if self.tracing || len <= 1 {
+            return crate::policy::reference_run_per_ref(self, start, stride, len, metrics);
+        }
+        if stride == 0 {
+            // One page touched `len` times: after the first reference
+            // settles residency, the rest are hits at constant size.
+            let fault = self.reference(start);
+            metrics.record(self.set.len(), fault);
+            metrics.record_hits(self.set.len(), (len - 1) as u64);
+            return;
+        }
+        match classify_run(&self.set, start, stride, len) {
+            RunClass::AllHit => batch_all_hit(&mut self.set, start, stride, len, metrics),
+            RunClass::AllMiss => {
+                batch_all_miss(
+                    &mut self.set,
+                    start,
+                    stride,
+                    len,
+                    self.frames as u64,
+                    metrics,
+                );
+                self.faults += len as u64;
+            }
+            RunClass::Mixed => {
+                crate::policy::reference_run_per_ref(self, start, stride, len, metrics)
+            }
+        }
+    }
+
+    fn reference_cycle(&mut self, body: &[Run], reps: u32, metrics: &mut Metrics) {
+        if self.tracing {
+            return crate::policy::reference_cycle_per_run(self, body, reps, metrics);
+        }
+        let period: u64 = body.iter().map(|r| r.len as u64).sum();
+        for it in 0..reps {
+            let faults_before = self.faults;
+            for r in body {
+                self.reference_run(r.start, r.stride, r.len, metrics);
+            }
+            if self.faults == faults_before {
+                // Steady state: a fault-free iteration leaves the body's
+                // pages resident, and LRU hits never evict, so replaying
+                // the same touch sequence is idempotent — every further
+                // iteration hits everywhere at a constant resident size
+                // and reproduces exactly this recency order.
+                let skipped = (reps - 1 - it) as u64 * period;
+                metrics.record_hits(self.set.len(), skipped);
+                return;
+            }
+        }
     }
 }
 

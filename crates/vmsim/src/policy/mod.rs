@@ -20,9 +20,11 @@ pub mod ws;
 pub mod ws_variants;
 
 use cdmm_trace::Event;
-use cdmm_trace::PageId;
+use cdmm_trace::{PageId, Run};
 
+use crate::metrics::Metrics;
 use crate::observe::SimEvent;
+use crate::recency::RecencySet;
 
 /// A demand-paging memory-management policy.
 ///
@@ -67,5 +69,178 @@ pub trait Policy {
     /// (in emission order). The default buffers nothing.
     fn drain_events(&mut self, out: &mut Vec<SimEvent>) {
         let _ = out;
+    }
+
+    /// Processes one constant-stride run of `len` references — `start,
+    /// start+stride, …` — accumulating into `metrics` exactly what the
+    /// per-reference driver loop would: one [`Metrics::record`] after
+    /// each reference, plus the degraded-reference count.
+    ///
+    /// The default decodes the run reference by reference; the three
+    /// paper policies (CD, LRU, WS) override it with closed-form batch
+    /// kernels and fall back to this decode in the hard cases. Whatever
+    /// path is taken, the resulting policy state and metrics must be
+    /// byte-identical to the per-ref loop — the contract the
+    /// `run_level_equivalence` differential harness pins.
+    fn reference_run(&mut self, start: PageId, stride: i32, len: u32, metrics: &mut Metrics) {
+        reference_run_per_ref(self, start, stride, len, metrics);
+    }
+
+    /// Processes a cycle — the run sequence `body` repeated `reps`
+    /// times — with the same byte-identical metrics contract as
+    /// [`Policy::reference_run`].
+    ///
+    /// The default replays the body run by run every iteration. The
+    /// paper policies override it with a *steady-state* kernel: they
+    /// execute iterations through [`Policy::reference_run`] until one
+    /// completes without a fault, prove from that that every remaining
+    /// iteration is identical, and account for all of them at once —
+    /// the run-level counterpart of a loop reaching its resident
+    /// working set.
+    fn reference_cycle(&mut self, body: &[Run], reps: u32, metrics: &mut Metrics) {
+        reference_cycle_per_run(self, body, reps, metrics);
+    }
+}
+
+/// The iteration-by-iteration fallback every cycle kernel shares:
+/// replays the body through [`Policy::reference_run`] `reps` times.
+/// Public so differential tests can drive it as the oracle against an
+/// overridden [`Policy::reference_cycle`].
+pub fn reference_cycle_per_run<P: Policy + ?Sized>(
+    policy: &mut P,
+    body: &[Run],
+    reps: u32,
+    metrics: &mut Metrics,
+) {
+    for _ in 0..reps {
+        for r in body {
+            policy.reference_run(r.start, r.stride, r.len, metrics);
+        }
+    }
+}
+
+/// The per-reference fallback every run kernel shares: decodes the run
+/// and replicates the driver loop exactly (reference → record →
+/// degraded accounting). Public so differential tests can drive it as
+/// the oracle against an overridden [`Policy::reference_run`].
+pub fn reference_run_per_ref<P: Policy + ?Sized>(
+    policy: &mut P,
+    start: PageId,
+    stride: i32,
+    len: u32,
+    metrics: &mut Metrics,
+) {
+    let mut p = start.0 as i64;
+    let stride = stride as i64;
+    for _ in 0..len {
+        let fault = policy.reference(PageId(p as u32));
+        metrics.record(policy.resident(), fault);
+        if policy.is_degraded() {
+            metrics.degraded_refs += 1;
+        }
+        p += stride;
+    }
+}
+
+/// How a stride ≠ 0 run (all pages distinct) relates to a recency set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RunClass {
+    /// Every run page is resident: touches only, no faults possible.
+    AllHit,
+    /// No run page is resident: every reference faults, and since the
+    /// pages are distinct none is revisited after an eviction.
+    AllMiss,
+    /// A mix — only the per-ref decode gets the interleaving right.
+    Mixed,
+}
+
+/// Classifies a stride ≠ 0 run against the current resident set. Sound
+/// because runs with nonzero stride visit distinct pages: an `AllHit`
+/// run causes no evictions (hits never evict), so residency cannot
+/// change mid-run, and an `AllMiss` run never revisits what it evicts.
+pub(crate) fn classify_run(set: &RecencySet, start: PageId, stride: i32, len: u32) -> RunClass {
+    let mut p = start.0 as i64;
+    let stride = stride as i64;
+    let first = set.contains(PageId(p as u32));
+    for _ in 1..len {
+        p += stride;
+        if set.contains(PageId(p as u32)) != first {
+            return RunClass::Mixed;
+        }
+    }
+    if first {
+        RunClass::AllHit
+    } else {
+        RunClass::AllMiss
+    }
+}
+
+/// Applies an all-hit stride ≠ 0 run: touch each page in order (the
+/// final LRU order must match the per-ref loop) and record the hits at
+/// the unchanged resident size.
+pub(crate) fn batch_all_hit(
+    set: &mut RecencySet,
+    start: PageId,
+    stride: i32,
+    len: u32,
+    metrics: &mut Metrics,
+) {
+    let mut p = start.0 as i64;
+    let stride = stride as i64;
+    for _ in 0..len {
+        let hit = set.touch(PageId(p as u32));
+        debug_assert!(hit, "classified AllHit");
+        p += stride;
+    }
+    metrics.record_hits(set.len(), len as u64);
+}
+
+/// Applies an all-miss stride ≠ 0 run against an LRU set capped at
+/// `cap` frames (`u64::MAX` = uncapped), with metrics in closed form.
+///
+/// Per-ref, reference `i` leaves `min(r0 + i, cap)` pages resident
+/// (the cap evicts from the LRU end; for CD with `r0 > cap` — possible
+/// after an UNLOCK with no intervening miss — the first miss trims all
+/// the way down, which the same formula covers since the headroom `g`
+/// is 0). The final list is: the surviving old pages (oldest evicted
+/// first) followed by the run pages in run order — run pages are always
+/// younger than every survivor, and an evicted run page (only possible
+/// when `len > cap`) is never revisited because the pages are distinct.
+pub(crate) fn batch_all_miss(
+    set: &mut RecencySet,
+    start: PageId,
+    stride: i32,
+    len: u32,
+    cap: u64,
+    metrics: &mut Metrics,
+) {
+    let r0 = set.len() as u64;
+    let k = len as u64;
+    let g = cap.saturating_sub(r0); // headroom before the cap bites
+    let ramp = k.min(g) as u128; // references that grow the set
+    let mem = ramp * r0 as u128 + ramp * (ramp + 1) / 2 + (k - k.min(g)) as u128 * cap as u128;
+    metrics.record_fault_span(k, mem, (r0 + k).min(cap) as usize);
+
+    let evict = (r0 + k).saturating_sub(cap);
+    let stride64 = stride as i64;
+    if evict > r0 {
+        // The whole old set goes, and so do the first `k - cap` run
+        // pages; only the newest `cap` run pages survive.
+        set.clear();
+        let keep = cap; // evict > r0 ⟺ k > cap
+        let mut p = start.0 as i64 + stride64 * (k - keep) as i64;
+        for _ in 0..keep {
+            set.touch(PageId(p as u32));
+            p += stride64;
+        }
+    } else {
+        for _ in 0..evict {
+            set.pop_lru();
+        }
+        let mut p = start.0 as i64;
+        for _ in 0..len {
+            set.touch(PageId(p as u32));
+            p += stride64;
+        }
     }
 }

@@ -4,10 +4,11 @@
 //! references. Allocation is variable: the resident set grows at faults
 //! and shrinks as pages age out of the window.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
-use cdmm_trace::PageId;
+use cdmm_trace::{PageId, Run};
 
+use crate::metrics::Metrics;
 use crate::observe::SimEvent;
 use crate::policy::Policy;
 
@@ -61,6 +62,73 @@ impl WorkingSet {
         self.last_ref.fill(0);
         self.resident = 0;
         self.expiry.clear();
+    }
+
+    /// Batch-applies `rem ≥ 1` steady cycle iterations of `body`
+    /// (`period` references each), called once an iteration with a full
+    /// in-cycle predecessor completed fault-free. From that point the
+    /// inter-touch gap of every body page repeats each iteration, and a
+    /// WS hit is a pure function of the gap — so no body page ever
+    /// faults or expires again, and the only mid-span state changes are
+    /// the deterministic expiries of *other* resident pages, integrated
+    /// piecewise exactly like the stride-0 run kernel.
+    fn batch_steady_iterations(
+        &mut self,
+        body: &[Run],
+        rem: u64,
+        period: u64,
+        metrics: &mut Metrics,
+    ) {
+        let c0 = self.clock;
+        let end_clock = c0 + rem * period;
+        // Each body page's final touch lands at its last within-iteration
+        // clock offset (1-based), in the last skipped iteration.
+        let mut last_off: HashMap<u32, u64> = HashMap::new();
+        let mut off = 0u64;
+        for r in body {
+            r.for_each_page(|p| {
+                off += 1;
+                last_off.insert(p.0, off);
+            });
+        }
+        let mut final_touch: Vec<(u64, PageId)> = last_off
+            .into_iter()
+            .map(|(p, o)| (c0 + (rem - 1) * period + o, PageId(p)))
+            .collect();
+        final_touch.sort_unstable();
+        // Pin body pages at their final touch times up front: their
+        // queued history entries become superseded no-ops, exactly as
+        // the per-ref loop's every-iteration refresh achieves.
+        for &(t, page) in &final_touch {
+            self.last_ref[page.0 as usize] = t;
+        }
+        // Everything else expires at its per-ref pop tick `t + τ + 1`.
+        let mut resident = self.resident as u64;
+        let mut mem: u128 = 0;
+        let mut last_tick = c0;
+        while let Some(&(t, page)) = self.expiry.front() {
+            if t + self.tau >= end_clock {
+                break;
+            }
+            self.expiry.pop_front();
+            if self.last_ref[page.0 as usize] == t {
+                self.last_ref[page.0 as usize] = 0;
+                let t_pop = t + self.tau + 1;
+                mem += resident as u128 * (t_pop - 1 - last_tick) as u128;
+                resident -= 1;
+                mem += resident as u128;
+                last_tick = t_pop;
+            }
+        }
+        mem += resident as u128 * (end_clock - last_tick) as u128;
+        self.resident = resident as usize;
+        self.clock = end_clock;
+        // One history entry per body page — every earlier touch is
+        // superseded by the final one, so only it ever matters.
+        for &(t, page) in &final_touch {
+            self.expiry.push_back((t, page));
+        }
+        metrics.record_shrinking_span(rem * period, mem);
     }
 
     /// Drops pages whose last reference fell before the window
@@ -119,6 +187,76 @@ impl Policy for WorkingSet {
 
     fn drain_events(&mut self, out: &mut Vec<SimEvent>) {
         out.append(&mut self.events);
+    }
+
+    fn reference_run(&mut self, start: PageId, stride: i32, len: u32, metrics: &mut Metrics) {
+        // Stride ≠ 0 runs touch distinct pages, each needing its own
+        // last-use write and history entry — nothing to batch. Tracing
+        // needs per-eviction events in per-ref order.
+        if self.tracing || len <= 1 || stride != 0 {
+            return crate::policy::reference_run_per_ref(self, start, stride, len, metrics);
+        }
+        // First reference per-ref: it runs the expiry scan, grows the
+        // table, and settles the fault.
+        let fault = self.reference(start);
+        metrics.record(self.resident, fault);
+        let idx = start.0 as usize;
+        let end_clock = self.clock + (len as u64 - 1);
+        // Pin the run page at its *final* reference time up front: its
+        // older history entries become superseded no-ops, which is
+        // exactly what the per-ref loop's every-tick refresh achieves
+        // (τ ≥ 1 means a page referenced every tick can never age out).
+        self.last_ref[idx] = end_clock;
+        // Other pages still expire mid-run at their per-ref pop ticks
+        // `t + τ + 1`; integrate the shrinking resident size piecewise
+        // between those ticks. Ticks are unique, so pops arrive in
+        // strictly increasing t and the segments never overlap.
+        let mut resident = self.resident as u64;
+        let mut mem: u128 = 0;
+        let mut last_tick = self.clock;
+        while let Some(&(t, page)) = self.expiry.front() {
+            if t + self.tau >= end_clock {
+                break;
+            }
+            self.expiry.pop_front();
+            if self.last_ref[page.0 as usize] == t {
+                self.last_ref[page.0 as usize] = 0;
+                let t_pop = t + self.tau + 1;
+                mem += resident as u128 * (t_pop - 1 - last_tick) as u128;
+                resident -= 1;
+                mem += resident as u128;
+                last_tick = t_pop;
+            }
+        }
+        mem += resident as u128 * (end_clock - last_tick) as u128;
+        self.resident = resident as usize;
+        self.clock = end_clock;
+        // One history entry for the whole run: per-ref, every mid-run
+        // entry is superseded by the next tick's refresh, so only the
+        // final one ever matters.
+        self.expiry.push_back((end_clock, start));
+        metrics.record_shrinking_span(len as u64 - 1, mem);
+    }
+
+    fn reference_cycle(&mut self, body: &[Run], reps: u32, metrics: &mut Metrics) {
+        if self.tracing {
+            return crate::policy::reference_cycle_per_run(self, body, reps, metrics);
+        }
+        let period: u64 = body.iter().map(|r| r.len as u64).sum();
+        for it in 0..reps {
+            let faults_before = metrics.faults;
+            for r in body {
+                self.reference_run(r.start, r.stride, r.len, metrics);
+            }
+            // WS steadiness needs a full in-cycle predecessor iteration
+            // (`it ≥ 1`): hits are decided by inter-touch gaps, and the
+            // gaps only become periodic once the previous touch also lay
+            // inside the cycle.
+            if it >= 1 && metrics.faults == faults_before && it + 1 < reps {
+                self.batch_steady_iterations(body, (reps - 1 - it) as u64, period, metrics);
+                return;
+            }
+        }
     }
 }
 

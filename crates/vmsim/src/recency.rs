@@ -12,6 +12,14 @@
 //! Recency is encoded purely by list position (head = least recently
 //! used, tail = most recently used); there are no use-stamps, so there
 //! is no counter to wrap no matter how many touches occur.
+//!
+//! The run-level kernels (DESIGN.md §7.1) lean on one structural fact:
+//! touching a *resident* page only splices it to the tail — membership
+//! and size are untouched — so re-playing any all-hit touch sequence
+//! is idempotent on everything but list order, and the batch helpers
+//! (`classify_run` / `batch_all_hit` / `batch_all_miss`, and the cycle
+//! kernels' steady state) can update metrics for whole runs while
+//! performing only the splices that decide future evictions.
 
 use cdmm_trace::PageId;
 

@@ -1,6 +1,6 @@
 //! The uniprogramming simulation driver.
 
-use cdmm_trace::{EventRef, EventSource};
+use cdmm_trace::{EventRef, EventSource, RunRef};
 
 use crate::cancel::CancelToken;
 use crate::error::SimError;
@@ -146,6 +146,88 @@ fn run_untraced<S: EventSource + ?Sized, P: Policy + ?Sized>(
     });
     metrics.recovered_directives = policy.recovered_directives();
     metrics
+}
+
+/// [`simulate`] at run granularity: drives the policy one constant-stride
+/// *run* at a time instead of one reference at a time.
+///
+/// A [`cdmm_trace::CompressedTrace`] delivers each stored run as a single
+/// [`RunRef::Run`], which the driver hands to
+/// [`Policy::reference_run`] — the paper policies batch the whole run in
+/// closed form and only fall back to the per-reference decode in the
+/// hard cases (tracing, mixed residency, active locks). Any other
+/// [`EventSource`] degenerates to length-1 runs, making this exactly
+/// [`simulate`].
+///
+/// The contract — pinned by the `run_level_equivalence` differential
+/// harness — is byte-identical [`Metrics`] and final policy state
+/// against [`simulate`] on the same event stream.
+///
+/// # Examples
+///
+/// ```
+/// use cdmm_trace::{synth, CompressedTrace};
+/// use cdmm_vmsim::policy::lru::Lru;
+/// use cdmm_vmsim::{simulate, simulate_run_level, SimConfig};
+///
+/// let t = synth::cyclic(4, 100);
+/// let c = CompressedTrace::from_trace(&t);
+/// let per_ref = simulate(&t, &mut Lru::new(4), SimConfig::default());
+/// let run_level = simulate_run_level(&c, &mut Lru::new(4), SimConfig::default());
+/// assert_eq!(per_ref, run_level);
+/// ```
+pub fn simulate_run_level<S: EventSource + ?Sized, P: Policy + ?Sized>(
+    trace: &S,
+    policy: &mut P,
+    config: SimConfig,
+) -> Metrics {
+    let mut metrics = Metrics::new(config.fault_service);
+    trace.for_each_run(|run| match run {
+        RunRef::Run { start, stride, len } => {
+            policy.reference_run(start, stride, len, &mut metrics);
+        }
+        RunRef::Cycle { body, reps } => {
+            policy.reference_cycle(body, reps, &mut metrics);
+        }
+        RunRef::Directive(other) => policy.directive(other),
+    });
+    metrics.recovered_directives = policy.recovered_directives();
+    metrics
+}
+
+/// [`simulate_run_level`] under a cooperative [`CancelToken`].
+///
+/// Polls the token once per run (per event for flat traces) — the same
+/// cancellation granularity as [`simulate_cancellable`] on a compressed
+/// trace, since that too polls between compressed ops. On a stop the
+/// partial metrics are discarded and [`SimError::DeadlineExceeded`]
+/// reports the references completed.
+pub fn simulate_run_level_cancellable<S: EventSource + ?Sized, P: Policy + ?Sized>(
+    trace: &S,
+    policy: &mut P,
+    config: SimConfig,
+    token: &CancelToken,
+) -> Result<Metrics, SimError> {
+    let mut metrics = Metrics::new(config.fault_service);
+    let completed = trace.for_each_run_while(
+        || !token.should_stop(),
+        |run| match run {
+            RunRef::Run { start, stride, len } => {
+                policy.reference_run(start, stride, len, &mut metrics);
+            }
+            RunRef::Cycle { body, reps } => {
+                policy.reference_cycle(body, reps, &mut metrics);
+            }
+            RunRef::Directive(other) => policy.directive(other),
+        },
+    );
+    if !completed {
+        return Err(SimError::DeadlineExceeded {
+            refs_done: metrics.refs,
+        });
+    }
+    metrics.recovered_directives = policy.recovered_directives();
+    Ok(metrics)
 }
 
 /// [`simulate`] under a cooperative [`CancelToken`].
@@ -374,6 +456,67 @@ mod tests {
             }
             other => panic!("expected DeadlineExceeded, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn run_level_matches_per_ref_for_every_policy_family() {
+        use cdmm_trace::CompressedTrace;
+        let t = synth::phased(
+            &[
+                synth::Phase {
+                    base: 0,
+                    pages: 6,
+                    refs: 400,
+                },
+                synth::Phase {
+                    base: 6,
+                    pages: 3,
+                    refs: 400,
+                },
+            ],
+            9,
+        );
+        let c = CompressedTrace::from_trace(&t);
+        let cfg = SimConfig::default();
+
+        let per_ref = simulate(&t, &mut Lru::new(4), cfg);
+        let run_level = simulate_run_level(&c, &mut Lru::new(4), cfg);
+        assert_eq!(per_ref, run_level, "LRU");
+
+        let per_ref = simulate(&t, &mut WorkingSet::new(50), cfg);
+        let run_level = simulate_run_level(&c, &mut WorkingSet::new(50), cfg);
+        assert_eq!(per_ref, run_level, "WS");
+
+        let per_ref = simulate(&t, &mut CdPolicy::new(CdSelector::Innermost), cfg);
+        let run_level = simulate_run_level(&c, &mut CdPolicy::new(CdSelector::Innermost), cfg);
+        assert_eq!(per_ref, run_level, "CD");
+    }
+
+    #[test]
+    fn run_level_on_a_flat_trace_degenerates_to_simulate() {
+        let t = synth::uniform(12, 2_000, 3);
+        let per_ref = simulate(&t, &mut Lru::new(6), SimConfig::default());
+        let run_level = simulate_run_level(&t, &mut Lru::new(6), SimConfig::default());
+        assert_eq!(per_ref, run_level);
+    }
+
+    #[test]
+    fn run_level_cancellable_idle_token_matches_and_dead_token_stops() {
+        use crate::cancel::CancelToken;
+        use cdmm_trace::CompressedTrace;
+        let t = synth::cyclic(6, 200);
+        let c = CompressedTrace::from_trace(&t);
+        let token = CancelToken::new();
+        let plain = simulate_run_level(&c, &mut Lru::new(6), SimConfig::default());
+        let same =
+            simulate_run_level_cancellable(&c, &mut Lru::new(6), SimConfig::default(), &token)
+                .expect("idle token completes");
+        assert_eq!(plain, same);
+
+        token.cancel();
+        let err =
+            simulate_run_level_cancellable(&c, &mut Lru::new(6), SimConfig::default(), &token);
+        assert_eq!(err, Err(SimError::DeadlineExceeded { refs_done: 0 }));
     }
 
     #[test]

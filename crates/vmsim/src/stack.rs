@@ -16,7 +16,7 @@
 //! `O(R·s)` in the mean stack depth `s`; it survives as the test
 //! oracle.)
 
-use cdmm_trace::EventSource;
+use cdmm_trace::{EventSource, PageId, Run, RunRef};
 
 /// The LRU fault-count profile of one trace.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -97,75 +97,186 @@ impl LastUse {
     }
 }
 
-impl StackProfile {
-    /// Computes the profile in `O(R log P)` with a Fenwick tree over
-    /// last-use times. Accepts anything that can stream page
-    /// references — a plain [`cdmm_trace::Trace`] or a compressed one.
-    pub fn compute<S: EventSource + ?Sized>(trace: &S) -> StackProfile {
-        let hint = trace.page_count_hint().max(16);
+/// The tree pass's working state, split out so the run-level driver can
+/// mix per-reference steps with batched stride-0 spans.
+struct TreePass {
+    fen: Fenwick,
+    last: LastUse,
+    /// Marked slots in chronological order: `slot_page[i]` = page whose
+    /// last use occupies slot `i+1`, or [`TreePass::NONE`] if superseded.
+    slot_page: Vec<u32>,
+    /// `hist[d]` = refs at stack distance `d` (1-based).
+    hist: Vec<u64>,
+    cold: u64,
+    refs: u64,
+    distinct: usize,
+    /// Slots consumed so far.
+    now: usize,
+}
+
+impl TreePass {
+    const NONE: u32 = u32::MAX;
+
+    fn new(hint: usize) -> TreePass {
         // Tree over time slots; sized to 2× the page hint so compaction
         // (an O(P) renumbering) amortizes to O(1) per reference.
-        let mut fen = Fenwick::new(hint * 2);
-        let mut last = LastUse::with_capacity(hint);
-        // Marked slots in chronological order: slot_page[i] = page whose
-        // last use occupies slot i+1, or NONE if superseded.
-        const NONE: u32 = u32::MAX;
-        let mut slot_page: Vec<u32> = Vec::with_capacity(fen.len());
-        let mut hist: Vec<u64> = Vec::new(); // hist[d] = refs at stack distance d (1-based)
-        let mut cold = 0u64;
-        let mut refs = 0u64;
-        let mut distinct = 0usize;
-        let mut now = 0usize; // slots consumed so far
+        let fen = Fenwick::new(hint * 2);
+        let cap = fen.len();
+        TreePass {
+            fen,
+            last: LastUse::with_capacity(hint),
+            slot_page: Vec::with_capacity(cap),
+            hist: Vec::new(),
+            cold: 0,
+            refs: 0,
+            distinct: 0,
+            now: 0,
+        }
+    }
 
-        trace.for_each_ref(|page: cdmm_trace::PageId| {
-            refs += 1;
-            let p = page.0 as usize;
-            if now == fen.len() {
-                // Compact: renumber the live slots 1..=distinct.
-                let mut t = 0u32;
-                let live: Vec<u32> = slot_page.iter().copied().filter(|&q| q != NONE).collect();
-                fen.reset();
-                slot_page.clear();
-                for q in live {
-                    t += 1;
-                    last.set(q as usize, t);
-                    fen.add(t as usize, 1);
-                    slot_page.push(q);
-                }
-                now = t as usize;
-                // Growth keeps the 2× slack for traces whose distinct
-                // set itself keeps growing.
-                if now * 2 > fen.len() {
-                    let new_len = now * 2;
-                    fen = Fenwick::new(new_len);
-                    for (i, _) in slot_page.iter().enumerate() {
-                        fen.add(i + 1, 1);
-                    }
+    /// Processes one page reference: the Bennett–Kruskal step.
+    fn step(&mut self, page: PageId) {
+        self.refs += 1;
+        let p = page.0 as usize;
+        if self.now == self.fen.len() {
+            // Compact: renumber the live slots 1..=distinct.
+            let mut t = 0u32;
+            let live: Vec<u32> = self
+                .slot_page
+                .iter()
+                .copied()
+                .filter(|&q| q != Self::NONE)
+                .collect();
+            self.fen.reset();
+            self.slot_page.clear();
+            for q in live {
+                t += 1;
+                self.last.set(q as usize, t);
+                self.fen.add(t as usize, 1);
+                self.slot_page.push(q);
+            }
+            self.now = t as usize;
+            // Growth keeps the 2× slack for traces whose distinct set
+            // itself keeps growing.
+            if self.now * 2 > self.fen.len() {
+                let new_len = self.now * 2;
+                self.fen = Fenwick::new(new_len);
+                for (i, _) in self.slot_page.iter().enumerate() {
+                    self.fen.add(i + 1, 1);
                 }
             }
-            let prev = last.get(p);
-            now += 1;
-            let t = now as u32;
-            if prev == 0 {
-                cold += 1;
-                distinct += 1;
-            } else {
-                // Stack distance = distinct pages used at or after the
-                // previous use of `p` = marks in [prev, now-1].
-                let dist = (fen.prefix(now - 1) - fen.prefix(prev as usize - 1)) as usize;
-                if hist.len() <= dist {
-                    hist.resize(dist + 1, 0);
-                }
-                hist[dist] += 1;
-                fen.add(prev as usize, -1);
-                slot_page[prev as usize - 1] = NONE;
+        }
+        let prev = self.last.get(p);
+        self.now += 1;
+        let t = self.now as u32;
+        if prev == 0 {
+            self.cold += 1;
+            self.distinct += 1;
+        } else {
+            // Stack distance = distinct pages used at or after the
+            // previous use of `p` = marks in [prev, now-1].
+            let dist =
+                (self.fen.prefix(self.now - 1) - self.fen.prefix(prev as usize - 1)) as usize;
+            if self.hist.len() <= dist {
+                self.hist.resize(dist + 1, 0);
             }
-            last.set(p, t);
-            fen.add(now, 1);
-            slot_page.push(page.0);
+            self.hist[dist] += 1;
+            self.fen.add(prev as usize, -1);
+            self.slot_page[prev as usize - 1] = Self::NONE;
+        }
+        self.last.set(p, t);
+        self.fen.add(self.now, 1);
+        self.slot_page.push(page.0);
+    }
+
+    /// Batches `n` immediate re-references of the page [`step`](Self::step)
+    /// just processed. Each such reference has stack distance exactly 1
+    /// (its previous use is the topmost mark), and per-ref it would
+    /// supersede its own slot — a net no-op on the live set — so the
+    /// whole span collapses to a histogram bump with no tree work and
+    /// no slot consumption (stride-0 spans can never trigger
+    /// compaction).
+    fn repeat_top(&mut self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.refs += n;
+        if self.hist.len() <= 1 {
+            self.hist.resize(2, 0);
+        }
+        self.hist[1] += n;
+    }
+
+    /// Decodes one constant-stride run through the pass.
+    fn run(&mut self, start: PageId, stride: i32, len: u32) {
+        if stride == 0 {
+            // One page `len` times: first reference settles the
+            // distance, the rest hit the top of the stack.
+            self.step(start);
+            self.repeat_top(len as u64 - 1);
+        } else {
+            let mut p = start.0 as i64;
+            for _ in 0..len {
+                self.step(PageId(p as u32));
+                p += stride as i64;
+            }
+        }
+    }
+
+    /// Processes a cycle in `O(2 · period)` regardless of `reps`: two
+    /// decoded iterations, then a histogram batch.
+    ///
+    /// From the second iteration on, every reference's reuse window lies
+    /// entirely inside the cycle, so its stack distance is a pure
+    /// function of the body — iteration 1's histogram contribution
+    /// repeats verbatim for iterations `2..reps`. Marks and slots are
+    /// deliberately left at their iteration-1 positions: the skipped
+    /// iterations touch only body pages, whose (stale) marks still sit
+    /// inside any later reuse window, so a post-cycle reference counts
+    /// exactly the same distinct-page set either way.
+    fn cycle(&mut self, body: &[Run], reps: u32) {
+        if reps < 3 {
+            for _ in 0..reps {
+                for r in body {
+                    self.run(r.start, r.stride, r.len);
+                }
+            }
+            return;
+        }
+        for r in body {
+            self.run(r.start, r.stride, r.len); // iteration 0: cold faults
+        }
+        let hist_before = self.hist.clone();
+        let refs_before = self.refs;
+        for r in body {
+            self.run(r.start, r.stride, r.len); // iteration 1: periodic profile
+        }
+        let period = self.refs - refs_before;
+        let k = (reps - 2) as u64;
+        for (d, h) in self.hist.iter_mut().enumerate() {
+            let before = hist_before.get(d).copied().unwrap_or(0);
+            *h += (*h - before) * k;
+        }
+        self.refs += period * k;
+    }
+}
+
+impl StackProfile {
+    /// Computes the profile with a Fenwick tree over last-use times, in
+    /// `O(runs log P)` for a [`cdmm_trace::CompressedTrace`] whose
+    /// stride-0 runs dominate (each run is one tree step plus a
+    /// histogram bump) and `O(R log P)` in general. Accepts anything
+    /// that can stream page references — a plain [`cdmm_trace::Trace`]
+    /// or a compressed one.
+    pub fn compute<S: EventSource + ?Sized>(trace: &S) -> StackProfile {
+        let hint = trace.page_count_hint().max(16);
+        let mut pass = TreePass::new(hint);
+        trace.for_each_run(|run| match run {
+            RunRef::Run { start, stride, len } => pass.run(start, stride, len),
+            RunRef::Cycle { body, reps } => pass.cycle(body, reps),
+            RunRef::Directive(_) => {}
         });
-
-        Self::from_histogram(hist, cold, refs, distinct)
+        Self::from_histogram(pass.hist, pass.cold, pass.refs, pass.distinct)
     }
 
     /// Builds the profile from a stack-distance histogram:
@@ -313,6 +424,65 @@ mod tests {
         ] {
             assert_eq!(StackProfile::compute(&t), StackProfile::compute_naive(&t));
         }
+    }
+
+    #[test]
+    fn run_level_tree_equals_naive_oracle_on_compressed_traces() {
+        use cdmm_trace::{CompressedTrace, Event, PageId};
+        // Seeded SplitMix64 run generator: constant-stride runs over a
+        // deliberately small page universe so the tree pass is forced
+        // through slot compaction many times, interleaved with stride-0
+        // spans that exercise the batched histogram path.
+        for seed in 0..12u64 {
+            let mut state = 0x9e3779b97f4a7c15u64.wrapping_mul(seed + 1);
+            let mut next = move || {
+                state = state.wrapping_add(0x9e3779b97f4a7c15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+                z ^ (z >> 31)
+            };
+            let pages = 4 + (next() % 28) as u32;
+            let mut events = Vec::new();
+            for _ in 0..200 {
+                let start = (next() % pages as u64) as i64;
+                let stride = (next() % 7) as i64 - 3; // -3..=3, 0 included
+                let len = 1 + (next() % 60) as u32;
+                let mut p = start;
+                for _ in 0..len {
+                    events.push(Event::Ref(PageId(p.rem_euclid(pages as i64) as u32)));
+                    p += stride;
+                }
+            }
+            let t = Trace::from_events(events);
+            let c = CompressedTrace::from_trace(&t);
+            let naive = StackProfile::compute_naive(&t);
+            assert_eq!(StackProfile::compute(&c), naive, "compressed, seed={seed}");
+            assert_eq!(StackProfile::compute(&t), naive, "flat, seed={seed}");
+        }
+    }
+
+    #[test]
+    fn stride_zero_spans_keep_compaction_honest() {
+        use cdmm_trace::{CompressedTrace, Event, PageId};
+        // Two pages, long repeat spans: per-ref this consumes a slot per
+        // reference and compacts constantly; run-level it must produce
+        // the identical profile from two tree steps per alternation.
+        let mut events = Vec::new();
+        for i in 0..400u32 {
+            let page = i % 2;
+            for _ in 0..50 {
+                events.push(Event::Ref(PageId(page)));
+            }
+        }
+        // A length-1 tail run straddling the alternation pattern.
+        events.push(Event::Ref(PageId(7)));
+        let t = Trace::from_events(events);
+        let c = CompressedTrace::from_trace(&t);
+        let naive = StackProfile::compute_naive(&t);
+        assert_eq!(StackProfile::compute(&c), naive);
+        assert_eq!(StackProfile::compute(&t), naive);
+        assert_eq!(naive.faults_at(2), 3, "pages 0 and 1 cold-fault, then 7");
     }
 
     #[test]

@@ -265,3 +265,41 @@ fn overload_sheds_typed_and_deterministic() {
         }
     }
 }
+
+#[test]
+fn tight_deadlines_fail_typed_and_never_succeed_late() {
+    // A deadline too short for the work must yield a typed
+    // `deadline_exceeded` — whether it expires during trace generation
+    // (a ~10M-reference inline program against 1 ms) or before any
+    // phase starts (deadline_ms: 0) — and never a late success.
+    let huge = r#"PROGRAM HUGE\nDIMENSION V(64)\nDO 20 J = 1, 160000\nDO 10 I = 1, 64\n  V(I) = 1.0\n10 CONTINUE\n20 CONTINUE\nEND\n"#;
+    let lines = vec![
+        format!(
+            r#"{{"id":"huge","source":"{huge}","name":"HUGE","policy":"lru","frames":4,"deadline_ms":1}}"#
+        ),
+        r#"{"id":"zero","workload":"TQL","policy":"ws","tau":123,"deadline_ms":0}"#.to_string(),
+    ];
+    let svc = BatchService::new(config()).expect("service");
+    let out = svc.handle_batch(&refs(&lines));
+    assert_eq!(out.len(), lines.len());
+    for line in &out {
+        assert!(line.contains("\"error\":\"deadline_exceeded\""), "{line}");
+        assert!(!line.contains("\"ok\":true"), "late success: {line}");
+    }
+    assert_eq!(svc.stats().deadline_exceeded, 2);
+
+    // Replaying on the same (warm) service must fail the same way: a
+    // cancelled prepare is never memoized, so no cached program or
+    // result can turn the retry into a success. The born-expired row is
+    // fully deterministic; the mid-prepare row's detail carries a
+    // timing-dependent event count, so only its kind is pinned.
+    let again = svc.handle_batch(&refs(&lines));
+    for line in &again {
+        assert!(line.contains("\"error\":\"deadline_exceeded\""), "{line}");
+    }
+    assert_eq!(
+        out[1], again[1],
+        "born-expired row replays byte-identically"
+    );
+    assert_eq!(svc.stats().deadline_exceeded, 4);
+}
