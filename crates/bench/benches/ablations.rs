@@ -4,11 +4,12 @@
 use cdmm_bench::timing::run;
 use cdmm_core::experiments::Harness;
 use cdmm_core::selector_for;
-use cdmm_trace::synth;
-use cdmm_vmsim::multiprog::{run_multiprogram, MultiConfig, ProcPolicy};
+use cdmm_trace::{synth, CompressedTrace};
+use cdmm_vmsim::policy::cd::{CdPolicy, CdSelector};
 use cdmm_vmsim::policy::pff::Pff;
 use cdmm_vmsim::policy::ws::WorkingSet;
 use cdmm_vmsim::policy::ws_variants::{DampedWs, SampledWs, VariableSampledWs};
+use cdmm_vmsim::{run_fleet, Admission, FleetConfig, TenantSpec};
 use cdmm_vmsim::{simulate, SimConfig};
 use cdmm_workloads::Scale;
 
@@ -57,27 +58,24 @@ fn main() {
     });
 
     run("multiprog_three_ws_processes", SAMPLES, || {
-        let specs = vec![
-            (
-                "a".to_string(),
-                synth::cyclic(12, 40),
-                ProcPolicy::Ws { tau: 2_000 },
-            ),
-            (
-                "b".to_string(),
-                synth::cyclic(12, 40),
-                ProcPolicy::Ws { tau: 2_000 },
-            ),
-            (
-                "c".to_string(),
-                synth::cyclic(12, 40),
-                ProcPolicy::Cd { min_alloc: 2 },
-            ),
-        ];
-        run_multiprogram(
-            specs,
-            MultiConfig {
-                total_frames: 30,
+        let cyclic = CompressedTrace::from_trace(&synth::cyclic(12, 40));
+        let tenant = |name: &str, cd: bool| TenantSpec {
+            name: name.to_string(),
+            trace: cyclic.clone(),
+            engine: if cd {
+                Box::new(CdPolicy::new(CdSelector::FirstFit).with_min_alloc(2))
+            } else {
+                Box::new(WorkingSet::new(2_000))
+            },
+            arrival: 0,
+        };
+        let tenants = vec![tenant("a", false), tenant("b", false), tenant("c", true)];
+        run_fleet(
+            tenants,
+            FleetConfig {
+                frames_per_cell: 30,
+                tenants_per_cell: 3,
+                admission: Admission::Free,
                 ..Default::default()
             },
         )

@@ -7,12 +7,13 @@
 //! ablation binaries for the design choices DESIGN.md calls out.
 
 use cdmm_core::experiments::{table1, table2, table3, table4, Harness, TABLE1_ROWS};
-use cdmm_core::pipeline::PipelineConfig;
+use cdmm_core::fleet::{run_fleet_spec, FleetSpec};
+use cdmm_core::pipeline::{PipelineConfig, PolicySpec};
 use cdmm_core::report;
 use cdmm_core::sweep::{Executor, ResultCache};
-use cdmm_vmsim::multiprog::{run_multiprogram, MultiConfig, MultiReport, ProcPolicy};
 use cdmm_vmsim::observe::SharedTracer;
 use cdmm_vmsim::policy::cd::CdSelector;
+use cdmm_vmsim::{Admission, FleetReport};
 use cdmm_workloads::Scale;
 
 pub mod artifact;
@@ -213,7 +214,8 @@ pub fn print_sizer_ablation(env: &BenchEnv) {
 
 /// Multiprogramming comparison: a CD-managed mix versus a WS-managed mix
 /// of the same three programs in the same memory (the paper's future
-/// work, Section 5).
+/// work, Section 5), run through the fleet scheduler as one cell under
+/// free admission.
 ///
 /// The two mixes are independent simulations, so they run as executor
 /// jobs; reports print in fixed order regardless of completion order.
@@ -236,66 +238,53 @@ pub fn print_multiprog_grid(env: &BenchEnv, frame_budgets: &[u64]) {
                 r.swap_events,
                 r.cpu_utilization * 100.0
             );
-            for p in &r.processes {
+            for t in &r.tenants {
                 println!(
-                    "      {:<8} PF {:>8}  MEM {:>7.2}  done at {:>12}",
-                    p.name,
-                    p.metrics.faults,
-                    p.metrics.mean_mem(),
-                    p.finished_at
+                    "      {:<11} PF {:>8}  MEM {:>7.2}  done at {:>12}",
+                    t.name,
+                    t.metrics.faults,
+                    t.metrics.mean_mem(),
+                    t.finished_at
                 );
             }
         }
         println!();
     }
-    let _ = CdSelector::FirstFit; // referenced for doc purposes
 }
 
 /// Runs the (frame budget × policy mix) grid through the executor and
 /// returns reports in deterministic order: for each frame budget, the CD
-/// mix then the WS mix.
+/// mix then the WS mix. Each run is one three-tenant fleet cell with
+/// jitter off — the classic shared-pool comparison, not a perturbed
+/// fleet.
 pub fn run_multiprog_mixes(
     scale: Scale,
     frame_budgets: &[u64],
     exec: &Executor,
-) -> Vec<MultiReport> {
-    let names = ["FDJAC", "TQL", "HYBRJ"];
-    let prepared: Vec<_> = names
-        .iter()
-        .map(|name| {
-            let w = cdmm_workloads::by_name(name, scale).expect("known workload");
-            let p =
-                cdmm_core::prepare(w.name, &w.source, PipelineConfig::default()).expect("pipeline");
-            (w.name.to_string(), p)
-        })
-        .collect();
-    let policies = [
-        ProcPolicy::Cd { min_alloc: 2 },
-        ProcPolicy::Ws { tau: 2_000 },
+) -> Vec<FleetReport> {
+    let mixes = [
+        PolicySpec::Cd {
+            selector: CdSelector::FirstFit,
+        },
+        PolicySpec::Ws { tau: 2_000 },
     ];
-    let grid: Vec<(u64, ProcPolicy)> = frame_budgets
+    let grid: Vec<(u64, PolicySpec)> = frame_budgets
         .iter()
-        .flat_map(|&f| policies.iter().map(move |&p| (f, p)))
+        .flat_map(|&f| mixes.iter().map(move |&p| (f, p)))
         .collect();
-    exec.map(&grid, |_, &(total_frames, policy)| {
-        let specs: Vec<_> = prepared
-            .iter()
-            .map(|(name, p)| {
-                // The multiprogramming driver needs random access for
-                // its per-process cursors, so decompress at this
-                // boundary.
-                let trace = match policy {
-                    ProcPolicy::Cd { .. } => p.cd_trace().to_trace(),
-                    _ => p.plain_trace().to_trace(),
-                };
-                (name.clone(), trace, policy)
-            })
-            .collect();
-        let config = MultiConfig {
-            total_frames,
-            ..MultiConfig::default()
+    exec.map(&grid, |_, &(total_frames, mix)| {
+        let spec = FleetSpec {
+            tenants: 3,
+            scale,
+            workloads: vec!["FDJAC".into(), "TQL".into(), "HYBRJ".into()],
+            policy_mix: vec![mix],
+            frames_per_cell: total_frames,
+            tenants_per_cell: 3,
+            admission: Admission::Free,
+            jitter: false,
+            ..FleetSpec::default()
         };
-        run_multiprogram(specs, config)
+        run_fleet_spec(&spec).expect("fleet mix")
     })
 }
 

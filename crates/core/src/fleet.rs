@@ -1,0 +1,558 @@
+//! Fleet assembly: clone paper workloads into thousands of tenants and
+//! hand them to the sharded, work-stealing scheduler in
+//! [`cdmm_vmsim::fleet`].
+//!
+//! The vmsim layer schedules *tenants it is given*; this module is the
+//! part that manufactures them. A [`FleetSpec`] names a handful of
+//! paper workloads, a policy mix, and a seed; [`prepare_fleet`] then
+//! clones the workloads round-robin into `tenants` distinct tenants,
+//! perturbing each one deterministically via
+//! [`cdmm_trace::TenantJitter`]:
+//!
+//! - **arrival stagger** — tenants land spread over the first quanta of
+//!   their cell rather than all at clock zero;
+//! - **policy-parameter scaling** — WS windows, PFF thresholds and
+//!   fixed allocations are scaled by ±25% permille factors;
+//! - **page-geometry step** — each tenant traces its program at one of
+//!   three page sizes (¾×, 1×, 1¼× the configured page), so cloned
+//!   tenants fault on genuinely different reference strings;
+//! - **chaos salt** — designated chaos tenants run their directive
+//!   stream through the seeded [`cdmm_trace::DirectiveFuzzer`].
+//!
+//! Preparation is memoized per (workload, page size): a 2,000-tenant
+//! fleet over 3 workloads compiles and traces at most 9 programs, then
+//! clones the compressed traces (cheap `Vec` clones) per tenant.
+//!
+//! Everything is derived from `(spec, seed)` alone — never from thread
+//! or shard geometry — which is what lets [`PreparedFleet::key`]
+//! content-address a fleet result independently of how it was executed.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use cdmm_trace::{CancelToken, CompressedTrace, DirectiveFuzzer, TenantJitter};
+use cdmm_vmsim::policy::cd::CdPolicy;
+use cdmm_vmsim::policy::Policy;
+use cdmm_vmsim::{
+    run_fleet_cancellable, Admission, FleetConfig, FleetReport, NullTracer, SimError, TenantSpec,
+    Tracer,
+};
+use cdmm_workloads::Scale;
+
+use crate::pipeline::{prepare, PipelineConfig, PipelineError, PolicySpec, Prepared};
+use crate::sweep::{fleet_key, spec_key, CacheKey};
+use cdmm_locality::PageGeometry;
+use cdmm_vmsim::policy::cd::CdSelector;
+
+/// Directed perturbation of one tenant: its instrumented directive
+/// stream is run through the seeded [`DirectiveFuzzer`] before the
+/// fleet starts, and (for CD tenants) the engine is armed to degrade
+/// to plain LRU after repeated directive violations.
+///
+/// Chaos only means something for tenants whose policy consumes
+/// directives; a chaos spec naming a WS or LRU tenant is a no-op.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosSpec {
+    /// Global tenant index the perturbation applies to.
+    pub tenant: usize,
+    /// How many directive-stream injections to apply.
+    pub injections: usize,
+    /// Violations tolerated before the CD engine degrades to LRU
+    /// (`None` keeps strict directive trust).
+    pub degrade_after: Option<u64>,
+}
+
+/// Everything needed to manufacture and schedule a fleet.
+#[derive(Debug, Clone)]
+pub struct FleetSpec {
+    /// Number of tenant processes to clone.
+    pub tenants: usize,
+    /// Fleet seed: drives every per-tenant jitter stream.
+    pub seed: u64,
+    /// Workload size preset.
+    pub scale: Scale,
+    /// Paper workload names, assigned round-robin over tenants.
+    pub workloads: Vec<String>,
+    /// Policy specs, assigned round-robin over tenants (independently
+    /// of the workload rotation).
+    pub policy_mix: Vec<PolicySpec>,
+    /// Page frames in each memory-pool cell.
+    pub frames_per_cell: u64,
+    /// Tenants sharing one cell (the contention domain).
+    pub tenants_per_cell: usize,
+    /// Scheduling quantum in references.
+    pub quantum: u64,
+    /// Admission control at cell entry.
+    pub admission: Admission,
+    /// Work-distribution batches (0 = one shard per cell). Never
+    /// affects results.
+    pub shards: usize,
+    /// Worker threads (1 = serial). Never affects results.
+    pub threads: usize,
+    /// Apply seeded per-tenant perturbation. Off, every clone of a
+    /// workload is byte-identical (useful for scheduler-only studies).
+    pub jitter: bool,
+    /// Directed chaos tenants.
+    pub chaos: Vec<ChaosSpec>,
+    /// Collect a per-tenant [`cdmm_vmsim::RegistrySnapshot`] (slow:
+    /// forces per-reference event tracing).
+    pub collect_registries: bool,
+    /// Compile/trace pipeline knobs shared by all tenants (geometry
+    /// jitter steps off `config.geometry`).
+    pub config: PipelineConfig,
+}
+
+impl Default for FleetSpec {
+    fn default() -> Self {
+        FleetSpec {
+            tenants: 8,
+            seed: 1,
+            scale: Scale::Small,
+            workloads: vec!["FDJAC".into(), "TQL".into(), "HYBRJ".into()],
+            policy_mix: vec![
+                PolicySpec::Cd {
+                    selector: CdSelector::FirstFit,
+                },
+                PolicySpec::Ws { tau: 2000 },
+                PolicySpec::Lru { frames: 16 },
+            ],
+            frames_per_cell: 64,
+            tenants_per_cell: 4,
+            quantum: 300,
+            admission: Admission::PiLevel(1),
+            shards: 0,
+            threads: 1,
+            jitter: true,
+            chaos: Vec::new(),
+            collect_registries: false,
+            config: PipelineConfig::default(),
+        }
+    }
+}
+
+/// Fleet assembly or execution failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetError {
+    /// The spec names zero tenants, workloads, or policies.
+    Empty(&'static str),
+    /// A workload name not in the paper's table.
+    UnknownWorkload(String),
+    /// Compile/trace failure for one of the cloned programs.
+    Pipeline(PipelineError),
+    /// Scheduler rejection (degenerate cell geometry, cancellation).
+    Sim(SimError),
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::Empty(what) => write!(f, "a fleet needs at least one {what}"),
+            FleetError::UnknownWorkload(name) => write!(f, "unknown workload {name:?}"),
+            FleetError::Pipeline(e) => write!(f, "preparing fleet tenant: {e}"),
+            FleetError::Sim(e) => write!(f, "running fleet: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+impl From<PipelineError> for FleetError {
+    fn from(e: PipelineError) -> Self {
+        FleetError::Pipeline(e)
+    }
+}
+
+impl From<SimError> for FleetError {
+    fn from(e: SimError) -> Self {
+        FleetError::Sim(e)
+    }
+}
+
+/// A fleet manufactured and ready to run: tenants with cloned traces
+/// and built engines, plus the scheduler configuration.
+///
+/// Running consumes the fleet (engines are stateful and single-use);
+/// re-prepare from the spec to run again — preparation is memoized per
+/// program, so this is cheap relative to the run itself.
+pub struct PreparedFleet {
+    tenants: Vec<TenantSpec>,
+    config: FleetConfig,
+    key: CacheKey,
+}
+
+impl PreparedFleet {
+    /// Content-addressed identity of this fleet's *result*: covers
+    /// every tenant's program fingerprint and perturbed policy plus the
+    /// semantic scheduling knobs, and deliberately excludes shard and
+    /// thread counts (which never change the report).
+    pub fn key(&self) -> CacheKey {
+        self.key
+    }
+
+    /// Number of manufactured tenants.
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// The scheduler configuration the run will use.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Runs the fleet to completion.
+    pub fn run(self) -> Result<FleetReport, FleetError> {
+        self.run_with(&mut NullTracer)
+    }
+
+    /// [`PreparedFleet::run`] with an event [`Tracer`] attached (cell
+    /// event streams are replayed into it deterministically, in cell
+    /// order).
+    pub fn run_with(self, tracer: &mut dyn Tracer) -> Result<FleetReport, FleetError> {
+        let token = CancelToken::new();
+        self.run_cancellable(tracer, &token)
+    }
+
+    /// [`PreparedFleet::run_with`] under a cooperative [`CancelToken`].
+    pub fn run_cancellable(
+        self,
+        tracer: &mut dyn Tracer,
+        token: &CancelToken,
+    ) -> Result<FleetReport, FleetError> {
+        Ok(run_fleet_cancellable(
+            self.tenants,
+            self.config,
+            tracer,
+            token,
+        )?)
+    }
+}
+
+impl fmt::Debug for PreparedFleet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PreparedFleet")
+            .field("tenants", &self.tenants.len())
+            .field("config", &self.config)
+            .field("key", &self.key)
+            .finish()
+    }
+}
+
+/// The page geometry a tenant traces at: steps ¾×, 1×, 1¼× the base
+/// page, rounded down to a whole number of elements (never below one).
+fn geometry_for(base: PageGeometry, step: u32) -> PageGeometry {
+    let raw = match step {
+        0 => base.page_bytes * 3 / 4,
+        2 => base.page_bytes * 5 / 4,
+        _ => base.page_bytes,
+    };
+    let page_bytes = (raw / base.elem_bytes).max(1) * base.elem_bytes;
+    PageGeometry {
+        page_bytes,
+        elem_bytes: base.elem_bytes,
+    }
+}
+
+/// Scales a policy's parameters by the tenant's jitter. CD variants are
+/// untouched (their allocations come from directives, which already
+/// vary with the geometry step); `VariableSampledWs` self-tunes.
+fn perturb_spec(spec: PolicySpec, jit: &TenantJitter) -> PolicySpec {
+    let tau = |v| TenantJitter::scale(v, jit.tau_permille);
+    let frames = |v: usize| TenantJitter::scale(v as u64, jit.frames_permille) as usize;
+    match spec {
+        PolicySpec::Ws { tau: t } => PolicySpec::Ws { tau: tau(t) },
+        PolicySpec::DampedWs {
+            tau: t,
+            reserve_cap,
+        } => PolicySpec::DampedWs {
+            tau: tau(t),
+            reserve_cap,
+        },
+        PolicySpec::SampledWs { tau: t, sigma } => PolicySpec::SampledWs { tau: tau(t), sigma },
+        PolicySpec::Pff { threshold } => PolicySpec::Pff {
+            threshold: tau(threshold),
+        },
+        PolicySpec::Lru { frames: n } => PolicySpec::Lru { frames: frames(n) },
+        PolicySpec::Fifo { frames: n } => PolicySpec::Fifo { frames: frames(n) },
+        PolicySpec::Clock { frames: n } => PolicySpec::Clock { frames: frames(n) },
+        PolicySpec::Opt { frames: n } => PolicySpec::Opt { frames: frames(n) },
+        other => other,
+    }
+}
+
+/// Encodes the semantic scheduling knobs (everything that changes the
+/// report) for the fleet key. Shards and threads are absent on purpose.
+fn semantic_knobs(spec: &FleetSpec) -> Vec<u64> {
+    let mut knobs = vec![
+        spec.seed,
+        spec.tenants as u64,
+        spec.frames_per_cell,
+        spec.tenants_per_cell as u64,
+        spec.quantum,
+        spec.config.fault_service,
+        spec.jitter as u64,
+        spec.collect_registries as u64,
+    ];
+    match spec.admission {
+        Admission::Free => knobs.push(0),
+        Admission::PiLevel(k) => {
+            knobs.push(1);
+            knobs.push(k as u64);
+        }
+    }
+    knobs.push(spec.chaos.len() as u64);
+    for c in &spec.chaos {
+        knobs.push(c.tenant as u64);
+        knobs.push(c.injections as u64);
+        match c.degrade_after {
+            None => knobs.push(0),
+            Some(n) => {
+                knobs.push(1);
+                knobs.push(n);
+            }
+        }
+    }
+    knobs
+}
+
+/// Builds the engine and trace for a chaos tenant: the instrumented
+/// stream is fuzzed with the tenant's salted [`DirectiveFuzzer`] and
+/// the CD engine armed with the degradation tripwire.
+fn chaos_tenant(
+    prepared: &Prepared,
+    policy: PolicySpec,
+    chaos: &ChaosSpec,
+    seed: u64,
+    salt: u64,
+    min_alloc: u64,
+) -> (CompressedTrace, Box<dyn Policy + Send>) {
+    let flat = prepared.cd_trace().to_trace();
+    let report = DirectiveFuzzer::new(seed ^ salt)
+        .with_injections(chaos.injections)
+        .fuzz(&flat);
+    let trace = CompressedTrace::from_trace(&report.trace);
+    let engine: Box<dyn Policy + Send> = match policy {
+        PolicySpec::Cd { selector } => Box::new(
+            CdPolicy::new(selector)
+                .with_min_alloc(min_alloc)
+                .with_degrade_after(chaos.degrade_after),
+        ),
+        PolicySpec::CdNoLocks { selector } => Box::new(
+            CdPolicy::new(selector)
+                .with_min_alloc(min_alloc)
+                .with_locks(false)
+                .with_degrade_after(chaos.degrade_after),
+        ),
+        _ => unreachable!("chaos_tenant is only called for directive-consuming policies"),
+    };
+    (trace, engine)
+}
+
+/// Manufactures a fleet from its spec: compiles and traces each
+/// distinct (workload, page size) pair once, then clones perturbed
+/// tenants from the memoized preparations.
+pub fn prepare_fleet(spec: &FleetSpec) -> Result<PreparedFleet, FleetError> {
+    if spec.tenants == 0 {
+        return Err(FleetError::Empty("tenant"));
+    }
+    if spec.workloads.is_empty() {
+        return Err(FleetError::Empty("workload"));
+    }
+    if spec.policy_mix.is_empty() {
+        return Err(FleetError::Empty("policy in the mix"));
+    }
+
+    // Resolve workload names up front so a typo fails before any
+    // compilation happens.
+    let mut sources = Vec::with_capacity(spec.workloads.len());
+    for name in &spec.workloads {
+        let w = cdmm_workloads::by_name(name, spec.scale)
+            .ok_or_else(|| FleetError::UnknownWorkload(name.clone()))?;
+        sources.push(w);
+    }
+
+    // Memoized preparation per (workload, page size).
+    let mut prepared: Vec<Prepared> = Vec::new();
+    let mut index: HashMap<(usize, u64), usize> = HashMap::new();
+
+    let mut tenants = Vec::with_capacity(spec.tenants);
+    let mut points = Vec::with_capacity(spec.tenants);
+    for t in 0..spec.tenants {
+        let jit = if spec.jitter {
+            TenantJitter::for_tenant(spec.seed, t as u64)
+        } else {
+            TenantJitter::neutral()
+        };
+        let widx = t % sources.len();
+        let geometry = geometry_for(spec.config.geometry, jit.geometry_step);
+        let pidx = match index.entry((widx, geometry.page_bytes)) {
+            std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let w = &sources[widx];
+                let config = PipelineConfig {
+                    geometry,
+                    ..spec.config
+                };
+                prepared.push(prepare(w.name, &w.source, config)?);
+                e.insert(prepared.len() - 1);
+                prepared.len() - 1
+            }
+        };
+        let p = &prepared[pidx];
+        let policy = perturb_spec(spec.policy_mix[t % spec.policy_mix.len()], &jit);
+        points.push(spec_key(p, policy));
+
+        let chaos = spec.chaos.iter().find(|c| c.tenant == t);
+        let (trace, engine) = match chaos {
+            Some(c) if policy.uses_directives() => chaos_tenant(
+                p,
+                policy,
+                c,
+                spec.seed,
+                jit.chaos_salt,
+                spec.config.min_alloc,
+            ),
+            _ => {
+                let trace = if policy.uses_directives() {
+                    p.cd_trace().clone()
+                } else {
+                    p.plain_trace().clone()
+                };
+                (trace, p.build_policy(policy))
+            }
+        };
+        tenants.push(TenantSpec {
+            name: format!("{}-{:04}", p.name(), t),
+            trace,
+            engine,
+            arrival: jit.arrival(spec.quantum),
+        });
+    }
+
+    let key = fleet_key(&points, &semantic_knobs(spec));
+    let config = FleetConfig {
+        frames_per_cell: spec.frames_per_cell,
+        tenants_per_cell: spec.tenants_per_cell,
+        quantum: spec.quantum,
+        fault_service: spec.config.fault_service,
+        admission: spec.admission,
+        shards: spec.shards,
+        threads: spec.threads,
+        collect_registries: spec.collect_registries,
+    };
+    Ok(PreparedFleet {
+        tenants,
+        config,
+        key,
+    })
+}
+
+/// Prepares and runs a fleet in one call.
+pub fn run_fleet_spec(spec: &FleetSpec) -> Result<FleetReport, FleetError> {
+    prepare_fleet(spec)?.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> FleetSpec {
+        FleetSpec {
+            tenants: 6,
+            seed: 42,
+            workloads: vec!["FDJAC".into()],
+            policy_mix: vec![PolicySpec::Ws { tau: 2000 }, PolicySpec::Lru { frames: 16 }],
+            tenants_per_cell: 2,
+            ..FleetSpec::default()
+        }
+    }
+
+    #[test]
+    fn spec_prepares_clones_and_runs() {
+        let spec = small_spec();
+        let fleet = prepare_fleet(&spec).unwrap();
+        assert_eq!(fleet.tenant_count(), 6);
+        let report = fleet.run().unwrap();
+        assert_eq!(report.tenants.len(), 6);
+        assert_eq!(report.cells.len(), 3);
+        for t in &report.tenants {
+            assert!(t.metrics.refs > 0, "{} ran", t.name);
+        }
+    }
+
+    #[test]
+    fn fleet_key_ignores_execution_geometry() {
+        let spec = small_spec();
+        let base = prepare_fleet(&spec).unwrap().key();
+        let mut sharded = small_spec();
+        sharded.shards = 3;
+        sharded.threads = 4;
+        assert_eq!(prepare_fleet(&sharded).unwrap().key(), base);
+        let mut reseeded = small_spec();
+        reseeded.seed = 43;
+        assert_ne!(prepare_fleet(&reseeded).unwrap().key(), base);
+    }
+
+    #[test]
+    fn jitter_perturbs_policy_parameters() {
+        let spec = small_spec();
+        let fleet = prepare_fleet(&spec).unwrap();
+        let report = fleet.run().unwrap();
+        // With jitter on, the two WS tenants should not share a label
+        // with probability ~1 for this seed (their τ differs).
+        let ws_labels: Vec<&str> = report
+            .tenants
+            .iter()
+            .filter(|t| t.policy.starts_with("WS"))
+            .map(|t| t.policy.as_str())
+            .collect();
+        assert!(ws_labels.len() >= 2);
+        assert!(
+            ws_labels.windows(2).any(|w| w[0] != w[1]),
+            "jitter left all WS windows identical: {ws_labels:?}"
+        );
+    }
+
+    #[test]
+    fn unknown_workload_is_a_typed_error() {
+        let mut spec = small_spec();
+        spec.workloads = vec!["NOSUCH".into()];
+        assert_eq!(
+            prepare_fleet(&spec).err(),
+            Some(FleetError::UnknownWorkload("NOSUCH".into()))
+        );
+    }
+
+    #[test]
+    fn empty_specs_are_typed_errors() {
+        let mut spec = small_spec();
+        spec.tenants = 0;
+        assert!(matches!(prepare_fleet(&spec), Err(FleetError::Empty(_))));
+        let mut spec = small_spec();
+        spec.workloads.clear();
+        assert!(matches!(prepare_fleet(&spec), Err(FleetError::Empty(_))));
+        let mut spec = small_spec();
+        spec.policy_mix.clear();
+        assert!(matches!(prepare_fleet(&spec), Err(FleetError::Empty(_))));
+    }
+
+    #[test]
+    fn chaos_tenant_runs_and_changes_the_key() {
+        let mut spec = small_spec();
+        spec.policy_mix = vec![PolicySpec::Cd {
+            selector: CdSelector::FirstFit,
+        }];
+        let clean_key = prepare_fleet(&spec).unwrap().key();
+        spec.chaos = vec![ChaosSpec {
+            tenant: 0,
+            injections: 2,
+            degrade_after: Some(1),
+        }];
+        let fleet = prepare_fleet(&spec).unwrap();
+        assert_ne!(fleet.key(), clean_key);
+        let report = fleet.run().unwrap();
+        assert_eq!(report.tenants.len(), 6);
+        for t in &report.tenants {
+            assert!(t.metrics.refs > 0, "{} survives chaos", t.name);
+        }
+    }
+}

@@ -42,14 +42,18 @@
 pub mod anomalies;
 pub mod curves;
 pub mod experiments;
+pub mod fleet;
 pub mod pipeline;
 pub mod report;
 pub mod sweep;
 
 pub use cdmm_locality::PageGeometry;
 pub use cdmm_trace::{CancelToken, InterpError};
+pub use fleet::{prepare_fleet, run_fleet_spec, ChaosSpec, FleetError, FleetSpec, PreparedFleet};
 pub use pipeline::{
     prepare, prepare_cancellable, selector_for, PipelineConfig, PipelineError, PolicySpec,
     Prepared, ValidateError,
 };
-pub use sweep::{panic_message, CacheKey, Executor, JobError, Point, ResultCache};
+pub use sweep::{
+    fleet_key, panic_message, spec_key, CacheKey, Executor, JobError, Point, ResultCache,
+};

@@ -327,6 +327,27 @@ impl PolicySpec {
     }
 }
 
+/// Migration path off the deprecated multiprogramming
+/// [`ProcPolicy`](cdmm_vmsim::multiprog::ProcPolicy): each legacy
+/// per-process policy maps onto the spec the fleet expects.
+///
+/// `ProcPolicy::Cd`'s `min_alloc` field has no spec-side counterpart —
+/// minimum allocation lives in [`PipelineConfig::min_alloc`], where it
+/// applies uniformly to every CD tenant of a prepared program.
+#[allow(deprecated)]
+impl From<cdmm_vmsim::multiprog::ProcPolicy> for PolicySpec {
+    fn from(p: cdmm_vmsim::multiprog::ProcPolicy) -> Self {
+        use cdmm_vmsim::multiprog::ProcPolicy;
+        match p {
+            ProcPolicy::Cd { .. } => PolicySpec::Cd {
+                selector: CdSelector::FirstFit,
+            },
+            ProcPolicy::Ws { tau } => PolicySpec::Ws { tau },
+            ProcPolicy::Lru { frames } => PolicySpec::Lru { frames },
+        }
+    }
+}
+
 /// Maps a workload's neutral directive level onto the CD selector.
 pub fn selector_for(level: DirectiveLevel) -> CdSelector {
     match level {
@@ -439,7 +460,11 @@ impl Prepared {
 
     /// Builds the policy a [`PolicySpec`] describes, parameterized by
     /// this program's config (CD min-alloc) and traces (OPT lookahead).
-    pub fn build_policy(&self, spec: PolicySpec) -> Box<dyn Policy> {
+    ///
+    /// The box is `Send` so built engines can be handed to the fleet
+    /// scheduler's worker threads; every policy is a plain data
+    /// structure, so this costs nothing.
+    pub fn build_policy(&self, spec: PolicySpec) -> Box<dyn Policy + Send> {
         match spec {
             PolicySpec::Cd { selector } => {
                 Box::new(CdPolicy::new(selector).with_min_alloc(self.config.min_alloc))

@@ -224,6 +224,80 @@ pub fn render_table4(rows: &[Table4Row]) -> String {
     out
 }
 
+/// Renders a fleet run as a plain-text scorecard: headline totals, the
+/// space-time and swapper-pressure distributions, and a per-policy-family
+/// breakdown (families keyed by the label prefix before the parameter,
+/// so `WS(1700)` and `WS(2300)` fold into one `WS` row).
+pub fn render_fleet(report: &cdmm_vmsim::FleetReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Fleet scorecard: {} tenants over {} cells",
+        report.tenants.len(),
+        report.cells.len()
+    );
+    let _ = writeln!(
+        out,
+        "  makespan {}  refs {}  faults {}  swap-outs {}  cpu {:.1}%",
+        report.makespan,
+        report.total_refs,
+        report.total_faults,
+        report.swap_events,
+        report.cpu_utilization * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "  ST cost        p50 {:>12}  p99 {:>12}  max {:>12}",
+        report.st_cost.p50, report.st_cost.p99, report.st_cost.max
+    );
+    let _ = writeln!(
+        out,
+        "  swap pressure  p50 {:>12}  p99 {:>12}  max {:>12}",
+        report.swap_pressure.p50, report.swap_pressure.p99, report.swap_pressure.max
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "{:<8} | {:>7} {:>10} {:>10} {:>14}",
+        "policy", "tenants", "faults", "swap-outs", "mean ST"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(56));
+    // Fold tenants into policy families, keeping first-seen order so
+    // the table mirrors the fleet's policy mix.
+    let mut families: Vec<(String, u64, u64, u64, f64)> = Vec::new();
+    for t in &report.tenants {
+        let family = t
+            .policy
+            .split(['(', ' '])
+            .next()
+            .unwrap_or(t.policy.as_str())
+            .to_string();
+        let row = match families.iter_mut().find(|f| f.0 == family) {
+            Some(row) => row,
+            None => {
+                families.push((family, 0, 0, 0, 0.0));
+                families.last_mut().expect("just pushed")
+            }
+        };
+        row.1 += 1;
+        row.2 += t.metrics.faults;
+        row.3 += t.swap_outs;
+        row.4 += t.metrics.st_cost();
+    }
+    for (family, tenants, faults, swaps, st) in &families {
+        let _ = writeln!(
+            out,
+            "{:<8} | {:>7} {:>10} {:>10} {:>14.3e}",
+            family,
+            tenants,
+            faults,
+            swaps,
+            st / *tenants as f64
+        );
+    }
+    out
+}
+
 /// Renders all four tables as Markdown (used to regenerate
 /// `EXPERIMENTS.md`). Reproduced values sit next to the paper's.
 pub fn render_markdown(

@@ -12,13 +12,20 @@
 //! whether it was simulated, recalled from the crash-safe cache, or
 //! retried around an injected fault. That invariant is what the chaos
 //! suite pins.
+//!
+//! Two job kinds share the schema, selected by the optional `job`
+//! field: `"sim"` (the default — one program, one policy, one
+//! [`Metrics`] row) and `"fleet"` (a seeded multiprogramming run over
+//! cloned paper workloads, answered with the integer digest of a
+//! [`FleetReport`]).
 
 use std::collections::BTreeMap;
 use std::fmt;
 
+use cdmm_core::fleet::FleetSpec;
 use cdmm_core::{PageGeometry, PipelineConfig, PolicySpec};
 use cdmm_vmsim::policy::cd::CdSelector;
-use cdmm_vmsim::Metrics;
+use cdmm_vmsim::{Admission, FleetReport, Metrics};
 use cdmm_workloads::Scale;
 
 /// Where the job's program comes from.
@@ -70,6 +77,111 @@ impl JobRequest {
             cfg.min_alloc = ma;
         }
         cfg
+    }
+}
+
+/// One parsed fleet job (`"job":"fleet"`): a seeded multiprogramming
+/// run over cloned paper workloads, executed by the fleet scheduler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetRequest {
+    /// Caller-chosen id, echoed on the response line.
+    pub id: String,
+    /// Tenant processes to manufacture.
+    pub tenants: u64,
+    /// Fleet seed (absent: the [`FleetSpec`] default).
+    pub seed: Option<u64>,
+    /// Work-distribution shards (never affects the report).
+    pub shards: Option<u64>,
+    /// Workload rotation, from the comma-separated `workloads` field.
+    /// Empty means the default rotation.
+    pub workloads: Vec<String>,
+    /// Policy rotation, from the comma-separated `mix` field (e.g.
+    /// `"cd,ws:2000,lru:16"`). Empty means the default mix.
+    pub mix: Vec<PolicySpec>,
+    /// Page frames per memory-pool cell.
+    pub frames: Option<u64>,
+    /// Tenants sharing one cell.
+    pub cell: Option<u64>,
+    /// Scheduling quantum in references.
+    pub quantum: Option<u64>,
+    /// Admission control (absent: the [`FleetSpec`] default).
+    pub admission: Option<Admission>,
+    /// Seeded per-tenant perturbation (absent: on).
+    pub jitter: Option<bool>,
+    /// Workload scale preset.
+    pub scale: Scale,
+    /// Per-job deadline in milliseconds (absent: service default).
+    pub deadline_ms: Option<u64>,
+}
+
+impl FleetRequest {
+    /// The fleet specification this request asks for. Execution
+    /// geometry is pinned to one thread: parallelism in the service
+    /// comes from running many jobs at once, and the report is
+    /// byte-identical at any thread count anyway.
+    pub fn fleet_spec(&self) -> FleetSpec {
+        let mut spec = FleetSpec {
+            tenants: self.tenants as usize,
+            scale: self.scale,
+            threads: 1,
+            ..FleetSpec::default()
+        };
+        if let Some(s) = self.seed {
+            spec.seed = s;
+        }
+        if let Some(s) = self.shards {
+            spec.shards = s as usize;
+        }
+        if !self.workloads.is_empty() {
+            spec.workloads = self.workloads.clone();
+        }
+        if !self.mix.is_empty() {
+            spec.policy_mix = self.mix.clone();
+        }
+        if let Some(f) = self.frames {
+            spec.frames_per_cell = f;
+        }
+        if let Some(c) = self.cell {
+            spec.tenants_per_cell = c as usize;
+        }
+        if let Some(q) = self.quantum {
+            spec.quantum = q;
+        }
+        if let Some(a) = self.admission {
+            spec.admission = a;
+        }
+        if let Some(j) = self.jitter {
+            spec.jitter = j;
+        }
+        spec
+    }
+}
+
+/// One parsed request line: either kind of job the service accepts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// A single-program simulation (the default when `job` is absent
+    /// or `"sim"`).
+    Sim(JobRequest),
+    /// A fleet multiprogramming run (`"job":"fleet"`).
+    Fleet(FleetRequest),
+}
+
+impl Request {
+    /// The caller-chosen id, whatever the job kind.
+    pub fn id(&self) -> &str {
+        match self {
+            Request::Sim(r) => &r.id,
+            Request::Fleet(r) => &r.id,
+        }
+    }
+
+    /// The per-job deadline, whatever the job kind.
+    pub fn deadline_ms(&self) -> Option<u64> {
+        match self {
+            Request::Sim(r) => r.deadline_ms,
+            Request::Fleet(r) => r.deadline_ms,
+        }
     }
 }
 
@@ -145,6 +257,28 @@ pub fn encode_ok(id: &str, label: &str, m: &Metrics) -> String {
         m.peak_resident,
         m.recovered_directives,
         m.degraded_refs,
+    )
+}
+
+/// Serializes a fleet success response: id and the deterministic
+/// [`FleetReport`] digest, integers only (CPU utilization ships as
+/// permille so the row stays float-free and byte-stable).
+pub fn encode_fleet_ok(id: &str, r: &FleetReport) -> String {
+    let cpu_pm = (r.cpu_utilization * 1000.0).round() as u64;
+    format!(
+        "{{\"v\":1,\"id\":\"{}\",\"ok\":true,\"job\":\"fleet\",\"tenants\":{},\"cells\":{},\"makespan\":{},\"refs\":{},\"pf\":{},\"swaps\":{},\"cpu_pm\":{},\"st_p50\":{},\"st_p99\":{},\"sw_p50\":{},\"sw_p99\":{}}}",
+        escape_json(id),
+        r.tenants.len(),
+        r.cells.len(),
+        r.makespan,
+        r.total_refs,
+        r.total_faults,
+        r.swap_events,
+        cpu_pm,
+        r.st_cost.p50,
+        r.st_cost.p99,
+        r.swap_pressure.p50,
+        r.swap_pressure.p99,
     )
 }
 
@@ -301,6 +435,14 @@ fn get_u64(fields: &BTreeMap<String, Scalar>, key: &str) -> Result<Option<u64>, 
     }
 }
 
+fn get_bool(fields: &BTreeMap<String, Scalar>, key: &str) -> Result<Option<bool>, String> {
+    match fields.get(key) {
+        None | Some(Scalar::Null) => Ok(None),
+        Some(Scalar::Bool(b)) => Ok(Some(*b)),
+        Some(other) => Err(format!("field \"{key}\" must be a boolean, got {other:?}")),
+    }
+}
+
 /// Resolves the `policy`/`level`/`frames`/`tau`/`threshold` fields into
 /// a [`PolicySpec`].
 fn parse_policy(fields: &BTreeMap<String, Scalar>) -> Result<PolicySpec, String> {
@@ -350,24 +492,160 @@ fn parse_policy(fields: &BTreeMap<String, Scalar>) -> Result<PolicySpec, String>
     }
 }
 
-/// Parses one request line. Errors are caller-facing strings — they end
-/// up in the `detail` of a `bad_request` response.
-pub fn parse_request(line: &str) -> Result<JobRequest, String> {
+/// Parses one policy token of the fleet `mix` string: a bare name
+/// (`"cd"`, `"cd:innermost"`) or a `name:parameter` pair (`"ws:2000"`,
+/// `"lru:16"`).
+fn parse_mix_token(tok: &str) -> Result<PolicySpec, String> {
+    let (name, arg) = match tok.split_once(':') {
+        Some((n, a)) => (n, Some(a)),
+        None => (tok, None),
+    };
+    let num = |what: &str| -> Result<u64, String> {
+        arg.ok_or_else(|| format!("mix policy \"{name}\" needs \"{name}:<{what}>\""))?
+            .parse::<u64>()
+            .map_err(|_| format!("mix policy \"{tok}\": {what} must be a non-negative integer"))
+    };
+    // Fleet CD defaults to the dynamic first-fit selector — the one
+    // selector designed for a shared, contended pool.
+    let selector = || -> Result<CdSelector, String> {
+        match arg {
+            None | Some("first-fit") => Ok(CdSelector::FirstFit),
+            Some("outermost") => Ok(CdSelector::Outermost),
+            Some("innermost") => Ok(CdSelector::Innermost),
+            Some(k) => k
+                .parse::<u32>()
+                .map(CdSelector::AtLevel)
+                .map_err(|_| format!("mix policy \"{tok}\": unknown CD level \"{k}\"")),
+        }
+    };
+    match name {
+        "cd" => Ok(PolicySpec::Cd {
+            selector: selector()?,
+        }),
+        "cd-nolocks" => Ok(PolicySpec::CdNoLocks {
+            selector: selector()?,
+        }),
+        "lru" => Ok(PolicySpec::Lru {
+            frames: num("frames")? as usize,
+        }),
+        "fifo" => Ok(PolicySpec::Fifo {
+            frames: num("frames")? as usize,
+        }),
+        "clock" => Ok(PolicySpec::Clock {
+            frames: num("frames")? as usize,
+        }),
+        "opt" => Ok(PolicySpec::Opt {
+            frames: num("frames")? as usize,
+        }),
+        "ws" => Ok(PolicySpec::Ws { tau: num("tau")? }),
+        "pff" => Ok(PolicySpec::Pff {
+            threshold: num("threshold")?,
+        }),
+        other => Err(format!("unknown mix policy \"{other}\"")),
+    }
+}
+
+/// Parses the fleet job fields into a [`FleetRequest`].
+fn parse_fleet(id: String, fields: &BTreeMap<String, Scalar>) -> Result<FleetRequest, String> {
+    for sim_only in ["workload", "source", "policy", "level"] {
+        if fields.contains_key(sim_only) {
+            return Err(format!("field \"{sim_only}\" does not apply to fleet jobs"));
+        }
+    }
+    let tenants = get_u64(fields, "tenants")?.ok_or("fleet jobs need a \"tenants\" field")?;
+    let workloads = match get_str(fields, "workloads")? {
+        None => Vec::new(),
+        Some(s) => {
+            let names: Vec<String> = s
+                .split(',')
+                .map(str::trim)
+                .filter(|n| !n.is_empty())
+                .map(String::from)
+                .collect();
+            if names.is_empty() {
+                return Err("field \"workloads\" names no workloads".into());
+            }
+            names
+        }
+    };
+    let mix = match get_str(fields, "mix")? {
+        None => Vec::new(),
+        Some(s) => {
+            let toks: Vec<&str> = s
+                .split(',')
+                .map(str::trim)
+                .filter(|t| !t.is_empty())
+                .collect();
+            if toks.is_empty() {
+                return Err("field \"mix\" names no policies".into());
+            }
+            toks.into_iter()
+                .map(parse_mix_token)
+                .collect::<Result<Vec<_>, _>>()?
+        }
+    };
+    let admission = match fields.get("admission") {
+        None | Some(Scalar::Null) => None,
+        Some(Scalar::Str(s)) if s == "free" => Some(Admission::Free),
+        Some(Scalar::Num(n)) => Some(Admission::PiLevel(n.parse::<u32>().map_err(|_| {
+            format!("field \"admission\" must be \"free\" or a PI level, got `{n}`")
+        })?)),
+        Some(other) => {
+            return Err(format!(
+                "field \"admission\" must be \"free\" or a PI level, got {other:?}"
+            ))
+        }
+    };
+    let scale = match get_str(fields, "scale")?.as_deref() {
+        None | Some("small") => Scale::Small,
+        Some("paper") => Scale::Paper,
+        Some(other) => return Err(format!("unknown scale \"{other}\"")),
+    };
+    Ok(FleetRequest {
+        id,
+        tenants,
+        seed: get_u64(fields, "seed")?,
+        shards: get_u64(fields, "shards")?,
+        workloads,
+        mix,
+        frames: get_u64(fields, "frames")?,
+        cell: get_u64(fields, "cell")?,
+        quantum: get_u64(fields, "quantum")?,
+        admission,
+        jitter: get_bool(fields, "jitter")?,
+        scale,
+        deadline_ms: get_u64(fields, "deadline_ms")?,
+    })
+}
+
+/// Parses one request line, dispatching on the optional `job` field
+/// (`"sim"`, the default, or `"fleet"`). Errors are caller-facing
+/// strings — they end up in the `detail` of a `bad_request` response.
+pub fn parse_request(line: &str) -> Result<Request, String> {
     let fields = parse_flat_object(line)?;
     let id = get_str(&fields, "id")?.ok_or("missing required field \"id\"")?;
     if id.is_empty() {
         return Err("field \"id\" must be non-empty".into());
     }
-    let work = match (get_str(&fields, "workload")?, get_str(&fields, "source")?) {
+    match get_str(&fields, "job")?.as_deref() {
+        None | Some("sim") => parse_sim(id, &fields).map(Request::Sim),
+        Some("fleet") => parse_fleet(id, &fields).map(Request::Fleet),
+        Some(other) => Err(format!("unknown job kind \"{other}\"")),
+    }
+}
+
+/// Parses the classic single-simulation job fields.
+fn parse_sim(id: String, fields: &BTreeMap<String, Scalar>) -> Result<JobRequest, String> {
+    let work = match (get_str(fields, "workload")?, get_str(fields, "source")?) {
         (Some(w), None) => WorkSource::Named(w),
         (None, Some(src)) => WorkSource::Inline {
-            name: get_str(&fields, "name")?.unwrap_or_else(|| "INLINE".into()),
+            name: get_str(fields, "name")?.unwrap_or_else(|| "INLINE".into()),
             source: src,
         },
         (Some(_), Some(_)) => return Err("give \"workload\" or \"source\", not both".into()),
         (None, None) => return Err("missing \"workload\" or \"source\"".into()),
     };
-    let scale = match get_str(&fields, "scale")?.as_deref() {
+    let scale = match get_str(fields, "scale")?.as_deref() {
         None | Some("small") => Scale::Small,
         Some("paper") => Scale::Paper,
         Some(other) => return Err(format!("unknown scale \"{other}\"")),
@@ -376,11 +654,11 @@ pub fn parse_request(line: &str) -> Result<JobRequest, String> {
         id,
         work,
         scale,
-        policy: parse_policy(&fields)?,
-        page_bytes: get_u64(&fields, "page_bytes")?,
-        fault_service: get_u64(&fields, "fault_service")?,
-        min_alloc: get_u64(&fields, "min_alloc")?,
-        deadline_ms: get_u64(&fields, "deadline_ms")?,
+        policy: parse_policy(fields)?,
+        page_bytes: get_u64(fields, "page_bytes")?,
+        fault_service: get_u64(fields, "fault_service")?,
+        min_alloc: get_u64(fields, "min_alloc")?,
+        deadline_ms: get_u64(fields, "deadline_ms")?,
     })
 }
 
@@ -388,10 +666,23 @@ pub fn parse_request(line: &str) -> Result<JobRequest, String> {
 mod tests {
     use super::*;
 
+    fn sim(line: &str) -> JobRequest {
+        match parse_request(line).expect("parses") {
+            Request::Sim(r) => r,
+            other => panic!("expected a sim job, got {other:?}"),
+        }
+    }
+
+    fn fleet(line: &str) -> FleetRequest {
+        match parse_request(line).expect("parses") {
+            Request::Fleet(r) => r,
+            other => panic!("expected a fleet job, got {other:?}"),
+        }
+    }
+
     #[test]
     fn minimal_request_parses() {
-        let r = parse_request(r#"{"id":"j1","workload":"MAIN","policy":"lru","frames":8}"#)
-            .expect("parses");
+        let r = sim(r#"{"id":"j1","workload":"MAIN","policy":"lru","frames":8}"#);
         assert_eq!(r.id, "j1");
         assert_eq!(r.work, WorkSource::Named("MAIN".into()));
         assert_eq!(r.scale, Scale::Small);
@@ -401,10 +692,9 @@ mod tests {
 
     #[test]
     fn inline_source_with_escapes_parses() {
-        let r = parse_request(
+        let r = sim(
             r#"{"id":"j2","source":"PROGRAM T\nEND\n","name":"T","policy":"cd","level":"innermost","deadline_ms":250}"#,
-        )
-        .expect("parses");
+        );
         match &r.work {
             WorkSource::Inline { name, source } => {
                 assert_eq!(name, "T");
@@ -423,10 +713,9 @@ mod tests {
 
     #[test]
     fn numeric_cd_level_and_knobs() {
-        let r = parse_request(
+        let r = sim(
             r#"{"id":"j3","workload":"FDJAC","scale":"paper","policy":"cd","level":2,"page_bytes":512,"fault_service":1000,"min_alloc":4}"#,
-        )
-        .expect("parses");
+        );
         assert_eq!(r.scale, Scale::Paper);
         assert_eq!(
             r.policy,
@@ -531,7 +820,148 @@ mod tests {
             "{{\"id\":\"{}\",\"workload\":\"MAIN\",\"policy\":\"cd\"}}",
             escape_json(nasty)
         );
-        let r = parse_request(&line).expect("escaped request parses");
+        let r = sim(&line);
         assert_eq!(r.id, nasty);
+    }
+
+    #[test]
+    fn fleet_request_parses_with_defaults() {
+        let r = fleet(r#"{"id":"f1","job":"fleet","tenants":64}"#);
+        assert_eq!(r.id, "f1");
+        assert_eq!(r.tenants, 64);
+        let spec = r.fleet_spec();
+        assert_eq!(spec.tenants, 64);
+        assert_eq!(spec.threads, 1, "fleet jobs are pinned to one thread");
+        assert_eq!(spec.seed, FleetSpec::default().seed);
+        assert_eq!(spec.workloads, FleetSpec::default().workloads);
+    }
+
+    #[test]
+    fn fleet_request_parses_every_knob() {
+        let r = fleet(
+            r#"{"id":"f2","job":"fleet","tenants":128,"seed":42,"shards":5,"workloads":"FDJAC, TQL","mix":"cd:innermost,ws:2000,lru:16","frames":48,"cell":3,"quantum":200,"admission":2,"jitter":false,"deadline_ms":900}"#,
+        );
+        assert_eq!(r.workloads, vec!["FDJAC".to_string(), "TQL".to_string()]);
+        assert_eq!(
+            r.mix,
+            vec![
+                PolicySpec::Cd {
+                    selector: CdSelector::Innermost
+                },
+                PolicySpec::Ws { tau: 2000 },
+                PolicySpec::Lru { frames: 16 },
+            ]
+        );
+        assert_eq!(r.deadline_ms, Some(900));
+        let spec = r.fleet_spec();
+        assert_eq!(spec.seed, 42);
+        assert_eq!(spec.shards, 5);
+        assert_eq!(spec.frames_per_cell, 48);
+        assert_eq!(spec.tenants_per_cell, 3);
+        assert_eq!(spec.quantum, 200);
+        assert_eq!(spec.admission, Admission::PiLevel(2));
+        assert!(!spec.jitter);
+    }
+
+    #[test]
+    fn mix_tokens_cover_the_policy_families() {
+        for (tok, want) in [
+            (
+                "cd",
+                PolicySpec::Cd {
+                    selector: CdSelector::FirstFit,
+                },
+            ),
+            (
+                "cd:3",
+                PolicySpec::Cd {
+                    selector: CdSelector::AtLevel(3),
+                },
+            ),
+            (
+                "cd-nolocks:outermost",
+                PolicySpec::CdNoLocks {
+                    selector: CdSelector::Outermost,
+                },
+            ),
+            ("fifo:9", PolicySpec::Fifo { frames: 9 }),
+            ("clock:9", PolicySpec::Clock { frames: 9 }),
+            ("opt:9", PolicySpec::Opt { frames: 9 }),
+            ("pff:150", PolicySpec::Pff { threshold: 150 }),
+        ] {
+            assert_eq!(parse_mix_token(tok).expect(tok), want);
+        }
+    }
+
+    #[test]
+    fn malformed_fleet_requests_are_typed_errors() {
+        for (line, needle) in [
+            (r#"{"id":"x","job":"fleet"}"#, "tenants"),
+            (
+                r#"{"id":"x","job":"batch","tenants":4}"#,
+                "unknown job kind",
+            ),
+            (
+                r#"{"id":"x","job":"fleet","tenants":4,"policy":"cd"}"#,
+                "does not apply to fleet jobs",
+            ),
+            (
+                r#"{"id":"x","job":"fleet","tenants":4,"mix":"zap"}"#,
+                "unknown mix policy",
+            ),
+            (
+                r#"{"id":"x","job":"fleet","tenants":4,"mix":"lru"}"#,
+                "needs \"lru:<frames>\"",
+            ),
+            (
+                r#"{"id":"x","job":"fleet","tenants":4,"mix":" , "}"#,
+                "no policies",
+            ),
+            (
+                r#"{"id":"x","job":"fleet","tenants":4,"workloads":","}"#,
+                "no workloads",
+            ),
+            (
+                r#"{"id":"x","job":"fleet","tenants":4,"admission":"vip"}"#,
+                "admission",
+            ),
+            (
+                r#"{"id":"x","job":"fleet","tenants":4,"jitter":7}"#,
+                "boolean",
+            ),
+        ] {
+            let err = parse_request(line).expect_err(line);
+            assert!(
+                err.contains(needle),
+                "`{line}` → `{err}` (wanted `{needle}`)"
+            );
+        }
+    }
+
+    #[test]
+    fn fleet_rows_are_integer_only_and_deterministic() {
+        use cdmm_vmsim::{Histogram, HistogramSummary};
+        let mut st = Histogram::new();
+        let mut sw = Histogram::new();
+        st.record(10);
+        st.record(90);
+        sw.record(3);
+        let r = FleetReport {
+            tenants: Vec::new(),
+            cells: Vec::new(),
+            makespan: 1234,
+            total_refs: 999,
+            total_faults: 55,
+            swap_events: 4,
+            cpu_utilization: 0.756,
+            st_cost: HistogramSummary::of(&st),
+            swap_pressure: HistogramSummary::of(&sw),
+        };
+        let a = encode_fleet_ok("f9", &r);
+        assert_eq!(a, encode_fleet_ok("f9", &r));
+        assert!(a.contains("\"job\":\"fleet\""), "{a}");
+        assert!(a.contains("\"cpu_pm\":756"), "{a}");
+        assert!(a.contains("\"st_p99\":"), "{a}");
+        assert!(!a.contains('.'), "floats leaked into the row: {a}");
     }
 }

@@ -32,15 +32,19 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use cdmm_core::fleet::{prepare_fleet, FleetError};
 use cdmm_core::sweep::spec_key;
 use cdmm_core::{
     panic_message, prepare_cancellable, Executor, InterpError, PipelineError, Prepared, ResultCache,
 };
-use cdmm_vmsim::{CancelToken, Histogram, Metrics, SimError};
+use cdmm_vmsim::{CancelToken, FleetReport, Histogram, Metrics, NullTracer, SimError};
 use cdmm_workloads::by_name;
 
 use crate::faults::FaultInjector;
-use crate::request::{encode_err, encode_ok, parse_request, ErrorKind, JobRequest, WorkSource};
+use crate::request::{
+    encode_err, encode_fleet_ok, encode_ok, parse_request, ErrorKind, FleetRequest, JobRequest,
+    Request, WorkSource,
+};
 
 /// Service-wide knobs.
 #[derive(Debug, Clone)]
@@ -118,6 +122,7 @@ pub fn backoff_delay(seed: u64, job: u64, attempt: u32, base: Duration) -> Durat
 /// How one supervised job ended, before response encoding.
 enum JobOutcome {
     Ok { label: String, metrics: Metrics },
+    FleetOk { report: Box<FleetReport> },
     Err { kind: ErrorKind, detail: String },
 }
 
@@ -210,11 +215,11 @@ impl BatchService {
             .fetch_add(lines.len() as u64, Ordering::Relaxed);
         // Parse every line first; admission control only counts jobs
         // that could actually run.
-        let mut parsed: Vec<Result<JobRequest, String>> = Vec::with_capacity(lines.len());
+        let mut parsed: Vec<Result<Request, String>> = Vec::with_capacity(lines.len());
         for line in lines {
             parsed.push(parse_request(line));
         }
-        let mut admitted: Vec<(usize, JobRequest)> = Vec::new();
+        let mut admitted: Vec<(usize, Request)> = Vec::new();
         let mut responses: Vec<Option<String>> = vec![None; lines.len()];
         for (i, p) in parsed.into_iter().enumerate() {
             match p {
@@ -231,7 +236,7 @@ impl BatchService {
                     } else {
                         self.shed.fetch_add(1, Ordering::Relaxed);
                         responses[i] = Some(encode_err(
-                            &req.id,
+                            req.id(),
                             ErrorKind::Overloaded,
                             &format!("queue depth {} exceeded", self.config.queue_depth),
                         ));
@@ -249,11 +254,12 @@ impl BatchService {
         });
         for ((i, req), outcome) in admitted.iter().zip(outcomes) {
             let line = match outcome {
-                Ok(JobOutcome::Ok { label, metrics }) => encode_ok(&req.id, &label, &metrics),
-                Ok(JobOutcome::Err { kind, detail }) => encode_err(&req.id, kind, &detail),
+                Ok(JobOutcome::Ok { label, metrics }) => encode_ok(req.id(), &label, &metrics),
+                Ok(JobOutcome::FleetOk { report }) => encode_fleet_ok(req.id(), &report),
+                Ok(JobOutcome::Err { kind, detail }) => encode_err(req.id(), kind, &detail),
                 // The executor's catch_unwind is the last line of
                 // defense — a panic that escaped the retry loop.
-                Err(job_err) => encode_err(&req.id, ErrorKind::Panic, &job_err.message),
+                Err(job_err) => encode_err(req.id(), ErrorKind::Panic, &job_err.message),
             };
             responses[*i] = Some(line);
         }
@@ -281,7 +287,7 @@ impl BatchService {
 
     /// The retry loop around one job: typed failures return immediately,
     /// panics burn an attempt and back off with seeded jitter.
-    fn supervise(&self, job: u64, req: &JobRequest) -> JobOutcome {
+    fn supervise(&self, job: u64, req: &Request) -> JobOutcome {
         let attempts = self.config.max_retries + 1;
         let mut last_panic = String::new();
         for attempt in 0..attempts {
@@ -309,14 +315,13 @@ impl BatchService {
         }
     }
 
-    /// One attempt: start the deadline clock, resolve the program (trace
-    /// generation polls the token), consult the cache, simulate under
-    /// the same token.
-    fn execute(&self, req: &JobRequest) -> JobOutcome {
+    /// One attempt: start the deadline clock, then dispatch on the job
+    /// kind under one shared cancel token.
+    fn execute(&self, req: &Request) -> JobOutcome {
         // The clock starts before any work: prepare — whose trace
         // generation a pathological inline source can stretch without
         // bound — counts against the deadline too.
-        let token = match req.deadline_ms.or(self.config.default_deadline_ms) {
+        let token = match req.deadline_ms().or(self.config.default_deadline_ms) {
             Some(ms) => CancelToken::with_deadline(Duration::from_millis(ms)),
             None => CancelToken::new(),
         };
@@ -330,7 +335,16 @@ impl BatchService {
                 detail: "deadline expired after 0 references".to_string(),
             };
         }
-        let prepared = match self.prepared_for(req, &token) {
+        match req {
+            Request::Sim(r) => self.execute_sim(r, &token),
+            Request::Fleet(r) => self.execute_fleet(r, &token),
+        }
+    }
+
+    /// One sim attempt: resolve the program (trace generation polls the
+    /// token), consult the cache, simulate under the same token.
+    fn execute_sim(&self, req: &JobRequest, token: &CancelToken) -> JobOutcome {
+        let prepared = match self.prepared_for(req, token) {
             Ok(p) => p,
             Err(outcome) => return outcome,
         };
@@ -340,13 +354,50 @@ impl BatchService {
             return JobOutcome::Ok { label, metrics };
         }
         let t0 = Instant::now();
-        match prepared.run_policy_cancellable(req.policy, &token) {
+        match prepared.run_policy_cancellable(req.policy, token) {
             Ok(metrics) => {
                 self.cache.record_sim(t0.elapsed());
                 self.cache.insert(key, metrics);
                 JobOutcome::Ok { label, metrics }
             }
             Err(SimError::DeadlineExceeded { refs_done }) => JobOutcome::Err {
+                kind: ErrorKind::DeadlineExceeded,
+                detail: format!("deadline expired after {refs_done} references"),
+            },
+            Err(other) => JobOutcome::Err {
+                kind: ErrorKind::Pipeline,
+                detail: other.to_string(),
+            },
+        }
+    }
+
+    /// One fleet attempt: assemble the tenant population (workload
+    /// prepares are memoized inside `prepare_fleet` per run) and drive
+    /// the fleet scheduler under the same token. Fleet results bypass
+    /// the [`ResultCache`] — it stores single-program [`Metrics`], and
+    /// a fleet row is cheap to rebuild relative to its run time — but
+    /// keep the full deadline/retry/panic supervision.
+    fn execute_fleet(&self, req: &FleetRequest, token: &CancelToken) -> JobOutcome {
+        let spec = req.fleet_spec();
+        let prepared = match prepare_fleet(&spec) {
+            Ok(p) => p,
+            Err(e) => {
+                let kind = match &e {
+                    FleetError::Empty(_) => ErrorKind::BadRequest,
+                    FleetError::UnknownWorkload(_) => ErrorKind::UnknownWorkload,
+                    _ => ErrorKind::Pipeline,
+                };
+                return JobOutcome::Err {
+                    kind,
+                    detail: e.to_string(),
+                };
+            }
+        };
+        match prepared.run_cancellable(&mut NullTracer, token) {
+            Ok(report) => JobOutcome::FleetOk {
+                report: Box::new(report),
+            },
+            Err(FleetError::Sim(SimError::DeadlineExceeded { refs_done })) => JobOutcome::Err {
                 kind: ErrorKind::DeadlineExceeded,
                 detail: format!("deadline expired after {refs_done} references"),
             },
@@ -679,6 +730,51 @@ mod tests {
             .lines()
             .filter(|l| !l.is_empty())
             .all(|l| l.contains("\"ok\":true")));
+    }
+
+    #[test]
+    fn fleet_jobs_run_under_the_same_supervision() {
+        let s = service(ServeConfig::default());
+        let lines = vec![
+            r#"{"id":"f1","job":"fleet","tenants":6,"workloads":"FDJAC","mix":"ws:2000,lru:16","frames":32,"cell":2,"seed":7}"#,
+            r#"{"id":"f2","job":"fleet","tenants":4,"policy":"cd"}"#,
+            r#"{"id":"f3","job":"fleet","tenants":4,"workloads":"NOSUCH"}"#,
+            r#"{"id":"f4","job":"fleet","tenants":4,"deadline_ms":0}"#,
+        ];
+        let out = s.handle_batch(&lines);
+        assert!(out[0].contains("\"ok\":true"), "{}", out[0]);
+        assert!(out[0].contains("\"job\":\"fleet\""), "{}", out[0]);
+        assert!(out[0].contains("\"tenants\":6"), "{}", out[0]);
+        assert!(out[1].contains("\"error\":\"bad_request\""), "{}", out[1]);
+        assert!(
+            out[2].contains("\"error\":\"unknown_workload\""),
+            "{}",
+            out[2]
+        );
+        assert!(
+            out[3].contains("\"error\":\"deadline_exceeded\""),
+            "{}",
+            out[3]
+        );
+    }
+
+    #[test]
+    fn fleet_rows_are_deterministic_across_service_geometry() {
+        let line = r#"{"id":"fd","job":"fleet","tenants":8,"workloads":"FDJAC,TQL","mix":"cd,ws:2000","frames":48,"cell":4,"seed":11,"shards":3}"#;
+        let mk = |threads| {
+            service(ServeConfig {
+                threads,
+                ..ServeConfig::default()
+            })
+            .handle_batch(&[line])
+        };
+        let serial = mk(1);
+        assert!(serial[0].contains("\"ok\":true"), "{}", serial[0]);
+        assert_eq!(serial, mk(4), "fleet rows are byte-identical");
+        // And replaying on the same service instance re-runs the fleet
+        // (no result cache) but produces the identical row.
+        let s = service(ServeConfig::default());
+        assert_eq!(s.handle_batch(&[line]), s.handle_batch(&[line]));
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //! - [`stats`] — simple trace statistics.
 //! - [`validate`] — directive-stream well-formedness checking and the
 //!   seeded [`DirectiveFuzzer`] behind the chaos test suite.
+//! - [`tenant`] — seeded per-tenant perturbation ([`TenantJitter`])
+//!   used by the fleet scheduler to clone workloads into distinct
+//!   tenants.
 //! - [`cancel`] — the [`CancelToken`] polled by both the interpreter
 //!   (so deadlines bound trace generation) and the simulate drivers.
 //!
@@ -52,6 +55,7 @@ pub mod interp;
 pub mod layout;
 pub mod stats;
 pub mod synth;
+pub mod tenant;
 pub mod validate;
 
 pub use cancel::CancelToken;
@@ -60,6 +64,7 @@ pub use event::{Event, EventRef, EventSource, PageId, PageRange, Run, RunRef, Tr
 pub use interp::{InterpConfig, InterpError, Interpreter, ProgramState};
 pub use layout::MemoryLayout;
 pub use stats::TraceStats;
+pub use tenant::TenantJitter;
 pub use validate::{DirectiveFuzzer, FaultKind, FuzzReport, Injection, Violation};
 
 use cdmm_locality::PageGeometry;

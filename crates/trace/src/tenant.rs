@@ -1,0 +1,127 @@
+//! Seeded per-tenant perturbation for fleet workload cloning.
+//!
+//! A fleet clones a handful of paper workloads into thousands of
+//! tenants; running byte-identical copies would measure nothing but the
+//! scheduler. [`TenantJitter`] derives, from a fleet seed and a tenant
+//! index, a small deterministic perturbation — arrival stagger, policy
+//! parameter scaling, a page-geometry step, and a chaos salt for the
+//! [`crate::DirectiveFuzzer`] — in the spirit of FORAY-GEN's perturbed
+//! affine workload generation. The same `(seed, index)` pair always
+//! yields the same jitter, on any thread, which is what keeps fleet
+//! reports byte-identical across execution geometries.
+
+use crate::synth::SplitMix64;
+
+/// Deterministic per-tenant perturbation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantJitter {
+    /// Arrival stagger in half-quantum slots (0..8).
+    pub arrival_slots: u64,
+    /// Scale for reference-window parameters (WS τ), in permille
+    /// (750..=1250).
+    pub tau_permille: u64,
+    /// Scale for frame-count parameters (LRU/FIFO/CLOCK allocations,
+    /// PFF thresholds), in permille (750..=1250).
+    pub frames_permille: u64,
+    /// Page-geometry choice index (0..3): smaller, baseline, or larger
+    /// pages for this tenant's trace generation.
+    pub geometry_step: u32,
+    /// Seed salt for the tenant's [`crate::DirectiveFuzzer`] when the
+    /// tenant is a designated chaos tenant.
+    pub chaos_salt: u64,
+}
+
+impl TenantJitter {
+    /// Derives the jitter for one tenant of a seeded fleet.
+    pub fn for_tenant(seed: u64, index: u64) -> Self {
+        // Decorrelate the per-tenant stream from neighboring indices:
+        // mix the index through one SplitMix64 step before seeding.
+        let mut rng = SplitMix64::new(seed ^ SplitMix64::new(index).next_u64());
+        TenantJitter {
+            arrival_slots: rng.below(8),
+            tau_permille: 750 + rng.below(501),
+            frames_permille: 750 + rng.below(501),
+            geometry_step: rng.below(3) as u32,
+            chaos_salt: rng.next_u64(),
+        }
+    }
+
+    /// The identity jitter: no stagger, no scaling, baseline geometry.
+    pub fn neutral() -> Self {
+        TenantJitter {
+            arrival_slots: 0,
+            tau_permille: 1000,
+            frames_permille: 1000,
+            geometry_step: 1,
+            chaos_salt: 0,
+        }
+    }
+
+    /// Arrival time in clock units for the given scheduling quantum:
+    /// each slot is half a quantum, so tenants land spread over the
+    /// first four quanta of their cell.
+    pub fn arrival(&self, quantum: u64) -> u64 {
+        self.arrival_slots * (quantum / 2)
+    }
+
+    /// Applies a permille scale to a parameter, never collapsing it
+    /// below 1.
+    pub fn scale(value: u64, permille: u64) -> u64 {
+        ((value as u128 * permille as u128) / 1000).max(1) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jitter_is_deterministic() {
+        assert_eq!(
+            TenantJitter::for_tenant(42, 7),
+            TenantJitter::for_tenant(42, 7)
+        );
+        assert_ne!(
+            TenantJitter::for_tenant(42, 7),
+            TenantJitter::for_tenant(42, 8)
+        );
+        assert_ne!(
+            TenantJitter::for_tenant(42, 7),
+            TenantJitter::for_tenant(43, 7)
+        );
+    }
+
+    #[test]
+    fn jitter_ranges_hold() {
+        for i in 0..500 {
+            let j = TenantJitter::for_tenant(1234, i);
+            assert!(j.arrival_slots < 8);
+            assert!((750..=1250).contains(&j.tau_permille));
+            assert!((750..=1250).contains(&j.frames_permille));
+            assert!(j.geometry_step < 3);
+        }
+    }
+
+    #[test]
+    fn neighboring_indices_decorrelate() {
+        // Consecutive tenants of the same seed should not share a salt.
+        let a = TenantJitter::for_tenant(9, 0);
+        let b = TenantJitter::for_tenant(9, 1);
+        assert_ne!(a.chaos_salt, b.chaos_salt);
+    }
+
+    #[test]
+    fn scale_floors_at_one() {
+        assert_eq!(TenantJitter::scale(2000, 1000), 2000);
+        assert_eq!(TenantJitter::scale(2000, 750), 1500);
+        assert_eq!(TenantJitter::scale(1, 750), 1);
+        assert_eq!(TenantJitter::scale(0, 1250), 1);
+    }
+
+    #[test]
+    fn neutral_is_identity() {
+        let n = TenantJitter::neutral();
+        assert_eq!(n.arrival(300), 0);
+        assert_eq!(TenantJitter::scale(64, n.frames_permille), 64);
+    }
+}

@@ -45,6 +45,7 @@
 
 pub mod cancel;
 pub mod error;
+pub mod fleet;
 pub mod metrics;
 pub mod multiprog;
 pub mod observe;
@@ -56,6 +57,10 @@ pub mod stats;
 
 pub use cancel::CancelToken;
 pub use error::SimError;
+pub use fleet::{
+    run_fleet, run_fleet_cancellable, run_fleet_with, Admission, CellReport, FleetConfig,
+    FleetReport, TenantReport, TenantSpec,
+};
 pub use metrics::{ExecStats, Metrics};
 pub use observe::{
     EventLog, Histogram, HistogramRecorder, JsonlSink, NullTracer, SharedSink, SharedTracer,

@@ -2,26 +2,33 @@
 //! whose evaluation the paper leaves as future work ("The performance of
 //! CD in a multiprogramming environment is still to be evaluated").
 //!
-//! The driver shares a fixed pool of page frames among several traced
-//! processes under round-robin dispatch. Page faults block the faulting
-//! process for the fault-service time; memory over-commitment triggers
-//! load control (swap-out); CD processes run with
-//! [`CdSelector::FirstFit`], so an `ALLOCATE` whose innermost `PI = 1`
-//! request cannot be granted invokes the swapper, exactly as in the
-//! paper's Figure 6 flowchart. WS processes model the classic
-//! working-set-driven multiprogramming the paper compares against.
+//! **Deprecated shim.** The serial round-robin driver that used to live
+//! here has been superseded by the fleet scheduler
+//! ([`crate::fleet::run_fleet`], surfaced through the root crate's
+//! `Fleet` builder): the same Section-4 dispatch/swapper semantics, but
+//! run-granular over compressed traces, sharded, and work-stealing.
+//! The free functions below survive as thin shims — one fleet cell
+//! holding all submitted processes under [`Admission::Free`] — so old
+//! call sites keep compiling and produce the same fault/swap behavior.
+//! New code should build a fleet instead, and specify policies with
+//! `cdmm_core::PolicySpec` rather than [`ProcPolicy`].
 
-use cdmm_trace::{Event, Trace};
+use cdmm_trace::{CompressedTrace, Trace};
 
 use crate::error::SimError;
+use crate::fleet::{run_fleet_with, Admission, FleetConfig, TenantSpec};
 use crate::metrics::Metrics;
-use crate::observe::{NullTracer, SimEvent, Tracer};
-use crate::policy::cd::{AllocOutcome, CdPolicy, CdSelector};
+use crate::observe::{NullTracer, Tracer};
+use crate::policy::cd::{CdPolicy, CdSelector};
 use crate::policy::lru::Lru;
 use crate::policy::ws::WorkingSet;
 use crate::policy::Policy;
 
 /// Per-process policy choice for the multiprogramming driver.
+#[deprecated(
+    note = "specify tenant policies with cdmm_core::PolicySpec and the Fleet builder; \
+            ProcPolicy survives only for the multiprog shims"
+)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ProcPolicy {
     /// Compiler-Directed with dynamic first-fit request selection.
@@ -39,6 +46,19 @@ pub enum ProcPolicy {
         /// Frame allocation.
         frames: usize,
     },
+}
+
+#[allow(deprecated)]
+impl ProcPolicy {
+    fn build_engine(self) -> Box<dyn Policy + Send> {
+        match self {
+            ProcPolicy::Cd { min_alloc } => {
+                Box::new(CdPolicy::new(CdSelector::FirstFit).with_min_alloc(min_alloc))
+            }
+            ProcPolicy::Ws { tau } => Box::new(WorkingSet::new(tau)),
+            ProcPolicy::Lru { frames } => Box::new(Lru::new(frames)),
+        }
+    }
 }
 
 /// Multiprogramming parameters.
@@ -91,75 +111,14 @@ pub struct MultiReport {
     pub cpu_utilization: f64,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum State {
-    Ready,
-    /// Blocked on a fault or swap-in until the given time.
-    Blocked(u64),
-    /// Swapped out; waiting for memory.
-    Swapped,
-    Done,
-}
-
-enum Engine {
-    Cd(CdPolicy),
-    Ws(WorkingSet),
-    Lru(Lru),
-}
-
-impl Engine {
-    fn policy(&mut self) -> &mut dyn Policy {
-        match self {
-            Engine::Cd(p) => p,
-            Engine::Ws(p) => p,
-            Engine::Lru(p) => p,
-        }
-    }
-
-    fn resident(&self) -> usize {
-        match self {
-            Engine::Cd(p) => p.resident(),
-            Engine::Ws(p) => p.resident(),
-            Engine::Lru(p) => p.resident(),
-        }
-    }
-
-    fn swap_out(&mut self) {
-        match self {
-            Engine::Cd(p) => p.swap_out(),
-            Engine::Ws(p) => p.swap_out(),
-            Engine::Lru(p) => p.swap_out(),
-        }
-    }
-}
-
-struct Proc {
-    name: String,
-    events: Vec<Event>,
-    cursor: usize,
-    engine: Engine,
-    state: State,
-    metrics: Metrics,
-    finished_at: u64,
-    swap_outs: u64,
-}
-
-impl Proc {
-    fn active_frames(&self) -> u64 {
-        if matches!(self.state, State::Swapped) {
-            0
-        } else {
-            self.engine.resident() as u64
-        }
-    }
-}
-
 /// Runs a set of traced processes over a shared memory.
 ///
 /// # Panics
 ///
 /// Panics if `specs` is empty or `config.total_frames` is zero;
 /// [`try_run_multiprogram`] is the non-panicking form.
+#[deprecated(note = "use cdmm_vmsim::fleet::run_fleet (or the root Fleet builder) instead")]
+#[allow(deprecated)]
 pub fn run_multiprogram(
     specs: Vec<(String, Trace, ProcPolicy)>,
     config: MultiConfig,
@@ -172,6 +131,8 @@ pub fn run_multiprogram(
 
 /// Runs a set of traced processes over a shared memory, rejecting
 /// degenerate configurations with a typed error.
+#[deprecated(note = "use cdmm_vmsim::fleet::run_fleet (or the root Fleet builder) instead")]
+#[allow(deprecated)]
 pub fn try_run_multiprogram(
     specs: Vec<(String, Trace, ProcPolicy)>,
     config: MultiConfig,
@@ -184,7 +145,10 @@ pub fn try_run_multiprogram(
 /// While the tracer is enabled, each process's policy events (grants,
 /// hold-overs, evictions, lock breaks) are forwarded stamped with the
 /// *global* clock, and every swapper decision emits a
-/// [`SimEvent::SwapOut`] naming the victim's submission index.
+/// [`crate::observe::SimEvent::SwapOut`] naming the victim's submission
+/// index.
+#[deprecated(note = "use cdmm_vmsim::fleet::run_fleet_with (or the root Fleet builder) instead")]
+#[allow(deprecated)]
 pub fn try_run_multiprogram_with(
     specs: Vec<(String, Trace, ProcPolicy)>,
     config: MultiConfig,
@@ -198,282 +162,53 @@ pub fn try_run_multiprogram_with(
             what: "the multiprogramming driver",
         });
     }
-    let mut procs: Vec<Proc> = specs
+    let n = specs.len();
+    let tenants: Vec<TenantSpec> = specs
         .into_iter()
-        .map(|(name, trace, policy)| Proc {
+        .map(|(name, trace, policy)| TenantSpec {
             name,
-            events: trace.events,
-            cursor: 0,
-            engine: match policy {
-                ProcPolicy::Cd { min_alloc } => {
-                    Engine::Cd(CdPolicy::new(CdSelector::FirstFit).with_min_alloc(min_alloc))
-                }
-                ProcPolicy::Ws { tau } => Engine::Ws(WorkingSet::new(tau)),
-                ProcPolicy::Lru { frames } => Engine::Lru(Lru::new(frames)),
-            },
-            state: State::Ready,
-            metrics: Metrics::new(config.fault_service),
-            finished_at: 0,
-            swap_outs: 0,
+            trace: CompressedTrace::from_trace(&trace),
+            engine: policy.build_engine(),
+            arrival: 0,
         })
         .collect();
-
-    let on = tracer.enabled();
-    if on {
-        for p in procs.iter_mut() {
-            p.engine.policy().set_tracing(true);
-        }
-    }
-    let mut pending: Vec<SimEvent> = Vec::new();
-
-    let mut clock: u64 = 0;
-    let mut busy: u64 = 0;
-    let mut swap_events: u64 = 0;
-    let mut next = 0usize;
-
-    loop {
-        // Unblock processes whose fault service completed.
-        for p in procs.iter_mut() {
-            if let State::Blocked(until) = p.state {
-                if until <= clock {
-                    p.state = State::Ready;
-                }
-            }
-        }
-        // Re-admit swapped processes when memory has freed up.
-        readmit(&mut procs, &config, clock);
-
-        if procs.iter().all(|p| matches!(p.state, State::Done)) {
-            break;
-        }
-
-        // Pick the next ready process round-robin.
-        let Some(pick) = pick_ready(&procs, &mut next) else {
-            // Nobody is ready. Jump to the earliest unblock time; if
-            // everyone left is swapped, force a re-admit.
-            if let Some(t) = procs
-                .iter()
-                .filter_map(|p| match p.state {
-                    State::Blocked(until) => Some(until),
-                    _ => None,
-                })
-                .min()
-            {
-                clock = t.max(clock + 1);
-                continue;
-            }
-            force_readmit(&mut procs, clock);
-            continue;
-        };
-
-        // Run the picked process for up to a quantum.
-        let mut executed = 0u64;
-        while executed < config.quantum {
-            let (done, faulted, swap_victim) = step(&mut procs, pick, clock, &config);
-            if on {
-                procs[pick].engine.policy().drain_events(&mut pending);
-                for e in pending.drain(..) {
-                    tracer.record(clock, &e);
-                }
-            }
-            if let Some(v) = swap_victim {
-                swap_events += 1;
-                procs[v].swap_outs += 1;
-                if on {
-                    tracer.record(clock, &SimEvent::SwapOut { process: v as u32 });
-                }
-            }
-            match (done, faulted) {
-                (true, _) => {
-                    procs[pick].state = State::Done;
-                    procs[pick].finished_at = clock;
-                    break;
-                }
-                (false, true) => {
-                    // The faulting reference still consumed CPU, but the
-                    // process blocks regardless of remaining quantum.
-                    busy += 1;
-                    clock += 1;
-                    procs[pick].state = State::Blocked(clock + config.fault_service);
-                    break;
-                }
-                (false, false) => {
-                    executed += 1;
-                    busy += 1;
-                    clock += 1;
-                }
-            }
-        }
-    }
-
-    if on {
-        for p in procs.iter_mut() {
-            p.engine.policy().set_tracing(false);
-        }
-        tracer.flush();
-    }
-
-    let total_faults = procs.iter().map(|p| p.metrics.faults).sum();
+    // One cell holding every process: the fleet scheduler degenerates
+    // to exactly the old driver's shared pool and round-robin dispatch.
+    let fleet = FleetConfig {
+        frames_per_cell: config.total_frames,
+        tenants_per_cell: n,
+        quantum: config.quantum,
+        fault_service: config.fault_service,
+        admission: Admission::Free,
+        shards: 1,
+        threads: 1,
+        collect_registries: false,
+    };
+    let report = run_fleet_with(tenants, fleet, tracer)?;
     Ok(MultiReport {
-        processes: procs
+        processes: report
+            .tenants
             .into_iter()
-            .map(|mut p| ProcessReport {
-                name: p.name,
-                metrics: {
-                    p.metrics.recovered_directives = p.engine.policy().recovered_directives();
-                    p.metrics
-                },
-                finished_at: p.finished_at,
-                swap_outs: p.swap_outs,
+            .map(|t| ProcessReport {
+                name: t.name,
+                metrics: t.metrics,
+                finished_at: t.finished_at,
+                swap_outs: t.swap_outs,
             })
             .collect(),
-        makespan: clock,
-        total_faults,
-        swap_events,
-        cpu_utilization: if clock == 0 {
-            0.0
-        } else {
-            busy as f64 / clock as f64
-        },
+        makespan: report.makespan,
+        total_faults: report.total_faults,
+        swap_events: report.swap_events,
+        cpu_utilization: report.cpu_utilization,
     })
 }
 
-fn pick_ready(procs: &[Proc], next: &mut usize) -> Option<usize> {
-    let n = procs.len();
-    for k in 0..n {
-        let i = (*next + k) % n;
-        if matches!(procs[i].state, State::Ready) {
-            *next = (i + 1) % n;
-            return Some(i);
-        }
-    }
-    None
-}
-
-/// Executes one event of process `pick`. Returns
-/// `(finished, faulted, swap_victim)`.
-fn step(
-    procs: &mut [Proc],
-    pick: usize,
-    clock: u64,
-    config: &MultiConfig,
-) -> (bool, bool, Option<usize>) {
-    loop {
-        let used_by_others: u64 = frames_used_except(procs, pick);
-        let p = &mut procs[pick];
-        let Some(event) = p.events.get(p.cursor).cloned() else {
-            return (true, false, None);
-        };
-        p.cursor += 1;
-        match event {
-            Event::Ref(page) => {
-                let fault = p.engine.policy().reference(page);
-                let resident = p.engine.resident();
-                p.metrics.record(resident, fault);
-                if p.engine.policy().is_degraded() {
-                    p.metrics.degraded_refs += 1;
-                }
-                if !fault {
-                    return (false, false, None);
-                }
-                // Memory pressure check after growth.
-                let victim = if used_by_others + p.active_frames() > config.total_frames {
-                    relieve_pressure(procs, pick, clock, config)
-                } else {
-                    None
-                };
-                return (false, true, victim);
-            }
-            Event::Alloc(args) => {
-                let available = config.total_frames.saturating_sub(used_by_others);
-                if let Engine::Cd(cd) = &mut p.engine {
-                    cd.set_available(available);
-                    cd.directive(&Event::Alloc(args.clone()));
-                    if cd.last_outcome() == Some(AllocOutcome::SwapNeeded) {
-                        // Figure 6: invoke the swapper and retry once.
-                        let victim = relieve_pressure(procs, pick, clock, config);
-                        let used = frames_used_except(procs, pick);
-                        let p = &mut procs[pick];
-                        if let Engine::Cd(cd) = &mut p.engine {
-                            cd.set_available(config.total_frames.saturating_sub(used));
-                            cd.directive(&Event::Alloc(args));
-                        }
-                        if victim.is_some() {
-                            return (false, false, victim);
-                        }
-                    }
-                }
-                // Directives are free; continue to the next event.
-            }
-            other @ (Event::Lock { .. } | Event::Unlock { .. }) => {
-                p.engine.policy().directive(&other);
-            }
-        }
-    }
-}
-
-fn frames_used_except(procs: &[Proc], skip: usize) -> u64 {
-    procs
-        .iter()
-        .enumerate()
-        .filter(|(i, _)| *i != skip)
-        .map(|(_, p)| p.active_frames())
-        .sum()
-}
-
-/// Load control: swap out the non-running process holding the most
-/// frames. Returns its index.
-fn relieve_pressure(
-    procs: &mut [Proc],
-    running: usize,
-    clock: u64,
-    config: &MultiConfig,
-) -> Option<usize> {
-    let victim = procs
-        .iter()
-        .enumerate()
-        .filter(|(i, p)| {
-            *i != running
-                && !matches!(p.state, State::Done | State::Swapped)
-                && p.active_frames() > 0
-        })
-        .max_by_key(|(_, p)| p.active_frames())
-        .map(|(i, _)| i)?;
-    procs[victim].engine.swap_out();
-    procs[victim].state = State::Swapped;
-    let _ = (clock, config);
-    Some(victim)
-}
-
-/// Re-admits swapped processes when at least a quarter of memory is free.
-fn readmit(procs: &mut [Proc], config: &MultiConfig, clock: u64) {
-    loop {
-        let used: u64 = procs.iter().map(Proc::active_frames).sum();
-        let free = config.total_frames.saturating_sub(used);
-        if free < config.total_frames / 4 + 1 {
-            return;
-        }
-        let Some(idx) = procs.iter().position(|p| matches!(p.state, State::Swapped)) else {
-            return;
-        };
-        // Swap-in costs one fault-service delay.
-        procs[idx].state = State::Blocked(clock + config.fault_service);
-    }
-}
-
-/// Breaks total-swap livelock by re-admitting the first swapped process
-/// unconditionally.
-fn force_readmit(procs: &mut [Proc], clock: u64) {
-    if let Some(p) = procs.iter_mut().find(|p| matches!(p.state, State::Swapped)) {
-        p.state = State::Blocked(clock + 1);
-    }
-}
-
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use cdmm_lang::ast::AllocArg;
-    use cdmm_trace::{synth, PageId};
+    use cdmm_trace::{synth, Event, PageId};
 
     fn cyclic_proc(name: &str, pages: u32, cycles: u32) -> (String, Trace, ProcPolicy) {
         (

@@ -655,6 +655,18 @@ impl Policy for CdPolicy {
             }
         }
     }
+
+    fn swap_out(&mut self) {
+        CdPolicy::swap_out(self);
+    }
+
+    fn set_available(&mut self, frames: u64) {
+        CdPolicy::set_available(self, frames);
+    }
+
+    fn swap_requested(&self) -> bool {
+        self.last_outcome() == Some(AllocOutcome::SwapNeeded)
+    }
 }
 
 #[cfg(test)]

@@ -83,6 +83,10 @@ impl Policy for Lru {
         self.set.len()
     }
 
+    fn swap_out(&mut self) {
+        Lru::swap_out(self);
+    }
+
     fn set_tracing(&mut self, on: bool) {
         self.tracing = on;
         if !on {

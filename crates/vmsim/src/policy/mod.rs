@@ -100,6 +100,31 @@ pub trait Policy {
     fn reference_cycle(&mut self, body: &[Run], reps: u32, metrics: &mut Metrics) {
         reference_cycle_per_run(self, body, reps, metrics);
     }
+
+    /// Releases the policy's entire resident set — the multiprogrammed
+    /// swapper's load-control action against this process. Page-table
+    /// knowledge survives (the pages are known, just no longer
+    /// resident); the process faults its set back in after readmission.
+    /// Policies without an explicit release (the fixed-space baselines)
+    /// ignore the call — the scheduler still stops charging their
+    /// frames while they are swapped.
+    fn swap_out(&mut self) {}
+
+    /// Tells a pool-aware policy how many frames of the shared pool are
+    /// currently free for its next `ALLOCATE` decision. Only CD uses
+    /// this (its Figure-6 flow grants against the pool); everyone else
+    /// ignores it.
+    fn set_available(&mut self, frames: u64) {
+        let _ = frames;
+    }
+
+    /// True when the most recent `ALLOCATE` directive could not be
+    /// satisfied from the available pool and asked for the swapper
+    /// (CD's `SwapNeeded` outcome). The scheduler checks this after
+    /// every directive it forwards; the default never asks.
+    fn swap_requested(&self) -> bool {
+        false
+    }
 }
 
 /// The iteration-by-iteration fallback every cycle kernel shares:

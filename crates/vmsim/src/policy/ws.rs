@@ -178,6 +178,10 @@ impl Policy for WorkingSet {
         self.resident
     }
 
+    fn swap_out(&mut self) {
+        WorkingSet::swap_out(self);
+    }
+
     fn set_tracing(&mut self, on: bool) {
         self.tracing = on;
         if !on {

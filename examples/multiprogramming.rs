@@ -1,47 +1,36 @@
 //! Multiprogramming (the paper's future work): run a mix of the paper's
-//! programs in one shared memory, once with every process under CD's
-//! dynamic first-fit directive selection and once under the Working Set
-//! policy, and compare completion time, faults and swap activity.
+//! programs in one shared memory cell via the [`Fleet`] builder, once
+//! with every tenant under CD's dynamic first-fit directive selection
+//! and once under the Working Set policy, and compare completion time,
+//! faults and swap activity.
 //!
 //! Run with `cargo run --release --example multiprogramming`.
 
-use cdmm_core::{prepare, PipelineConfig};
-use cdmm_vmsim::multiprog::{run_multiprogram, MultiConfig, ProcPolicy};
-use cdmm_workloads::{by_name, Scale};
+use cdmm_repro::{Admission, CdSelector, Fleet, PolicySpec};
 
 fn main() {
-    let names = ["FDJAC", "TQL", "HYBRJ"];
-    let prepared: Vec<_> = names
-        .iter()
-        .map(|n| {
-            let w = by_name(n, Scale::Small).expect("known workload");
-            prepare(w.name, &w.source, PipelineConfig::default()).expect("pipeline")
-        })
-        .collect();
-
     for frames in [24u64, 48, 96] {
         println!("=== {frames} shared frames ===");
-        for (label, policy) in [
-            ("CD", ProcPolicy::Cd { min_alloc: 2 }),
-            ("WS", ProcPolicy::Ws { tau: 2_000 }),
-        ] {
-            let specs: Vec<_> = prepared
-                .iter()
-                .map(|p| {
-                    let trace = match policy {
-                        ProcPolicy::Cd { .. } => p.cd_trace().to_trace(),
-                        _ => p.plain_trace().to_trace(),
-                    };
-                    (p.name().to_string(), trace, policy)
-                })
-                .collect();
-            let r = run_multiprogram(
-                specs,
-                MultiConfig {
-                    total_frames: frames,
-                    ..MultiConfig::default()
+        for (label, mix) in [
+            (
+                "CD",
+                PolicySpec::Cd {
+                    selector: CdSelector::FirstFit,
                 },
-            );
+            ),
+            ("WS", PolicySpec::Ws { tau: 2_000 }),
+        ] {
+            // One three-tenant cell under free admission with jitter
+            // off reproduces the classic shared-pool round-robin run.
+            let r = Fleet::tenants(3)
+                .workloads(["FDJAC", "TQL", "HYBRJ"])
+                .policy_mix([mix])
+                .frames_per_cell(frames)
+                .tenants_per_cell(3)
+                .admission(Admission::Free)
+                .jitter(false)
+                .run()
+                .expect("built-in workloads");
             println!(
                 "  {label}: makespan {:>10}  total faults {:>6}  swaps {:>3}  cpu {:>5.1}%",
                 r.makespan,
@@ -49,13 +38,13 @@ fn main() {
                 r.swap_events,
                 r.cpu_utilization * 100.0
             );
-            for p in &r.processes {
+            for t in &r.tenants {
                 println!(
-                    "      {:<6} PF {:>6}  MEM {:>6.2}  finished at {:>10}",
-                    p.name,
-                    p.metrics.faults,
-                    p.metrics.mean_mem(),
-                    p.finished_at
+                    "      {:<11} PF {:>6}  MEM {:>6.2}  finished at {:>10}",
+                    t.name,
+                    t.metrics.faults,
+                    t.metrics.mean_mem(),
+                    t.finished_at
                 );
             }
         }

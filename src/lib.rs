@@ -13,6 +13,22 @@
 //! println!("{}: {} faults", report.policy, report.metrics.faults);
 //! ```
 //!
+//! For multiprogramming at scale, the [`Fleet`] builder clones paper
+//! workloads into many perturbed tenants and schedules them over
+//! sharded memory cells (byte-identical results at any thread count):
+//!
+//! ```
+//! use cdmm_repro::{Fleet, PolicySpec};
+//!
+//! let report = Fleet::tenants(4)
+//!     .workloads(["FDJAC"])
+//!     .policy_mix([PolicySpec::Ws { tau: 2000 }])
+//!     .tenants_per_cell(2)
+//!     .run()
+//!     .expect("built-in workloads");
+//! assert_eq!(report.tenants.len(), 4);
+//! ```
+//!
 //! The sub-crates remain the fine-grained API:
 //!
 //! - [`cdmm_lang`] — mini-FORTRAN front end
@@ -26,17 +42,20 @@
 //! The pre-facade module aliases (`cdmm_repro::core`, `::vmsim`, ...)
 //! still work but are deprecated; depend on the sub-crates directly.
 
+pub mod fleet;
 pub mod simulation;
 
+pub use fleet::Fleet;
 pub use simulation::{PreparedSimulation, Report, Simulation, SimulationError};
 
 // The names a facade user needs, lifted to the crate root.
+pub use cdmm_core::fleet::{ChaosSpec, FleetError, FleetSpec, PreparedFleet};
 pub use cdmm_core::{PipelineConfig, PipelineError, PolicySpec};
 pub use cdmm_locality::{InsertOptions, PageGeometry, SizerMode};
 pub use cdmm_vmsim::policy::cd::CdSelector;
 pub use cdmm_vmsim::{
-    EventLog, HistogramRecorder, HistogramSummary, JsonlSink, Metrics, MetricsRegistry, NullTracer,
-    RegistrySnapshot, SimEvent, Tee, Tracer,
+    Admission, EventLog, FleetReport, HistogramRecorder, HistogramSummary, JsonlSink, Metrics,
+    MetricsRegistry, NullTracer, RegistrySnapshot, SimEvent, Tee, TenantReport, Tracer,
 };
 pub use cdmm_workloads::Scale;
 

@@ -8,7 +8,7 @@
 //! - the reference string is conserved (the fuzzer only touches
 //!   directives);
 //! - mean memory never exceeds the program's virtual space;
-//! - the multiprogramming driver terminates on fuzzed streams;
+//! - the fleet scheduler terminates on fuzzed streams;
 //! - a corrupted run degrades *toward* LRU behavior, never below the
 //!   cold-fault floor, and reports its recoveries.
 //!
@@ -17,11 +17,10 @@
 
 use cdmm_core::{prepare, PipelineConfig, Prepared};
 use cdmm_trace::validate::DirectiveFuzzer;
-use cdmm_trace::{Event, PageId, Trace};
-use cdmm_vmsim::multiprog::{try_run_multiprogram, MultiConfig, ProcPolicy};
+use cdmm_trace::{CompressedTrace, Event, PageId, Trace};
 use cdmm_vmsim::policy::cd::{CdPolicy, CdSelector};
 use cdmm_vmsim::policy::lru::Lru;
-use cdmm_vmsim::{simulate, Metrics, SimConfig};
+use cdmm_vmsim::{run_fleet, simulate, Admission, FleetConfig, Metrics, SimConfig, TenantSpec};
 use cdmm_workloads::{all, Scale};
 
 /// Campaign count, honoring the `CHAOS_CAMPAIGNS` override.
@@ -104,35 +103,38 @@ fn multiprogramming_terminates_on_fuzzed_streams() {
     let preps = prepared_workloads();
     let n = campaigns(1000) / 20;
     for seed in 0..n.max(5) as u64 {
-        let specs: Vec<(String, Trace, ProcPolicy)> = (0..3)
+        let tenants: Vec<TenantSpec> = (0..3)
             .map(|i| {
                 let p = &preps[(seed as usize + i) % preps.len()];
                 let fuzzed = DirectiveFuzzer::new(seed * 31 + i as u64)
                     .with_injections(3)
                     .fuzz(&p.cd_trace().to_trace());
-                (
-                    format!("{}-{i}", p.name()),
-                    fuzzed.trace,
-                    ProcPolicy::Cd { min_alloc: 2 },
-                )
+                TenantSpec {
+                    name: format!("{}-{i}", p.name()),
+                    trace: CompressedTrace::from_trace(&fuzzed.trace),
+                    engine: Box::new(CdPolicy::new(CdSelector::FirstFit).with_min_alloc(2)),
+                    arrival: 0,
+                }
             })
             .collect();
-        let expected: u64 = specs.iter().map(|(_, t, _)| t.ref_count()).sum();
-        let r = try_run_multiprogram(
-            specs,
-            MultiConfig {
-                total_frames: 12,
-                ..MultiConfig::default()
+        let expected: u64 = tenants.iter().map(|t| t.trace.ref_count()).sum();
+        let r = run_fleet(
+            tenants,
+            FleetConfig {
+                frames_per_cell: 12,
+                tenants_per_cell: 3,
+                admission: Admission::Free,
+                ..FleetConfig::default()
             },
         )
-        .expect("fuzzed multiprogram must run");
+        .expect("fuzzed fleet must run");
         // Termination with every reference driven: no deadlock, no
-        // starved process.
+        // starved tenant.
         assert!(r.makespan > 0, "seed {seed}: empty makespan");
-        let driven: u64 = r.processes.iter().map(|p| p.metrics.refs).sum();
+        let driven: u64 = r.tenants.iter().map(|t| t.metrics.refs).sum();
         assert_eq!(driven, expected, "seed {seed}: lost references");
-        for p in &r.processes {
-            assert!(p.finished_at > 0, "seed {seed}: {} never finished", p.name);
+        for t in &r.tenants {
+            assert!(t.finished_at > 0, "seed {seed}: {} never finished", t.name);
         }
     }
 }

@@ -1,0 +1,186 @@
+//! Fleet-scheduler determinism: the central invariant of the sharded,
+//! work-stealing design is that execution geometry — worker threads and
+//! shard partitioning — never changes a single byte of the
+//! [`cdmm_vmsim::FleetReport`]. Cells are fixed by submission order
+//! alone; shards and threads only decide *who* runs each cell.
+//!
+//! The suite pins three properties:
+//!
+//! - a seeded multi-thousand-tenant fleet produces the identical report
+//!   at 1/2/4/8 threads and across shard counts;
+//! - a chaos tenant whose fuzzed directives trip degrade-to-LRU
+//!   perturbs nothing outside its own memory cell;
+//! - the deprecated `run_multiprogram` shim agrees with the fleet
+//!   scheduler it now delegates to.
+//!
+//! The fleet size defaults to 2000 tenants in release builds and 128
+//! under `cfg(debug_assertions)`; `CDMM_FLEET_TENANTS` and
+//! `CDMM_FLEET_SEED` override both.
+
+use cdmm_core::fleet::{prepare_fleet, ChaosSpec, FleetSpec};
+use cdmm_core::PolicySpec;
+use cdmm_vmsim::policy::cd::CdSelector;
+use cdmm_vmsim::{Admission, FleetReport};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The acceptance-gate fleet: a tight-memory mixed-policy population
+/// with jitter on, large enough that every scheduler path (admission,
+/// swapper, run kernels, readmission) is exercised.
+fn acceptance_spec() -> FleetSpec {
+    let default_tenants = if cfg!(debug_assertions) { 128 } else { 2_000 };
+    FleetSpec {
+        tenants: env_u64("CDMM_FLEET_TENANTS", default_tenants) as usize,
+        seed: env_u64("CDMM_FLEET_SEED", 1),
+        policy_mix: vec![
+            PolicySpec::Cd {
+                selector: CdSelector::FirstFit,
+            },
+            PolicySpec::Ws { tau: 2_000 },
+            PolicySpec::Lru { frames: 16 },
+        ],
+        frames_per_cell: 24,
+        tenants_per_cell: 4,
+        admission: Admission::PiLevel(1),
+        ..FleetSpec::default()
+    }
+}
+
+fn run_at(mut spec: FleetSpec, threads: usize, shards: usize) -> FleetReport {
+    spec.threads = threads;
+    spec.shards = shards;
+    prepare_fleet(&spec)
+        .expect("fleet prepares")
+        .run()
+        .expect("fleet runs")
+}
+
+#[test]
+fn report_is_byte_identical_across_thread_counts() {
+    let spec = acceptance_spec();
+    let reference = run_at(spec.clone(), 1, 0);
+    assert!(reference.makespan > 0);
+    assert_eq!(reference.tenants.len(), spec.tenants);
+    for threads in [2, 4, 8] {
+        let r = run_at(spec.clone(), threads, 0);
+        assert_eq!(
+            reference, r,
+            "{threads} worker threads changed the fleet report"
+        );
+    }
+}
+
+#[test]
+fn report_is_byte_identical_across_shard_counts() {
+    let spec = acceptance_spec();
+    let reference = run_at(spec.clone(), 4, 0);
+    for shards in [1, 3, 7, 64] {
+        let r = run_at(spec.clone(), 4, shards);
+        assert_eq!(reference, r, "{shards} shards changed the fleet report");
+    }
+}
+
+#[test]
+fn chaos_tenant_degrades_without_perturbing_other_cells() {
+    // Small all-CD fleet, two tenants per cell: the chaos blast radius
+    // is exactly cell 0 (tenants 0 and 1).
+    let clean = FleetSpec {
+        tenants: 12,
+        seed: 9,
+        policy_mix: vec![PolicySpec::Cd {
+            selector: CdSelector::FirstFit,
+        }],
+        frames_per_cell: 24,
+        tenants_per_cell: 2,
+        ..FleetSpec::default()
+    };
+    let mut chaotic = clean.clone();
+    chaotic.chaos = vec![ChaosSpec {
+        tenant: 0,
+        injections: 8,
+        degrade_after: Some(1),
+    }];
+
+    let base = prepare_fleet(&clean).unwrap().run().unwrap();
+    let hit = prepare_fleet(&chaotic).unwrap().run().unwrap();
+
+    // The chaos tenant recovered corrupted directives and fell back to
+    // LRU-mode service — and still drove its full reference string.
+    let t0 = &hit.tenants[0];
+    assert!(
+        t0.metrics.recovered_directives > 0,
+        "fuzzed directives were not detected: {:?}",
+        t0.metrics
+    );
+    assert!(t0.metrics.degraded_refs > 0, "never degraded to LRU");
+    assert_eq!(t0.metrics.refs, base.tenants[0].metrics.refs);
+
+    // Every tenant outside cell 0 is byte-identical to the clean run:
+    // corruption is contained by the cell boundary.
+    for (b, h) in base.tenants.iter().zip(hit.tenants.iter()).skip(2) {
+        assert_eq!(b, h, "chaos in cell 0 leaked into tenant {}", b.name);
+    }
+    assert_eq!(
+        &base.cells[1..],
+        &hit.cells[1..],
+        "chaos in cell 0 leaked into other cells"
+    );
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_shim_agrees_with_the_fleet_scheduler() {
+    use cdmm_trace::{synth, CompressedTrace};
+    use cdmm_vmsim::multiprog::{run_multiprogram, MultiConfig, ProcPolicy};
+    use cdmm_vmsim::policy::ws::WorkingSet;
+    use cdmm_vmsim::{run_fleet, FleetConfig, TenantSpec};
+
+    let trace = synth::cyclic(10, 25);
+    let shim = run_multiprogram(
+        vec![
+            ("a".into(), trace.clone(), ProcPolicy::Ws { tau: 5_000 }),
+            ("b".into(), trace.clone(), ProcPolicy::Ws { tau: 5_000 }),
+            ("c".into(), trace.clone(), ProcPolicy::Cd { min_alloc: 2 }),
+        ],
+        MultiConfig {
+            total_frames: 30,
+            ..MultiConfig::default()
+        },
+    );
+
+    let tenant = |name: &str, cd: bool| TenantSpec {
+        name: name.into(),
+        trace: CompressedTrace::from_trace(&trace),
+        engine: if cd {
+            Box::new(cdmm_vmsim::policy::cd::CdPolicy::new(CdSelector::FirstFit).with_min_alloc(2))
+        } else {
+            Box::new(WorkingSet::new(5_000))
+        },
+        arrival: 0,
+    };
+    let fleet = run_fleet(
+        vec![tenant("a", false), tenant("b", false), tenant("c", true)],
+        FleetConfig {
+            frames_per_cell: 30,
+            tenants_per_cell: 3,
+            admission: Admission::Free,
+            ..FleetConfig::default()
+        },
+    )
+    .expect("fleet runs");
+
+    assert_eq!(shim.makespan, fleet.makespan);
+    assert_eq!(shim.total_faults, fleet.total_faults);
+    assert_eq!(shim.swap_events, fleet.swap_events);
+    for (p, t) in shim.processes.iter().zip(fleet.tenants.iter()) {
+        assert_eq!(p.name, t.name);
+        assert_eq!(p.metrics, t.metrics);
+        assert_eq!(p.finished_at, t.finished_at);
+        assert_eq!(p.swap_outs, t.swap_outs);
+    }
+}

@@ -1,10 +1,11 @@
 //! Cross-cutting simulator properties: geometry sensitivity, determinism,
 //! and selector equivalences.
 
-use cdmm_core::{prepare, PipelineConfig};
+use cdmm_core::fleet::{run_fleet_spec, FleetSpec};
+use cdmm_core::{prepare, PipelineConfig, PolicySpec};
 use cdmm_locality::PageGeometry;
-use cdmm_vmsim::multiprog::{run_multiprogram, MultiConfig, ProcPolicy};
 use cdmm_vmsim::policy::cd::CdSelector;
+use cdmm_vmsim::Admission;
 use cdmm_workloads::{by_name, Scale};
 
 #[test]
@@ -64,32 +65,25 @@ fn whole_pipeline_is_deterministic() {
 #[test]
 fn multiprogramming_is_deterministic() {
     let mk = || {
-        let specs: Vec<_> = ["FDJAC", "TQL"]
-            .iter()
-            .map(|n| {
-                let w = by_name(n, Scale::Small).unwrap();
-                let p = prepare(w.name, &w.source, PipelineConfig::default()).unwrap();
-                (
-                    w.name.to_string(),
-                    p.cd_trace().to_trace(),
-                    ProcPolicy::Cd { min_alloc: 2 },
-                )
-            })
-            .collect();
-        run_multiprogram(
-            specs,
-            MultiConfig {
-                total_frames: 24,
-                ..MultiConfig::default()
-            },
-        )
+        let spec = FleetSpec {
+            tenants: 2,
+            workloads: vec!["FDJAC".into(), "TQL".into()],
+            policy_mix: vec![PolicySpec::Cd {
+                selector: CdSelector::FirstFit,
+            }],
+            frames_per_cell: 24,
+            tenants_per_cell: 2,
+            admission: Admission::Free,
+            jitter: false,
+            ..FleetSpec::default()
+        };
+        run_fleet_spec(&spec).expect("fleet runs")
     };
     let a = mk();
     let b = mk();
-    assert_eq!(a.makespan, b.makespan);
-    assert_eq!(a.total_faults, b.total_faults);
-    assert_eq!(a.swap_events, b.swap_events);
-    for (x, y) in a.processes.iter().zip(b.processes.iter()) {
+    assert_eq!(a, b, "fleet reports are byte-identical run to run");
+    assert!(a.makespan > 0);
+    for (x, y) in a.tenants.iter().zip(b.tenants.iter()) {
         assert_eq!(x.metrics, y.metrics);
         assert_eq!(x.finished_at, y.finished_at);
     }
