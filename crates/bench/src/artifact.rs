@@ -24,8 +24,16 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 /// Artifact schema version tag. Bump when the shape changes; the
-/// parser rejects artifacts from other versions.
-pub const SCHEMA: &str = "cdmm-bench/1";
+/// parser accepts the current tag and every entry of
+/// [`COMPAT_SCHEMAS`], and rejects everything else. `cdmm-bench/2`
+/// adds scheduler-plane wall counters (`sched_*` fields, classified as
+/// wall measurements by [`is_wall_field`]); the shape is otherwise
+/// unchanged, so `/1` baselines still parse.
+pub const SCHEMA: &str = "cdmm-bench/2";
+
+/// Older schema tags [`Artifact::from_json`] still accepts, so
+/// archived baselines (e.g. `baselines/trajectory/`) remain readable.
+pub const COMPAT_SCHEMAS: &[&str] = &["cdmm-bench/1"];
 
 /// A numeric field value: integers survive exactly, everything else is
 /// an IEEE double.
@@ -187,9 +195,12 @@ impl Artifact {
 /// dependent, threshold-compared by the regression gate) rather than a
 /// deterministic simulation metric (exact-compared). `_ns` names are
 /// durations (regress upward); `_per_sec` names are throughputs
-/// (regress downward).
+/// (regress downward). `sched_*` names are scheduler-plane counters
+/// (shard claims/steals) that depend on run geometry and thread
+/// timing, so they are tolerance-gated like wall measurements rather
+/// than exact-compared.
 pub fn is_wall_field(name: &str) -> bool {
-    name.ends_with("_ns") || name.ends_with("_per_sec")
+    name.ends_with("_ns") || name.ends_with("_per_sec") || name.starts_with("sched_")
 }
 
 struct Parser<'a> {
@@ -338,7 +349,7 @@ impl<'a> Parser<'a> {
             }
         }
         match schema.as_deref() {
-            Some(SCHEMA) => {}
+            Some(tag) if tag == SCHEMA || COMPAT_SCHEMAS.contains(&tag) => {}
             Some(other) => return Err(format!("schema {other:?} is not the supported {SCHEMA:?}")),
             None => return Err("artifact has no \"schema\" tag".to_string()),
         }
@@ -389,6 +400,18 @@ mod tests {
     }
 
     #[test]
+    fn previous_schema_versions_still_parse() {
+        let a = sample();
+        for old in COMPAT_SCHEMAS {
+            let text = a.to_json().replace(SCHEMA, old);
+            let b = Artifact::from_json(&text).expect("compat schema parses");
+            assert_eq!(a, b);
+            // Re-serialization upgrades the tag to the current schema.
+            assert!(b.to_json().contains(SCHEMA));
+        }
+    }
+
+    #[test]
     fn floats_keep_their_type_through_a_round_trip() {
         let mut a = Artifact::new("perf", "small");
         a.entries
@@ -415,8 +438,11 @@ mod tests {
         assert!(is_wall_field("simulate_ns"));
         assert!(is_wall_field("refs_per_sec"));
         assert!(is_wall_field("requests_per_sec"));
+        assert!(is_wall_field("sched_claims"));
+        assert!(is_wall_field("sched_steals"));
         assert!(!is_wall_field("faults"));
         assert!(!is_wall_field("mean_mem"));
+        assert!(!is_wall_field("scheduler_depth"));
     }
 
     #[test]

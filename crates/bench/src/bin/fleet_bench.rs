@@ -4,16 +4,23 @@
 //!
 //! ```text
 //! fleet_bench [--small] [--threads N] [--quick] [--bench-out DIR]
+//!             [--trace-out PATH] [--progress-out PATH] [--progress-tty]
 //! ```
 //!
 //! Three operating points are measured: a mixed CD/WS/LRU fleet, an
 //! all-CD fleet, and an all-WS fleet, each over the default workload
 //! rotation. Every deterministic field (tenant count, cells, makespan,
 //! faults, swap events, ST-cost and swapper-pressure percentiles, CPU
-//! permille) is exact-compared against the baseline; `wall_ns` and
-//! `tenants_per_sec` are wall-clock fields, threshold-compared (or
-//! advisory under `CDMM_WALL_ADVISORY=1`). `CDMM_BLESS=1` overwrites
-//! the baseline instead of comparing.
+//! permille) is exact-compared against the baseline; `wall_ns`,
+//! `tenants_per_sec`, and the `sched_*` scheduler counters are wall
+//! fields, threshold-compared (or advisory under
+//! `CDMM_WALL_ADVISORY=1`). `CDMM_BLESS=1` overwrites the baseline
+//! instead of comparing.
+//!
+//! Every run goes through the observed scheduler, so the mixed fleet
+//! also prints the [`FleetScorecard`] (worker timelines, phase spans,
+//! hottest cells) to stderr; `--progress-out`/`--progress-tty` stream
+//! live progress frames while the fleets run.
 //!
 //! Knobs: `CDMM_FLEET_TENANTS` / `CDMM_FLEET_SEED` / `CDMM_FLEET_SHARDS`
 //! override the fleet shape for exploratory runs — any override skips
@@ -22,16 +29,18 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use cdmm_bench::artifact::{Artifact, Entry};
 use cdmm_bench::regress::{compare, has_hard, RegressOptions};
 use cdmm_bench::{BenchEnv, Options};
-use cdmm_core::fleet::{run_fleet_spec, FleetSpec};
+use cdmm_core::fleet::{prepare_fleet, FleetSpec};
 use cdmm_core::pipeline::PolicySpec;
 use cdmm_core::report::render_fleet;
 use cdmm_vmsim::policy::cd::CdSelector;
-use cdmm_vmsim::FleetReport;
+use cdmm_vmsim::{
+    CancelToken, FleetReport, FleetScorecard, NullTracer, ProgressExporter, SharedSink,
+};
 use cdmm_workloads::Scale;
 
 fn baseline_dir() -> PathBuf {
@@ -62,8 +71,11 @@ fn mixes() -> Vec<(&'static str, Vec<PolicySpec>)> {
     ]
 }
 
-/// One artifact row from one fleet run.
-fn entry(id: &str, r: &FleetReport, wall_ns: u64) -> Entry {
+/// One artifact row from one fleet run. The `sched_*` counters come
+/// from the wall-side scorecard: they depend on thread timing and the
+/// auto-shard choice, so [`cdmm_bench::artifact::is_wall_field`]
+/// classifies them as tolerance-gated rather than exact.
+fn entry(id: &str, r: &FleetReport, sc: &FleetScorecard, wall_ns: u64) -> Entry {
     let per_sec = r.tenants.len() as f64 / (wall_ns.max(1) as f64 / 1e9);
     Entry::new(id)
         .int("tenants", r.tenants.len() as u64)
@@ -78,6 +90,8 @@ fn entry(id: &str, r: &FleetReport, wall_ns: u64) -> Entry {
         .int("sw_p99", r.swap_pressure.p99)
         .int("wall_ns", wall_ns)
         .float("tenants_per_sec", per_sec)
+        .int("sched_claims", sc.shard_claims)
+        .int("sched_steals", sc.shard_steals)
 }
 
 fn run(env: &BenchEnv) -> Result<(), String> {
@@ -94,6 +108,15 @@ fn run(env: &BenchEnv) -> Result<(), String> {
         Scale::Small => "small",
     };
 
+    let exporter = ProgressExporter::start(
+        o.progress_out.as_deref(),
+        o.progress_tty,
+        Duration::from_millis(250),
+    )
+    .map_err(|e| format!("--progress-out: {e}"))?;
+    let counters = exporter.counters();
+    let token = CancelToken::new();
+
     let mut fresh = Artifact::new("fleet", scale_tag);
     for (name, mix) in mixes() {
         let spec = FleetSpec {
@@ -108,25 +131,43 @@ fn run(env: &BenchEnv) -> Result<(), String> {
             threads,
             ..FleetSpec::default()
         };
+        let prepared = prepare_fleet(&spec).map_err(|e| format!("fleet/{name}: {e}"))?;
         let t0 = Instant::now();
-        let report = run_fleet_spec(&spec).map_err(|e| format!("fleet/{name}: {e}"))?;
+        let (report, scorecard) = match env.tracer() {
+            Some(t) => {
+                let mut sink = SharedSink::new(t);
+                prepared.run_observed(&mut sink, Some(&counters), &token)
+            }
+            None => prepared.run_observed(&mut NullTracer, Some(&counters), &token),
+        }
+        .map_err(|e| format!("fleet/{name}: {e}"))?;
         let wall_ns = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
         eprintln!(
             "fleet/{name}: {} tenants over {} cells in {:.1} ms — makespan {}, \
-             {} faults, {} swap-outs",
+             {} faults, {} swap-outs, {} claims ({} stolen)",
             report.tenants.len(),
             report.cells.len(),
             wall_ns as f64 / 1e6,
             report.makespan,
             report.total_faults,
             report.swap_events,
+            scorecard.shard_claims,
+            scorecard.shard_steals,
         );
         if name == "mixed" {
             eprint!("{}", render_fleet(&report));
+            eprint!("{}", scorecard.render());
         }
-        fresh
-            .entries
-            .push(entry(&format!("fleet/{name}"), &report, wall_ns));
+        fresh.entries.push(entry(
+            &format!("fleet/{name}"),
+            &report,
+            &scorecard,
+            wall_ns,
+        ));
+    }
+    let frames = exporter.finish();
+    if frames > 0 {
+        eprintln!("fleet_bench: {frames} progress frames exported");
     }
 
     if let Some(dir) = &o.bench_out {

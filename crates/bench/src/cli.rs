@@ -2,8 +2,9 @@
 //!
 //! Every binary accepts the same flag set — `--small`, `--threads N`,
 //! `--cache-dir PATH`, `--assert-hit-rate PCT`, `--quick`,
-//! `--trace-out PATH`, `--trace-events` — parsed into [`Options`] with
-//! unknown flags rejected instead of silently ignored. [`BenchEnv`]
+//! `--trace-out PATH`, `--trace-events`, `--bench-out DIR`,
+//! `--progress-out PATH`, `--progress-tty` — parsed into [`Options`]
+//! with unknown flags rejected instead of silently ignored. [`BenchEnv`]
 //! turns parsed options into the runtime pieces the printing helpers
 //! need: a scale, an executor, and (when `--trace-out` is given) a
 //! shared [`JsonlSink`] tracer every subsystem feeds.
@@ -39,6 +40,12 @@ pub struct Options {
     /// Write `BENCH_*.json` artifacts into this directory
     /// (`--bench-out DIR`; created if missing).
     pub bench_out: Option<PathBuf>,
+    /// Append `cdmm-progress/1` JSONL frames here (`--progress-out
+    /// PATH`). Rejected at parse time when the parent directory is
+    /// missing.
+    pub progress_out: Option<PathBuf>,
+    /// Repaint a live status line on stderr (`--progress-tty`).
+    pub progress_tty: bool,
 }
 
 impl Default for Options {
@@ -52,6 +59,8 @@ impl Default for Options {
             trace_out: None,
             trace_events: false,
             bench_out: None,
+            progress_out: None,
+            progress_tty: false,
         }
     }
 }
@@ -110,6 +119,7 @@ pub fn usage(bin: &str) -> String {
         "usage: {bin} [--small] [--threads N] [--cache-dir PATH]\n\
          {pad}[--assert-hit-rate PCT] [--quick]\n\
          {pad}[--trace-out PATH] [--trace-events] [--bench-out DIR]\n\
+         {pad}[--progress-out PATH] [--progress-tty]\n\
          \n\
          --small            reduced workload scale (CI/tests)\n\
          --threads N        executor worker threads\n\
@@ -118,7 +128,9 @@ pub fn usage(bin: &str) -> String {
          --quick            skip serial baselines\n\
          --trace-out PATH   write a checksummed JSONL event trace\n\
          --trace-events     include per-reference events in the trace\n\
-         --bench-out DIR    write BENCH_*.json artifacts into DIR",
+         --bench-out DIR    write BENCH_*.json artifacts into DIR\n\
+         --progress-out PATH  append cdmm-progress/1 JSONL frames\n\
+         --progress-tty     repaint a live status line on stderr",
         pad = " ".repeat(bin.len() + 8),
     )
 }
@@ -151,19 +163,13 @@ impl Options {
                     opts.assert_hit_rate = Some(parse_value("--assert-hit-rate", &v)?);
                 }
                 "--trace-out" => {
-                    let path: PathBuf = value("--trace-out")?.into();
-                    // Fail now, not minutes into the run when the sink
-                    // first opens.
-                    if let Some(parent) = path.parent() {
-                        if !parent.as_os_str().is_empty() && !parent.is_dir() {
-                            return Err(CliError::BadPath {
-                                flag: "--trace-out".to_string(),
-                                path,
-                            });
-                        }
-                    }
-                    opts.trace_out = Some(path);
+                    opts.trace_out = Some(parse_path("--trace-out", value("--trace-out")?)?);
                 }
+                "--progress-out" => {
+                    opts.progress_out =
+                        Some(parse_path("--progress-out", value("--progress-out")?)?);
+                }
+                "--progress-tty" => opts.progress_tty = true,
                 "--bench-out" => opts.bench_out = Some(value("--bench-out")?.into()),
                 "--help" | "-h" => return Err(CliError::Help),
                 other => return Err(CliError::UnknownFlag(other.to_string())),
@@ -206,6 +212,21 @@ fn parse_value<T: std::str::FromStr>(flag: &str, v: &str) -> Result<T, CliError>
         flag: flag.to_string(),
         value: v.to_string(),
     })
+}
+
+/// An output path whose parent must already exist — fail now, not
+/// minutes into the run when the sink first opens.
+fn parse_path(flag: &str, v: String) -> Result<PathBuf, CliError> {
+    let path: PathBuf = v.into();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() && !parent.is_dir() {
+            return Err(CliError::BadPath {
+                flag: flag.to_string(),
+                path,
+            });
+        }
+    }
+    Ok(path)
 }
 
 /// Runtime environment of one bench invocation: the parsed [`Options`]
@@ -324,6 +345,9 @@ mod tests {
             "--trace-events",
             "--bench-out",
             "/tmp/bench",
+            "--progress-out",
+            "/tmp/p.jsonl",
+            "--progress-tty",
         ])
         .unwrap();
         assert_eq!(opts.scale, Scale::Small);
@@ -343,6 +367,11 @@ mod tests {
             opts.bench_out.as_deref(),
             Some(std::path::Path::new("/tmp/bench"))
         );
+        assert_eq!(
+            opts.progress_out.as_deref(),
+            Some(std::path::Path::new("/tmp/p.jsonl"))
+        );
+        assert!(opts.progress_tty);
         assert_eq!(opts.executor().threads(), 3);
     }
 
@@ -358,6 +387,13 @@ mod tests {
             }
         );
         assert!(err.to_string().contains("parent directory"), "{err}");
+        assert_eq!(
+            parse(&["--progress-out", missing]).unwrap_err(),
+            CliError::BadPath {
+                flag: "--progress-out".to_string(),
+                path: missing.into(),
+            }
+        );
         // A bare file name (empty parent) and an existing directory
         // both still parse.
         assert!(parse(&["--trace-out", "t.jsonl"]).is_ok());
@@ -405,6 +441,8 @@ mod tests {
             "--trace-out",
             "--trace-events",
             "--bench-out",
+            "--progress-out",
+            "--progress-tty",
         ] {
             assert!(u.contains(flag), "usage must mention {flag}");
         }

@@ -34,8 +34,8 @@ use cdmm_trace::{CancelToken, CompressedTrace, DirectiveFuzzer, TenantJitter};
 use cdmm_vmsim::policy::cd::CdPolicy;
 use cdmm_vmsim::policy::Policy;
 use cdmm_vmsim::{
-    run_fleet_cancellable, Admission, FleetConfig, FleetReport, NullTracer, SimError, TenantSpec,
-    Tracer,
+    run_fleet_cancellable, run_fleet_observed, Admission, FleetConfig, FleetReport, FleetScorecard,
+    NullTracer, ProgressCounters, SimError, TenantSpec, Tracer,
 };
 use cdmm_workloads::Scale;
 
@@ -222,6 +222,26 @@ impl PreparedFleet {
             self.tenants,
             self.config,
             tracer,
+            token,
+        )?)
+    }
+
+    /// [`PreparedFleet::run_cancellable`] with the full observability
+    /// plane: returns the wall-side [`FleetScorecard`] next to the
+    /// deterministic report and bumps the optional shared
+    /// [`ProgressCounters`] as cells finish, so callers can stream live
+    /// progress frames while the fleet runs.
+    pub fn run_observed(
+        self,
+        tracer: &mut dyn Tracer,
+        progress: Option<&ProgressCounters>,
+        token: &CancelToken,
+    ) -> Result<(FleetReport, FleetScorecard), FleetError> {
+        Ok(run_fleet_observed(
+            self.tenants,
+            self.config,
+            tracer,
+            progress,
             token,
         )?)
     }

@@ -21,8 +21,8 @@ use cdmm_vmsim::policy::ws::WorkingSet;
 use cdmm_vmsim::policy::ws_variants::{DampedWs, SampledWs, VariableSampledWs};
 use cdmm_vmsim::policy::Policy;
 use cdmm_vmsim::{
-    simulate_run_level, simulate_run_level_cancellable, simulate_with, Metrics, SimConfig,
-    SimError, Tracer,
+    simulate_run_level, simulate_run_level_cancellable, simulate_with, simulate_with_cancellable,
+    Metrics, SimConfig, SimError, Tracer,
 };
 use cdmm_workloads::DirectiveLevel;
 
@@ -558,6 +558,27 @@ impl Prepared {
             policy.as_mut(),
             self.sim_config(),
             tracer,
+        )
+    }
+
+    /// [`Prepared::run_policy_with`] under a cooperative
+    /// [`cdmm_vmsim::CancelToken`]: the serve layer's `"trace":true`
+    /// passthrough, where a job wants its event stream *and* its
+    /// deadline honored. Metrics are identical to the untraced
+    /// cancellable run.
+    pub fn run_policy_traced(
+        &self,
+        spec: PolicySpec,
+        tracer: &mut dyn Tracer,
+        token: &cdmm_vmsim::CancelToken,
+    ) -> Result<Metrics, SimError> {
+        let mut policy = self.build_policy(spec);
+        simulate_with_cancellable(
+            self.trace_for(spec),
+            policy.as_mut(),
+            self.sim_config(),
+            tracer,
+            token,
         )
     }
 

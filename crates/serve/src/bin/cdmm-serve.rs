@@ -17,14 +17,19 @@
 //!   --seed N           seed for retry jitter (default 0)
 //!   --chaos-seed N     enable the fault injector with this seed
 //!                      (testing only: injects panics into jobs)
+//!   --progress-out P   append cdmm-progress/1 JSONL frames to P
+//!   --progress-tty     repaint a live status line on stderr
 //!   --help             print this message
 //! ```
 
 use std::io::{self, Write};
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 use cdmm_serve::{BatchService, FaultInjector, ServeConfig};
+use cdmm_vmsim::ProgressExporter;
 
 fn usage(mut out: impl Write) {
     let _ = writeln!(
@@ -39,13 +44,26 @@ fn usage(mut out: impl Write) {
            --cache-dir PATH   crash-safe result cache directory\n\
            --seed N           seed for retry jitter (default 0)\n\
            --chaos-seed N     enable the fault injector (testing only)\n\
+           --progress-out P   append cdmm-progress/1 JSONL frames to P\n\
+           --progress-tty     repaint a live status line on stderr\n\
            --help             print this message"
     );
 }
 
-fn parse_args(args: &[String]) -> Result<(ServeConfig, Option<u64>, bool), String> {
+/// Everything the command line selects.
+struct Cli {
+    config: ServeConfig,
+    chaos_seed: Option<u64>,
+    progress_out: Option<PathBuf>,
+    progress_tty: bool,
+    help: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut config = ServeConfig::default();
     let mut chaos_seed = None;
+    let mut progress_out = None;
+    let mut progress_tty = false;
     let mut help = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -79,10 +97,20 @@ fn parse_args(args: &[String]) -> Result<(ServeConfig, Option<u64>, bool), Strin
             "--chaos-seed" => {
                 chaos_seed = Some(parse_num(value("--chaos-seed")?, "--chaos-seed")?);
             }
+            "--progress-out" => {
+                progress_out = Some(value("--progress-out")?.into());
+            }
+            "--progress-tty" => progress_tty = true,
             other => return Err(format!("unknown option: {other}")),
         }
     }
-    Ok((config, chaos_seed, help))
+    Ok(Cli {
+        config,
+        chaos_seed,
+        progress_out,
+        progress_tty,
+        help,
+    })
 }
 
 fn parse_num<T: std::str::FromStr>(v: &str, flag: &str) -> Result<T, String> {
@@ -92,7 +120,7 @@ fn parse_num<T: std::str::FromStr>(v: &str, flag: &str) -> Result<T, String> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (config, chaos_seed, help) = match parse_args(&args) {
+    let cli = match parse_args(&args) {
         Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("cdmm-serve: {e}");
@@ -100,18 +128,29 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if help {
+    if cli.help {
         usage(io::stdout());
         return ExitCode::SUCCESS;
     }
-    let service = match BatchService::new(config) {
-        Ok(s) => s,
+    let exporter = match ProgressExporter::start(
+        cli.progress_out.as_deref(),
+        cli.progress_tty,
+        Duration::from_millis(250),
+    ) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("cdmm-serve: cannot open progress file: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let service = match BatchService::new(cli.config) {
+        Ok(s) => s.with_progress(exporter.counters()),
         Err(e) => {
             eprintln!("cdmm-serve: cannot start: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let service = match chaos_seed {
+    let service = match cli.chaos_seed {
         Some(seed) => {
             eprintln!("cdmm-serve: fault injection enabled (seed {seed})");
             service.with_faults(Arc::new(FaultInjector::new(seed)))
@@ -125,6 +164,7 @@ fn main() -> ExitCode {
         eprintln!("cdmm-serve: stream error: {e}");
         return ExitCode::FAILURE;
     }
+    let frames = exporter.finish();
     let st = service.stats();
     eprintln!(
         "cdmm-serve: {} requests, {} ok, {} failed ({} shed, {} deadline), {} retries, p50 {} ns, p99 {} ns",
@@ -137,5 +177,14 @@ fn main() -> ExitCode {
         service.latency_ns(0.50),
         service.latency_ns(0.99),
     );
+    if frames > 0 {
+        eprintln!("cdmm-serve: {frames} progress frames exported");
+    }
+    for (client, cs) in service.client_stats() {
+        eprintln!(
+            "cdmm-serve:   client {client}: {} requests, {} ok, {} failed",
+            cs.requests, cs.ok, cs.failed
+        );
+    }
     ExitCode::SUCCESS
 }

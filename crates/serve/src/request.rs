@@ -25,7 +25,7 @@ use std::fmt;
 use cdmm_core::fleet::FleetSpec;
 use cdmm_core::{PageGeometry, PipelineConfig, PolicySpec};
 use cdmm_vmsim::policy::cd::CdSelector;
-use cdmm_vmsim::{Admission, FleetReport, Metrics};
+use cdmm_vmsim::{Admission, FleetReport, Metrics, RegistrySnapshot};
 use cdmm_workloads::Scale;
 
 /// Where the job's program comes from.
@@ -61,6 +61,15 @@ pub struct JobRequest {
     pub min_alloc: Option<u64>,
     /// Per-job deadline in milliseconds (absent: service default).
     pub deadline_ms: Option<u64>,
+    /// Stream the job's [`cdmm_vmsim::SimEvent`]s to a checksummed
+    /// JSONL sidecar and echo its fingerprint on the response.
+    pub trace: bool,
+    /// Attach an integer [`cdmm_vmsim::RegistrySnapshot`] digest to the
+    /// response.
+    pub metrics: bool,
+    /// Caller identity for per-client accounting in the daemon's
+    /// shutdown summary.
+    pub client: Option<String>,
 }
 
 impl JobRequest {
@@ -112,6 +121,15 @@ pub struct FleetRequest {
     pub scale: Scale,
     /// Per-job deadline in milliseconds (absent: service default).
     pub deadline_ms: Option<u64>,
+    /// Stream the fleet's merged scheduler/policy events to a
+    /// checksummed JSONL sidecar and echo its fingerprint.
+    pub trace: bool,
+    /// Attach an integer [`cdmm_vmsim::RegistrySnapshot`] digest folded
+    /// from the fleet's merged event stream.
+    pub metrics: bool,
+    /// Caller identity for per-client accounting in the daemon's
+    /// shutdown summary.
+    pub client: Option<String>,
 }
 
 impl FleetRequest {
@@ -181,6 +199,30 @@ impl Request {
         match self {
             Request::Sim(r) => r.deadline_ms,
             Request::Fleet(r) => r.deadline_ms,
+        }
+    }
+
+    /// Whether the caller asked for the per-job event stream.
+    pub fn trace(&self) -> bool {
+        match self {
+            Request::Sim(r) => r.trace,
+            Request::Fleet(r) => r.trace,
+        }
+    }
+
+    /// Whether the caller asked for a metrics digest on the response.
+    pub fn metrics(&self) -> bool {
+        match self {
+            Request::Sim(r) => r.metrics,
+            Request::Fleet(r) => r.metrics,
+        }
+    }
+
+    /// The caller identity, whatever the job kind.
+    pub fn client(&self) -> Option<&str> {
+        match self {
+            Request::Sim(r) => r.client.as_deref(),
+            Request::Fleet(r) => r.client.as_deref(),
         }
     }
 }
@@ -280,6 +322,65 @@ pub fn encode_fleet_ok(id: &str, r: &FleetReport) -> String {
         r.swap_pressure.p50,
         r.swap_pressure.p99,
     )
+}
+
+/// Splices extra `"key":value` text into a response row, right before
+/// its closing brace. `extra` must already be valid JSON member text
+/// (no leading comma); an empty `extra` returns the row unchanged.
+pub fn attach_fields(row: &str, extra: &str) -> String {
+    if extra.is_empty() {
+        return row.to_string();
+    }
+    match row.strip_suffix('}') {
+        Some(head) => format!("{head},{extra}}}"),
+        None => row.to_string(),
+    }
+}
+
+/// Serializes a [`RegistrySnapshot`] as a deterministic, integer-only
+/// JSON member (`"metrics":{...}`): counters and gauges verbatim,
+/// histograms as `n`/`p50`/`p99`/`max` digests. Means are floats and
+/// deliberately dropped — response rows must stay byte-stable.
+pub fn encode_registry(snap: &RegistrySnapshot) -> String {
+    let mut out = String::from("\"metrics\":{");
+    let mut first = true;
+    let push = |out: &mut String, text: String, first: &mut bool| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push_str(&text);
+    };
+    for (name, v) in &snap.counters {
+        push(
+            &mut out,
+            format!("\"{}\":{v}", escape_json(name)),
+            &mut first,
+        );
+    }
+    for (name, v) in &snap.gauges {
+        push(
+            &mut out,
+            format!("\"{}\":{v}", escape_json(name)),
+            &mut first,
+        );
+    }
+    for (name, h) in &snap.hists {
+        push(
+            &mut out,
+            format!(
+                "\"{}\":{{\"n\":{},\"p50\":{},\"p99\":{},\"max\":{}}}",
+                escape_json(name),
+                h.count,
+                h.p50,
+                h.p99,
+                h.max
+            ),
+            &mut first,
+        );
+    }
+    out.push('}');
+    out
 }
 
 /// Serializes a typed failure response.
@@ -545,6 +646,77 @@ fn parse_mix_token(tok: &str) -> Result<PolicySpec, String> {
     }
 }
 
+/// Top-level fields a sim job accepts. Anything else is a typed
+/// `bad_request` — a `"trace":true` typo must fail loudly, not
+/// silently run without the passthrough it asked for.
+const SIM_KEYS: &[&str] = &[
+    "id",
+    "job",
+    "workload",
+    "source",
+    "name",
+    "policy",
+    "level",
+    "frames",
+    "tau",
+    "threshold",
+    "scale",
+    "page_bytes",
+    "fault_service",
+    "min_alloc",
+    "deadline_ms",
+    "trace",
+    "metrics",
+    "client",
+];
+
+/// Top-level fields a fleet job accepts.
+const FLEET_KEYS: &[&str] = &[
+    "id",
+    "job",
+    "tenants",
+    "seed",
+    "shards",
+    "workloads",
+    "mix",
+    "frames",
+    "cell",
+    "quantum",
+    "admission",
+    "jitter",
+    "scale",
+    "deadline_ms",
+    "trace",
+    "metrics",
+    "client",
+];
+
+/// Rejects any top-level field outside the job kind's schema.
+fn reject_unknown(fields: &BTreeMap<String, Scalar>, known: &[&str]) -> Result<(), String> {
+    for key in fields.keys() {
+        if !known.contains(&key.as_str()) {
+            return Err(format!("unknown request field \"{key}\""));
+        }
+    }
+    Ok(())
+}
+
+/// Parses the `trace`/`metrics`/`client` observability fields shared by
+/// both job kinds.
+fn parse_observability(
+    fields: &BTreeMap<String, Scalar>,
+) -> Result<(bool, bool, Option<String>), String> {
+    let trace = get_bool(fields, "trace")?.unwrap_or(false);
+    let metrics = get_bool(fields, "metrics")?.unwrap_or(false);
+    let client = get_str(fields, "client")?;
+    if let Some(c) = &client {
+        if c.is_empty() {
+            return Err("field \"client\" must be non-empty".into());
+        }
+    }
+    Ok((trace, metrics, client))
+}
+
 /// Parses the fleet job fields into a [`FleetRequest`].
 fn parse_fleet(id: String, fields: &BTreeMap<String, Scalar>) -> Result<FleetRequest, String> {
     for sim_only in ["workload", "source", "policy", "level"] {
@@ -552,6 +724,7 @@ fn parse_fleet(id: String, fields: &BTreeMap<String, Scalar>) -> Result<FleetReq
             return Err(format!("field \"{sim_only}\" does not apply to fleet jobs"));
         }
     }
+    reject_unknown(fields, FLEET_KEYS)?;
     let tenants = get_u64(fields, "tenants")?.ok_or("fleet jobs need a \"tenants\" field")?;
     let workloads = match get_str(fields, "workloads")? {
         None => Vec::new(),
@@ -601,6 +774,7 @@ fn parse_fleet(id: String, fields: &BTreeMap<String, Scalar>) -> Result<FleetReq
         Some("paper") => Scale::Paper,
         Some(other) => return Err(format!("unknown scale \"{other}\"")),
     };
+    let (trace, metrics, client) = parse_observability(fields)?;
     Ok(FleetRequest {
         id,
         tenants,
@@ -615,6 +789,9 @@ fn parse_fleet(id: String, fields: &BTreeMap<String, Scalar>) -> Result<FleetReq
         jitter: get_bool(fields, "jitter")?,
         scale,
         deadline_ms: get_u64(fields, "deadline_ms")?,
+        trace,
+        metrics,
+        client,
     })
 }
 
@@ -636,6 +813,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
 
 /// Parses the classic single-simulation job fields.
 fn parse_sim(id: String, fields: &BTreeMap<String, Scalar>) -> Result<JobRequest, String> {
+    reject_unknown(fields, SIM_KEYS)?;
     let work = match (get_str(fields, "workload")?, get_str(fields, "source")?) {
         (Some(w), None) => WorkSource::Named(w),
         (None, Some(src)) => WorkSource::Inline {
@@ -650,6 +828,7 @@ fn parse_sim(id: String, fields: &BTreeMap<String, Scalar>) -> Result<JobRequest
         Some("paper") => Scale::Paper,
         Some(other) => return Err(format!("unknown scale \"{other}\"")),
     };
+    let (trace, metrics, client) = parse_observability(fields)?;
     Ok(JobRequest {
         id,
         work,
@@ -659,6 +838,9 @@ fn parse_sim(id: String, fields: &BTreeMap<String, Scalar>) -> Result<JobRequest
         fault_service: get_u64(fields, "fault_service")?,
         min_alloc: get_u64(fields, "min_alloc")?,
         deadline_ms: get_u64(fields, "deadline_ms")?,
+        trace,
+        metrics,
+        client,
     })
 }
 
@@ -954,6 +1136,7 @@ mod tests {
             total_faults: 55,
             swap_events: 4,
             cpu_utilization: 0.756,
+            cpu_per_cell: Vec::new(),
             st_cost: HistogramSummary::of(&st),
             swap_pressure: HistogramSummary::of(&sw),
         };
@@ -963,5 +1146,84 @@ mod tests {
         assert!(a.contains("\"cpu_pm\":756"), "{a}");
         assert!(a.contains("\"st_p99\":"), "{a}");
         assert!(!a.contains('.'), "floats leaked into the row: {a}");
+    }
+
+    #[test]
+    fn unknown_top_level_fields_are_rejected() {
+        for (line, needle) in [
+            (
+                r#"{"id":"x","workload":"MAIN","policy":"cd","trace_on":true}"#,
+                "unknown request field \"trace_on\"",
+            ),
+            (
+                r#"{"id":"x","workload":"MAIN","policy":"cd","Trace":true}"#,
+                "unknown request field \"Trace\"",
+            ),
+            (
+                r#"{"id":"x","job":"fleet","tenants":4,"shard":3}"#,
+                "unknown request field \"shard\"",
+            ),
+        ] {
+            let err = parse_request(line).expect_err(line);
+            assert!(
+                err.contains(needle),
+                "`{line}` → `{err}` (wanted `{needle}`)"
+            );
+        }
+    }
+
+    #[test]
+    fn observability_fields_parse_on_both_job_kinds() {
+        let r = sim(
+            r#"{"id":"t1","workload":"MAIN","policy":"cd","trace":true,"metrics":true,"client":"alice"}"#,
+        );
+        assert!(r.trace && r.metrics);
+        assert_eq!(r.client.as_deref(), Some("alice"));
+        let r = sim(r#"{"id":"t2","workload":"MAIN","policy":"cd"}"#);
+        assert!(!r.trace && !r.metrics && r.client.is_none());
+        let f = fleet(r#"{"id":"t3","job":"fleet","tenants":4,"trace":true,"client":"bob"}"#);
+        assert!(f.trace && !f.metrics);
+        assert_eq!(f.client.as_deref(), Some("bob"));
+        for (line, needle) in [
+            (
+                r#"{"id":"x","workload":"MAIN","policy":"cd","trace":1}"#,
+                "boolean",
+            ),
+            (
+                r#"{"id":"x","workload":"MAIN","policy":"cd","client":""}"#,
+                "non-empty",
+            ),
+        ] {
+            let err = parse_request(line).expect_err(line);
+            assert!(err.contains(needle), "`{line}` → `{err}`");
+        }
+    }
+
+    #[test]
+    fn attached_fields_splice_before_the_closing_brace() {
+        let row = encode_err("a", ErrorKind::Pipeline, "x");
+        assert_eq!(attach_fields(&row, ""), row);
+        let spliced = attach_fields(&row, "\"trace_lines\":4");
+        assert!(spliced.ends_with(",\"trace_lines\":4}"), "{spliced}");
+        assert_eq!(spliced.matches('{').count(), 1);
+    }
+
+    #[test]
+    fn registry_digest_is_integer_only() {
+        use cdmm_vmsim::{MetricsRegistry, SimEvent, Tracer};
+        let mut reg = MetricsRegistry::new();
+        for at in 0..50 {
+            reg.record(
+                at,
+                &SimEvent::SwapOut {
+                    process: at as u32 % 7,
+                },
+            );
+        }
+        let text = encode_registry(&reg.snapshot());
+        assert!(text.starts_with("\"metrics\":{"), "{text}");
+        assert!(text.contains("\"swap_outs\":50"), "{text}");
+        assert!(!text.contains('.'), "floats leaked: {text}");
+        assert_eq!(text, encode_registry(&reg.snapshot()));
     }
 }

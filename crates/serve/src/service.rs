@@ -24,7 +24,7 @@
 //! faulty run's surviving responses are byte-identical to a fault-free
 //! run's — the chaos suite's central assertion.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io::{self, BufRead, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -37,13 +37,16 @@ use cdmm_core::sweep::spec_key;
 use cdmm_core::{
     panic_message, prepare_cancellable, Executor, InterpError, PipelineError, Prepared, ResultCache,
 };
-use cdmm_vmsim::{CancelToken, FleetReport, Histogram, Metrics, NullTracer, SimError};
+use cdmm_vmsim::{
+    CancelToken, FleetReport, Histogram, JsonlSink, Metrics, MetricsRegistry, NullTracer,
+    ProgressCounters, SimError, Tee,
+};
 use cdmm_workloads::by_name;
 
 use crate::faults::FaultInjector;
 use crate::request::{
-    encode_err, encode_fleet_ok, encode_ok, parse_request, ErrorKind, FleetRequest, JobRequest,
-    Request, WorkSource,
+    attach_fields, encode_err, encode_fleet_ok, encode_ok, encode_registry, parse_request,
+    ErrorKind, FleetRequest, JobRequest, Request, WorkSource,
 };
 
 /// Service-wide knobs.
@@ -119,11 +122,36 @@ pub fn backoff_delay(seed: u64, job: u64, attempt: u32, base: Duration) -> Durat
     exp.saturating_add(Duration::from_nanos(jitter_ns))
 }
 
-/// How one supervised job ended, before response encoding.
+/// Per-client request accounting, keyed by the optional `"client"`
+/// request field and surfaced in the daemon's shutdown summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClientStats {
+    /// Requests attributed to this client (shed ones included).
+    pub requests: u64,
+    /// Successful responses.
+    pub ok: u64,
+    /// Typed failure responses.
+    pub failed: u64,
+}
+
+/// How one supervised job ended, before response encoding. `extra`
+/// carries pre-encoded observability members (`trace_lines`,
+/// `trace_c`, `metrics`) spliced onto the response row; it is empty
+/// unless the request opted in.
 enum JobOutcome {
-    Ok { label: String, metrics: Metrics },
-    FleetOk { report: Box<FleetReport> },
-    Err { kind: ErrorKind, detail: String },
+    Ok {
+        label: String,
+        metrics: Box<Metrics>,
+        extra: String,
+    },
+    FleetOk {
+        report: Box<FleetReport>,
+        extra: String,
+    },
+    Err {
+        kind: ErrorKind,
+        detail: String,
+    },
 }
 
 /// A fault-tolerant batch executor over the simulation pipeline.
@@ -135,6 +163,8 @@ pub struct BatchService {
     /// Memoized prepared programs, keyed by (source, knobs) hash.
     programs: Mutex<HashMap<u128, Arc<Prepared>>>,
     latency: Mutex<Histogram>,
+    clients: Mutex<BTreeMap<String, ClientStats>>,
+    progress: Option<Arc<ProgressCounters>>,
     requests: AtomicU64,
     ok: AtomicU64,
     failed: AtomicU64,
@@ -164,6 +194,8 @@ impl BatchService {
             faults: None,
             programs: Mutex::new(HashMap::new()),
             latency: Mutex::new(Histogram::new()),
+            clients: Mutex::new(BTreeMap::new()),
+            progress: None,
             requests: AtomicU64::new(0),
             ok: AtomicU64::new(0),
             failed: AtomicU64::new(0),
@@ -178,6 +210,38 @@ impl BatchService {
     pub fn with_faults(mut self, faults: Arc<FaultInjector>) -> Self {
         self.faults = Some(faults);
         self
+    }
+
+    /// Attaches shared [`ProgressCounters`]: admitted jobs bump the
+    /// total/queue gauges and finished jobs the done/refs/latency ones,
+    /// so a [`cdmm_vmsim::ProgressExporter`] sampling the same counters
+    /// streams live frames while batches run.
+    pub fn with_progress(mut self, progress: Arc<ProgressCounters>) -> Self {
+        self.progress = Some(progress);
+        self
+    }
+
+    /// Per-client accounting, name-ordered. Clients only appear when a
+    /// request carried the optional `"client"` field.
+    pub fn client_stats(&self) -> Vec<(String, ClientStats)> {
+        self.clients
+            .lock()
+            .expect("clients lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    fn tally_client(&self, client: Option<&str>, ok: bool) {
+        let Some(name) = client else { return };
+        let mut map = self.clients.lock().expect("clients lock");
+        let entry = map.entry(name.to_string()).or_default();
+        entry.requests += 1;
+        if ok {
+            entry.ok += 1;
+        } else {
+            entry.failed += 1;
+        }
     }
 
     /// The configuration in force.
@@ -235,6 +299,7 @@ impl BatchService {
                         admitted.push((i, req));
                     } else {
                         self.shed.fetch_add(1, Ordering::Relaxed);
+                        self.tally_client(req.client(), false);
                         responses[i] = Some(encode_err(
                             req.id(),
                             ErrorKind::Overloaded,
@@ -245,22 +310,44 @@ impl BatchService {
             }
         }
 
+        if let Some(p) = &self.progress {
+            p.add_total(admitted.len() as u64);
+            p.add_queued(admitted.len() as u64);
+        }
         let outcomes = self.exec.try_map(&admitted, |job_index, (_, req)| {
             let t0 = Instant::now();
             let outcome = self.supervise(job_index as u64, req);
             let wall = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
             self.latency.lock().expect("latency lock").record(wall);
+            if let Some(p) = &self.progress {
+                p.sub_queued(1);
+                p.add_done(1);
+                p.record_latency_ms(wall / 1_000_000);
+                let refs = match &outcome {
+                    JobOutcome::Ok { metrics, .. } => metrics.refs,
+                    JobOutcome::FleetOk { report, .. } => report.total_refs,
+                    JobOutcome::Err { .. } => 0,
+                };
+                p.add_refs(refs);
+            }
             outcome
         });
         for ((i, req), outcome) in admitted.iter().zip(outcomes) {
             let line = match outcome {
-                Ok(JobOutcome::Ok { label, metrics }) => encode_ok(req.id(), &label, &metrics),
-                Ok(JobOutcome::FleetOk { report }) => encode_fleet_ok(req.id(), &report),
+                Ok(JobOutcome::Ok {
+                    label,
+                    metrics,
+                    extra,
+                }) => attach_fields(&encode_ok(req.id(), &label, &metrics), &extra),
+                Ok(JobOutcome::FleetOk { report, extra }) => {
+                    attach_fields(&encode_fleet_ok(req.id(), &report), &extra)
+                }
                 Ok(JobOutcome::Err { kind, detail }) => encode_err(req.id(), kind, &detail),
                 // The executor's catch_unwind is the last line of
                 // defense — a panic that escaped the retry loop.
                 Err(job_err) => encode_err(req.id(), ErrorKind::Panic, &job_err.message),
             };
+            self.tally_client(req.client(), line.contains("\"ok\":true"));
             responses[*i] = Some(line);
         }
         if let Err(e) = self.cache.flush() {
@@ -342,7 +429,10 @@ impl BatchService {
     }
 
     /// One sim attempt: resolve the program (trace generation polls the
-    /// token), consult the cache, simulate under the same token.
+    /// token), consult the cache, simulate under the same token. A
+    /// `trace`/`metrics` request bypasses the cache read — the event
+    /// stream is the product, so it must actually run — but its metrics
+    /// still land in the cache for later untraced calls.
     fn execute_sim(&self, req: &JobRequest, token: &CancelToken) -> JobOutcome {
         let prepared = match self.prepared_for(req, token) {
             Ok(p) => p,
@@ -350,15 +440,39 @@ impl BatchService {
         };
         let label = prepared.policy_label(req.policy);
         let key = spec_key(&prepared, req.policy);
-        if let Some(metrics) = self.cache.lookup(key) {
-            return JobOutcome::Ok { label, metrics };
+        if !req.trace && !req.metrics {
+            if let Some(metrics) = self.cache.lookup(key) {
+                return JobOutcome::Ok {
+                    label,
+                    metrics: Box::new(metrics),
+                    extra: String::new(),
+                };
+            }
         }
+        let mut registry = MetricsRegistry::new();
+        let mut sink = match self.trace_sink(req.trace, &req.id) {
+            Ok(s) => s,
+            Err(outcome) => return outcome,
+        };
         let t0 = Instant::now();
-        match prepared.run_policy_cancellable(req.policy, token) {
+        let result = match (&mut sink, req.metrics) {
+            (None, false) => prepared.run_policy_cancellable(req.policy, token),
+            (None, true) => prepared.run_policy_traced(req.policy, &mut registry, token),
+            (Some(s), false) => prepared.run_policy_traced(req.policy, s, token),
+            (Some(s), true) => {
+                let mut tee = Tee::new(s, &mut registry);
+                prepared.run_policy_traced(req.policy, &mut tee, token)
+            }
+        };
+        match result {
             Ok(metrics) => {
                 self.cache.record_sim(t0.elapsed());
                 self.cache.insert(key, metrics);
-                JobOutcome::Ok { label, metrics }
+                JobOutcome::Ok {
+                    label,
+                    metrics: Box::new(metrics),
+                    extra: observability_extra(sink.as_ref(), req.metrics.then_some(&registry)),
+                }
             }
             Err(SimError::DeadlineExceeded { refs_done }) => JobOutcome::Err {
                 kind: ErrorKind::DeadlineExceeded,
@@ -369,6 +483,38 @@ impl BatchService {
                 detail: other.to_string(),
             },
         }
+    }
+
+    /// Opens the checksummed JSONL sidecar a `"trace":true` request
+    /// streams into: `serve-<id>.trace.jsonl` under the cache directory
+    /// (the temp directory when no cache is configured), with the id
+    /// sanitized to a filename-safe alphabet.
+    fn trace_sink(&self, want: bool, id: &str) -> Result<Option<JsonlSink>, JobOutcome> {
+        if !want {
+            return Ok(None);
+        }
+        let sane: String = id
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        let dir = self
+            .config
+            .cache_dir
+            .clone()
+            .unwrap_or_else(std::env::temp_dir);
+        let path = dir.join(format!("serve-{sane}.trace.jsonl"));
+        JsonlSink::create(&path)
+            .map(Some)
+            .map_err(|e| JobOutcome::Err {
+                kind: ErrorKind::Pipeline,
+                detail: format!("opening trace sidecar {}: {e}", path.display()),
+            })
     }
 
     /// One fleet attempt: assemble the tenant population (workload
@@ -393,9 +539,24 @@ impl BatchService {
                 };
             }
         };
-        match prepared.run_cancellable(&mut NullTracer, token) {
+        let mut registry = MetricsRegistry::new();
+        let mut sink = match self.trace_sink(req.trace, &req.id) {
+            Ok(s) => s,
+            Err(outcome) => return outcome,
+        };
+        let result = match (&mut sink, req.metrics) {
+            (None, false) => prepared.run_cancellable(&mut NullTracer, token),
+            (None, true) => prepared.run_cancellable(&mut registry, token),
+            (Some(s), false) => prepared.run_cancellable(s, token),
+            (Some(s), true) => {
+                let mut tee = Tee::new(s, &mut registry);
+                prepared.run_cancellable(&mut tee, token)
+            }
+        };
+        match result {
             Ok(report) => JobOutcome::FleetOk {
                 report: Box::new(report),
+                extra: observability_extra(sink.as_ref(), req.metrics.then_some(&registry)),
             },
             Err(FleetError::Sim(SimError::DeadlineExceeded { refs_done })) => JobOutcome::Err {
                 kind: ErrorKind::DeadlineExceeded,
@@ -492,6 +653,25 @@ impl BatchService {
         }
         flush_batch(&mut batch, &mut output)
     }
+}
+
+/// Pre-encoded observability members for a response row: the trace
+/// sidecar's line count and rolling checksum (machine-independent — it
+/// fingerprints the byte stream, not the path), then the integer-only
+/// metrics digest. Empty when the request opted into neither.
+fn observability_extra(sink: Option<&JsonlSink>, registry: Option<&MetricsRegistry>) -> String {
+    let mut parts = Vec::new();
+    if let Some(s) = sink {
+        parts.push(format!(
+            "\"trace_lines\":{},\"trace_c\":\"{:016x}\"",
+            s.written(),
+            s.stream_checksum()
+        ));
+    }
+    if let Some(r) = registry {
+        parts.push(encode_registry(&r.snapshot()));
+    }
+    parts.join(",")
 }
 
 /// Hash key for the prepared-program memo: program identity plus every
@@ -599,6 +779,103 @@ mod tests {
             "{}",
             out[2]
         );
+    }
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cdmm-serve-obs-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        dir
+    }
+
+    #[test]
+    fn trace_and_metrics_opt_in_yield_checksummed_extras() {
+        let dir = scratch_dir("extras");
+        let config = ServeConfig {
+            cache_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        };
+        let line = r#"{"id":"t1","workload":"MAIN","policy":"cd","trace":true,"metrics":true,"client":"alice"}"#;
+        let first = service(config.clone()).handle_batch(&[line]);
+        let second = service(config).handle_batch(&[line]);
+        assert_eq!(first, second, "opted-in responses must stay byte-stable");
+        let row = &first[0];
+        assert!(row.contains("\"ok\":true"), "{row}");
+        assert!(row.contains("\"trace_lines\":"), "{row}");
+        assert!(row.contains("\"metrics\":{"), "{row}");
+        // The in-band checksum must match a cold re-read of the sidecar.
+        let c_at = row.find("\"trace_c\":\"").expect("trace_c present") + 11;
+        let claimed = &row[c_at..c_at + 16];
+        let path = dir.join("serve-t1.trace.jsonl");
+        let on_disk = JsonlSink::file_stream_checksum(&path).expect("sidecar readable");
+        assert_eq!(claimed, format!("{on_disk:016x}"), "{row}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn plain_requests_carry_no_observability_members() {
+        let s = service(ServeConfig::default());
+        let out = s.handle_batch(&[r#"{"id":"p","workload":"MAIN","policy":"lru"}"#]);
+        assert!(!out[0].contains("trace_"), "{}", out[0]);
+        assert!(!out[0].contains("\"metrics\""), "{}", out[0]);
+    }
+
+    #[test]
+    fn unknown_request_fields_are_rejected_end_to_end() {
+        let s = service(ServeConfig::default());
+        let out = s.handle_batch(&[r#"{"id":"x","workload":"MAIN","policy":"cd","trase":true}"#]);
+        assert!(out[0].contains("\"error\":\"bad_request\""), "{}", out[0]);
+        assert!(out[0].contains("unknown request field"), "{}", out[0]);
+    }
+
+    #[test]
+    fn per_client_stats_key_on_the_client_field() {
+        let s = service(ServeConfig::default());
+        let lines = vec![
+            r#"{"id":"a1","workload":"MAIN","policy":"cd","client":"alice"}"#,
+            r#"{"id":"a2","workload":"NOSUCH","policy":"cd","client":"alice"}"#,
+            r#"{"id":"b1","workload":"MAIN","policy":"lru","frames":8,"client":"bob"}"#,
+            r#"{"id":"n1","workload":"MAIN","policy":"ws","tau":500}"#,
+        ];
+        s.handle_batch(&lines);
+        let stats = s.client_stats();
+        assert_eq!(
+            stats.iter().map(|(c, _)| c.as_str()).collect::<Vec<_>>(),
+            ["alice", "bob"],
+            "anonymous requests stay out of the per-client table"
+        );
+        let alice = stats[0].1;
+        assert_eq!((alice.requests, alice.ok, alice.failed), (2, 1, 1));
+        let bob = stats[1].1;
+        assert_eq!((bob.requests, bob.ok, bob.failed), (1, 1, 0));
+    }
+
+    #[test]
+    fn fleet_trace_extras_are_deterministic_across_service_threads() {
+        let dir = scratch_dir("fleet");
+        let lines: Vec<String> = (0..4)
+            .map(|i| {
+                format!(
+                    r#"{{"id":"f{i}","job":"fleet","tenants":12,"seed":{i},"trace":true,"metrics":true}}"#
+                )
+            })
+            .collect();
+        let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+        let serial = service(ServeConfig {
+            threads: 1,
+            cache_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        })
+        .handle_batch(&refs);
+        let parallel = service(ServeConfig {
+            threads: 4,
+            cache_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        })
+        .handle_batch(&refs);
+        assert_eq!(serial, parallel);
+        assert!(serial[0].contains("\"trace_c\":\""), "{}", serial[0]);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

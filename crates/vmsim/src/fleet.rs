@@ -37,12 +37,15 @@ use cdmm_trace::{COp, CancelToken, CompressedTrace, Event, PageId, Run};
 
 use crate::error::SimError;
 use crate::metrics::Metrics;
-use crate::observe::{Histogram, NullTracer, SimEvent, Tracer};
+use crate::observe::{Histogram, NullTracer, SimEvent, Span, TimedEvent, Tracer};
 use crate::policy::Policy;
+use crate::progress::ProgressCounters;
 use crate::stats::{HistogramSummary, MetricsRegistry, RegistrySnapshot};
 
+use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// One tenant process submitted to the fleet.
 pub struct TenantSpec {
@@ -168,12 +171,189 @@ pub struct FleetReport {
     pub swap_events: u64,
     /// Busy time over summed cell makespans.
     pub cpu_utilization: f64,
+    /// Per-cell utilization (`busy / makespan`, 0 for an instantly-done
+    /// cell), in cell order — the deterministic utilization breakdown.
+    /// Per-*worker* utilization is execution geometry and therefore
+    /// lives in the wall-side [`FleetScorecard`] instead: a worker
+    /// vector in this report would break byte-identity across thread
+    /// counts.
+    pub cpu_per_cell: Vec<f64>,
     /// Distribution of per-tenant space-time cost (`ST`, floored to
     /// integer cost units).
     pub st_cost: HistogramSummary,
     /// Distribution of per-tenant swap-out counts — the fleet's
     /// swapper-pressure profile.
     pub swap_pressure: HistogramSummary,
+}
+
+/// One worker's wall-side utilization timeline in a fleet run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerTimeline {
+    /// Worker index.
+    pub worker: u32,
+    /// Wall nanoseconds spent running cells.
+    pub busy_ns: u64,
+    /// Wall nanoseconds spent hunting for shards (or drained of work).
+    pub idle_ns: u64,
+    /// Cells this worker ran.
+    pub cells_run: u64,
+    /// Shards this worker claimed.
+    pub claims: u64,
+    /// Claims that were steals (shards outside the worker's own
+    /// allotment).
+    pub steals: u64,
+}
+
+impl WorkerTimeline {
+    /// Fraction of this worker's wall time spent running cells.
+    pub fn utilization(&self) -> f64 {
+        let total = self.busy_ns + self.idle_ns;
+        if total == 0 {
+            0.0
+        } else {
+            self.busy_ns as f64 / total as f64
+        }
+    }
+}
+
+/// One cell's swapper-pressure breakdown in a [`FleetScorecard`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CellPressure {
+    /// Cell index.
+    pub cell: u32,
+    /// Swap-out events in this cell.
+    pub swap_events: u64,
+    /// Forced (deadlock-breaker) admissions in this cell.
+    pub forced_admissions: u64,
+    /// The cell's deterministic utilization (`busy / makespan`).
+    pub utilization: f64,
+    /// Wall nanoseconds the cell took on its worker.
+    pub wall_ns: u64,
+}
+
+/// Wall-side scheduler telemetry for one fleet run: worker-utilization
+/// timelines, shard claim/steal counters, phase spans, and per-cell
+/// swapper-pressure breakdowns.
+///
+/// Everything here depends on execution geometry and wall clocks, so it
+/// is kept strictly apart from the byte-identical [`FleetReport`]. The
+/// scorecard is itself a [`Tracer`]: workers buffer their scheduler
+/// events ([`SimEvent::ShardClaimed`], [`SimEvent::WorkerState`])
+/// locally and the driver replays the buffers through
+/// [`Tracer::record`] after the join.
+#[derive(Debug, Clone, Default)]
+pub struct FleetScorecard {
+    /// Per-worker timelines, worker order.
+    pub workers: Vec<WorkerTimeline>,
+    /// Shards claimed over the run (every shard is claimed exactly
+    /// once, so this equals the effective shard count).
+    pub shard_claims: u64,
+    /// Claims that were steals.
+    pub shard_steals: u64,
+    /// `(phase, wall_ns)` spans: prepare / simulate / report.
+    pub phase_ns: Vec<(&'static str, u64)>,
+    /// Per-cell pressure breakdowns, cell order.
+    pub cells: Vec<CellPressure>,
+    /// Raw scheduler events, wall-ns timestamps relative to run start.
+    pub events: Vec<TimedEvent>,
+}
+
+impl FleetScorecard {
+    /// An empty scorecard.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn worker_mut(&mut self, w: u32) -> &mut WorkerTimeline {
+        let idx = w as usize;
+        if self.workers.len() <= idx {
+            self.workers.resize_with(idx + 1, WorkerTimeline::default);
+            for (i, t) in self.workers.iter_mut().enumerate() {
+                t.worker = i as u32;
+            }
+        }
+        &mut self.workers[idx]
+    }
+
+    /// Closes a phase [`Span`] into the phase timeline.
+    pub fn close_span(&mut self, span: Span) {
+        self.phase_ns.push(span.exit());
+    }
+
+    /// Wall nanoseconds recorded for a named phase (0 when absent).
+    pub fn phase(&self, label: &str) -> u64 {
+        self.phase_ns
+            .iter()
+            .find(|(l, _)| *l == label)
+            .map_or(0, |(_, ns)| *ns)
+    }
+
+    /// The cells with the most swap-outs, descending, at most `n`.
+    pub fn hottest_cells(&self, n: usize) -> Vec<CellPressure> {
+        let mut cells = self.cells.clone();
+        cells.sort_by(|a, b| b.swap_events.cmp(&a.swap_events).then(a.cell.cmp(&b.cell)));
+        cells.truncate(n);
+        cells
+    }
+
+    /// Renders a plain-text summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "fleet scorecard: {} shard claims ({} stolen)",
+            self.shard_claims, self.shard_steals
+        );
+        for (label, ns) in &self.phase_ns {
+            let _ = writeln!(out, "  phase {label:<9} {:.3} ms", *ns as f64 / 1e6);
+        }
+        for w in &self.workers {
+            let _ = writeln!(
+                out,
+                "  worker {}: {:.1}% busy, {} cells, {} claims ({} stolen)",
+                w.worker,
+                w.utilization() * 100.0,
+                w.cells_run,
+                w.claims,
+                w.steals
+            );
+        }
+        for c in self.hottest_cells(3) {
+            if c.swap_events == 0 {
+                break;
+            }
+            let _ = writeln!(
+                out,
+                "  cell {}: {} swap-outs, {} forced admissions, util {:.2}",
+                c.cell, c.swap_events, c.forced_admissions, c.utilization
+            );
+        }
+        out
+    }
+}
+
+impl Tracer for FleetScorecard {
+    fn record(&mut self, at: u64, event: &SimEvent) {
+        match event {
+            SimEvent::ShardClaimed { worker, stolen, .. } => {
+                self.shard_claims += 1;
+                if *stolen {
+                    self.shard_steals += 1;
+                }
+                let w = self.worker_mut(*worker);
+                w.claims += 1;
+                if *stolen {
+                    w.steals += 1;
+                }
+                self.events.push(TimedEvent { at, event: *event });
+            }
+            SimEvent::WorkerState { .. } => {
+                self.events.push(TimedEvent { at, event: *event });
+            }
+            // The scorecard consumes only scheduler-plane events.
+            _ => {}
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -363,6 +543,97 @@ pub fn run_fleet_cancellable(
     tracer: &mut dyn Tracer,
     token: &CancelToken,
 ) -> Result<FleetReport, SimError> {
+    run_fleet_observed(tenants, config, tracer, None, token).map(|(report, _)| report)
+}
+
+/// Which event streams a cell run feeds. Derived once per fleet run
+/// from the attached tracer's appetite, then hoisted out of every hot
+/// loop — the all-false case does no event work at all.
+#[derive(Debug, Clone, Copy)]
+struct Obs {
+    /// Scheduler events (tenant lifecycle, admission gate, queue depth,
+    /// swap-outs) enter the deterministic merged stream.
+    sched: bool,
+    /// In-policy decision events enter the deterministic merged stream.
+    pstream: bool,
+    /// Policies are instrumented and their buffers drained (implied by
+    /// `pstream` or by per-tenant registries).
+    pdrain: bool,
+}
+
+/// A worker's private observability state: scheduler events stamped
+/// with wall-ns, busy time, and per-cell wall costs. Buffered locally —
+/// no cross-worker synchronization — and folded into the
+/// [`FleetScorecard`] after the join.
+#[derive(Debug, Default)]
+struct WorkerLocal {
+    worker: u32,
+    events: Vec<(u64, SimEvent)>,
+    busy_ns: u64,
+    cells_run: u64,
+    ended_ns: u64,
+    cell_walls: Vec<(usize, u64)>,
+}
+
+impl WorkerLocal {
+    fn new(worker: u32) -> Self {
+        WorkerLocal {
+            worker,
+            ..Self::default()
+        }
+    }
+}
+
+fn wall_ns(epoch: &Instant) -> u64 {
+    u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Runs one cell with wall-clock accounting and progress bumps wrapped
+/// around the deterministic core.
+fn run_cell_timed(
+    idx: usize,
+    cell: Vec<Tenant>,
+    config: &FleetConfig,
+    obs: Obs,
+    token: &CancelToken,
+    local: &mut WorkerLocal,
+    progress: Option<&ProgressCounters>,
+) -> Result<CellDone, SimError> {
+    let tenants = cell.len() as u64;
+    let t0 = Instant::now();
+    let r = run_cell(idx as u32, cell, config, obs, token);
+    let wall = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    local.busy_ns += wall;
+    local.cells_run += 1;
+    local.cell_walls.push((idx, wall));
+    if let Some(p) = progress {
+        p.sub_queued(tenants);
+        if let Ok(done) = &r {
+            p.add_done(tenants);
+            p.add_refs(done.reports.iter().map(|t| t.metrics.refs).sum());
+        }
+        p.record_latency_ms(wall / 1_000_000);
+    }
+    r
+}
+
+/// [`run_fleet_cancellable`] with the full observability plane
+/// attached: returns the wall-side [`FleetScorecard`] (worker
+/// timelines, claim/steal counters, phase spans, per-cell pressure)
+/// next to the deterministic report, and bumps the optional shared
+/// [`ProgressCounters`] as cells finish so a
+/// [`crate::progress::ProgressExporter`] can stream live frames.
+///
+/// The scorecard and progress counters are sampled from wall clocks and
+/// execution geometry; neither can perturb the report, which stays
+/// byte-identical at any `threads`/`shards` setting, traced or not.
+pub fn run_fleet_observed(
+    tenants: Vec<TenantSpec>,
+    config: FleetConfig,
+    tracer: &mut dyn Tracer,
+    progress: Option<&ProgressCounters>,
+    token: &CancelToken,
+) -> Result<(FleetReport, FleetScorecard), SimError> {
     if tenants.is_empty() {
         return Err(SimError::NoProcesses);
     }
@@ -383,7 +654,15 @@ pub fn run_fleet_cancellable(
     }
 
     let trace_on = tracer.enabled();
-    let observe = trace_on || config.collect_registries;
+    let pstream = trace_on && tracer.wants_policy_events();
+    let obs = Obs {
+        sched: trace_on,
+        pstream,
+        pdrain: pstream || config.collect_registries,
+    };
+
+    let mut scorecard = FleetScorecard::new();
+    let prep_span = Span::enter("prepare");
 
     // Build cells: contiguous groups in submission order. Membership
     // depends only on tenants_per_cell — never on shards or threads.
@@ -397,7 +676,7 @@ pub fn run_fleet_cancellable(
             Admission::PiLevel(level) => entry_demand(&spec.trace, level),
         };
         let mut engine = spec.engine;
-        if observe {
+        if obs.pdrain {
             engine.set_tracing(true);
         }
         let cell = cells
@@ -420,6 +699,11 @@ pub fn run_fleet_cancellable(
         });
     }
     let n_cells = cells.len();
+    let total_tenants: u64 = cells.iter().map(|c| c.len() as u64).sum();
+    if let Some(p) = progress {
+        p.add_total(total_tenants);
+        p.add_queued(total_tenants);
+    }
 
     let threads = config.threads.clamp(1, n_cells);
     // Auto-sharding: enough batches that a stalled worker leaves meat
@@ -429,21 +713,55 @@ pub fn run_fleet_cancellable(
     } else {
         config.shards.clamp(1, n_cells)
     };
+    scorecard.close_span(prep_span);
 
+    let sim_span = Span::enter("simulate");
+    let epoch = Instant::now();
+    let mut worker_locals: Vec<WorkerLocal>;
     let outputs: Vec<Mutex<Option<Result<CellDone, SimError>>>> = if threads == 1 {
-        // Serial fast path: no claim traffic, same cell order.
+        // Serial fast path: no claim traffic, same cell order. Every
+        // shard is trivially claimed (never stolen) by worker 0.
+        let mut local = WorkerLocal::new(0);
+        for s in 0..shards {
+            local.events.push((
+                wall_ns(&epoch),
+                SimEvent::ShardClaimed {
+                    shard: s as u32,
+                    worker: 0,
+                    stolen: false,
+                },
+            ));
+        }
+        local.events.push((
+            wall_ns(&epoch),
+            SimEvent::WorkerState {
+                worker: 0,
+                busy: true,
+            },
+        ));
         let mut outs = Vec::with_capacity(n_cells);
         for (idx, cell) in cells.into_iter().enumerate() {
-            outs.push(Mutex::new(Some(run_cell(
-                idx as u32, cell, &config, trace_on, token,
+            outs.push(Mutex::new(Some(run_cell_timed(
+                idx, cell, &config, obs, token, &mut local, progress,
             ))));
         }
+        local.events.push((
+            wall_ns(&epoch),
+            SimEvent::WorkerState {
+                worker: 0,
+                busy: false,
+            },
+        ));
+        local.ended_ns = wall_ns(&epoch);
+        worker_locals = vec![local];
         outs
     } else {
         let inputs: Vec<Mutex<Option<Vec<Tenant>>>> =
             cells.into_iter().map(|c| Mutex::new(Some(c))).collect();
         let outputs: Vec<Mutex<Option<Result<CellDone, SimError>>>> =
             (0..n_cells).map(|_| Mutex::new(None)).collect();
+        let locals: Vec<Mutex<Option<WorkerLocal>>> =
+            (0..threads).map(|_| Mutex::new(None)).collect();
         let claimed: Vec<AtomicBool> = (0..shards).map(|_| AtomicBool::new(false)).collect();
         let abort = AtomicBool::new(false);
         // Shard s covers the contiguous cell range [s*per, ...): balanced
@@ -459,10 +777,13 @@ pub fn run_fleet_cancellable(
             for w in 0..threads {
                 let inputs = &inputs;
                 let outputs = &outputs;
+                let locals = &locals;
                 let claimed = &claimed;
                 let abort = &abort;
                 let config = &config;
+                let epoch = &epoch;
                 scope.spawn(move || {
+                    let mut local = WorkerLocal::new(w as u32);
                     loop {
                         // Claim from the worker's own allotment first
                         // (shards w, w+T, …), then scan everyone's — the
@@ -472,6 +793,21 @@ pub fn run_fleet_cancellable(
                             .chain(0..shards)
                             .find(|&s| !claimed[s].swap(true, Ordering::AcqRel));
                         let Some(s) = next else { break };
+                        local.events.push((
+                            wall_ns(epoch),
+                            SimEvent::ShardClaimed {
+                                shard: s as u32,
+                                worker: w as u32,
+                                stolen: s % threads != w,
+                            },
+                        ));
+                        local.events.push((
+                            wall_ns(epoch),
+                            SimEvent::WorkerState {
+                                worker: w as u32,
+                                busy: true,
+                            },
+                        ));
                         for idx in shard_range(s) {
                             let Some(cell) =
                                 inputs[idx].lock().unwrap_or_else(|e| e.into_inner()).take()
@@ -481,18 +817,55 @@ pub fn run_fleet_cancellable(
                             if abort.load(Ordering::Relaxed) {
                                 continue;
                             }
-                            let r = run_cell(idx as u32, cell, config, trace_on, token);
+                            let r =
+                                run_cell_timed(idx, cell, config, obs, token, &mut local, progress);
                             if r.is_err() {
                                 abort.store(true, Ordering::Relaxed);
                             }
                             *outputs[idx].lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
                         }
+                        local.events.push((
+                            wall_ns(epoch),
+                            SimEvent::WorkerState {
+                                worker: w as u32,
+                                busy: false,
+                            },
+                        ));
                     }
+                    local.ended_ns = wall_ns(epoch);
+                    *locals[w].lock().unwrap_or_else(|e| e.into_inner()) = Some(local);
                 });
             }
         });
+        worker_locals = Vec::with_capacity(threads);
+        for (w, slot) in locals.iter().enumerate() {
+            worker_locals.push(
+                slot.lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                    .unwrap_or_else(|| WorkerLocal::new(w as u32)),
+            );
+        }
         outputs
     };
+    scorecard.close_span(sim_span);
+
+    // Fold the per-worker buffers into the scorecard: scheduler events
+    // replay through the Tracer machinery, timings become timelines.
+    let report_span = Span::enter("report");
+    let mut wall_by_cell = vec![0u64; n_cells];
+    for local in &mut worker_locals {
+        for (at, e) in local.events.drain(..) {
+            scorecard.record(at, &e);
+        }
+        let timeline = scorecard.worker_mut(local.worker);
+        timeline.busy_ns = local.busy_ns;
+        timeline.idle_ns = local.ended_ns.saturating_sub(local.busy_ns);
+        timeline.cells_run = local.cells_run;
+        for &(idx, wall) in &local.cell_walls {
+            wall_by_cell[idx] = wall;
+        }
+    }
 
     // Deterministic merge, by cell index.
     let mut report = FleetReport {
@@ -503,6 +876,7 @@ pub fn run_fleet_cancellable(
         total_faults: 0,
         swap_events: 0,
         cpu_utilization: 0.0,
+        cpu_per_cell: Vec::with_capacity(n_cells),
         st_cost: HistogramSummary::of(&Histogram::new()),
         swap_pressure: HistogramSummary::of(&Histogram::new()),
     };
@@ -511,7 +885,7 @@ pub fn run_fleet_cancellable(
     let mut makespan_sum: u64 = 0;
     let mut busy_sum: u64 = 0;
     let mut replay: Vec<Vec<(u64, SimEvent)>> = Vec::new();
-    for slot in &outputs {
+    for (idx, slot) in outputs.iter().enumerate() {
         let done = slot
             .lock()
             .unwrap_or_else(|e| e.into_inner())
@@ -530,6 +904,19 @@ pub fn run_fleet_cancellable(
         report.swap_events += done.cell.swap_events;
         makespan_sum += done.cell.makespan;
         busy_sum += done.cell.busy;
+        let cell_util = if done.cell.makespan == 0 {
+            0.0
+        } else {
+            done.cell.busy as f64 / done.cell.makespan as f64
+        };
+        report.cpu_per_cell.push(cell_util);
+        scorecard.cells.push(CellPressure {
+            cell: idx as u32,
+            swap_events: done.cell.swap_events,
+            forced_admissions: done.cell.forced_admissions,
+            utilization: cell_util,
+            wall_ns: wall_by_cell[idx],
+        });
         report.cells.push(done.cell);
         if trace_on {
             replay.push(done.events);
@@ -542,6 +929,7 @@ pub fn run_fleet_cancellable(
     };
     report.st_cost = HistogramSummary::of(&st_hist);
     report.swap_pressure = HistogramSummary::of(&swap_hist);
+    scorecard.close_span(report_span);
     if trace_on {
         for events in replay {
             for (at, e) in events {
@@ -550,7 +938,7 @@ pub fn run_fleet_cancellable(
         }
         tracer.flush();
     }
-    Ok(report)
+    Ok((report, scorecard))
 }
 
 struct CellDone {
@@ -568,13 +956,12 @@ enum Step {
 }
 
 fn run_cell(
-    _cell_index: u32,
+    cell_index: u32,
     mut cell: Vec<Tenant>,
     config: &FleetConfig,
-    trace_on: bool,
+    obs: Obs,
     token: &CancelToken,
 ) -> Result<CellDone, SimError> {
-    let observe = trace_on || config.collect_registries;
     let mut clock: u64 = 0;
     let mut busy: u64 = 0;
     let mut swap_events: u64 = 0;
@@ -590,6 +977,7 @@ fn run_cell(
             });
         }
         // Wake blocked tenants; land arrivals.
+        let mut admitted_now = false;
         for t in cell.iter_mut() {
             match t.state {
                 State::Blocked(until) if until <= clock => t.state = State::Ready,
@@ -597,16 +985,55 @@ fn run_cell(
                     t.state = match config.admission {
                         Admission::Free => {
                             t.admitted_at = clock;
+                            admitted_now = true;
+                            let tenant = t.global_index;
+                            note_tenant(
+                                t,
+                                clock,
+                                SimEvent::TenantAdmitted {
+                                    tenant,
+                                    forced: false,
+                                },
+                                &mut events,
+                                obs.sched,
+                            );
                             State::Ready
                         }
-                        Admission::PiLevel(_) => State::Waiting,
+                        Admission::PiLevel(_) => {
+                            let tenant = t.global_index;
+                            let demand = t.entry_demand;
+                            note_tenant(
+                                t,
+                                clock,
+                                SimEvent::AdmissionDeferred { tenant, demand },
+                                &mut events,
+                                obs.sched,
+                            );
+                            State::Waiting
+                        }
                     };
                 }
                 _ => {}
             }
         }
         readmit(&mut cell, config, clock);
-        admit(&mut cell, config, clock);
+        for i in admit(&mut cell, config, clock) {
+            admitted_now = true;
+            let tenant = cell[i].global_index;
+            note_tenant(
+                &mut cell[i],
+                clock,
+                SimEvent::TenantAdmitted {
+                    tenant,
+                    forced: false,
+                },
+                &mut events,
+                obs.sched,
+            );
+        }
+        if admitted_now && obs.sched {
+            events.push((clock, queue_depth_event(cell_index, &cell)));
+        }
 
         if cell.iter().all(|t| matches!(t.state, State::Done)) {
             break;
@@ -627,8 +1054,22 @@ fn run_cell(
                 clock = at.max(clock + 1);
                 continue;
             }
-            if force_admit(&mut cell, clock) {
+            if let Some(i) = force_admit(&mut cell, clock) {
                 forced_admissions += 1;
+                let tenant = cell[i].global_index;
+                note_tenant(
+                    &mut cell[i],
+                    clock,
+                    SimEvent::TenantAdmitted {
+                        tenant,
+                        forced: true,
+                    },
+                    &mut events,
+                    obs.sched,
+                );
+                if obs.sched {
+                    events.push((clock, queue_depth_event(cell_index, &cell)));
+                }
                 continue;
             }
             force_readmit(&mut cell, clock);
@@ -659,14 +1100,28 @@ fn run_cell(
                     let t = &mut cell[pick];
                     t.state = State::Done;
                     t.finished_at = clock;
+                    let tenant = t.global_index;
+                    note_tenant(
+                        t,
+                        clock,
+                        SimEvent::TenantFinished { tenant },
+                        &mut events,
+                        obs.sched,
+                    );
                     break;
                 }
                 Step::Ran { len } => {
                     executed += len;
                     busy += len;
                     clock += len;
-                    if observe {
-                        drain(&mut cell[pick], clock, &mut pending, &mut events, trace_on);
+                    if obs.pdrain {
+                        drain(
+                            &mut cell[pick],
+                            clock,
+                            &mut pending,
+                            &mut events,
+                            obs.pstream,
+                        );
                     }
                     let delta = cell[pick].metrics.faults - faults_before;
                     if delta > 0 {
@@ -682,7 +1137,7 @@ fn run_cell(
                                 break;
                             };
                             swap_events += 1;
-                            note_swap_out(&mut cell[v], clock, &mut events, observe, trace_on);
+                            note_swap_out(&mut cell[v], clock, &mut events, obs.sched);
                         }
                         // Batched fault service: the whole chunk's
                         // faults are served back to back.
@@ -707,14 +1162,20 @@ fn run_cell(
                             t.engine.directive(&event);
                             if let Some(v) = victim {
                                 swap_events += 1;
-                                note_swap_out(&mut cell[v], clock, &mut events, observe, trace_on);
+                                note_swap_out(&mut cell[v], clock, &mut events, obs.sched);
                             }
                         }
                     } else {
                         cell[pick].engine.directive(&event);
                     }
-                    if observe {
-                        drain(&mut cell[pick], clock, &mut pending, &mut events, trace_on);
+                    if obs.pdrain {
+                        drain(
+                            &mut cell[pick],
+                            clock,
+                            &mut pending,
+                            &mut events,
+                            obs.pstream,
+                        );
                     }
                     // Directives are free; the quantum continues.
                 }
@@ -762,16 +1223,55 @@ fn drain(
     clock: u64,
     pending: &mut Vec<SimEvent>,
     events: &mut Vec<(u64, SimEvent)>,
-    trace_on: bool,
+    push_on: bool,
 ) {
     t.engine.drain_events(pending);
     for e in pending.drain(..) {
         if let Some(reg) = &mut t.registry {
             reg.record(clock, &e);
         }
-        if trace_on {
+        if push_on {
             events.push((clock, e));
         }
+    }
+}
+
+/// Stamps a scheduler event on a tenant: mirrored into its metrics
+/// registry when one is attached, and into the cell's deterministic
+/// event buffer when a tracer is listening.
+fn note_tenant(
+    t: &mut Tenant,
+    clock: u64,
+    ev: SimEvent,
+    events: &mut Vec<(u64, SimEvent)>,
+    sched_on: bool,
+) {
+    if let Some(reg) = &mut t.registry {
+        reg.record(clock, &ev);
+    }
+    if sched_on {
+        events.push((clock, ev));
+    }
+}
+
+/// Snapshot of a cell's run queue, taken after the admission gate
+/// moved somebody. Depends only on cell-local state, so it lands in
+/// the deterministic stream.
+fn queue_depth_event(cell_index: u32, cell: &[Tenant]) -> SimEvent {
+    let (mut ready, mut blocked, mut swapped) = (0u32, 0u32, 0u32);
+    for t in cell {
+        match t.state {
+            State::Ready => ready += 1,
+            State::Blocked(_) => blocked += 1,
+            State::Swapped => swapped += 1,
+            _ => {}
+        }
+    }
+    SimEvent::QueueDepth {
+        cell: cell_index,
+        ready,
+        blocked,
+        swapped,
     }
 }
 
@@ -779,18 +1279,17 @@ fn note_swap_out(
     victim: &mut Tenant,
     clock: u64,
     events: &mut Vec<(u64, SimEvent)>,
-    observe: bool,
-    trace_on: bool,
+    sched_on: bool,
 ) {
     victim.swap_outs += 1;
-    if observe {
+    if sched_on || victim.registry.is_some() {
         let ev = SimEvent::SwapOut {
             process: victim.global_index,
         };
         if let Some(reg) = &mut victim.registry {
             reg.record(clock, &ev);
         }
-        if trace_on {
+        if sched_on {
             events.push((clock, ev));
         }
     }
@@ -836,31 +1335,40 @@ fn relieve_pressure(cell: &mut [Tenant], running: usize) -> Option<usize> {
 
 /// Admits waiting tenants whose entry demand fits the cell's free
 /// frames, reserving each admitted demand against later ones this
-/// round.
-fn admit(cell: &mut [Tenant], config: &FleetConfig, clock: u64) {
+/// round. Returns the cell-local indices admitted (empty vectors do
+/// not allocate, so the common nobody-waiting case stays free).
+fn admit(cell: &mut [Tenant], config: &FleetConfig, clock: u64) -> Vec<usize> {
     if !cell.iter().any(|t| matches!(t.state, State::Waiting)) {
-        return;
+        return Vec::new();
     }
     let used: u64 = cell.iter().map(Tenant::active_frames).sum();
     let mut free = config.frames_per_cell.saturating_sub(used);
-    for t in cell.iter_mut() {
+    let mut admitted = Vec::new();
+    for (i, t) in cell.iter_mut().enumerate() {
         if matches!(t.state, State::Waiting) && t.entry_demand <= free {
             free -= t.entry_demand;
             t.state = State::Ready;
             t.admitted_at = clock;
+            admitted.push(i);
         }
     }
+    admitted
 }
 
 /// Breaks admission-control starvation when a cell would otherwise sit
-/// idle: admits the first waiting tenant unconditionally.
-fn force_admit(cell: &mut [Tenant], clock: u64) -> bool {
-    if let Some(t) = cell.iter_mut().find(|t| matches!(t.state, State::Waiting)) {
+/// idle: admits the first waiting tenant unconditionally, returning
+/// its cell-local index.
+fn force_admit(cell: &mut [Tenant], clock: u64) -> Option<usize> {
+    if let Some((i, t)) = cell
+        .iter_mut()
+        .enumerate()
+        .find(|(_, t)| matches!(t.state, State::Waiting))
+    {
         t.state = State::Ready;
         t.admitted_at = clock;
-        return true;
+        return Some(i);
     }
-    false
+    None
 }
 
 /// Breaks total-swap livelock by re-admitting the first swapped tenant
@@ -890,6 +1398,7 @@ fn readmit(cell: &mut [Tenant], config: &FleetConfig, clock: u64) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::observe::EventLog;
     use crate::policy::cd::{CdPolicy, CdSelector};
     use crate::policy::lru::Lru;
     use crate::policy::ws::WorkingSet;
@@ -1136,5 +1645,125 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, SimError::DeadlineExceeded { .. }));
+    }
+
+    fn observe_mix() -> Vec<TenantSpec> {
+        (0..8)
+            .map(|i| {
+                let pages = 6 + (i % 4) as u32 * 5;
+                ws_tenant(&format!("t{i}"), pages, 15, (i as u64 % 2) * 50)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn scorecard_covers_workers_phases_and_cells() {
+        let config = FleetConfig {
+            frames_per_cell: 20,
+            tenants_per_cell: 2,
+            threads: 3,
+            ..Default::default()
+        };
+        let mut log = EventLog::new(100_000);
+        let (report, card) =
+            run_fleet_observed(observe_mix(), config, &mut log, None, &CancelToken::new()).unwrap();
+        assert!(!card.workers.is_empty());
+        assert_eq!(
+            card.workers.iter().map(|w| w.cells_run).sum::<u64>(),
+            report.cells.len() as u64
+        );
+        assert!(card.shard_claims > 0);
+        assert_eq!(
+            card.shard_claims,
+            card.workers.iter().map(|w| w.claims).sum::<u64>()
+        );
+        let labels: Vec<&str> = card.phase_ns.iter().map(|(l, _)| *l).collect();
+        assert_eq!(labels, ["prepare", "simulate", "report"]);
+        assert_eq!(card.cells.len(), report.cells.len());
+        assert!(card.hottest_cells(2).len() <= 2);
+        assert!(card.render().contains("worker"));
+    }
+
+    #[test]
+    fn cpu_per_cell_is_deterministic_across_geometry() {
+        let config = FleetConfig {
+            frames_per_cell: 20,
+            tenants_per_cell: 2,
+            ..Default::default()
+        };
+        let serial = run_fleet(observe_mix(), config).unwrap();
+        assert_eq!(serial.cpu_per_cell.len(), serial.cells.len());
+        for (util, cell) in serial.cpu_per_cell.iter().zip(&serial.cells) {
+            let expect = cell.busy as f64 / cell.makespan as f64;
+            assert!((util - expect).abs() < 1e-12);
+        }
+        for threads in [2, 4] {
+            let r = run_fleet(observe_mix(), FleetConfig { threads, ..config }).unwrap();
+            assert_eq!(r.cpu_per_cell, serial.cpu_per_cell, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn scheduler_stream_is_geometry_invariant_and_typed() {
+        let config = FleetConfig {
+            frames_per_cell: 20,
+            tenants_per_cell: 2,
+            admission: Admission::PiLevel(1),
+            ..Default::default()
+        };
+        let run = |threads: usize| {
+            let mut log = EventLog::new(100_000);
+            let (report, _) = run_fleet_observed(
+                observe_mix(),
+                FleetConfig { threads, ..config },
+                &mut log,
+                None,
+                &CancelToken::new(),
+            )
+            .unwrap();
+            assert_eq!(log.dropped(), 0);
+            (report, log.to_vec())
+        };
+        let (base_report, base_events) = run(1);
+        let kinds: Vec<&str> = base_events.iter().map(|e| e.event.kind()).collect();
+        assert!(kinds.contains(&"tenant_admitted"));
+        assert!(kinds.contains(&"tenant_finished"));
+        assert!(kinds.contains(&"queue_depth"));
+        // Geometry-dependent events never enter the merged stream.
+        assert!(!kinds.contains(&"shard_claimed"));
+        assert!(!kinds.contains(&"worker_state"));
+        for threads in [2, 4, 8] {
+            let (report, events) = run(threads);
+            assert_eq!(report, base_report, "threads={threads}");
+            assert_eq!(events, base_events, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn scheduler_only_tracer_keeps_policy_plane_dark() {
+        let config = FleetConfig {
+            frames_per_cell: 20,
+            tenants_per_cell: 2,
+            ..Default::default()
+        };
+        let untraced = run_fleet(observe_mix(), config).unwrap();
+        let mut log = EventLog::new(100_000).with_policy_events(false);
+        let (report, _) =
+            run_fleet_observed(observe_mix(), config, &mut log, None, &CancelToken::new()).unwrap();
+        assert_eq!(report, untraced, "tracer must not perturb the report");
+        let sched_kinds = [
+            "tenant_admitted",
+            "tenant_finished",
+            "admission_deferred",
+            "queue_depth",
+            "swap_out",
+        ];
+        for e in log.to_vec() {
+            assert!(
+                sched_kinds.contains(&e.event.kind()),
+                "policy event {} leaked into a scheduler-only stream",
+                e.event.kind()
+            );
+        }
     }
 }

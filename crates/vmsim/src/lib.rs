@@ -50,6 +50,7 @@ pub mod metrics;
 pub mod multiprog;
 pub mod observe;
 pub mod policy;
+pub mod progress;
 pub mod recency;
 pub mod sim;
 pub mod stack;
@@ -58,18 +59,21 @@ pub mod stats;
 pub use cancel::CancelToken;
 pub use error::SimError;
 pub use fleet::{
-    run_fleet, run_fleet_cancellable, run_fleet_with, Admission, CellReport, FleetConfig,
-    FleetReport, TenantReport, TenantSpec,
+    run_fleet, run_fleet_cancellable, run_fleet_observed, run_fleet_with, Admission, CellPressure,
+    CellReport, FleetConfig, FleetReport, FleetScorecard, TenantReport, TenantSpec, WorkerTimeline,
 };
 pub use metrics::{ExecStats, Metrics};
 pub use observe::{
     EventLog, Histogram, HistogramRecorder, JsonlSink, NullTracer, SharedSink, SharedTracer,
-    SimEvent, Tee, TimedEvent, Tracer,
+    SimEvent, Span, Tee, TimedEvent, Tracer,
 };
 pub use policy::Policy;
+pub use progress::{
+    validate_progress_file, ProgressCounters, ProgressExporter, ProgressFrame, PROGRESS_SCHEMA,
+};
 pub use sim::{
     simulate, simulate_cancellable, simulate_run_level, simulate_run_level_cancellable,
-    simulate_with, SimConfig,
+    simulate_with, simulate_with_cancellable, SimConfig,
 };
 pub use stats::{
     shared_registry, snapshot_shared, HistogramSummary, MetricsRegistry, PiStats, PiSummary,

@@ -138,6 +138,62 @@ pub enum SimEvent {
         /// Number of lines moved to the quarantine file.
         lines: u64,
     },
+    /// The fleet scheduler admitted a tenant into its cell's memory
+    /// pool (deterministic: cell-local, geometry-independent).
+    TenantAdmitted {
+        /// Submission index of the tenant across the whole fleet.
+        tenant: u32,
+        /// Whether the idle-cell deadlock breaker forced the admission
+        /// past the entry-demand gate.
+        forced: bool,
+    },
+    /// A tenant drove its reference string to completion.
+    TenantFinished {
+        /// Submission index of the finished tenant.
+        tenant: u32,
+    },
+    /// The admission gate deferred an arriving tenant whose entry
+    /// demand did not fit the cell's free frames.
+    AdmissionDeferred {
+        /// Submission index of the deferred tenant.
+        tenant: u32,
+        /// The entry demand (pages) the gate held the tenant to.
+        demand: u64,
+    },
+    /// A cell's scheduler-queue depth after an admission transition:
+    /// how many tenants are runnable versus parked.
+    QueueDepth {
+        /// The cell whose queue is being described.
+        cell: u32,
+        /// Tenants ready to run.
+        ready: u32,
+        /// Tenants blocked on fault service or swap-in.
+        blocked: u32,
+        /// Tenants swapped out by load control.
+        swapped: u32,
+    },
+    /// A fleet worker claimed a shard of cells (wall-side: which worker
+    /// claims which shard depends on execution geometry, so this event
+    /// feeds the [`crate::fleet::FleetScorecard`], never the
+    /// deterministic merged stream).
+    ShardClaimed {
+        /// The claimed shard.
+        shard: u32,
+        /// The claiming worker.
+        worker: u32,
+        /// Whether the shard was stolen from another worker's
+        /// allotment.
+        stolen: bool,
+    },
+    /// A fleet worker transitioned between idle (hunting for a shard)
+    /// and busy (running cells). Wall-side, like
+    /// [`SimEvent::ShardClaimed`].
+    WorkerState {
+        /// The worker.
+        worker: u32,
+        /// `true` on idle→busy, `false` on busy→idle.
+        busy: bool,
+    },
 }
 
 impl SimEvent {
@@ -158,6 +214,12 @@ impl SimEvent {
             SimEvent::JobDone { .. } => "job_done",
             SimEvent::CacheQuery { .. } => "cache_query",
             SimEvent::CacheQuarantine { .. } => "cache_quarantine",
+            SimEvent::TenantAdmitted { .. } => "tenant_admitted",
+            SimEvent::TenantFinished { .. } => "tenant_finished",
+            SimEvent::AdmissionDeferred { .. } => "admission_deferred",
+            SimEvent::QueueDepth { .. } => "queue_depth",
+            SimEvent::ShardClaimed { .. } => "shard_claimed",
+            SimEvent::WorkerState { .. } => "worker_state",
         }
     }
 }
@@ -192,6 +254,20 @@ pub trait Tracer {
         false
     }
 
+    /// Whether this tracer wants in-policy decision events (faults,
+    /// evictions, `ALLOCATE`/`LOCK` outcomes). Defaults to `true`.
+    ///
+    /// The fleet scheduler consults this flag: a tracer that declines
+    /// (e.g. a scheduler-plane sink built with
+    /// [`EventLog::with_policy_events`]`(false)`) receives only
+    /// scheduler events — tenant lifecycle, admission decisions, queue
+    /// depth, swap-outs — and the policies keep their untraced batch
+    /// kernels, which is what keeps scheduler-plane tracing inside the
+    /// <2% fleet overhead budget.
+    fn wants_policy_events(&self) -> bool {
+        true
+    }
+
     /// Receives one event at reference clock `at`.
     fn record(&mut self, at: u64, event: &SimEvent);
 
@@ -221,6 +297,7 @@ pub struct EventLog {
     buf: VecDeque<TimedEvent>,
     dropped: u64,
     want_refs: bool,
+    want_policy: bool,
 }
 
 impl EventLog {
@@ -236,12 +313,21 @@ impl EventLog {
             buf: VecDeque::with_capacity(capacity),
             dropped: 0,
             want_refs: false,
+            want_policy: true,
         }
     }
 
     /// Also record one [`SimEvent::Ref`] per reference.
     pub fn with_refs(mut self, want: bool) -> Self {
         self.want_refs = want;
+        self
+    }
+
+    /// Whether to receive in-policy decision events (default `true`).
+    /// Declining turns this log into a scheduler-plane sink: the fleet
+    /// driver skips policy instrumentation entirely.
+    pub fn with_policy_events(mut self, want: bool) -> Self {
+        self.want_policy = want;
         self
     }
 
@@ -281,6 +367,10 @@ impl Tracer for EventLog {
         self.want_refs
     }
 
+    fn wants_policy_events(&self) -> bool {
+        self.want_policy
+    }
+
     fn record(&mut self, at: u64, event: &SimEvent) {
         if self.buf.len() == self.capacity {
             self.buf.pop_front();
@@ -310,7 +400,7 @@ fn mix(mut z: u64) -> u64 {
 }
 
 /// Checksum over a serialized line's payload prefix.
-fn line_checksum(payload: &str) -> u64 {
+pub(crate) fn line_checksum(payload: &str) -> u64 {
     let mut h = mix(0x7ACE_0BE5_EED5_11E5);
     for chunk in payload.as_bytes().chunks(8) {
         let mut buf = [0u8; 8];
@@ -364,6 +454,29 @@ fn event_fields(event: &SimEvent) -> String {
         }
         SimEvent::CacheQuery { hit } => format!("\"ev\":\"{kind}\",\"hit\":{hit}"),
         SimEvent::CacheQuarantine { lines } => format!("\"ev\":\"{kind}\",\"lines\":{lines}"),
+        SimEvent::TenantAdmitted { tenant, forced } => {
+            format!("\"ev\":\"{kind}\",\"tenant\":{tenant},\"forced\":{forced}")
+        }
+        SimEvent::TenantFinished { tenant } => format!("\"ev\":\"{kind}\",\"tenant\":{tenant}"),
+        SimEvent::AdmissionDeferred { tenant, demand } => {
+            format!("\"ev\":\"{kind}\",\"tenant\":{tenant},\"demand\":{demand}")
+        }
+        SimEvent::QueueDepth {
+            cell,
+            ready,
+            blocked,
+            swapped,
+        } => format!(
+            "\"ev\":\"{kind}\",\"cell\":{cell},\"ready\":{ready},\"blocked\":{blocked},\"swapped\":{swapped}"
+        ),
+        SimEvent::ShardClaimed {
+            shard,
+            worker,
+            stolen,
+        } => format!("\"ev\":\"{kind}\",\"shard\":{shard},\"worker\":{worker},\"stolen\":{stolen}"),
+        SimEvent::WorkerState { worker, busy } => {
+            format!("\"ev\":\"{kind}\",\"worker\":{worker},\"busy\":{busy}")
+        }
     }
 }
 
@@ -408,6 +521,8 @@ pub struct JsonlSink {
     written: u64,
     limit: Option<u64>,
     want_refs: bool,
+    want_policy: bool,
+    stream: u64,
 }
 
 impl JsonlSink {
@@ -424,6 +539,8 @@ impl JsonlSink {
             written: 0,
             limit: None,
             want_refs: false,
+            want_policy: true,
+            stream: 0,
         })
     }
 
@@ -455,6 +572,13 @@ impl JsonlSink {
         self
     }
 
+    /// Whether to receive in-policy decision events (default `true`).
+    /// See [`Tracer::wants_policy_events`].
+    pub fn with_policy_events(mut self, want: bool) -> Self {
+        self.want_policy = want;
+        self
+    }
+
     /// The file being written.
     pub fn path(&self) -> &Path {
         &self.path
@@ -463,6 +587,34 @@ impl JsonlSink {
     /// Lines written so far.
     pub fn written(&self) -> u64 {
         self.written
+    }
+
+    /// Rolling checksum over every line written so far — a compact,
+    /// deterministic fingerprint of the whole event stream (what the
+    /// batch service reports back as `trace_c`).
+    pub fn stream_checksum(&self) -> u64 {
+        self.stream
+    }
+
+    /// Recomputes the [`JsonlSink::stream_checksum`] of a trace file on
+    /// disk, validating every line on the way.
+    pub fn file_stream_checksum(path: &Path) -> Result<u64, String> {
+        let text = fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let mut stream = 0u64;
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            if !validate_event_line(line) {
+                return Err(format!(
+                    "{}:{}: damaged trace line: {line}",
+                    path.display(),
+                    i + 1
+                ));
+            }
+            stream = mix(stream ^ line_checksum(line));
+        }
+        Ok(stream)
     }
 
     /// True when the event limit cut the stream short.
@@ -528,13 +680,19 @@ impl Tracer for JsonlSink {
         self.want_refs
     }
 
+    fn wants_policy_events(&self) -> bool {
+        self.want_policy
+    }
+
     fn record(&mut self, at: u64, event: &SimEvent) {
         if self.limit.is_some_and(|l| self.written >= l) {
             return;
         }
         // Buffered-writer failures surface at flush; per-event error
         // handling would put a Result on the hot path for nothing.
-        let _ = writeln!(self.out, "{}", encode_event_line(at, event));
+        let line = encode_event_line(at, event);
+        let _ = writeln!(self.out, "{line}");
+        self.stream = mix(self.stream ^ line_checksum(&line));
         self.written += 1;
     }
 
@@ -816,6 +974,7 @@ pub struct SharedSink {
     inner: SharedTracer,
     enabled: bool,
     want_refs: bool,
+    want_policy: bool,
 }
 
 impl fmt::Debug for SharedSink {
@@ -823,6 +982,7 @@ impl fmt::Debug for SharedSink {
         f.debug_struct("SharedSink")
             .field("enabled", &self.enabled)
             .field("want_refs", &self.want_refs)
+            .field("want_policy", &self.want_policy)
             .finish_non_exhaustive()
     }
 }
@@ -830,14 +990,15 @@ impl fmt::Debug for SharedSink {
 impl SharedSink {
     /// Snapshots the shared tracer's flags and wraps it.
     pub fn new(inner: &SharedTracer) -> Self {
-        let (enabled, want_refs) = {
+        let (enabled, want_refs, want_policy) = {
             let g = inner.lock().expect("tracer lock");
-            (g.enabled(), g.wants_refs())
+            (g.enabled(), g.wants_refs(), g.wants_policy_events())
         };
         SharedSink {
             inner: Arc::clone(inner),
             enabled,
             want_refs,
+            want_policy,
         }
     }
 }
@@ -849,6 +1010,10 @@ impl Tracer for SharedSink {
 
     fn wants_refs(&self) -> bool {
         self.want_refs
+    }
+
+    fn wants_policy_events(&self) -> bool {
+        self.want_policy
     }
 
     fn record(&mut self, at: u64, event: &SimEvent) {
@@ -897,6 +1062,10 @@ impl Tracer for Tee<'_, '_> {
         self.a.wants_refs() || self.b.wants_refs()
     }
 
+    fn wants_policy_events(&self) -> bool {
+        self.a.wants_policy_events() || self.b.wants_policy_events()
+    }
+
     fn record(&mut self, at: u64, event: &SimEvent) {
         let is_ref = matches!(event, SimEvent::Ref { .. });
         if self.a.enabled() && (!is_ref || self.a.wants_refs()) {
@@ -913,6 +1082,46 @@ impl Tracer for Tee<'_, '_> {
     }
 }
 
+/// A wall-clock phase span: `enter` stamps the start, `exit` yields the
+/// label and elapsed nanoseconds. The fleet driver opens one span per
+/// scheduler phase (prepare / simulate / report) and folds the exits
+/// into the [`crate::fleet::FleetScorecard`]'s phase timeline.
+///
+/// Spans measure wall time, so they live strictly outside the
+/// deterministic core: nothing derived from a span may enter a
+/// [`crate::FleetReport`].
+#[derive(Debug)]
+pub struct Span {
+    label: &'static str,
+    start: std::time::Instant,
+}
+
+impl Span {
+    /// Opens a span over the named phase.
+    pub fn enter(label: &'static str) -> Self {
+        Span {
+            label,
+            start: std::time::Instant::now(),
+        }
+    }
+
+    /// The phase label.
+    pub fn label(&self) -> &'static str {
+        self.label
+    }
+
+    /// Nanoseconds elapsed so far (saturating at `u64::MAX`).
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Closes the span, yielding `(label, elapsed_ns)`.
+    pub fn exit(self) -> (&'static str, u64) {
+        let ns = self.elapsed_ns();
+        (self.label, ns)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -921,6 +1130,31 @@ mod tests {
     fn null_tracer_is_disabled() {
         assert!(!NullTracer.enabled());
         assert!(!NullTracer.wants_refs());
+        assert!(NullTracer.wants_policy_events());
+    }
+
+    #[test]
+    fn spans_measure_monotonic_phases() {
+        let span = Span::enter("simulate");
+        assert_eq!(span.label(), "simulate");
+        let early = span.elapsed_ns();
+        let (label, ns) = span.exit();
+        assert_eq!(label, "simulate");
+        assert!(ns >= early, "span time is monotonic");
+    }
+
+    #[test]
+    fn policy_event_appetite_is_opt_out() {
+        let log = EventLog::new(4);
+        assert!(log.wants_policy_events(), "default: full detail");
+        let sched = EventLog::new(4).with_policy_events(false);
+        assert!(!sched.wants_policy_events());
+        let mut full = EventLog::new(4);
+        let mut none = EventLog::new(4).with_policy_events(false);
+        let tee = Tee::new(&mut full, &mut none);
+        assert!(tee.wants_policy_events(), "tee: any side's appetite wins");
+        let handle = shared(EventLog::new(4).with_policy_events(false));
+        assert!(!SharedSink::new(&handle).wants_policy_events());
     }
 
     #[test]
@@ -1083,12 +1317,59 @@ mod tests {
             },
             SimEvent::CacheQuery { hit: false },
             SimEvent::CacheQuarantine { lines: 3 },
+            SimEvent::TenantAdmitted {
+                tenant: 17,
+                forced: true,
+            },
+            SimEvent::TenantFinished { tenant: 17 },
+            SimEvent::AdmissionDeferred {
+                tenant: 9,
+                demand: 20,
+            },
+            SimEvent::QueueDepth {
+                cell: 4,
+                ready: 2,
+                blocked: 1,
+                swapped: 1,
+            },
+            SimEvent::ShardClaimed {
+                shard: 3,
+                worker: 1,
+                stolen: true,
+            },
+            SimEvent::WorkerState {
+                worker: 1,
+                busy: false,
+            },
         ];
         for e in events {
             let line = encode_event_line(42, &e);
             assert!(validate_event_line(&line), "{line}");
             assert!(line.contains(&format!("\"ev\":\"{}\"", e.kind())), "{line}");
         }
+    }
+
+    #[test]
+    fn stream_checksum_fingerprints_the_whole_file() {
+        let path = std::env::temp_dir().join(format!("cdmm-stream-{}.jsonl", std::process::id()));
+        let mut sink = JsonlSink::create(&path).expect("create sink");
+        sink.record(
+            1,
+            &SimEvent::TenantAdmitted {
+                tenant: 0,
+                forced: false,
+            },
+        );
+        sink.record(2, &SimEvent::TenantFinished { tenant: 0 });
+        sink.flush();
+        let live = sink.stream_checksum();
+        assert_ne!(live, 0);
+        assert_eq!(JsonlSink::file_stream_checksum(&path), Ok(live));
+        // Tampering changes the fingerprint path into an error.
+        let text = fs::read_to_string(&path).expect("read");
+        fs::write(&path, text.replace("\"tenant\":0", "\"tenant\":1")).expect("write");
+        assert!(JsonlSink::file_stream_checksum(&path).is_err());
+        let _ = fs::remove_file(&path);
     }
 
     #[test]

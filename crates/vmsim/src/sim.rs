@@ -124,6 +124,78 @@ pub fn simulate_with<S: EventSource + ?Sized, P: Policy + ?Sized>(
     metrics
 }
 
+/// [`simulate_with`] under a cooperative [`CancelToken`]: the traced
+/// per-event loop with the token polled once per trace event. An
+/// uncancelled run produces exactly the [`Metrics`] and event stream of
+/// [`simulate_with`]; a stop discards the partial metrics, flushes the
+/// tracer, and surfaces [`SimError::DeadlineExceeded`] with the
+/// references completed. This is the entry point the serve layer's
+/// `"trace":true` passthrough uses to keep deadlines honest on traced
+/// jobs.
+pub fn simulate_with_cancellable<S: EventSource + ?Sized, P: Policy + ?Sized>(
+    trace: &S,
+    policy: &mut P,
+    config: SimConfig,
+    tracer: &mut dyn Tracer,
+    token: &CancelToken,
+) -> Result<Metrics, SimError> {
+    if !tracer.enabled() {
+        return simulate_run_level_cancellable(trace, policy, config, token);
+    }
+    let want_refs = tracer.wants_refs();
+    policy.set_tracing(true);
+    let mut pending: Vec<SimEvent> = Vec::new();
+    let mut metrics = Metrics::new(config.fault_service);
+    let completed = trace.for_each_event_while(
+        || !token.should_stop(),
+        |event| match event {
+            EventRef::Ref(page) => {
+                let fault = policy.reference(page);
+                metrics.record(policy.resident(), fault);
+                if policy.is_degraded() {
+                    metrics.degraded_refs += 1;
+                }
+                let at = metrics.refs;
+                policy.drain_events(&mut pending);
+                for e in pending.drain(..) {
+                    tracer.record(at, &e);
+                }
+                let resident = policy.resident() as u32;
+                if fault {
+                    tracer.record(at, &SimEvent::Fault { page, resident });
+                }
+                if want_refs {
+                    tracer.record(
+                        at,
+                        &SimEvent::Ref {
+                            page,
+                            resident,
+                            fault,
+                        },
+                    );
+                }
+            }
+            EventRef::Directive(other) => {
+                policy.directive(other);
+                let at = metrics.refs;
+                policy.drain_events(&mut pending);
+                for e in pending.drain(..) {
+                    tracer.record(at, &e);
+                }
+            }
+        },
+    );
+    policy.set_tracing(false);
+    tracer.flush();
+    if !completed {
+        return Err(SimError::DeadlineExceeded {
+            refs_done: metrics.refs,
+        });
+    }
+    metrics.recovered_directives = policy.recovered_directives();
+    Ok(metrics)
+}
+
 /// The hot path: no tracing code at all, so a disabled tracer costs one
 /// branch per run instead of per reference. `simulate` and a disabled
 /// `simulate_with` both land here; `traced_run_metrics_match_untraced`

@@ -239,6 +239,24 @@ impl Tracer for MetricsRegistry {
             SimEvent::CacheQuarantine { lines } => {
                 self.add("cache_quarantined_lines", *lines);
             }
+            SimEvent::TenantAdmitted { forced, .. } => {
+                self.inc("admissions");
+                if *forced {
+                    self.inc("forced_admissions");
+                }
+            }
+            SimEvent::TenantFinished { .. } => self.inc("tenants_finished"),
+            SimEvent::AdmissionDeferred { .. } => self.inc("admission_deferrals"),
+            SimEvent::QueueDepth { ready, .. } => {
+                self.record_sample("queue_ready", u64::from(*ready));
+            }
+            SimEvent::ShardClaimed { stolen, .. } => {
+                self.inc("shard_claims");
+                if *stolen {
+                    self.inc("shard_steals");
+                }
+            }
+            SimEvent::WorkerState { .. } => {}
         }
     }
 }

@@ -24,7 +24,7 @@ use std::fmt;
 
 use cdmm_core::fleet::{prepare_fleet, ChaosSpec, FleetError, FleetSpec, PreparedFleet};
 use cdmm_core::PolicySpec;
-use cdmm_vmsim::{Admission, FleetReport, Tracer};
+use cdmm_vmsim::{Admission, CancelToken, FleetReport, FleetScorecard, NullTracer, Tracer};
 use cdmm_workloads::Scale;
 
 /// Fluent builder over the fleet scheduler; see the
@@ -186,6 +186,20 @@ impl<'t> Fleet<'t> {
             None => fleet.run(),
         }
     }
+
+    /// Prepares and runs the fleet, returning the wall-side
+    /// [`FleetScorecard`] (worker timelines, shard claim/steal
+    /// counters, phase spans, hottest cells) next to the deterministic
+    /// report. The scorecard describes *this* execution's geometry and
+    /// timing; the report never varies with it.
+    pub fn run_scored(self) -> Result<(FleetReport, FleetScorecard), FleetError> {
+        let fleet = prepare_fleet(&self.spec)?;
+        let token = CancelToken::new();
+        match self.tracer {
+            Some(t) => fleet.run_observed(t, None, &token),
+            None => fleet.run_observed(&mut NullTracer, None, &token),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -246,6 +260,19 @@ mod tests {
             assert!(t.policy.starts_with("CD"), "{}", t.policy);
             assert!(t.metrics.refs > 0);
         }
+    }
+
+    #[test]
+    fn scored_run_reports_workers_without_changing_the_report() {
+        let (report, scorecard) = small().threads(3).run_scored().expect("scored");
+        assert_eq!(report, small().run().expect("plain"));
+        assert!(!scorecard.workers.is_empty());
+        assert_eq!(
+            scorecard.workers.iter().map(|w| w.cells_run).sum::<u64>(),
+            report.cells.len() as u64
+        );
+        assert!(scorecard.shard_claims > 0);
+        assert_eq!(scorecard.cells.len(), report.cells.len());
     }
 
     #[test]

@@ -54,8 +54,9 @@ pub use cdmm_core::{PipelineConfig, PipelineError, PolicySpec};
 pub use cdmm_locality::{InsertOptions, PageGeometry, SizerMode};
 pub use cdmm_vmsim::policy::cd::CdSelector;
 pub use cdmm_vmsim::{
-    Admission, EventLog, FleetReport, HistogramRecorder, HistogramSummary, JsonlSink, Metrics,
-    MetricsRegistry, NullTracer, RegistrySnapshot, SimEvent, Tee, TenantReport, Tracer,
+    Admission, CellPressure, EventLog, FleetReport, FleetScorecard, HistogramRecorder,
+    HistogramSummary, JsonlSink, Metrics, MetricsRegistry, NullTracer, ProgressCounters,
+    ProgressExporter, RegistrySnapshot, SimEvent, Span, Tee, TenantReport, Tracer, WorkerTimeline,
 };
 pub use cdmm_workloads::Scale;
 

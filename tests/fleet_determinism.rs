@@ -4,10 +4,14 @@
 //! [`cdmm_vmsim::FleetReport`]. Cells are fixed by submission order
 //! alone; shards and threads only decide *who* runs each cell.
 //!
-//! The suite pins three properties:
+//! The suite pins four properties:
 //!
 //! - a seeded multi-thousand-tenant fleet produces the identical report
 //!   at 1/2/4/8 threads and across shard counts;
+//! - with an [`EventLog`] attached, both the report AND the merged
+//!   scheduler event stream stay byte-identical across the same
+//!   geometries (events are buffered per cell and replayed in cell
+//!   order, so tracers never observe scheduling races);
 //! - a chaos tenant whose fuzzed directives trip degrade-to-LRU
 //!   perturbs nothing outside its own memory cell;
 //! - the deprecated `run_multiprogram` shim agrees with the fleet
@@ -20,7 +24,7 @@
 use cdmm_core::fleet::{prepare_fleet, ChaosSpec, FleetSpec};
 use cdmm_core::PolicySpec;
 use cdmm_vmsim::policy::cd::CdSelector;
-use cdmm_vmsim::{Admission, FleetReport};
+use cdmm_vmsim::{Admission, EventLog, FleetReport, TimedEvent};
 
 fn env_u64(name: &str, default: u64) -> u64 {
     std::env::var(name)
@@ -82,6 +86,67 @@ fn report_is_byte_identical_across_shard_counts() {
     for shards in [1, 3, 7, 64] {
         let r = run_at(spec.clone(), 4, shards);
         assert_eq!(reference, r, "{shards} shards changed the fleet report");
+    }
+}
+
+/// One traced run: the report plus the merged scheduler event stream
+/// the attached [`EventLog`] saw.
+fn run_traced_at(
+    mut spec: FleetSpec,
+    threads: usize,
+    shards: usize,
+) -> (FleetReport, Vec<TimedEvent>) {
+    spec.threads = threads;
+    spec.shards = shards;
+    let mut log = EventLog::new(1 << 18);
+    let report = prepare_fleet(&spec)
+        .expect("fleet prepares")
+        .run_with(&mut log)
+        .expect("fleet runs");
+    assert_eq!(log.dropped(), 0, "event ring too small for the fleet");
+    (report, log.to_vec())
+}
+
+#[test]
+fn traced_report_and_event_stream_are_geometry_invariant() {
+    let spec = acceptance_spec();
+    let (ref_report, ref_events) = run_traced_at(spec.clone(), 1, 0);
+
+    // The tracer must not perturb the report itself…
+    assert_eq!(
+        ref_report,
+        run_at(spec.clone(), 1, 0),
+        "attaching a tracer changed the fleet report"
+    );
+    // …and the stream must contain the scheduler plane, not the
+    // geometry-dependent worker plane (that lives in the scorecard).
+    let kinds: std::collections::BTreeSet<&str> =
+        ref_events.iter().map(|e| e.event.kind()).collect();
+    for want in ["tenant_admitted", "tenant_finished", "queue_depth"] {
+        assert!(kinds.contains(want), "no `{want}` event in {kinds:?}");
+    }
+    for geometry_dependent in ["shard_claimed", "worker_state"] {
+        assert!(
+            !kinds.contains(geometry_dependent),
+            "`{geometry_dependent}` leaked into the deterministic stream"
+        );
+    }
+
+    for threads in [2, 4, 8] {
+        let (r, events) = run_traced_at(spec.clone(), threads, 0);
+        assert_eq!(ref_report, r, "{threads} threads changed the traced report");
+        assert_eq!(
+            ref_events, events,
+            "{threads} threads changed the merged event stream"
+        );
+    }
+    for shards in [1, 3, 7, 64] {
+        let (r, events) = run_traced_at(spec.clone(), 4, shards);
+        assert_eq!(ref_report, r, "{shards} shards changed the traced report");
+        assert_eq!(
+            ref_events, events,
+            "{shards} shards changed the merged event stream"
+        );
     }
 }
 
