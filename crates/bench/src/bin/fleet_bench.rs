@@ -34,9 +34,10 @@ use std::time::{Duration, Instant};
 use cdmm_bench::artifact::{Artifact, Entry};
 use cdmm_bench::regress::{compare, has_hard, RegressOptions};
 use cdmm_bench::{BenchEnv, Options};
-use cdmm_core::fleet::{prepare_fleet, FleetSpec};
+use cdmm_core::fleet::{fleet_frames_sweep, prepare_fleet, FleetSpec};
 use cdmm_core::pipeline::PolicySpec;
 use cdmm_core::report::render_fleet;
+use cdmm_core::sweep::ResultCache;
 use cdmm_vmsim::policy::cd::CdSelector;
 use cdmm_vmsim::{
     CancelToken, FleetReport, FleetScorecard, NullTracer, ProgressExporter, SharedSink,
@@ -168,6 +169,49 @@ fn run(env: &BenchEnv) -> Result<(), String> {
     let frames = exporter.finish();
     if frames > 0 {
         eprintln!("fleet_bench: {frames} progress frames exported");
+    }
+
+    // Table-2-style frames-per-cell sweep: the same mixed fleet at
+    // tighter and looser cells, with the per-tenant standalone best-LRU
+    // ST column (answered by the one-pass curve kernel) as the
+    // uniprogramming reference the consolidation overhead is read
+    // against. Deterministic end to end, so every field is
+    // exact-compared.
+    let frames_grid = [16u64, 24, 48];
+    let spec = FleetSpec {
+        tenants,
+        seed,
+        scale: env.scale(),
+        policy_mix: mixes().remove(0).1,
+        shards,
+        threads,
+        ..FleetSpec::default()
+    };
+    let cache = ResultCache::in_memory();
+    let t0 = Instant::now();
+    let sweep = fleet_frames_sweep(&spec, &frames_grid, &cache)
+        .map_err(|e| format!("fleet/frames: {e}"))?;
+    eprintln!(
+        "fleet/frames: {} cell sizes in {:.1} ms — standalone best-LRU ST {:.3e}",
+        sweep.points.len(),
+        t0.elapsed().as_nanos() as f64 / 1e6,
+        sweep.standalone_lru_st,
+    );
+    for pt in &sweep.points {
+        eprintln!(
+            "fleet/frames/{}: makespan {}, {} faults, {} swap-outs, ST p99 {}",
+            pt.frames_per_cell, pt.makespan, pt.total_faults, pt.swap_events, pt.st_p99,
+        );
+        fresh.entries.push(
+            Entry::new(&format!("fleet/frames/{}", pt.frames_per_cell))
+                .int("makespan", pt.makespan)
+                .int("pf", pt.total_faults)
+                .int("swaps", pt.swap_events)
+                .int("cpu_pm", (pt.cpu_utilization * 1000.0).round() as u64)
+                .int("st_p50", pt.st_p50)
+                .int("st_p99", pt.st_p99)
+                .float("standalone_st", sweep.standalone_lru_st),
+        );
     }
 
     if let Some(dir) = &o.bench_out {

@@ -32,7 +32,8 @@ use std::process::ExitCode;
 use cdmm_bench::artifact::Artifact;
 use cdmm_bench::profile::{profile, ProfileOptions};
 use cdmm_bench::regress::{
-    aggregate_refs_per_sec, check_speedup, compare, has_hard, retain_workloads, RegressOptions,
+    aggregate_refs_per_sec, check_speedup, compare, has_hard, retain_rows, retain_workloads,
+    RegressOptions,
 };
 use cdmm_bench::{tables_artifact, BenchEnv};
 
@@ -130,11 +131,25 @@ fn main() -> ExitCode {
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(5.0);
-        let old = std::fs::read_to_string(&path)
+        let mut old = std::fs::read_to_string(&path)
             .map_err(|e| e.to_string())
             .and_then(|text| Artifact::from_json(&text))
             .unwrap_or_else(|e| panic!("CDMM_SPEEDUP_BASELINE {path}: {e}"));
-        let perf = &fresh[0];
+        let mut perf = fresh[0].clone();
+        // CDMM_SPEEDUP_ROWS=SUBSTR narrows the milestone to one row
+        // family on both sides (e.g. `sweep` to gate just the one-pass
+        // sweep-kernel rows).
+        if let Ok(rows) = std::env::var("CDMM_SPEEDUP_ROWS") {
+            retain_rows(&mut old, &rows);
+            retain_rows(&mut perf, &rows);
+            println!(
+                "BENCH_perf speedup: gating rows matching {rows:?} \
+                 ({} baseline / {} fresh entries)",
+                old.entries.len(),
+                perf.entries.len()
+            );
+        }
+        let perf = &perf;
         let findings = check_speedup(&old, perf, min_speedup, &opts);
         for f in &findings {
             println!("BENCH_perf speedup: {f}");

@@ -24,6 +24,7 @@
 use std::time::Instant;
 
 use cdmm_core::report::scorecard;
+use cdmm_core::sweep::{self, Executor, ResultCache};
 use cdmm_core::{prepare, PipelineConfig, PolicySpec, Prepared};
 use cdmm_vmsim::policy::cd::CdSelector;
 use cdmm_vmsim::MetricsRegistry;
@@ -133,6 +134,37 @@ fn profile_cell(prepared: &Prepared, policy: PolicySpec, samples: u32) -> (Entry
     (entry, scorecard)
 }
 
+/// Profiles one whole-family sweep (the paper's per-table workhorse)
+/// through the dispatching sweep entry points, so the row times
+/// whatever engine is in force: the one-pass curve kernels by default,
+/// per-point simulation under `CDMM_SWEEP_KERNELS=0`. Each sample runs
+/// against its own fresh in-memory cache — the cost of one *cold*
+/// sweep, exactly what a table pays for a program it has not seen.
+///
+/// `refs` is the reference volume a *per-point* sweep must process
+/// (`points × trace refs`) — the fixed work the row's `refs_per_sec`
+/// is normalized by, making kernel-vs-per-point throughput directly
+/// comparable across artifacts. `faults` (summed over the sweep) is
+/// deterministic and exact-compared: it drifts only if the sweep
+/// engine changes *answers*, not speed.
+fn profile_sweep_cell(
+    prepared: &Prepared,
+    family: &str,
+    samples: u32,
+    run: impl FnMut() -> Vec<sweep::Point>,
+) -> Entry {
+    let (sweep_ns, points) = timed_min(samples, run);
+    let work_refs = prepared.plain_trace().ref_count() * points.len() as u64;
+    let faults: u64 = points.iter().map(|pt| pt.metrics.faults).sum();
+    let secs = (sweep_ns as f64 / 1e9).max(1e-12);
+    Entry::new(format!("{}/sweep/{family}", prepared.name()))
+        .int("points", points.len() as u64)
+        .int("refs", work_refs)
+        .int("faults", faults)
+        .int("simulate_ns", sweep_ns)
+        .float("refs_per_sec", work_refs as f64 / secs)
+}
+
 /// Runs the profiler and returns the `perf` artifact plus the last
 /// scorecard rendered (a human-readable sample for the console).
 pub fn profile(opts: &ProfileOptions) -> (Artifact, String) {
@@ -153,6 +185,23 @@ pub fn profile(opts: &ProfileOptions) -> (Artifact, String) {
             artifact.entries.push(entry.int("prepare_ns", prepare_ns));
             last_scorecard = scorecard;
         }
+        let exec = Executor::serial();
+        artifact
+            .entries
+            .push(profile_sweep_cell(&prepared, "lru", opts.samples, || {
+                sweep::lru_sweep_with(
+                    &exec,
+                    &ResultCache::in_memory(),
+                    &prepared,
+                    sweep::full_lru_range(&prepared),
+                )
+            }));
+        let taus = sweep::ws_tau_grid(&prepared, 8);
+        artifact
+            .entries
+            .push(profile_sweep_cell(&prepared, "ws", opts.samples, || {
+                sweep::ws_sweep_with(&exec, &ResultCache::in_memory(), &prepared, taus.clone())
+            }));
     }
     (artifact, last_scorecard)
 }
@@ -199,23 +248,31 @@ mod tests {
         let (a, scorecard) = profile(&quick());
         assert_eq!(a.kind, "perf");
         assert_eq!(a.scale, "small");
-        assert_eq!(a.entries.len(), POLICIES.len());
+        // Three policy cells plus the two whole-family sweep rows.
+        assert_eq!(a.entries.len(), POLICIES.len() + 2);
         let ids: Vec<&str> = a.entries.iter().map(|e| e.id.as_str()).collect();
         assert!(ids[0].starts_with("MAIN/CD"), "{ids:?}");
+        assert_eq!(ids[POLICIES.len()], "MAIN/sweep/lru", "{ids:?}");
+        assert_eq!(ids[POLICIES.len() + 1], "MAIN/sweep/ws", "{ids:?}");
         for e in &a.entries {
             assert!(e.get("refs").is_some_and(|v| v.as_f64() > 0.0));
             assert!(e.get("refs_per_sec").is_some_and(|v| v.as_f64() > 0.0));
-            assert!(e.get("prepare_ns").is_some());
             let wall: Vec<&str> = e
                 .fields
                 .iter()
                 .map(|(n, _)| n.as_str())
                 .filter(|n| is_wall_field(n))
                 .collect();
-            assert_eq!(
-                wall,
-                vec!["simulate_ns", "report_ns", "refs_per_sec", "prepare_ns"]
-            );
+            if e.id.contains("/sweep/") {
+                assert!(e.get("points").is_some_and(|v| v.as_f64() > 0.0));
+                assert_eq!(wall, vec!["simulate_ns", "refs_per_sec"]);
+            } else {
+                assert!(e.get("prepare_ns").is_some());
+                assert_eq!(
+                    wall,
+                    vec!["simulate_ns", "report_ns", "refs_per_sec", "prepare_ns"]
+                );
+            }
         }
         assert!(
             scorecard.contains("| histogram |") || scorecard.contains("| metric |"),

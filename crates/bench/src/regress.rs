@@ -88,6 +88,15 @@ pub fn retain_workloads(artifact: &mut Artifact, only: &[String]) {
     });
 }
 
+/// Restricts an artifact to entries whose id contains `substr`. The
+/// speedup-milestone gate applies this to *both* sides when
+/// `CDMM_SPEEDUP_ROWS` narrows the milestone to one row family (e.g.
+/// `sweep` for the one-pass kernel milestone), so the aggregate is not
+/// diluted by rows the change never touched.
+pub fn retain_rows(artifact: &mut Artifact, substr: &str) {
+    artifact.entries.retain(|e| e.id.contains(substr));
+}
+
 /// Aggregate simulate throughput of a perf artifact: total references
 /// over total simulate wall time across every entry, in refs/sec. The
 /// trajectory speedup milestones compare this single number across
@@ -364,6 +373,24 @@ mod tests {
         assert_eq!(baseline.entries[0].id, "MAIN/CD");
         // The subset baseline now matches a reduced fresh run cleanly.
         assert!(compare(&baseline, &base(), &RegressOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn retain_rows_narrows_a_speedup_milestone_to_one_family() {
+        let mut a = base();
+        a.entries.push(
+            Entry::new("MAIN/sweep/lru")
+                .int("refs", 500)
+                .int("simulate_ns", 10),
+        );
+        a.entries.push(
+            Entry::new("FIELD/sweep/ws")
+                .int("refs", 300)
+                .int("simulate_ns", 10),
+        );
+        retain_rows(&mut a, "/sweep/");
+        let ids: Vec<&str> = a.entries.iter().map(|e| e.id.as_str()).collect();
+        assert_eq!(ids, vec!["MAIN/sweep/lru", "FIELD/sweep/ws"]);
     }
 
     #[test]

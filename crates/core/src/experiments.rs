@@ -260,10 +260,12 @@ pub struct Table2Row {
 /// over a geometric window grid, and each family's minimal-ST point is
 /// compared against CD.
 ///
-/// The whole `(row × family × parameter)` grid is flattened into one
-/// job list and sharded across the harness executor — a single slow LRU
-/// point cannot idle the other workers — then folded back per row in
-/// deterministic parameter order.
+/// The unit of work is one `(row, family)` sweep — the curve kernels
+/// answer a whole family from a single trace pass, so the pass (not the
+/// point) is what's worth sharding. Each of the 16 jobs runs its sweep
+/// with a serial inner executor and folds it to its minimal-ST point;
+/// the jobs themselves spread across the harness executor, and results
+/// merge in deterministic job order.
 pub fn table2(harness: &mut Harness) -> Vec<Table2Row> {
     harness.prepare_rows(&TABLE2_ROWS);
     let h = &*harness;
@@ -273,54 +275,28 @@ pub fn table2(harness: &mut Harness) -> Vec<Table2Row> {
         Lru,
         Ws,
     }
-    struct Job<'a> {
-        row: usize,
-        p: &'a Prepared,
-        family: Family,
-        param: u64,
-    }
-    let mut jobs: Vec<Job> = Vec::new();
-    for (row, &name) in TABLE2_ROWS.iter().enumerate() {
+    let mut jobs: Vec<(&Prepared, Family)> = Vec::new();
+    for &name in TABLE2_ROWS.iter() {
         let p = h.prepared_ref(name);
-        for m in sweep::full_lru_range(p) {
-            jobs.push(Job {
-                row,
-                p,
-                family: Family::Lru,
-                param: m as u64,
-            });
-        }
-        for tau in sweep::ws_tau_grid(p, 8) {
-            jobs.push(Job {
-                row,
-                p,
-                family: Family::Ws,
-                param: tau,
-            });
-        }
+        jobs.push((p, Family::Lru));
+        jobs.push((p, Family::Ws));
     }
     let cache = h.result_cache();
-    let points = h.executor().map(&jobs, |_, j| Point {
-        param: j.param,
-        metrics: match j.family {
-            Family::Lru => sweep::cached_lru(cache, j.p, j.param as usize),
-            Family::Ws => sweep::cached_ws(cache, j.p, j.param),
-        },
+    let inner = Executor::serial();
+    let bests: Vec<Point> = h.executor().map(&jobs, |_, (p, family)| {
+        let points = match family {
+            Family::Lru => sweep::lru_sweep_with(&inner, cache, p, sweep::full_lru_range(p)),
+            Family::Ws => sweep::ws_sweep_with(&inner, cache, p, sweep::ws_tau_grid(p, 8)),
+        };
+        sweep::min_st(&points)
     });
 
     TABLE2_ROWS
         .iter()
         .enumerate()
         .map(|(row, &name)| {
-            let family_points = |family: fn(&Family) -> bool| -> Vec<Point> {
-                jobs.iter()
-                    .zip(&points)
-                    .filter(|(j, _)| j.row == row && family(&j.family))
-                    .map(|(_, pt)| *pt)
-                    .collect()
-            };
-            let lru_best = sweep::min_st(&family_points(|f| matches!(f, Family::Lru)));
-            let ws_best = sweep::min_st(&family_points(|f| matches!(f, Family::Ws)));
+            let lru_best = bests[2 * row];
+            let ws_best = bests[2 * row + 1];
             let cd = cds[row];
             Table2Row {
                 program: name.to_string(),

@@ -345,10 +345,9 @@ fn chaos_tenant(
     salt: u64,
     min_alloc: u64,
 ) -> (CompressedTrace, Box<dyn Policy + Send>) {
-    let flat = prepared.cd_trace().to_trace();
     let report = DirectiveFuzzer::new(seed ^ salt)
         .with_injections(chaos.injections)
-        .fuzz(&flat);
+        .fuzz(prepared.cd_trace_flat());
     let trace = CompressedTrace::from_trace(&report.trace);
     let engine: Box<dyn Policy + Send> = match policy {
         PolicySpec::Cd { selector } => Box::new(
@@ -471,6 +470,93 @@ pub fn run_fleet_spec(spec: &FleetSpec) -> Result<FleetReport, FleetError> {
     prepare_fleet(spec)?.run()
 }
 
+/// One operating point of a [`fleet_frames_sweep`]: the deterministic
+/// aggregates of the fleet scheduled at one cell size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetFramesPoint {
+    /// Frames in each memory-pool cell at this point.
+    pub frames_per_cell: u64,
+    /// Page faults over all tenants.
+    pub total_faults: u64,
+    /// Swap-out events over all cells.
+    pub swap_events: u64,
+    /// Slowest cell's completion time.
+    pub makespan: u64,
+    /// Busy time over summed cell makespans.
+    pub cpu_utilization: f64,
+    /// Median per-tenant space-time cost.
+    pub st_p50: u64,
+    /// 99th-percentile per-tenant space-time cost.
+    pub st_p99: u64,
+}
+
+/// A Table-2-style sweep of one fleet over cell sizes, with the
+/// standalone reference column the paper's Table 2 compares families
+/// against.
+#[derive(Debug, Clone)]
+pub struct FleetFramesSweep {
+    /// Sum over all tenants of each tenant program's *standalone*
+    /// minimal-ST cost under fixed-allocation LRU — what the population
+    /// would cost with no memory contention at all, each program at its
+    /// own best allocation. Computed by the one-pass LRU curve kernel:
+    /// one stack-distance pass per distinct workload answers the whole
+    /// `1..=V` family.
+    pub standalone_lru_st: f64,
+    /// The fleet's operating points, in the order of the input frames.
+    pub points: Vec<FleetFramesPoint>,
+}
+
+/// Sweeps `spec` over frames-per-cell values, re-running the (otherwise
+/// identical) fleet at each cell size, and folds in the kernel-derived
+/// standalone LRU reference. The fleet runs dominate; the reference
+/// column costs one trace pass per distinct workload through the
+/// [`crate::sweep::SweepPlan`] curve cache.
+pub fn fleet_frames_sweep(
+    spec: &FleetSpec,
+    frames: &[u64],
+    cache: &crate::sweep::ResultCache,
+) -> Result<FleetFramesSweep, FleetError> {
+    // The reference column is frames-independent: fold each distinct
+    // workload's LRU family to its minimal-ST point once, then charge
+    // every tenant its workload's best standalone cost.
+    let mut best_st: HashMap<String, f64> = HashMap::new();
+    let mut standalone = 0.0f64;
+    for t in 0..spec.tenants {
+        let name = &spec.workloads[t % spec.workloads.len()];
+        if !best_st.contains_key(name) {
+            let w = cdmm_workloads::by_name(name, spec.scale)
+                .ok_or_else(|| FleetError::UnknownWorkload(name.clone()))?;
+            let p = prepare(w.name, &w.source, spec.config)?;
+            let plan = crate::sweep::SweepPlan::new(cache, &p);
+            let params: Vec<u64> = crate::sweep::full_lru_range(&p).map(|m| m as u64).collect();
+            let points = plan.lru_points(&crate::sweep::Executor::serial(), &params);
+            let best = crate::sweep::min_st(&points);
+            best_st.insert(name.clone(), best.metrics.st_cost());
+        }
+        standalone += best_st[name];
+    }
+
+    let mut points = Vec::with_capacity(frames.len());
+    for &f in frames {
+        let mut s = spec.clone();
+        s.frames_per_cell = f;
+        let report = run_fleet_spec(&s)?;
+        points.push(FleetFramesPoint {
+            frames_per_cell: f,
+            total_faults: report.total_faults,
+            swap_events: report.swap_events,
+            makespan: report.makespan,
+            cpu_utilization: report.cpu_utilization,
+            st_p50: report.st_cost.p50,
+            st_p99: report.st_cost.p99,
+        });
+    }
+    Ok(FleetFramesSweep {
+        standalone_lru_st: standalone,
+        points,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -553,6 +639,24 @@ mod tests {
         let mut spec = small_spec();
         spec.policy_mix.clear();
         assert!(matches!(prepare_fleet(&spec), Err(FleetError::Empty(_))));
+    }
+
+    #[test]
+    fn frames_sweep_is_deterministic_and_carries_the_reference_column() {
+        let spec = small_spec();
+        let cache = crate::sweep::ResultCache::in_memory();
+        let frames = [16u64, 32, 64];
+        let a = fleet_frames_sweep(&spec, &frames, &cache).unwrap();
+        assert_eq!(a.points.len(), 3);
+        assert!(a.standalone_lru_st > 0.0);
+        for (pt, &f) in a.points.iter().zip(&frames) {
+            assert_eq!(pt.frames_per_cell, f);
+            assert!(pt.total_faults > 0, "frames={f}");
+        }
+        // Replaying the sweep (warm curve cache) changes nothing.
+        let b = fleet_frames_sweep(&spec, &frames, &cache).unwrap();
+        assert_eq!(a.points, b.points);
+        assert_eq!(a.standalone_lru_st.to_bits(), b.standalone_lru_st.to_bits());
     }
 
     #[test]

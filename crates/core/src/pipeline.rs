@@ -2,6 +2,7 @@
 //! policy evaluation.
 
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 use cdmm_lang::LangError;
 use cdmm_locality::{
@@ -9,7 +10,7 @@ use cdmm_locality::{
 };
 use cdmm_trace::{
     trace_program_compressed, trace_program_compressed_cancellable, CancelToken, CompressedTrace,
-    InterpError,
+    InterpError, Trace,
 };
 use cdmm_vmsim::policy::cd::{CdPolicy, CdSelector};
 use cdmm_vmsim::policy::clock::Clock;
@@ -123,6 +124,12 @@ pub struct Prepared {
     plain_trace: CompressedTrace,
     /// Trace of the instrumented program (directive events embedded).
     cd_trace: CompressedTrace,
+    /// Flat decompressions of the two traces, decoded on first use and
+    /// shared across clones — random-access consumers (the
+    /// multiprogramming driver, chaos tenants) stop paying a fresh
+    /// O(references) decode per call.
+    plain_flat: Arc<OnceLock<Trace>>,
+    cd_flat: Arc<OnceLock<Trace>>,
     config: PipelineConfig,
     /// Content hash of everything that determines simulation results:
     /// source text, both traces (reference string and directive stream),
@@ -153,6 +160,8 @@ pub fn prepare(
         instrumented_source: instrumented_src,
         plain_trace,
         cd_trace,
+        plain_flat: Arc::new(OnceLock::new()),
+        cd_flat: Arc::new(OnceLock::new()),
         config,
         fingerprint,
     })
@@ -189,6 +198,8 @@ pub fn prepare_cancellable(
         instrumented_source: instrumented_src,
         plain_trace,
         cd_trace,
+        plain_flat: Arc::new(OnceLock::new()),
+        cd_flat: Arc::new(OnceLock::new()),
         config,
         fingerprint,
     })
@@ -378,6 +389,19 @@ impl Prepared {
     /// The instrumented trace (with directive events), compressed.
     pub fn cd_trace(&self) -> &CompressedTrace {
         &self.cd_trace
+    }
+
+    /// The uninstrumented trace as a flat event vector, decompressed on
+    /// first use and memoized (clones share the decode). Prefer the
+    /// compressed [`Prepared::plain_trace`] wherever streaming suffices.
+    pub fn plain_trace_flat(&self) -> &Trace {
+        self.plain_flat.get_or_init(|| self.plain_trace.to_trace())
+    }
+
+    /// The instrumented trace as a flat event vector, decompressed on
+    /// first use and memoized (clones share the decode).
+    pub fn cd_trace_flat(&self) -> &Trace {
+        self.cd_flat.get_or_init(|| self.cd_trace.to_trace())
     }
 
     /// The pipeline configuration used.

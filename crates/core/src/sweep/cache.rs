@@ -18,12 +18,12 @@ use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use cdmm_trace::{COp, CompressedTrace, Event, Trace};
 use cdmm_vmsim::observe::{SharedTracer, SimEvent};
-use cdmm_vmsim::{ExecStats, Metrics};
+use cdmm_vmsim::{ExecStats, LruCurve, Metrics, WsCurve};
 
 /// SplitMix64 increment (golden-ratio constant).
 const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
@@ -305,6 +305,12 @@ struct Store {
     path: Option<PathBuf>,
     map: Mutex<HashMap<CacheKey, Metrics>>,
     pending: Mutex<Vec<(CacheKey, Metrics)>>,
+    /// Whole-trace sweep curves, keyed per program. Memory-only: a
+    /// curve rebuilds in one trace pass, so persisting it would cost
+    /// more than it saves, and the per-point entries it feeds still
+    /// flow into the persisted `map`.
+    lru_curves: Mutex<HashMap<CacheKey, Arc<LruCurve>>>,
+    ws_curves: Mutex<HashMap<CacheKey, Arc<WsCurve>>>,
 }
 
 /// A concurrent result cache with hit/miss and simulation wall-time
@@ -373,6 +379,8 @@ impl ResultCache {
                 path: None,
                 map: Mutex::new(HashMap::new()),
                 pending: Mutex::new(Vec::new()),
+                lru_curves: Mutex::new(HashMap::new()),
+                ws_curves: Mutex::new(HashMap::new()),
             }),
             0,
         )
@@ -438,6 +446,8 @@ impl ResultCache {
                 path: Some(path),
                 map: Mutex::new(map),
                 pending: Mutex::new(Vec::new()),
+                lru_curves: Mutex::new(HashMap::new()),
+                ws_curves: Mutex::new(HashMap::new()),
             }),
             damaged.len() as u64,
         ))
@@ -505,6 +515,55 @@ impl ResultCache {
                 s.pending.lock().expect("cache lock").push((key, m));
             }
         }
+    }
+
+    /// Recalls or builds the whole LRU sweep curve for one program.
+    ///
+    /// Curves are held in memory only and shared by `Arc` — one entry
+    /// answers every allocation of the program's sweep. A disabled
+    /// cache just builds (mirroring how point lookups always miss).
+    /// The builder runs outside the map lock; two racing builders may
+    /// both compute, and the first insert wins — both results are
+    /// identical by construction.
+    pub fn lru_curve(&self, key: CacheKey, build: impl FnOnce() -> LruCurve) -> Arc<LruCurve> {
+        let Some(s) = &self.store else {
+            return Arc::new(build());
+        };
+        if let Some(c) = s.lru_curves.lock().expect("cache lock").get(&key) {
+            return Arc::clone(c);
+        }
+        let built = Arc::new(build());
+        let mut map = s.lru_curves.lock().expect("cache lock");
+        Arc::clone(map.entry(key).or_insert(built))
+    }
+
+    /// Recalls or builds the whole WS sweep curve for one program; see
+    /// [`ResultCache::lru_curve`] for the sharing semantics.
+    pub fn ws_curve(&self, key: CacheKey, build: impl FnOnce() -> WsCurve) -> Arc<WsCurve> {
+        let Some(s) = &self.store else {
+            return Arc::new(build());
+        };
+        if let Some(c) = s.ws_curves.lock().expect("cache lock").get(&key) {
+            return Arc::clone(c);
+        }
+        let built = Arc::new(build());
+        let mut map = s.ws_curves.lock().expect("cache lock");
+        Arc::clone(map.entry(key).or_insert(built))
+    }
+
+    /// A memoized LRU curve, if one is already built. Builders that may
+    /// abandon a build midway (cancellable callers) probe first, then
+    /// insert through [`ResultCache::lru_curve`] on success.
+    pub fn lru_curve_cached(&self, key: CacheKey) -> Option<Arc<LruCurve>> {
+        let s = self.store.as_ref()?;
+        s.lru_curves.lock().expect("cache lock").get(&key).cloned()
+    }
+
+    /// A memoized WS curve, if one is already built; see
+    /// [`ResultCache::lru_curve_cached`].
+    pub fn ws_curve_cached(&self, key: CacheKey) -> Option<Arc<WsCurve>> {
+        let s = self.store.as_ref()?;
+        s.ws_curves.lock().expect("cache lock").get(&key).cloned()
     }
 
     /// Records the wall time of one simulated (non-cached) point.

@@ -21,9 +21,16 @@
 //!
 //! The plain [`lru_sweep`]/[`ws_sweep`] entry points are serial and
 //! uncached; the `_with` variants take the engine explicitly.
+//!
+//! By default every LRU/WS sweep and matching search is answered by the
+//! one-pass curve kernels behind [`SweepPlan`] — one trace pass per
+//! program per family instead of one simulation per point, with
+//! byte-identical results (see the [`plan`] module docs). Set
+//! `CDMM_SWEEP_KERNELS=0` to force per-point simulation.
 
 pub mod cache;
 pub mod executor;
+pub mod plan;
 
 use std::time::Instant;
 
@@ -35,6 +42,7 @@ use crate::pipeline::{PolicySpec, Prepared};
 
 pub use cache::{CacheKey, KeyHasher, ResultCache};
 pub use executor::{panic_message, Executor, JobError};
+pub use plan::SweepPlan;
 
 /// One simulated operating point of a policy family.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -267,6 +275,9 @@ pub fn lru_sweep(p: &Prepared, frames: impl IntoIterator<Item = usize>) -> Vec<P
 /// [`lru_sweep`] sharded across an executor's workers, each point routed
 /// through the result cache. Point order is deterministic (ascending
 /// over the input order) for every thread count.
+///
+/// With the curve kernels on (the default), the whole sweep is answered
+/// from one stack-distance pass; otherwise every point simulates.
 pub fn lru_sweep_with(
     exec: &Executor,
     cache: &ResultCache,
@@ -278,6 +289,9 @@ pub fn lru_sweep_with(
         .filter(|&m| m >= 1)
         .map(|m| m as u64)
         .collect();
+    if plan::kernels_enabled() {
+        return SweepPlan::new(cache, p).lru_points(exec, &params);
+    }
     exec.map(&params, |_, &m| Point {
         param: m,
         metrics: cached_lru(cache, p, m as usize),
@@ -290,6 +304,9 @@ pub fn ws_sweep(p: &Prepared, taus: impl IntoIterator<Item = u64>) -> Vec<Point>
 }
 
 /// [`ws_sweep`] sharded across an executor's workers, cached per point.
+///
+/// With the curve kernels on (the default), the whole grid is answered
+/// from one gap-histogram pass; otherwise every window simulates.
 pub fn ws_sweep_with(
     exec: &Executor,
     cache: &ResultCache,
@@ -297,6 +314,9 @@ pub fn ws_sweep_with(
     taus: impl IntoIterator<Item = u64>,
 ) -> Vec<Point> {
     let params: Vec<u64> = taus.into_iter().filter(|&t| t >= 1).collect();
+    if plan::kernels_enabled() {
+        return SweepPlan::new(cache, p).ws_points(exec, &params);
+    }
     exec.map(&params, |_, &t| Point {
         param: t,
         metrics: cached_ws(cache, p, t),
@@ -366,6 +386,9 @@ pub fn lru_match_mem(p: &Prepared, target_mem: f64) -> Point {
 
 /// [`lru_match_mem`] through the result cache.
 pub fn lru_match_mem_with(cache: &ResultCache, p: &Prepared, target_mem: f64) -> Point {
+    if plan::kernels_enabled() {
+        return SweepPlan::new(cache, p).lru_match_mem(target_mem);
+    }
     let m = target_mem.round().max(1.0) as usize;
     Point {
         param: m as u64,
@@ -379,10 +402,21 @@ pub fn ws_match_mem(p: &Prepared, target_mem: f64) -> Point {
     ws_match_mem_with(&ResultCache::disabled(), p, target_mem)
 }
 
-/// [`ws_match_mem`] through the result cache: the probe sequence is
-/// inherently serial, but every probe is memoized, so re-running a table
+/// [`ws_match_mem`] through the result cache. With the kernels on, the
+/// binary search probes the gap curve (no simulations at all); the
+/// fallback simulates each probe, memoized, so re-running a table
 /// replays the search from cache alone.
 pub fn ws_match_mem_with(cache: &ResultCache, p: &Prepared, target_mem: f64) -> Point {
+    if plan::kernels_enabled() {
+        return SweepPlan::new(cache, p).ws_match_mem(target_mem);
+    }
+    ws_match_mem_sim(cache, p, target_mem)
+}
+
+/// The per-point-simulation body of [`ws_match_mem_with`]; the kernel
+/// path replays this probe sequence exactly, so the differential tests
+/// hold the two to identical results.
+fn ws_match_mem_sim(cache: &ResultCache, p: &Prepared, target_mem: f64) -> Point {
     let r = p.plain_trace().ref_count().max(2);
     let mut lo = 1u64;
     let mut hi = r;
@@ -424,8 +458,18 @@ pub fn lru_match_pf(p: &Prepared, pf_budget: u64) -> Point {
     lru_match_pf_with(&ResultCache::disabled(), p, pf_budget)
 }
 
-/// [`lru_match_pf`] through the result cache.
+/// [`lru_match_pf`] through the result cache. With the kernels on, the
+/// curve that answers the allocation search also answers the point's
+/// metrics, so the fallback's extra simulation disappears.
 pub fn lru_match_pf_with(cache: &ResultCache, p: &Prepared, pf_budget: u64) -> Point {
+    if plan::kernels_enabled() {
+        return SweepPlan::new(cache, p).lru_match_pf(pf_budget);
+    }
+    lru_match_pf_sim(cache, p, pf_budget)
+}
+
+/// The per-point-simulation body of [`lru_match_pf_with`].
+fn lru_match_pf_sim(cache: &ResultCache, p: &Prepared, pf_budget: u64) -> Point {
     let profile = StackProfile::compute(p.plain_trace());
     let m = profile
         .min_alloc_for(pf_budget)
@@ -443,8 +487,18 @@ pub fn ws_match_pf(p: &Prepared, pf_budget: u64) -> Point {
     ws_match_pf_with(&ResultCache::disabled(), p, pf_budget)
 }
 
-/// [`ws_match_pf`] through the result cache.
+/// [`ws_match_pf`] through the result cache. With the kernels on, the
+/// fault-count probes read the gap curve and only the minimal window is
+/// materialized.
 pub fn ws_match_pf_with(cache: &ResultCache, p: &Prepared, pf_budget: u64) -> Point {
+    if plan::kernels_enabled() {
+        return SweepPlan::new(cache, p).ws_match_pf(pf_budget);
+    }
+    ws_match_pf_sim(cache, p, pf_budget)
+}
+
+/// The per-point-simulation body of [`ws_match_pf_with`].
+fn ws_match_pf_sim(cache: &ResultCache, p: &Prepared, pf_budget: u64) -> Point {
     let r = p.plain_trace().ref_count().max(2);
     let mut lo = 1u64;
     let mut hi = r;

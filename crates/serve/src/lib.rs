@@ -4,7 +4,11 @@
 //! write JSONL job requests (a workload name or inline mini-FORTRAN
 //! source, a policy operating point, geometry and deadline knobs), the
 //! service runs them through the shared pipeline and streams one JSONL
-//! response per request, in request order.
+//! response per request, in request order. Three job kinds share the
+//! supervision plane: `"sim"` (the default) runs one policy point,
+//! `"fleet"` schedules a multi-tenant mix, and `"sweep"` answers a
+//! whole LRU or working-set operating curve from a single one-pass
+//! kernel ([`cdmm_core::sweep`]), digested into one deterministic row.
 //!
 //! What distinguishes it from a plain loop over [`cdmm_core::prepare`]
 //! is the robustness layer, spread over three modules:
@@ -44,5 +48,7 @@ pub mod request;
 pub mod service;
 
 pub use faults::{FaultInjector, FaultSite};
-pub use request::{parse_request, ErrorKind, JobRequest, WorkSource};
+pub use request::{
+    parse_request, ErrorKind, JobRequest, SweepFamily, SweepRequest, WorkSource,
+};
 pub use service::{backoff_delay, BatchService, ServeConfig, ServeStats};

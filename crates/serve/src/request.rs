@@ -13,16 +13,19 @@
 //! retried around an injected fault. That invariant is what the chaos
 //! suite pins.
 //!
-//! Two job kinds share the schema, selected by the optional `job`
+//! Three job kinds share the schema, selected by the optional `job`
 //! field: `"sim"` (the default — one program, one policy, one
-//! [`Metrics`] row) and `"fleet"` (a seeded multiprogramming run over
+//! [`Metrics`] row), `"fleet"` (a seeded multiprogramming run over
 //! cloned paper workloads, answered with the integer digest of a
-//! [`FleetReport`]).
+//! [`FleetReport`]), and `"sweep"` (a whole LRU or WS operating curve
+//! answered by the one-pass sweep kernels, digested to one
+//! checksummed row).
 
 use std::collections::BTreeMap;
 use std::fmt;
 
 use cdmm_core::fleet::FleetSpec;
+use cdmm_core::sweep::{KeyHasher, Point};
 use cdmm_core::{PageGeometry, PipelineConfig, PolicySpec};
 use cdmm_vmsim::policy::cd::CdSelector;
 use cdmm_vmsim::{Admission, FleetReport, Metrics, RegistrySnapshot};
@@ -175,7 +178,71 @@ impl FleetRequest {
     }
 }
 
-/// One parsed request line: either kind of job the service accepts.
+/// The policy family a sweep job asks a whole operating curve of.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepFamily {
+    /// LRU over every allocation `1..=V` (the full memory-size axis).
+    Lru,
+    /// WS over a geometric window grid.
+    Ws,
+}
+
+impl SweepFamily {
+    /// Stable wire tag of the family.
+    pub fn tag(self) -> &'static str {
+        match self {
+            SweepFamily::Lru => "lru",
+            SweepFamily::Ws => "ws",
+        }
+    }
+}
+
+/// One parsed sweep job (`"job":"sweep"`): a whole-family operating
+/// curve of one program, answered by the one-pass sweep kernels and
+/// digested into a single deterministic response row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRequest {
+    /// Caller-chosen id, echoed on the response line.
+    pub id: String,
+    /// The program to sweep.
+    pub work: WorkSource,
+    /// Workload scale for named workloads.
+    pub scale: Scale,
+    /// Which policy family's curve to answer.
+    pub family: SweepFamily,
+    /// WS grid density in points per decade (default 6). Rejected for
+    /// LRU sweeps, which always cover the full allocation range.
+    pub points: Option<u32>,
+    /// Page size in bytes (default: the paper's 256).
+    pub page_bytes: Option<u64>,
+    /// Fault service time in references (default 2000).
+    pub fault_service: Option<u64>,
+    /// Minimum CD allocation in pages (default 2).
+    pub min_alloc: Option<u64>,
+    /// Per-job deadline in milliseconds (absent: service default).
+    pub deadline_ms: Option<u64>,
+    /// Caller identity for per-client accounting.
+    pub client: Option<String>,
+}
+
+impl SweepRequest {
+    /// The pipeline configuration this request asks for.
+    pub fn pipeline_config(&self) -> PipelineConfig {
+        let mut cfg = PipelineConfig::default();
+        if let Some(pb) = self.page_bytes {
+            cfg.geometry = PageGeometry::new(pb.max(4), cfg.geometry.elem_bytes);
+        }
+        if let Some(fs) = self.fault_service {
+            cfg.fault_service = fs;
+        }
+        if let Some(ma) = self.min_alloc {
+            cfg.min_alloc = ma;
+        }
+        cfg
+    }
+}
+
+/// One parsed request line: any kind of job the service accepts.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// A single-program simulation (the default when `job` is absent
@@ -183,6 +250,8 @@ pub enum Request {
     Sim(JobRequest),
     /// A fleet multiprogramming run (`"job":"fleet"`).
     Fleet(FleetRequest),
+    /// A whole-family operating-curve sweep (`"job":"sweep"`).
+    Sweep(SweepRequest),
 }
 
 impl Request {
@@ -191,6 +260,7 @@ impl Request {
         match self {
             Request::Sim(r) => &r.id,
             Request::Fleet(r) => &r.id,
+            Request::Sweep(r) => &r.id,
         }
     }
 
@@ -199,14 +269,19 @@ impl Request {
         match self {
             Request::Sim(r) => r.deadline_ms,
             Request::Fleet(r) => r.deadline_ms,
+            Request::Sweep(r) => r.deadline_ms,
         }
     }
 
-    /// Whether the caller asked for the per-job event stream.
+    /// Whether the caller asked for the per-job event stream. Sweep
+    /// jobs never stream: the curve kernels skip simulation entirely,
+    /// so there is no event stream to forward (the parser rejects
+    /// `"trace":true` on them).
     pub fn trace(&self) -> bool {
         match self {
             Request::Sim(r) => r.trace,
             Request::Fleet(r) => r.trace,
+            Request::Sweep(_) => false,
         }
     }
 
@@ -215,6 +290,7 @@ impl Request {
         match self {
             Request::Sim(r) => r.metrics,
             Request::Fleet(r) => r.metrics,
+            Request::Sweep(_) => false,
         }
     }
 
@@ -223,6 +299,7 @@ impl Request {
         match self {
             Request::Sim(r) => r.client.as_deref(),
             Request::Fleet(r) => r.client.as_deref(),
+            Request::Sweep(r) => r.client.as_deref(),
         }
     }
 }
@@ -321,6 +398,48 @@ pub fn encode_fleet_ok(id: &str, r: &FleetReport) -> String {
         r.st_cost.p99,
         r.swap_pressure.p50,
         r.swap_pressure.p99,
+    )
+}
+
+/// Serializes a sweep success response: the curve digested to one
+/// deterministic, integer-only row. `pf_hi`/`pf_lo` bracket the fault
+/// counts over the sweep, and `curve_c` is a 128-bit content checksum
+/// over every point's parameter and full [`Metrics`] — the row pins the
+/// whole curve byte-for-byte without shipping thousands of points.
+pub fn encode_sweep_ok(id: &str, family: SweepFamily, points: &[Point]) -> String {
+    let refs = points.first().map_or(0, |p| p.metrics.refs);
+    let (mut pf_hi, mut pf_lo) = (0u64, u64::MAX);
+    let mut h = KeyHasher::new();
+    for p in points {
+        pf_hi = pf_hi.max(p.metrics.faults);
+        pf_lo = pf_lo.min(p.metrics.faults);
+        let m = &p.metrics;
+        h.write_u64(p.param);
+        h.write_u64(m.refs);
+        h.write_u64(m.faults);
+        h.write_u64((m.mem_integral >> 64) as u64);
+        h.write_u64(m.mem_integral as u64);
+        h.write_u64((m.fault_mem_integral >> 64) as u64);
+        h.write_u64(m.fault_mem_integral as u64);
+        h.write_u64(m.fault_service);
+        h.write_u64(m.peak_resident as u64);
+        h.write_u64(m.recovered_directives);
+        h.write_u64(m.degraded_refs);
+    }
+    if points.is_empty() {
+        pf_lo = 0;
+    }
+    let c = h.finish();
+    format!(
+        "{{\"v\":1,\"id\":\"{}\",\"ok\":true,\"job\":\"sweep\",\"family\":\"{}\",\"points\":{},\"refs\":{},\"pf_hi\":{},\"pf_lo\":{},\"curve_c\":\"{:016x}{:016x}\"}}",
+        escape_json(id),
+        family.tag(),
+        points.len(),
+        refs,
+        pf_hi,
+        pf_lo,
+        c.hi,
+        c.lo,
     )
 }
 
@@ -670,6 +789,25 @@ const SIM_KEYS: &[&str] = &[
     "client",
 ];
 
+/// Top-level fields a sweep job accepts. No `trace`/`metrics`: the
+/// curve kernels never simulate, so there is no event stream to opt
+/// into — a request asking for one must fail loudly.
+const SWEEP_KEYS: &[&str] = &[
+    "id",
+    "job",
+    "workload",
+    "source",
+    "name",
+    "family",
+    "points",
+    "scale",
+    "page_bytes",
+    "fault_service",
+    "min_alloc",
+    "deadline_ms",
+    "client",
+];
+
 /// Top-level fields a fleet job accepts.
 const FLEET_KEYS: &[&str] = &[
     "id",
@@ -807,22 +945,77 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     match get_str(&fields, "job")?.as_deref() {
         None | Some("sim") => parse_sim(id, &fields).map(Request::Sim),
         Some("fleet") => parse_fleet(id, &fields).map(Request::Fleet),
+        Some("sweep") => parse_sweep(id, &fields).map(Request::Sweep),
         Some(other) => Err(format!("unknown job kind \"{other}\"")),
     }
+}
+
+/// Resolves the shared `workload`/`source`/`name` fields into a
+/// [`WorkSource`].
+fn parse_work(fields: &BTreeMap<String, Scalar>) -> Result<WorkSource, String> {
+    match (get_str(fields, "workload")?, get_str(fields, "source")?) {
+        (Some(w), None) => Ok(WorkSource::Named(w)),
+        (None, Some(src)) => Ok(WorkSource::Inline {
+            name: get_str(fields, "name")?.unwrap_or_else(|| "INLINE".into()),
+            source: src,
+        }),
+        (Some(_), Some(_)) => Err("give \"workload\" or \"source\", not both".into()),
+        (None, None) => Err("missing \"workload\" or \"source\"".into()),
+    }
+}
+
+/// Parses the sweep job fields into a [`SweepRequest`].
+fn parse_sweep(id: String, fields: &BTreeMap<String, Scalar>) -> Result<SweepRequest, String> {
+    for sim_only in ["policy", "level", "frames", "tau", "threshold", "trace", "metrics"] {
+        if fields.contains_key(sim_only) {
+            return Err(format!("field \"{sim_only}\" does not apply to sweep jobs"));
+        }
+    }
+    reject_unknown(fields, SWEEP_KEYS)?;
+    let family = match get_str(fields, "family")?.as_deref() {
+        Some("lru") => SweepFamily::Lru,
+        Some("ws") => SweepFamily::Ws,
+        Some(other) => return Err(format!("unknown sweep family \"{other}\"")),
+        None => return Err("sweep jobs need a \"family\" field (\"lru\" or \"ws\")".into()),
+    };
+    let points = get_u64(fields, "points")?;
+    if let Some(p) = points {
+        if family == SweepFamily::Lru {
+            return Err("field \"points\" only applies to \"ws\" sweeps".into());
+        }
+        if p == 0 || p > 64 {
+            return Err("field \"points\" must be in 1..=64 (points per decade)".into());
+        }
+    }
+    let scale = match get_str(fields, "scale")?.as_deref() {
+        None | Some("small") => Scale::Small,
+        Some("paper") => Scale::Paper,
+        Some(other) => return Err(format!("unknown scale \"{other}\"")),
+    };
+    let client = get_str(fields, "client")?;
+    if let Some(c) = &client {
+        if c.is_empty() {
+            return Err("field \"client\" must be non-empty".into());
+        }
+    }
+    Ok(SweepRequest {
+        id,
+        work: parse_work(fields)?,
+        scale,
+        family,
+        points: points.map(|p| p as u32),
+        page_bytes: get_u64(fields, "page_bytes")?,
+        fault_service: get_u64(fields, "fault_service")?,
+        min_alloc: get_u64(fields, "min_alloc")?,
+        deadline_ms: get_u64(fields, "deadline_ms")?,
+        client,
+    })
 }
 
 /// Parses the classic single-simulation job fields.
 fn parse_sim(id: String, fields: &BTreeMap<String, Scalar>) -> Result<JobRequest, String> {
     reject_unknown(fields, SIM_KEYS)?;
-    let work = match (get_str(fields, "workload")?, get_str(fields, "source")?) {
-        (Some(w), None) => WorkSource::Named(w),
-        (None, Some(src)) => WorkSource::Inline {
-            name: get_str(fields, "name")?.unwrap_or_else(|| "INLINE".into()),
-            source: src,
-        },
-        (Some(_), Some(_)) => return Err("give \"workload\" or \"source\", not both".into()),
-        (None, None) => return Err("missing \"workload\" or \"source\"".into()),
-    };
+    let work = parse_work(fields)?;
     let scale = match get_str(fields, "scale")?.as_deref() {
         None | Some("small") => Scale::Small,
         Some("paper") => Scale::Paper,
@@ -860,6 +1053,70 @@ mod tests {
             Request::Fleet(r) => r,
             other => panic!("expected a fleet job, got {other:?}"),
         }
+    }
+
+    fn sweep(line: &str) -> SweepRequest {
+        match parse_request(line).expect("parses") {
+            Request::Sweep(r) => r,
+            other => panic!("expected a sweep job, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sweep_requests_parse_and_validate() {
+        let r = sweep(r#"{"id":"s1","job":"sweep","workload":"MAIN","family":"lru"}"#);
+        assert_eq!(r.family, SweepFamily::Lru);
+        assert_eq!(r.points, None);
+        assert_eq!(r.scale, Scale::Small);
+
+        let r = sweep(
+            r#"{"id":"s2","job":"sweep","workload":"FDJAC","family":"ws","points":4,"deadline_ms":500,"client":"carol"}"#,
+        );
+        assert_eq!(r.family, SweepFamily::Ws);
+        assert_eq!(r.points, Some(4));
+        assert_eq!(r.deadline_ms, Some(500));
+        assert_eq!(r.client.as_deref(), Some("carol"));
+
+        for bad in [
+            // Simulation-only fields must fail loudly, not be ignored.
+            r#"{"id":"x","job":"sweep","workload":"MAIN","family":"lru","policy":"lru"}"#,
+            r#"{"id":"x","job":"sweep","workload":"MAIN","family":"lru","trace":true}"#,
+            r#"{"id":"x","job":"sweep","workload":"MAIN","family":"lru","metrics":true}"#,
+            // `points` is a WS grid knob; LRU always sweeps the full range.
+            r#"{"id":"x","job":"sweep","workload":"MAIN","family":"lru","points":4}"#,
+            r#"{"id":"x","job":"sweep","workload":"MAIN","family":"ws","points":0}"#,
+            r#"{"id":"x","job":"sweep","workload":"MAIN","family":"opt"}"#,
+            r#"{"id":"x","job":"sweep","workload":"MAIN"}"#,
+        ] {
+            assert!(parse_request(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn sweep_rows_digest_the_whole_curve() {
+        let mk = |param, faults| Point {
+            param,
+            metrics: Metrics {
+                refs: 100,
+                faults,
+                ..Metrics::default()
+            },
+        };
+        let row = encode_sweep_ok("s", SweepFamily::Lru, &[mk(1, 40), mk(2, 12)]);
+        assert!(row.contains("\"job\":\"sweep\""), "{row}");
+        assert!(row.contains("\"family\":\"lru\""), "{row}");
+        assert!(row.contains("\"points\":2"), "{row}");
+        assert!(row.contains("\"refs\":100"), "{row}");
+        assert!(row.contains("\"pf_hi\":40"), "{row}");
+        assert!(row.contains("\"pf_lo\":12"), "{row}");
+        // The checksum pins every point: a one-fault drift must move it.
+        let drifted = encode_sweep_ok("s", SweepFamily::Lru, &[mk(1, 40), mk(2, 13)]);
+        let c = |r: &str| r.split("\"curve_c\":\"").nth(1).unwrap().to_string();
+        assert_ne!(c(&row), c(&drifted));
+        // And the empty sweep still encodes a well-formed row.
+        let empty = encode_sweep_ok("s", SweepFamily::Ws, &[]);
+        assert!(empty.contains("\"points\":0"), "{empty}");
+        assert!(empty.contains("\"pf_lo\":0"), "{empty}");
     }
 
     #[test]

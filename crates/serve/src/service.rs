@@ -33,20 +33,22 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use cdmm_core::fleet::{prepare_fleet, FleetError};
-use cdmm_core::sweep::spec_key;
+use cdmm_core::sweep::{self, plan, spec_key, Point, SweepPlan};
 use cdmm_core::{
-    panic_message, prepare_cancellable, Executor, InterpError, PipelineError, Prepared, ResultCache,
+    panic_message, prepare_cancellable, Executor, InterpError, PipelineConfig, PipelineError,
+    PolicySpec, Prepared, ResultCache,
 };
 use cdmm_vmsim::{
     CancelToken, FleetReport, Histogram, JsonlSink, Metrics, MetricsRegistry, NullTracer,
     ProgressCounters, SimError, Tee,
 };
-use cdmm_workloads::by_name;
+use cdmm_workloads::{by_name, Scale};
 
 use crate::faults::FaultInjector;
 use crate::request::{
-    attach_fields, encode_err, encode_fleet_ok, encode_ok, encode_registry, parse_request,
-    ErrorKind, FleetRequest, JobRequest, Request, WorkSource,
+    attach_fields, encode_err, encode_fleet_ok, encode_ok, encode_registry, encode_sweep_ok,
+    parse_request, ErrorKind, FleetRequest, JobRequest, Request, SweepFamily, SweepRequest,
+    WorkSource,
 };
 
 /// Service-wide knobs.
@@ -147,6 +149,10 @@ enum JobOutcome {
     FleetOk {
         report: Box<FleetReport>,
         extra: String,
+    },
+    SweepOk {
+        family: SweepFamily,
+        points: Vec<Point>,
     },
     Err {
         kind: ErrorKind,
@@ -326,6 +332,11 @@ impl BatchService {
                 let refs = match &outcome {
                     JobOutcome::Ok { metrics, .. } => metrics.refs,
                     JobOutcome::FleetOk { report, .. } => report.total_refs,
+                    // One curve pass walked the trace once, whatever
+                    // the point count.
+                    JobOutcome::SweepOk { points, .. } => {
+                        points.first().map_or(0, |p| p.metrics.refs)
+                    }
                     JobOutcome::Err { .. } => 0,
                 };
                 p.add_refs(refs);
@@ -341,6 +352,9 @@ impl BatchService {
                 }) => attach_fields(&encode_ok(req.id(), &label, &metrics), &extra),
                 Ok(JobOutcome::FleetOk { report, extra }) => {
                     attach_fields(&encode_fleet_ok(req.id(), &report), &extra)
+                }
+                Ok(JobOutcome::SweepOk { family, points }) => {
+                    encode_sweep_ok(req.id(), family, &points)
                 }
                 Ok(JobOutcome::Err { kind, detail }) => encode_err(req.id(), kind, &detail),
                 // The executor's catch_unwind is the last line of
@@ -425,6 +439,7 @@ impl BatchService {
         match req {
             Request::Sim(r) => self.execute_sim(r, &token),
             Request::Fleet(r) => self.execute_fleet(r, &token),
+            Request::Sweep(r) => self.execute_sweep(r, &token),
         }
     }
 
@@ -569,29 +584,143 @@ impl BatchService {
         }
     }
 
-    /// Resolves and memoizes the prepared program a request names. A
-    /// deadline expiring during trace generation surfaces as a typed
-    /// `deadline_exceeded`; cancelled prepares are never memoized (only
-    /// completed ones reach the memo insert).
+    /// One sweep attempt: resolve the program, then answer the whole
+    /// operating curve through the [`SweepPlan`] — one cancellable
+    /// trace pass builds the family's curve (memoized per program in
+    /// the [`ResultCache`], each materialized point warming the
+    /// per-point cache that sim jobs read), and every parameter is an
+    /// O(log) evaluation. With `CDMM_SWEEP_KERNELS=0` the job falls
+    /// back to per-point cancellable simulation, byte-identical by the
+    /// curve-equivalence gate.
+    fn execute_sweep(&self, req: &SweepRequest, token: &CancelToken) -> JobOutcome {
+        let prepared = match self.resolve_program(
+            &req.work,
+            req.scale,
+            req.pipeline_config(),
+            [req.page_bytes, req.fault_service, req.min_alloc],
+            token,
+        ) {
+            Ok(p) => p,
+            Err(outcome) => return outcome,
+        };
+        let params: Vec<u64> = match req.family {
+            SweepFamily::Lru => sweep::full_lru_range(&prepared).map(|m| m as u64).collect(),
+            SweepFamily::Ws => sweep::ws_tau_grid(&prepared, req.points.unwrap_or(6)),
+        };
+        if !plan::kernels_enabled() {
+            let mut points = Vec::with_capacity(params.len());
+            for &param in &params {
+                let spec = match req.family {
+                    SweepFamily::Lru => PolicySpec::Lru {
+                        frames: param as usize,
+                    },
+                    SweepFamily::Ws => PolicySpec::Ws { tau: param },
+                };
+                let key = spec_key(&prepared, spec);
+                if let Some(metrics) = self.cache.lookup(key) {
+                    points.push(Point { param, metrics });
+                    continue;
+                }
+                let t0 = Instant::now();
+                match prepared.run_policy_cancellable(spec, token) {
+                    Ok(metrics) => {
+                        self.cache.record_sim(t0.elapsed());
+                        self.cache.insert(key, metrics);
+                        points.push(Point { param, metrics });
+                    }
+                    Err(SimError::DeadlineExceeded { refs_done }) => {
+                        return JobOutcome::Err {
+                            kind: ErrorKind::DeadlineExceeded,
+                            detail: format!("deadline expired after {refs_done} references"),
+                        }
+                    }
+                    Err(other) => {
+                        return JobOutcome::Err {
+                            kind: ErrorKind::Pipeline,
+                            detail: other.to_string(),
+                        }
+                    }
+                }
+            }
+            return JobOutcome::SweepOk {
+                family: req.family,
+                points,
+            };
+        }
+        let sweep_plan = SweepPlan::new(&self.cache, &prepared);
+        let keep_going = || !token.should_stop();
+        let expired = || JobOutcome::Err {
+            kind: ErrorKind::DeadlineExceeded,
+            detail: "deadline expired during the sweep curve pass".to_string(),
+        };
+        let points: Vec<Point> = match req.family {
+            SweepFamily::Lru => {
+                let Some(curve) = sweep_plan.lru_curve_cancellable(keep_going) else {
+                    return expired();
+                };
+                params
+                    .iter()
+                    .map(|&m| sweep_plan.lru_point(&curve, m as usize))
+                    .collect()
+            }
+            SweepFamily::Ws => {
+                let Some(curve) = sweep_plan.ws_curve_cancellable(keep_going) else {
+                    return expired();
+                };
+                params
+                    .iter()
+                    .map(|&tau| sweep_plan.ws_point(&curve, tau))
+                    .collect()
+            }
+        };
+        JobOutcome::SweepOk {
+            family: req.family,
+            points,
+        }
+    }
+
+    /// Resolves and memoizes the prepared program a sim request names;
+    /// see [`BatchService::resolve_program`].
     fn prepared_for(
         &self,
         req: &JobRequest,
         token: &CancelToken,
     ) -> Result<Arc<Prepared>, JobOutcome> {
-        let (name, source) = match &req.work {
-            WorkSource::Named(n) => match by_name(n, req.scale) {
+        self.resolve_program(
+            &req.work,
+            req.scale,
+            req.pipeline_config(),
+            [req.page_bytes, req.fault_service, req.min_alloc],
+            token,
+        )
+    }
+
+    /// Resolves and memoizes a prepared program. A deadline expiring
+    /// during trace generation surfaces as a typed `deadline_exceeded`;
+    /// cancelled prepares are never memoized (only completed ones reach
+    /// the memo insert). `knobs` is every geometry field that changes
+    /// the pipeline output, in memo-key order.
+    fn resolve_program(
+        &self,
+        work: &WorkSource,
+        scale: Scale,
+        cfg: PipelineConfig,
+        knobs: [Option<u64>; 3],
+        token: &CancelToken,
+    ) -> Result<Arc<Prepared>, JobOutcome> {
+        let (name, source) = match work {
+            WorkSource::Named(n) => match by_name(n, scale) {
                 Some(w) => (w.name.to_string(), w.source),
                 None => {
                     return Err(JobOutcome::Err {
                         kind: ErrorKind::UnknownWorkload,
-                        detail: format!("no workload named \"{n}\" at {:?} scale", req.scale),
+                        detail: format!("no workload named \"{n}\" at {scale:?} scale"),
                     })
                 }
             },
             WorkSource::Inline { name, source } => (name.clone(), source.clone()),
         };
-        let cfg = req.pipeline_config();
-        let memo_key = program_memo_key(&name, &source, req);
+        let memo_key = program_memo_key(&name, &source, knobs);
         if let Some(p) = self
             .programs
             .lock()
@@ -675,15 +804,17 @@ fn observability_extra(sink: Option<&JsonlSink>, registry: Option<&MetricsRegist
 }
 
 /// Hash key for the prepared-program memo: program identity plus every
-/// knob that changes the pipeline output.
-fn program_memo_key(name: &str, source: &str, req: &JobRequest) -> u128 {
+/// knob that changes the pipeline output
+/// (`[page_bytes, fault_service, min_alloc]`).
+fn program_memo_key(name: &str, source: &str, knobs: [Option<u64>; 3]) -> u128 {
     use cdmm_core::sweep::KeyHasher;
+    let [page_bytes, fault_service, min_alloc] = knobs;
     let mut h = KeyHasher::new();
     h.write_str(name);
     h.write_str(source);
-    h.write_u64(req.page_bytes.unwrap_or(0));
-    h.write_u64(req.fault_service.unwrap_or(u64::MAX));
-    h.write_u64(req.min_alloc.unwrap_or(u64::MAX));
+    h.write_u64(page_bytes.unwrap_or(0));
+    h.write_u64(fault_service.unwrap_or(u64::MAX));
+    h.write_u64(min_alloc.unwrap_or(u64::MAX));
     let k = h.finish();
     ((k.hi as u128) << 64) | k.lo as u128
 }
@@ -1052,6 +1183,93 @@ mod tests {
         // (no result cache) but produces the identical row.
         let s = service(ServeConfig::default());
         assert_eq!(s.handle_batch(&[line]), s.handle_batch(&[line]));
+    }
+
+    #[test]
+    fn sweep_jobs_answer_whole_curves_from_one_pass() {
+        let s = service(ServeConfig::default());
+        let lines = vec![
+            r#"{"id":"sw1","job":"sweep","workload":"MAIN","family":"lru"}"#,
+            r#"{"id":"sw2","job":"sweep","workload":"MAIN","family":"ws","points":4}"#,
+        ];
+        let out = s.handle_batch(&lines);
+        assert!(out[0].contains("\"ok\":true"), "{}", out[0]);
+        assert!(out[0].contains("\"family\":\"lru\""), "{}", out[0]);
+        assert!(out[1].contains("\"family\":\"ws\""), "{}", out[1]);
+
+        // The digest rows must match the same sweeps run through the
+        // library entry points directly (whatever engine is in force).
+        let w = by_name("MAIN", Scale::Small).unwrap();
+        let p = cdmm_core::prepare(w.name, &w.source, PipelineConfig::default()).unwrap();
+        let lru = sweep::lru_sweep(&p, sweep::full_lru_range(&p));
+        assert_eq!(out[0], encode_sweep_ok("sw1", SweepFamily::Lru, &lru));
+        let ws = sweep::ws_sweep(&p, sweep::ws_tau_grid(&p, 4));
+        assert_eq!(out[1], encode_sweep_ok("sw2", SweepFamily::Ws, &ws));
+
+        // Replay: the curve memo answers without a second trace pass,
+        // and the rows stay byte-identical.
+        let sims_before = s.cache().stats().sim_points;
+        assert_eq!(s.handle_batch(&lines), out);
+        assert_eq!(
+            s.cache().stats().sim_points,
+            sims_before,
+            "warm sweep replays must not re-run the trace pass"
+        );
+    }
+
+    #[test]
+    fn sweep_jobs_share_supervision_and_typed_failures() {
+        let s = service(ServeConfig::default());
+        let lines = vec![
+            r#"{"id":"g1","job":"sweep","workload":"NOSUCH","family":"lru"}"#,
+            r#"{"id":"g2","job":"sweep","workload":"MAIN","family":"ws","deadline_ms":0}"#,
+            r#"{"id":"g3","job":"sweep","workload":"MAIN","family":"lru","trace":true}"#,
+        ];
+        let out = s.handle_batch(&lines);
+        assert!(
+            out[0].contains("\"error\":\"unknown_workload\""),
+            "{}",
+            out[0]
+        );
+        assert!(
+            out[1].contains("\"error\":\"deadline_exceeded\""),
+            "{}",
+            out[1]
+        );
+        assert!(out[2].contains("\"error\":\"bad_request\""), "{}", out[2]);
+    }
+
+    #[test]
+    fn sweep_rows_are_deterministic_across_service_geometry() {
+        let lines = vec![
+            r#"{"id":"d1","job":"sweep","workload":"FDJAC","family":"lru"}"#,
+            r#"{"id":"d2","job":"sweep","workload":"FDJAC","family":"ws"}"#,
+            r#"{"id":"d3","job":"sweep","workload":"TQL","family":"ws","points":8}"#,
+        ];
+        let mk = |threads| {
+            service(ServeConfig {
+                threads,
+                ..ServeConfig::default()
+            })
+            .handle_batch(&lines)
+        };
+        let serial = mk(1);
+        assert!(serial.iter().all(|l| l.contains("\"ok\":true")), "{serial:?}");
+        assert_eq!(serial, mk(4), "sweep rows are byte-identical");
+    }
+
+    #[test]
+    fn sweep_jobs_warm_the_per_point_cache_for_sim_jobs() {
+        let s = service(ServeConfig::default());
+        s.handle_batch(&[r#"{"id":"w0","job":"sweep","workload":"MAIN","family":"lru"}"#]);
+        let sims_before = s.cache().stats().sim_points;
+        let out = s.handle_batch(&[r#"{"id":"w1","workload":"MAIN","policy":"lru","frames":8}"#]);
+        assert!(out[0].contains("\"ok\":true"), "{}", out[0]);
+        assert_eq!(
+            s.cache().stats().sim_points,
+            sims_before,
+            "the sweep already materialized every LRU point"
+        );
     }
 
     #[test]

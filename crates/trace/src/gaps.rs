@@ -1,0 +1,702 @@
+//! Inter-reference gap extraction: the one-pass substrate for the WS
+//! curve kernel.
+//!
+//! Denning's `WS(τ)` decides everything from *gaps*. A reference faults
+//! iff the backward gap to the page's previous reference exceeds `τ`
+//! (cold references have an infinite gap), and a reference's residency
+//! contribution ends either when the page is re-referenced (forward gap
+//! `h`) or when it ages out `τ + 1` ticks later — whichever comes
+//! first. One pass that records every occurrence's backward gap,
+//! forward gap, and residency span therefore answers *every* window
+//! `τ ≥ 1` at once; [`GapProfile`] is that pass.
+//!
+//! The pass consumes the trace at run level ([`EventSource::for_each_run`])
+//! and never expands what the compressed form batches:
+//!
+//! - a stride-0 run of length `L` is one real occurrence plus `L − 1`
+//!   gap-1 re-touches, which can never fault (`τ ≥ 1`) and never age
+//!   out mid-span — they collapse to a span-histogram bump;
+//! - a [`RunRef::Cycle`] is decoded for one iteration, after which
+//!   every occurrence's gap pattern is periodic in the cycle period, so
+//!   iterations `1..reps-1` are emitted as arithmetic *groups*
+//!   (`t0, t0+period, …`) instead of individual occurrences.
+//!
+//! Directive events never move the reference clock and are skipped, so
+//! the profile is exact for any policy whose clock ticks on references
+//! only (LRU, WS — the directive-blind families).
+
+use std::collections::HashMap;
+
+use crate::event::{EventSource, PageId, Run, RunRef};
+
+/// An arithmetic batch of reference occurrences sharing one gap value:
+/// `n` occurrences at times `t0, t0 + step, …, t0 + (n-1)·step`.
+///
+/// Single occurrences are groups with `n == 1`. Cold occurrences (no
+/// previous reference) and trace-final occurrences (no next reference)
+/// carry [`u64::MAX`] as their backward/forward gap respectively.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GapGroup {
+    /// The gap value (backward gap in `by_gap`, forward gap in
+    /// `by_next`); `u64::MAX` encodes "infinite".
+    pub gap: u64,
+    /// Time (1-based reference tick) of the first occurrence.
+    pub t0: u64,
+    /// Tick distance between consecutive occurrences in the group.
+    pub step: u64,
+    /// Number of occurrences in the group (`≥ 1`).
+    pub n: u64,
+}
+
+impl GapGroup {
+    /// Iterates the occurrence times of the group.
+    pub fn times(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.n).map(move |i| self.t0 + i * self.step)
+    }
+}
+
+/// The complete inter-reference gap profile of one trace: every
+/// occurrence's backward gap, forward gap, and residency span, stored
+/// as sorted group arrays with prefix sums so per-window queries are
+/// logarithmic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GapProfile {
+    refs: u64,
+    /// Occurrence groups sorted by backward gap, descending (cold
+    /// first). Gap-1 occurrences are elided — they can never fault.
+    by_gap: Vec<GapGroup>,
+    /// Cumulative occurrence counts over `by_gap`.
+    gap_cum: Vec<u64>,
+    /// Occurrence groups sorted by forward gap, descending (trace-final
+    /// occurrences first). Gap-1 occurrences are elided — they can
+    /// never age out before their next touch.
+    by_next: Vec<GapGroup>,
+    /// Residency spans `min(forward gap, R − t + 1)` aggregated as
+    /// `(span, count)`, ascending. Every reference occurrence counts.
+    spans: Vec<(u64, u64)>,
+    /// Prefix occurrence counts over `spans`.
+    span_cum_count: Vec<u64>,
+    /// Prefix `Σ span·count` over `spans`.
+    span_cum_sum: Vec<u128>,
+}
+
+impl GapProfile {
+    /// Extracts the profile in one run-level pass.
+    pub fn compute<S: EventSource + ?Sized>(trace: &S) -> GapProfile {
+        let mut x = Extract::new(trace.page_count_hint());
+        trace.for_each_run(|run| x.feed(run));
+        x.finish()
+    }
+
+    /// [`GapProfile::compute`] under a cooperative cancellation poll,
+    /// consulted once per compressed op. Returns `None` when the poll
+    /// stopped the stream early.
+    pub fn compute_while<S: EventSource + ?Sized>(
+        trace: &S,
+        keep_going: impl FnMut() -> bool,
+    ) -> Option<GapProfile> {
+        let mut x = Extract::new(trace.page_count_hint());
+        if !trace.for_each_run_while(keep_going, |run| x.feed(run)) {
+            return None;
+        }
+        Some(x.finish())
+    }
+
+    /// References in the trace (every reference is one occurrence).
+    pub fn refs(&self) -> u64 {
+        self.refs
+    }
+
+    /// Number of occurrences whose backward gap exceeds `tau` — exactly
+    /// the WS(τ) fault count.
+    pub fn count_gaps_over(&self, tau: u64) -> u64 {
+        let idx = self.by_gap.partition_point(|g| g.gap > tau);
+        if idx == 0 {
+            0
+        } else {
+            self.gap_cum[idx - 1]
+        }
+    }
+
+    /// `Σ_occurrences min(span, cap)` — with `cap = τ + 1` this is the
+    /// exact WS(τ) resident-set integral `Σ_t ws_size(t)`.
+    pub fn span_integral(&self, cap: u64) -> u128 {
+        let idx = self.spans.partition_point(|&(s, _)| s <= cap);
+        let (below_sum, below_count) = if idx == 0 {
+            (0u128, 0u64)
+        } else {
+            (self.span_cum_sum[idx - 1], self.span_cum_count[idx - 1])
+        };
+        below_sum + cap as u128 * (self.refs - below_count) as u128
+    }
+
+    /// The occurrence groups with backward gap `> tau` (the WS(τ) fault
+    /// events), sorted by gap descending.
+    pub fn gap_groups_over(&self, tau: u64) -> &[GapGroup] {
+        let idx = self.by_gap.partition_point(|g| g.gap > tau);
+        &self.by_gap[..idx]
+    }
+
+    /// The occurrence groups with forward gap `> tau` (the WS(τ)
+    /// age-out candidates: each such occurrence's page, if not
+    /// re-referenced, leaves the working set `τ + 1` ticks later),
+    /// sorted by gap descending.
+    pub fn next_groups_over(&self, tau: u64) -> &[GapGroup] {
+        let idx = self.by_next.partition_point(|g| g.gap > tau);
+        &self.by_next[..idx]
+    }
+}
+
+/// Spans below this are counted in a flat array instead of the
+/// overflow [`HashMap`] — one indexed add per reference on the hot
+/// path. Spans at least this large (rare: a page silent for thousands
+/// of ticks) fall through to the map.
+const SPAN_SMALL: usize = 1 << 12;
+
+/// The streaming extractor state.
+struct Extract {
+    /// Reference clock (1-based; directives do not tick it).
+    t: u64,
+    /// `last[p]` = tick of page `p`'s most recent occurrence (0 =
+    /// never). The occurrence at `last[p]` is "open": its forward gap
+    /// and span are unresolved until the next occurrence or trace end.
+    last: Vec<u64>,
+    by_gap: Vec<GapGroup>,
+    by_next: Vec<GapGroup>,
+    /// `span_small[s]` = occurrences with span `s < SPAN_SMALL`.
+    span_small: Vec<u64>,
+    /// Overflow span counts (`span ≥ SPAN_SMALL`).
+    span_counts: HashMap<u64, u64>,
+}
+
+impl Extract {
+    fn new(hint: usize) -> Extract {
+        Extract {
+            t: 0,
+            last: vec![0; hint],
+            by_gap: Vec::new(),
+            by_next: Vec::new(),
+            span_small: vec![0; SPAN_SMALL],
+            span_counts: HashMap::new(),
+        }
+    }
+
+    fn feed(&mut self, run: RunRef<'_>) {
+        match run {
+            RunRef::Run { start, stride, len } => self.run(start, stride, len),
+            RunRef::Cycle { body, reps } => self.cycle(body, reps),
+            RunRef::Directive(_) => {}
+        }
+    }
+
+    fn bump_span(&mut self, span: u64, n: u64) {
+        if (span as usize) < SPAN_SMALL {
+            self.span_small[span as usize] += n;
+        } else {
+            *self.span_counts.entry(span).or_insert(0) += n;
+        }
+    }
+
+    /// One reference: resolves the page's previous occurrence (its
+    /// forward gap equals this occurrence's backward gap) and opens a
+    /// new one.
+    fn observe(&mut self, page: u32) {
+        self.t += 1;
+        let p = page as usize;
+        if p >= self.last.len() {
+            self.last.resize(p + 1, 0);
+        }
+        let prev = self.last[p];
+        if prev == 0 {
+            self.by_gap.push(GapGroup {
+                gap: u64::MAX,
+                t0: self.t,
+                step: 0,
+                n: 1,
+            });
+        } else {
+            let g = self.t - prev;
+            if g >= 2 {
+                self.by_gap.push(GapGroup {
+                    gap: g,
+                    t0: self.t,
+                    step: 0,
+                    n: 1,
+                });
+                self.by_next.push(GapGroup {
+                    gap: g,
+                    t0: prev,
+                    step: 0,
+                    n: 1,
+                });
+            }
+            self.bump_span(g, 1);
+        }
+        self.last[p] = self.t;
+    }
+
+    fn run(&mut self, start: PageId, stride: i32, len: u32) {
+        if stride == 0 {
+            // One page touched `len` times: the first reference settles
+            // its backward gap; the re-touches are gap-1 occurrences
+            // (never fault, never age out) — a span-histogram bump.
+            self.observe(start.0);
+            if len > 1 {
+                self.bump_span(1, len as u64 - 1);
+                self.t += len as u64 - 1;
+                self.last[start.0 as usize] = self.t;
+            }
+        } else {
+            // A strided sweep over pages last touched by an identical
+            // earlier sweep repeats one backward-gap value for its whole
+            // length; batching those stretches keeps the group arrays
+            // near the compressed-op count on periodic numerical traces
+            // instead of one group per reference.
+            let mut p = start.0 as i64;
+            let mut pend: Option<GapGroup> = None;
+            for _ in 0..len {
+                let page = p as u32 as usize;
+                p += stride as i64;
+                self.t += 1;
+                if page >= self.last.len() {
+                    self.last.resize(page + 1, 0);
+                }
+                let prev = self.last[page];
+                self.last[page] = self.t;
+                if prev == 0 {
+                    if let Some(g) = pend.take() {
+                        self.push_pair(g);
+                    }
+                    self.by_gap.push(GapGroup {
+                        gap: u64::MAX,
+                        t0: self.t,
+                        step: 0,
+                        n: 1,
+                    });
+                    continue;
+                }
+                let g = self.t - prev;
+                self.bump_span(g, 1);
+                if g < 2 {
+                    if let Some(gr) = pend.take() {
+                        self.push_pair(gr);
+                    }
+                    continue;
+                }
+                match &mut pend {
+                    Some(gr) if gr.gap == g && gr.t0 + gr.n == self.t => gr.n += 1,
+                    _ => {
+                        if let Some(gr) = pend.take() {
+                            self.push_pair(gr);
+                        }
+                        pend = Some(GapGroup {
+                            gap: g,
+                            t0: self.t,
+                            step: 1,
+                            n: 1,
+                        });
+                    }
+                }
+            }
+            if let Some(gr) = pend.take() {
+                self.push_pair(gr);
+            }
+        }
+    }
+
+    /// Emits one batched stretch of equal-gap occurrences: the backward
+    /// group at the occurrence ticks and the matching forward group at
+    /// the (equally consecutive) predecessor ticks.
+    fn push_pair(&mut self, g: GapGroup) {
+        let step = if g.n == 1 { 0 } else { g.step };
+        self.by_gap.push(GapGroup { step, ..g });
+        self.by_next.push(GapGroup {
+            t0: g.t0 - g.gap,
+            step,
+            ..g
+        });
+    }
+
+    /// Processes a folded cycle in `O(period)` regardless of `reps`:
+    /// iteration 0 is decoded (its gaps depend on pre-cycle state),
+    /// after which every occurrence's backward gap repeats with period
+    /// `T` — iterations `1..reps-1` become arithmetic groups.
+    fn cycle(&mut self, body: &[Run], reps: u32) {
+        if reps < 3 {
+            for _ in 0..reps {
+                for r in body {
+                    self.run(r.start, r.stride, r.len);
+                }
+            }
+            return;
+        }
+        let cstart = self.t;
+        for r in body {
+            self.run(r.start, r.stride, r.len);
+        }
+        let period = self.t - cstart;
+
+        // Per-page occurrence structure of one iteration, as offset
+        // runs `(first_offset, len)` — stride-0 stretches stay batched.
+        let mut slots: HashMap<u32, Vec<(u64, u64)>> = HashMap::new();
+        let mut off = 0u64;
+        for r in body {
+            if r.stride == 0 {
+                off += 1;
+                let e = slots.entry(r.start.0).or_default();
+                match e.last_mut() {
+                    Some(last) if last.0 + last.1 == off => last.1 += r.len as u64,
+                    _ => e.push((off, r.len as u64)),
+                }
+                off += r.len as u64 - 1;
+            } else {
+                let mut p = r.start.0 as i64;
+                for _ in 0..r.len {
+                    off += 1;
+                    let e = slots.entry(p as u32).or_default();
+                    match e.last_mut() {
+                        Some(last) if last.0 + last.1 == off => last.1 += 1,
+                        _ => e.push((off, 1)),
+                    }
+                    p += r.stride as i64;
+                }
+            }
+        }
+        // Deterministic page order (HashMap iteration is not).
+        let mut pages: Vec<u32> = slots.keys().copied().collect();
+        pages.sort_unstable();
+
+        let k_interior = reps as u64 - 2; // iterations 1..=reps-2
+        let final_base = cstart + (reps as u64 - 1) * period;
+        for page in pages {
+            let runs = &slots[&page];
+            let k = runs.len();
+            let (a_last, l_last) = runs[k - 1];
+            let tail = a_last + l_last - 1; // last offset of the page
+                                            // Steady backward gap of each run's first element; run 0's
+                                            // previous occurrence is the page's tail in the prior
+                                            // iteration.
+            let gap_of = |i: usize| -> u64 {
+                if i == 0 {
+                    runs[0].0 + period - tail
+                } else {
+                    runs[i].0 - (runs[i - 1].0 + runs[i - 1].1 - 1)
+                }
+            };
+            let wrap_gap = gap_of(0);
+
+            // Resolve iteration 0's open occurrence (at the tail): its
+            // forward gap is the steady wrap-around gap.
+            let t_tail0 = cstart + tail;
+            if wrap_gap >= 2 {
+                self.by_next.push(GapGroup {
+                    gap: wrap_gap,
+                    t0: t_tail0,
+                    step: 0,
+                    n: 1,
+                });
+            }
+            self.bump_span(wrap_gap, 1);
+
+            let total_len: u64 = runs.iter().map(|&(_, l)| l).sum();
+            for (i, &(a, l)) in runs.iter().enumerate() {
+                let g = gap_of(i);
+                let h = gap_of((i + 1) % k); // forward gap of the run's tail
+                                             // Backward gaps repeat verbatim for iterations
+                                             // 1..=reps-1 (the final iteration included: its
+                                             // predecessors are in-cycle).
+                if g >= 2 {
+                    self.by_gap.push(GapGroup {
+                        gap: g,
+                        t0: cstart + period + a,
+                        step: period,
+                        n: reps as u64 - 1,
+                    });
+                }
+                // Forward gaps repeat for iterations 1..=reps-2; the
+                // final iteration's tails resolve below.
+                if h >= 2 && k_interior > 0 {
+                    self.by_next.push(GapGroup {
+                        gap: h,
+                        t0: cstart + period + a + l - 1,
+                        step: period,
+                        n: k_interior,
+                    });
+                }
+                if k_interior > 0 {
+                    self.bump_span(h, k_interior);
+                }
+                // Final iteration: runs before the tail resolve against
+                // their in-iteration successor; the tail stays open.
+                if i + 1 < k {
+                    let h_final = gap_of(i + 1);
+                    if h_final >= 2 {
+                        self.by_next.push(GapGroup {
+                            gap: h_final,
+                            t0: final_base + a + l - 1,
+                            step: 0,
+                            n: 1,
+                        });
+                    }
+                    self.bump_span(h_final, 1);
+                }
+            }
+            // Gap-1 in-run re-touches, every steady iteration.
+            let retouches = total_len - k as u64;
+            if retouches > 0 {
+                self.bump_span(1, retouches * (reps as u64 - 1));
+            }
+            self.last[page as usize] = final_base + tail;
+        }
+        self.t = cstart + reps as u64 * period;
+    }
+
+    fn finish(mut self) -> GapProfile {
+        let refs = self.t;
+        // Open occurrences: no next reference. Their forward gap is
+        // infinite (they always become age-out candidates) and their
+        // residency span is clipped by the trace end.
+        for p in 0..self.last.len() {
+            let tp = self.last[p];
+            if tp > 0 {
+                self.by_next.push(GapGroup {
+                    gap: u64::MAX,
+                    t0: tp,
+                    step: 0,
+                    n: 1,
+                });
+                self.bump_span(refs - tp + 1, 1);
+            }
+        }
+        let by_gap = sort_groups(self.by_gap, refs);
+        let by_next = sort_groups(self.by_next, refs);
+        let gap_cum: Vec<u64> = by_gap
+            .iter()
+            .scan(0u64, |acc, g| {
+                *acc += g.n;
+                Some(*acc)
+            })
+            .collect();
+        let mut spans: Vec<(u64, u64)> = self.span_counts.into_iter().collect();
+        spans.extend(
+            self.span_small
+                .iter()
+                .enumerate()
+                .filter(|&(_, &n)| n > 0)
+                .map(|(s, &n)| (s as u64, n)),
+        );
+        spans.sort_unstable();
+        let mut span_cum_count = Vec::with_capacity(spans.len());
+        let mut span_cum_sum = Vec::with_capacity(spans.len());
+        let (mut cc, mut cs) = (0u64, 0u128);
+        for &(s, n) in &spans {
+            cc += n;
+            cs += s as u128 * n as u128;
+            span_cum_count.push(cc);
+            span_cum_sum.push(cs);
+        }
+        debug_assert_eq!(cc, refs, "every reference occurrence has one span");
+        GapProfile {
+            refs,
+            by_gap,
+            gap_cum,
+            by_next,
+            spans,
+            span_cum_count,
+            span_cum_sum,
+        }
+    }
+}
+
+/// Sorts a group array by gap descending (infinite gaps first), ties
+/// broken by extraction order. Real gaps are bounded by the reference
+/// count, so when that fits `u32` the sort is a stable two-pass 16-bit
+/// LSD radix over inverted keys — far cheaper than a comparison sort
+/// of 32-byte structs — with a stable comparison sort as the (huge
+/// trace) fallback; both orders are deterministic.
+fn sort_groups(v: Vec<GapGroup>, refs: u64) -> Vec<GapGroup> {
+    // Small arrays (and the huge-trace escape hatch): a stable
+    // comparison sort gives the identical order without the radix
+    // passes' counter-array setup, which would dominate tiny traces.
+    if v.len() < 4096 || refs >= u32::MAX as u64 {
+        let mut v = v;
+        v.sort_by_key(|g| std::cmp::Reverse(g.gap));
+        return v;
+    }
+    // `!key` ascending == gap descending; `u64::MAX` clamps to the
+    // u32 maximum, which no real gap can reach under the guard above.
+    let mut keys: Vec<(u32, u32)> = v
+        .iter()
+        .enumerate()
+        .map(|(i, g)| (!(g.gap.min(u32::MAX as u64) as u32), i as u32))
+        .collect();
+    let mut tmp = vec![(0u32, 0u32); keys.len()];
+    for shift in [0u32, 16] {
+        let mut count = vec![0u32; 1 << 16];
+        for &(k, _) in &keys {
+            count[((k >> shift) & 0xffff) as usize] += 1;
+        }
+        let mut pos = 0u32;
+        for c in count.iter_mut() {
+            let n = *c;
+            *c = pos;
+            pos += n;
+        }
+        for &(k, i) in &keys {
+            let slot = &mut count[((k >> shift) & 0xffff) as usize];
+            tmp[*slot as usize] = (k, i);
+            *slot += 1;
+        }
+        std::mem::swap(&mut keys, &mut tmp);
+    }
+    keys.iter().map(|&(_, i)| v[i as usize]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compress::CompressedTrace;
+    use crate::event::{Event, Trace};
+    use crate::synth;
+
+    /// Oracle: per-ref extraction over the flat reference string.
+    #[allow(clippy::type_complexity)]
+    fn naive(t: &Trace) -> (Vec<(u64, u64)>, Vec<(u64, u64)>, Vec<u64>) {
+        // Returns (sorted (gap,time) backward pairs incl. cold=MAX with
+        // gap>=2, sorted (gap,time) forward pairs with gap>=2 incl.
+        // open=MAX, sorted spans).
+        let refs: Vec<u32> = t.refs().map(|p| p.0).collect();
+        let r = refs.len() as u64;
+        let mut last: HashMap<u32, u64> = HashMap::new();
+        let mut back = Vec::new();
+        let mut fwd = Vec::new();
+        let mut spans = Vec::new();
+        for (i, &p) in refs.iter().enumerate() {
+            let t = i as u64 + 1;
+            match last.get(&p) {
+                None => back.push((u64::MAX, t)),
+                Some(&tp) => {
+                    let g = t - tp;
+                    if g >= 2 {
+                        back.push((g, t));
+                        fwd.push((g, tp));
+                    }
+                    spans.push(g);
+                }
+            }
+            last.insert(p, t);
+        }
+        for (_, &tp) in last.iter() {
+            fwd.push((u64::MAX, tp));
+            spans.push(r - tp + 1);
+        }
+        back.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        fwd.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        spans.sort_unstable();
+        (back, fwd, spans)
+    }
+
+    fn expand(groups: &[GapGroup]) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        for g in groups {
+            for t in g.times() {
+                out.push((g.gap, t));
+            }
+        }
+        out.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        out
+    }
+
+    fn expand_spans(p: &GapProfile) -> Vec<u64> {
+        let mut out = Vec::new();
+        for &(s, n) in &p.spans {
+            for _ in 0..n {
+                out.push(s);
+            }
+        }
+        out
+    }
+
+    fn check(t: &Trace) {
+        let (back, fwd, spans) = naive(t);
+        for profile in [
+            GapProfile::compute(t),
+            GapProfile::compute(&CompressedTrace::from_trace(t)),
+        ] {
+            assert_eq!(profile.refs(), t.ref_count());
+            assert_eq!(expand(&profile.by_gap), back, "backward gaps");
+            assert_eq!(expand(&profile.by_next), fwd, "forward gaps");
+            assert_eq!(expand_spans(&profile), spans, "spans");
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_random_traces() {
+        for seed in 0..8 {
+            check(&synth::uniform(5 + (seed as u32 % 40), 2_000, seed));
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_structured_traces() {
+        check(&synth::cyclic(12, 40));
+        check(&synth::cyclic(1, 100));
+        check(&synth::nested_loops(6, 4, 10, 2));
+        check(&Trace::default());
+        // Long stride-0 spans exercise the batched re-touch path.
+        let mut events = Vec::new();
+        for i in 0..40u32 {
+            for _ in 0..25 {
+                events.push(Event::Ref(PageId(i % 3)));
+            }
+        }
+        check(&Trace::from_events(events));
+    }
+
+    #[test]
+    fn matches_naive_on_folded_cycles() {
+        // Build traces whose compressed form contains real COp::Cycle
+        // ops with interior stride-0 runs and non-unit strides.
+        let mut events = Vec::new();
+        for _ in 0..9 {
+            for p in [0u32, 2, 4, 6] {
+                events.push(Event::Ref(PageId(p)));
+            }
+            for _ in 0..5 {
+                events.push(Event::Ref(PageId(1)));
+            }
+        }
+        events.push(Event::Ref(PageId(99)));
+        let t = Trace::from_events(events);
+        let c = CompressedTrace::from_trace(&t);
+        assert!(
+            c.ops()
+                .iter()
+                .any(|op| matches!(op, crate::compress::COp::Cycle { .. })),
+            "fold produced a cycle: {:?}",
+            c.ops()
+        );
+        check(&t);
+    }
+
+    #[test]
+    fn query_helpers_agree_with_raw_data() {
+        let t = synth::uniform(16, 3_000, 11);
+        let p = GapProfile::compute(&t);
+        for tau in [1u64, 2, 5, 17, 100, 5_000] {
+            let faults: u64 = p.by_gap.iter().filter(|g| g.gap > tau).map(|g| g.n).sum();
+            assert_eq!(p.count_gaps_over(tau), faults, "tau={tau}");
+            let integral: u128 = p
+                .spans
+                .iter()
+                .map(|&(s, n)| s.min(tau + 1) as u128 * n as u128)
+                .sum();
+            assert_eq!(p.span_integral(tau + 1), integral, "tau={tau}");
+            assert_eq!(
+                p.gap_groups_over(tau).iter().map(|g| g.n).sum::<u64>(),
+                faults
+            );
+            assert!(p.next_groups_over(tau).iter().all(|g| g.gap > tau));
+        }
+    }
+}

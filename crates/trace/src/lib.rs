@@ -13,6 +13,9 @@
 //!   floating-point arithmetic and emits one [`event::Event::Ref`] per
 //!   array-element access (constants and instructions are assumed
 //!   memory-resident, as in the paper).
+//! - [`gaps`] — one-pass inter-reference gap extraction over the
+//!   compressed run/cycle structure, the substrate for answering every
+//!   WS window from a single trace pass.
 //! - [`synth`] — synthetic reference-string generators used by the policy
 //!   test suites (cyclic sweeps, phased localities, uniform noise).
 //! - [`stats`] — simple trace statistics.
@@ -51,6 +54,7 @@
 pub mod cancel;
 pub mod compress;
 pub mod event;
+pub mod gaps;
 pub mod interp;
 pub mod layout;
 pub mod stats;
@@ -61,6 +65,7 @@ pub mod validate;
 pub use cancel::CancelToken;
 pub use compress::{COp, CompressedTrace, TraceBuilder};
 pub use event::{Event, EventRef, EventSource, PageId, PageRange, Run, RunRef, Trace};
+pub use gaps::{GapGroup, GapProfile};
 pub use interp::{InterpConfig, InterpError, Interpreter, ProgramState};
 pub use layout::MemoryLayout;
 pub use stats::TraceStats;

@@ -44,6 +44,7 @@
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod cancel;
+pub mod curve;
 pub mod error;
 pub mod fleet;
 pub mod metrics;
@@ -57,6 +58,7 @@ pub mod stack;
 pub mod stats;
 
 pub use cancel::CancelToken;
+pub use curve::{LruCurve, WsCurve};
 pub use error::SimError;
 pub use fleet::{
     run_fleet, run_fleet_cancellable, run_fleet_observed, run_fleet_with, Admission, CellPressure,

@@ -98,18 +98,28 @@ impl LastUse {
 }
 
 /// The tree pass's working state, split out so the run-level driver can
-/// mix per-reference steps with batched stride-0 spans.
-struct TreePass {
+/// mix per-reference steps with batched stride-0 spans. `pub(crate)` so
+/// the one-pass curve kernel in [`crate::curve`] can share the pass and
+/// read the raw histogram out of it.
+pub(crate) struct TreePass {
     fen: Fenwick,
     last: LastUse,
     /// Marked slots in chronological order: `slot_page[i]` = page whose
     /// last use occupies slot `i+1`, or [`TreePass::NONE`] if superseded.
     slot_page: Vec<u32>,
     /// `hist[d]` = refs at stack distance `d` (1-based).
-    hist: Vec<u64>,
-    cold: u64,
-    refs: u64,
-    distinct: usize,
+    pub(crate) hist: Vec<u64>,
+    pub(crate) cold: u64,
+    pub(crate) refs: u64,
+    pub(crate) distinct: usize,
+    /// `cold_time[k]` = 1-based reference tick of the `k+1`-th cold
+    /// fault. The distinct-pages-so-far step function is fully
+    /// determined by these ticks, which is what lets the curve kernel
+    /// reconstruct `Σ_t min(D(t), m)` for every allocation `m` from one
+    /// pass — batched spans (stride-0 repeats, folded cycle iterations)
+    /// never contain cold faults, so the vector stays exact under all
+    /// the run-level shortcuts below.
+    pub(crate) cold_time: Vec<u64>,
     /// Slots consumed so far.
     now: usize,
 }
@@ -117,7 +127,7 @@ struct TreePass {
 impl TreePass {
     const NONE: u32 = u32::MAX;
 
-    fn new(hint: usize) -> TreePass {
+    pub(crate) fn new(hint: usize) -> TreePass {
         // Tree over time slots; sized to 2× the page hint so compaction
         // (an O(P) renumbering) amortizes to O(1) per reference.
         let fen = Fenwick::new(hint * 2);
@@ -130,6 +140,7 @@ impl TreePass {
             cold: 0,
             refs: 0,
             distinct: 0,
+            cold_time: Vec::new(),
             now: 0,
         }
     }
@@ -172,6 +183,7 @@ impl TreePass {
         if prev == 0 {
             self.cold += 1;
             self.distinct += 1;
+            self.cold_time.push(self.refs);
         } else {
             // Stack distance = distinct pages used at or after the
             // previous use of `p` = marks in [prev, now-1].
@@ -259,6 +271,15 @@ impl TreePass {
         }
         self.refs += period * k;
     }
+
+    /// Dispatches one streamed run-level op into the pass.
+    pub(crate) fn feed(&mut self, run: RunRef<'_>) {
+        match run {
+            RunRef::Run { start, stride, len } => self.run(start, stride, len),
+            RunRef::Cycle { body, reps } => self.cycle(body, reps),
+            RunRef::Directive(_) => {}
+        }
+    }
 }
 
 impl StackProfile {
@@ -271,11 +292,35 @@ impl StackProfile {
     pub fn compute<S: EventSource + ?Sized>(trace: &S) -> StackProfile {
         let hint = trace.page_count_hint().max(16);
         let mut pass = TreePass::new(hint);
-        trace.for_each_run(|run| match run {
-            RunRef::Run { start, stride, len } => pass.run(start, stride, len),
-            RunRef::Cycle { body, reps } => pass.cycle(body, reps),
-            RunRef::Directive(_) => {}
-        });
+        trace.for_each_run(|run| pass.feed(run));
+        Self::from_histogram(pass.hist, pass.cold, pass.refs, pass.distinct)
+    }
+
+    /// [`StackProfile::compute`] under a cooperative cancellation poll:
+    /// `keep_going` is consulted once per compressed op (the
+    /// [`EventSource::for_each_run_while`] contract), so a deadline'd
+    /// caller profiling a huge trace stops within one op, not after the
+    /// whole pass. Returns `None` when the poll stopped the stream.
+    pub fn compute_cancellable<S: EventSource + ?Sized>(
+        trace: &S,
+        keep_going: impl FnMut() -> bool,
+    ) -> Option<StackProfile> {
+        let hint = trace.page_count_hint().max(16);
+        let mut pass = TreePass::new(hint);
+        if !trace.for_each_run_while(keep_going, |run| pass.feed(run)) {
+            return None;
+        }
+        Some(Self::from_histogram(
+            pass.hist,
+            pass.cold,
+            pass.refs,
+            pass.distinct,
+        ))
+    }
+
+    /// Builds the profile from a finished [`TreePass`] — the curve
+    /// kernel shares the pass and wraps the resulting profile.
+    pub(crate) fn from_pass(pass: TreePass) -> StackProfile {
         Self::from_histogram(pass.hist, pass.cold, pass.refs, pass.distinct)
     }
 

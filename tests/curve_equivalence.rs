@@ -1,0 +1,311 @@
+//! The one-pass curve-kernel gate: [`LruCurve`] and [`WsCurve`] answer
+//! *every* memory-size / window point of a trace from a single pass,
+//! and each answer must be **byte-identical** to simulating that point
+//! with the per-reference policy — same faults, same integrals, same
+//! `Metrics` down to the bit — on every reproduced workload and on a
+//! seeded adversarial trace generator.
+//!
+//! This is the property the sweep engine's kernel dispatch
+//! (`cdmm_core::sweep::SweepPlan`) rests on: LRU obeys Mattson's
+//! inclusion property (so one stack-distance pass orders all
+//! allocations), and a WS fault/eviction is a pure function of
+//! inter-reference gaps versus the window (so one gap pass orders all
+//! windows). Memory directives are no-ops to both policies, which the
+//! directive-bearing adversarial traces check explicitly.
+//!
+//! The generator (SplitMix64, seed from `CDMM_EQUIV_SEED`, default 42)
+//! aims at the kernels' seams: non-unit and negative strides, strides
+//! past the page universe, stride-0 dwells longer than the WS window,
+//! verbatim-repeated loop windows that compress into `COp::Cycle`, and
+//! directive traffic interleaved with the references.
+
+use cdmm_core::sweep::{self, Executor, ResultCache, SweepPlan};
+use cdmm_core::{prepare, PipelineConfig, Prepared};
+use cdmm_lang::ast::AllocArg;
+use cdmm_trace::{CompressedTrace, Event, PageId, PageRange, Trace};
+use cdmm_vmsim::policy::lru::Lru;
+use cdmm_vmsim::policy::ws::WorkingSet;
+use cdmm_vmsim::{simulate, LruCurve, SimConfig, WsCurve};
+use cdmm_workloads::{all, Scale};
+
+fn equiv_seed() -> u64 {
+    std::env::var("CDMM_EQUIV_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+/// SplitMix64: the repo-standard seeded generator for property tests.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+fn prepared_workloads() -> Vec<Prepared> {
+    all(Scale::Small)
+        .iter()
+        .map(|w| {
+            prepare(w.name, &w.source, PipelineConfig::default())
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name))
+        })
+        .collect()
+}
+
+/// The allocation grid a workload's LRU curve is checked at: small,
+/// mid, and the clamp/saturation edges (`m = 0` clamps to 1, `m > V`
+/// saturates at the distinct-page count).
+fn lru_grid(p: &Prepared) -> Vec<usize> {
+    let v = p.virtual_pages() as usize;
+    vec![1, 2, 3, 5, 8, 16, 32, v.max(1), v + 3]
+}
+
+/// The window grid a WS curve is checked at, including `τ = 0` (the
+/// kernel clamps to 1, matching the simulator's minimum window) and a
+/// window past the trace length (pure cold faults).
+fn ws_grid(p: &Prepared) -> Vec<u64> {
+    let r = p.plain_trace().ref_count();
+    vec![1, 2, 5, 17, 100, 512, 2000, 5000, r + 7]
+}
+
+#[test]
+fn lru_curve_matches_simulation_on_every_workload() {
+    for p in prepared_workloads() {
+        let fs = p.config().fault_service;
+        let curve = LruCurve::compute(p.plain_trace());
+        for m in lru_grid(&p) {
+            let kernel = curve.metrics_at(m, fs);
+            let sim = p.run_lru(m.max(1));
+            assert_eq!(kernel, sim, "{} LRU(m={m})", p.name());
+            assert_eq!(
+                kernel.faults,
+                curve.faults_at(m),
+                "{} faults_at({m})",
+                p.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn ws_curve_matches_simulation_on_every_workload() {
+    for p in prepared_workloads() {
+        let fs = p.config().fault_service;
+        let curve = WsCurve::compute(p.plain_trace());
+        for tau in ws_grid(&p) {
+            let kernel = curve.metrics_at(tau, fs);
+            let sim = p.run_ws(tau);
+            assert_eq!(kernel, sim, "{} WS(tau={tau})", p.name());
+            assert_eq!(
+                kernel.faults,
+                curve.faults_at(tau),
+                "{} faults_at({tau})",
+                p.name()
+            );
+            assert_eq!(
+                kernel.mean_mem().to_bits(),
+                curve.mean_mem_at(tau).to_bits(),
+                "{} mean_mem_at({tau})",
+                p.name()
+            );
+        }
+    }
+}
+
+/// The sweep engine's kernel dispatch must agree with its own per-point
+/// fallback: the same sweeps with `SweepPlan` and with per-point
+/// simulation (a disabled cache forces fresh work on both sides).
+#[test]
+fn sweep_plan_matches_per_point_sweeps_on_every_workload() {
+    let exec = Executor::serial();
+    for p in prepared_workloads() {
+        let cache = ResultCache::disabled();
+        let plan = SweepPlan::new(&cache, &p);
+        let lru_params: Vec<u64> = sweep::full_lru_range(&p).map(|m| m as u64).collect();
+        let kernel = plan.lru_points(&exec, &lru_params);
+        for pt in &kernel {
+            assert_eq!(
+                pt.metrics,
+                p.run_lru(pt.param as usize),
+                "{} LRU sweep",
+                p.name()
+            );
+        }
+        let taus = sweep::ws_tau_grid(&p, 8);
+        let kernel = plan.ws_points(&exec, &taus);
+        for pt in &kernel {
+            assert_eq!(pt.metrics, p.run_ws(pt.param), "{} WS sweep", p.name());
+        }
+    }
+}
+
+/// Builds one adversarial trace from the campaign's random stream:
+/// plain references at kernel-hostile strides plus directive traffic
+/// the LRU/WS policies must ignore (and the curve kernels must skip
+/// identically).
+fn adversarial_trace(rng: &mut SplitMix64) -> Trace {
+    let pages = 4 + rng.below(60) as u32;
+    let ops = 30 + rng.below(70);
+    let mut events: Vec<Event> = Vec::new();
+    for _ in 0..ops {
+        match rng.below(10) {
+            0..=3 => {
+                // A constant-stride run: stride 0, negative, unit, and
+                // past-the-universe strides all appear.
+                let stride = match rng.below(8) {
+                    0 => 0i64,
+                    1 => -(1 + rng.below(4) as i64),
+                    2 => pages as i64 + 1 + rng.below(9) as i64,
+                    3 => -(pages as i64) - 2,
+                    4 => 2 + rng.below(5) as i64,
+                    _ => 1i64,
+                };
+                let len = 1 + rng.below(90);
+                let base = rng.below(pages as u64) as i64;
+                let lowest = base + stride.min(0) * (len as i64 - 1);
+                let start = if lowest < 0 { base - lowest } else { base };
+                let mut page = start;
+                for _ in 0..len {
+                    events.push(Event::Ref(PageId(page as u32)));
+                    page += stride;
+                }
+            }
+            4 => {
+                // Length-1 run far from the rest of the universe.
+                events.push(Event::Ref(PageId(rng.below(5 * pages as u64) as u32)));
+            }
+            5 => {
+                // Directive noise: ALLOCATE (a no-op to LRU/WS).
+                let args = (1..=1 + rng.below(3))
+                    .map(|pi| AllocArg {
+                        pi: pi as u32,
+                        pages: 1 + rng.below(1 + pages as u64 / 2),
+                    })
+                    .collect();
+                events.push(Event::Alloc(args));
+            }
+            6 => {
+                // Directive noise: LOCK/UNLOCK pairs (also no-ops).
+                let a = rng.below(pages as u64) as u32;
+                let range = PageRange {
+                    start: a,
+                    end: a + 1 + rng.below(5) as u32,
+                };
+                events.push(Event::Lock {
+                    pj: 1 + rng.below(4) as u32,
+                    ranges: vec![range],
+                });
+                if rng.below(2) == 0 {
+                    events.push(Event::Unlock {
+                        ranges: vec![range],
+                    });
+                }
+            }
+            7 => {
+                // A stride-0 dwell longer than small WS windows.
+                let page = PageId(rng.below(pages as u64) as u32);
+                for _ in 0..1 + rng.below(150) {
+                    events.push(Event::Ref(page));
+                }
+            }
+            _ => {
+                // A loop cycle: a 1–4-run window repeated verbatim so
+                // compression folds it into `COp::Cycle`; bodies are
+                // sometimes wider than the page universe.
+                let body_runs = 1 + rng.below(4);
+                let reps = 3 + rng.below(40);
+                let mut body: Vec<(u32, i64, u64)> = Vec::new();
+                for _ in 0..body_runs {
+                    let stride = match rng.below(5) {
+                        0 => 0i64,
+                        1 => -1i64,
+                        2 => 3i64,
+                        _ => 1i64,
+                    };
+                    let bound = if rng.below(4) == 0 {
+                        2 * pages as u64
+                    } else {
+                        7
+                    };
+                    let len = 1 + rng.below(bound);
+                    let base = rng.below(pages as u64) as i64;
+                    let lowest = base + stride.min(0) * (len as i64 - 1);
+                    let start = if lowest < 0 { base - lowest } else { base };
+                    body.push((start as u32, stride, len));
+                }
+                for _ in 0..reps {
+                    for &(start, stride, len) in &body {
+                        let mut page = start as i64;
+                        for _ in 0..len {
+                            events.push(Event::Ref(PageId(page as u32)));
+                            page += stride;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Trace::from_events(events)
+}
+
+#[test]
+fn seeded_adversarial_curves_are_byte_identical() {
+    let seed = equiv_seed();
+    let mut rng = SplitMix64(seed);
+    let cfg = SimConfig::default();
+    for campaign in 0..300u32 {
+        let flat = adversarial_trace(&mut rng);
+        let compressed = CompressedTrace::from_trace(&flat);
+        let pages = compressed.virtual_pages().max(1) as u64;
+
+        // The curves must agree between the flat and compressed forms
+        // of the same trace (compression folds cycles the kernels then
+        // expand internally).
+        let lru_flat = LruCurve::compute(&flat);
+        let lru_comp = LruCurve::compute(&compressed);
+        let ws_flat = WsCurve::compute(&flat);
+        let ws_comp = WsCurve::compute(&compressed);
+
+        for _ in 0..4 {
+            let m = 1 + rng.below(pages + 4) as usize;
+            let sim = simulate(&flat, &mut Lru::new(m), cfg);
+            let what = format!("seed={seed} campaign={campaign} LRU({m})");
+            assert_eq!(
+                lru_flat.metrics_at(m, cfg.fault_service),
+                sim,
+                "{what}: flat curve"
+            );
+            assert_eq!(
+                lru_comp.metrics_at(m, cfg.fault_service),
+                sim,
+                "{what}: compressed curve"
+            );
+        }
+
+        for _ in 0..4 {
+            let tau = 1 + rng.below(400);
+            let sim = simulate(&flat, &mut WorkingSet::new(tau), cfg);
+            let what = format!("seed={seed} campaign={campaign} WS({tau})");
+            assert_eq!(
+                ws_flat.metrics_at(tau, cfg.fault_service),
+                sim,
+                "{what}: flat curve"
+            );
+            assert_eq!(
+                ws_comp.metrics_at(tau, cfg.fault_service),
+                sim,
+                "{what}: compressed curve"
+            );
+        }
+    }
+}
